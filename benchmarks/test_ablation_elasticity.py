@@ -1,0 +1,53 @@
+"""Ablation — adaptive elasticity on/off.
+
+SciCumulus scales the VM pool with the load. Starting from a small
+cluster, the adaptive policy should approach the TET of a statically
+over-provisioned cluster while provisioning VMs only when the backlog
+demands them.
+"""
+
+from repro.perf.experiments import run_single_scale
+from repro.workflow.adaptive import AdaptiveElasticityPolicy
+
+from conftest import BENCH_PAIRS
+
+N_PAIRS = max(150, BENCH_PAIRS // 5)
+
+
+def test_ablation_elasticity(benchmark):
+    # Static small cluster: 4 cores only.
+    static_small = run_single_scale(
+        4, scenario="adaptive", n_pairs=N_PAIRS, failure_rate=0.05
+    )
+    # Static big cluster: 32 cores from the start.
+    static_big = run_single_scale(
+        32, scenario="adaptive", n_pairs=N_PAIRS, failure_rate=0.05
+    )
+
+    # Elastic: start at 4, let the policy scale to at most 32.
+    def elastic():
+        return run_single_scale(
+            32,
+            scenario="adaptive",
+            n_pairs=N_PAIRS,
+            failure_rate=0.05,
+            elasticity=AdaptiveElasticityPolicy(
+                min_cores=4, max_cores=32, drain_horizon=600.0
+            ),
+        )
+
+    elastic_res = benchmark.pedantic(elastic, rounds=1, iterations=1)
+    print(
+        f"\nABLATION elasticity ({N_PAIRS} pairs): static-4 "
+        f"{static_small.tet_seconds / 3600:.2f} h, static-32 "
+        f"{static_big.tet_seconds / 3600:.2f} h, elastic(4->32) "
+        f"{elastic_res.tet_seconds / 3600:.2f} h, peak cores "
+        f"{elastic_res.report.peak_cores}"
+    )
+    # Elastic beats the small static cluster decisively ...
+    assert elastic_res.tet_seconds < static_small.tet_seconds * 0.7
+    # ... and lands within 2x of the fully provisioned one (boot latency
+    # and ramp-up are real costs).
+    assert elastic_res.tet_seconds < static_big.tet_seconds * 2.0
+    # The policy actually scaled.
+    assert elastic_res.report.peak_cores > 4

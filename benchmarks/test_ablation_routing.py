@@ -1,0 +1,34 @@
+"""Ablation — adaptive AD4/Vina routing vs a fixed engine.
+
+SciDock's design contribution: route small receptors to AD4 and large,
+flexible ones to Vina. Compared against forcing one engine for every
+pair (the paper's Scenario I / II), adaptive routing should land between
+the all-Vina (fast) and all-AD4 (slow) runtimes while keeping AD4's
+deeper scoring where it is affordable.
+"""
+
+from repro.perf.experiments import run_single_scale
+
+from conftest import BENCH_PAIRS
+
+N_PAIRS = max(200, BENCH_PAIRS // 4)
+
+
+def test_ablation_engine_routing(benchmark):
+    def run(scenario):
+        return run_single_scale(
+            16, scenario=scenario, n_pairs=N_PAIRS, failure_rate=0.05
+        )
+
+    adaptive = benchmark.pedantic(run, args=("adaptive",), rounds=1, iterations=1)
+    all_ad4 = run("ad4")
+    all_vina = run("vina")
+    print(
+        f"\nABLATION engine routing ({N_PAIRS} pairs @16 cores): "
+        f"all-AD4 {all_ad4.tet_seconds / 3600:.2f} h, adaptive "
+        f"{adaptive.tet_seconds / 3600:.2f} h, all-Vina "
+        f"{all_vina.tet_seconds / 3600:.2f} h"
+    )
+    # Vina-only is the fastest, AD4-only the slowest, adaptive in between.
+    assert all_vina.tet_seconds < all_ad4.tet_seconds
+    assert all_vina.tet_seconds <= adaptive.tet_seconds <= all_ad4.tet_seconds * 1.02

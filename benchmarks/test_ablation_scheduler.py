@@ -1,0 +1,58 @@
+"""Ablation — greedy cost-model scheduler vs naive round-robin.
+
+SciCumulus' scheduling cost model sends long activations to fast cores.
+This ablation quantifies the benefit on the heterogeneous SciDock load
+(and shows the flip side: greedy planning overhead at large scale).
+"""
+
+from repro.perf.experiments import run_single_scale
+from repro.workflow.scheduler import GreedyCostScheduler, RoundRobinScheduler
+
+from conftest import BENCH_PAIRS
+
+N_PAIRS = max(200, BENCH_PAIRS // 4)
+
+
+def test_ablation_scheduler(benchmark):
+    def run(scheduler):
+        return run_single_scale(
+            16,
+            scenario="adaptive",
+            n_pairs=N_PAIRS,
+            scheduler=scheduler,
+            failure_rate=0.05,
+        )
+
+    greedy = benchmark.pedantic(
+        run, args=(GreedyCostScheduler(),), rounds=1, iterations=1
+    )
+    rr = run(RoundRobinScheduler())
+    print(
+        f"\nABLATION scheduler @16 cores, {N_PAIRS} pairs: "
+        f"greedy TET {greedy.tet_seconds / 3600:.2f} h vs "
+        f"round-robin {rr.tet_seconds / 3600:.2f} h "
+        f"({(rr.tet_seconds / greedy.tet_seconds - 1) * 100:+.1f}% vs greedy)"
+    )
+    # Greedy is at worst marginally slower, typically faster, on the
+    # heterogeneous docking mix.
+    assert greedy.tet_seconds <= rr.tet_seconds * 1.10
+
+    # At 128 cores greedy pays its planning overhead: measure it.
+    greedy_big = run_single_scale(
+        128, scenario="adaptive", n_pairs=N_PAIRS,
+        scheduler=GreedyCostScheduler(), failure_rate=0.05,
+    )
+    rr_big = run_single_scale(
+        128, scenario="adaptive", n_pairs=N_PAIRS,
+        scheduler=RoundRobinScheduler(), failure_rate=0.05,
+    )
+    print(
+        f"@128 cores: greedy {greedy_big.tet_seconds / 3600:.2f} h vs "
+        f"round-robin {rr_big.tet_seconds / 3600:.2f} h "
+        "(greedy overhead grows with queue x VMs — the paper's Fig. 9 cause)"
+    )
+    # The overhead mechanism exists: greedy's relative advantage shrinks
+    # (or reverses) at 128 cores compared to 16.
+    ratio_16 = greedy.tet_seconds / rr.tet_seconds
+    ratio_128 = greedy_big.tet_seconds / rr_big.tet_seconds
+    assert ratio_128 >= ratio_16 * 0.95

@@ -1,0 +1,34 @@
+"""Figure 10 — result of Query 1 over the provenance repository.
+
+"Obtain the TET, statistical averages and biological information related
+to the SciDock executions": per-activity min/max/sum/avg of activation
+durations, straight SQL over the real Table-3 campaign's provenance.
+"""
+
+from repro.provenance.queries import query1_activity_statistics, query1_sql
+
+
+def test_fig10_query1(benchmark, table3_campaign):
+    report, store = table3_campaign["ad4"]
+    stats = benchmark(query1_activity_statistics, store, report.wkfid)
+    print("\nFIGURE 10: Query 1 result (per-activity runtime statistics)")
+    print(f"{'tag':<18} {'min':>8} {'max':>8} {'sum':>10} {'avg':>8}  (seconds)")
+    for s in stats:
+        print(f"{s.tag:<18} {s.min:>8.3f} {s.max:>8.3f} {s.sum:>10.3f} {s.avg:>8.3f}")
+    tags = {s.tag for s in stats}
+    assert {
+        "babel",
+        "prepare_ligand",
+        "prepare_receptor",
+        "prepare_gpf",
+        "autogrid",
+        "docking",
+    } <= tags
+    # Raw SQL (the paper's literal query) agrees with the typed helper.
+    rows = store.sql(query1_sql(), (report.wkfid,))
+    raw = {r["tag"]: r["avg"] for r in rows}
+    for s in stats:
+        assert abs(raw[s.tag] - s.avg) < 1e-9
+    # Every min <= avg <= max.
+    for s in stats:
+        assert s.min <= s.avg <= s.max

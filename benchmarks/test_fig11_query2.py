@@ -1,0 +1,28 @@
+"""Figure 11 — result of Query 2: produced '.dlg' files.
+
+"Retrieve the names, sizes and locations of files with the extension
+'.dlg' ... recovering also which workflow and activities produced those
+files." Run over the real AD4 campaign so actual DLG files exist.
+"""
+
+from repro.provenance.queries import query2_files
+
+
+def test_fig11_query2(benchmark, table3_campaign):
+    report, store = table3_campaign["ad4"]
+    files = benchmark(query2_files, store, report.wkfid, ".dlg")
+    print("\nFIGURE 11: Query 2 result (first 10 rows)")
+    print(f"{'workflow':<9} {'activity':<10} {'fname':<22} {'fsize':>8} fdir")
+    for f in files[:10]:
+        print(
+            f"{f.workflow_tag:<9} {f.activity_tag:<10} {f.fname:<22} "
+            f"{f.fsize:>8} {f.fdir}"
+        )
+    print(f"... {len(files)} .dlg files total")
+    assert files, "the AD4 campaign must produce DLG files"
+    for f in files:
+        assert f.workflow_tag == "SciDock"
+        assert f.activity_tag == "docking"
+        assert f.fname.endswith(".dlg")
+        assert f.fsize > 0
+        assert "/autodock4/" in f.fdir

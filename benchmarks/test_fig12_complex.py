@@ -1,0 +1,111 @@
+"""Figure 12 — 3D structure of the best receptor-ligand complex.
+
+The paper renders 2HHN-0E6 (best interaction) with the docked ligand in
+the binding box. We regenerate the complex for the campaign's best
+converged interaction: re-dock that pair, merge receptor + docked ligand
+into one PDB, and report the contact summary.
+"""
+
+import numpy as np
+
+from repro.chem.formats.pdb import parse_pdb, write_pdb
+from repro.chem.generate import generate_ligand, generate_receptor
+from repro.core.analysis import collect_outcomes, top_interactions
+from repro.docking.box import GridBox
+from repro.docking.prepare import prepare_ligand, prepare_receptor
+from repro.docking.scoring_vina import build_vina_maps
+from repro.docking.vina import Vina
+from repro.core.scidock import FAST_VINA
+
+
+def test_fig12_best_complex(benchmark, table3_campaign, tmp_path):
+    report, store = table3_campaign["vina"]
+    outcomes = collect_outcomes(store, report.wkfid)
+    top = top_interactions(outcomes, n=3)
+    assert top, "the Vina campaign must produce converged interactions"
+    print("\nFIGURE 12: top interactions (paper: 2HHN-0E6, 1S4V-0D6, 1HUC-0D6)")
+    for o in top:
+        print(f"  {o.receptor}-{o.ligand}: FEB {o.feb:+.2f} kcal/mol")
+    best = top[0]
+
+    def build_complex():
+        receptor = generate_receptor(best.receptor)
+        ligand = generate_ligand(best.ligand)
+        rp = prepare_receptor(receptor)
+        lp = prepare_ligand(ligand)
+        box = GridBox.around_pocket(
+            np.array(receptor.metadata["pocket_center"]),
+            receptor.metadata["pocket_radius"],
+            spacing=0.6,
+        )
+        maps = build_vina_maps(rp.molecule, box)
+        engine = Vina(rp, box, FAST_VINA, maps=maps)
+        # Small budgets occasionally miss the pocket from one seed; take
+        # the best of three independent re-docks (cheaper than raising
+        # exhaustiveness across the whole campaign).
+        results = [engine.dock(lp, seed=s) for s in (0, 1, 2)]
+        result = min(results, key=lambda r: r.best_energy)
+        pose = result.best_pose
+        # Merge the receptor and the docked ligand into one structure.
+        complex_mol = rp.molecule.copy()
+        docked = lp.molecule.copy()
+        docked.set_coords(pose.coords)
+        for atom in docked.atoms:
+            atom.metadata["hetatm"] = True
+            atom.residue_name = best.ligand[:3]
+            atom.chain_id = "L"
+        for atom in docked.atoms:
+            complex_mol.add_atom(atom)
+        complex_mol.name = f"{best.receptor}-{best.ligand}"
+        return complex_mol, pose, box
+
+    complex_mol, pose, box = benchmark(build_complex)
+    pdb_text = write_pdb(
+        complex_mol,
+        remarks=[
+            f"SciDock complex {complex_mol.name}",
+            f"FEB {pose.energy:+.2f} kcal/mol",
+            f"grid box center {box.center.round(2).tolist()} dims {box.dimensions.round(1).tolist()}",
+        ],
+    )
+    out = tmp_path / f"{complex_mol.name}.pdb"
+    out.write_text(pdb_text)
+    # Render the figure itself (SVG, like the paper's screenshot).
+    from repro.viz import render_complex_svg
+
+    receptor_only = generate_receptor(best.receptor)
+    # Re-prepare the ligand (deterministic) so the atom count matches the
+    # docked pose, then place it at the pose coordinates.
+    ligand_only = prepare_ligand(generate_ligand(best.ligand)).molecule
+    ligand_only.set_coords(pose.coords)
+    svg = render_complex_svg(
+        receptor_only,
+        ligand_only,
+        box,
+        title=f"{complex_mol.name}  FEB {pose.energy:+.2f} kcal/mol",
+    )
+    (tmp_path / f"{complex_mol.name}.svg").write_text(svg)
+    assert svg.startswith("<svg")
+    # Round-trip sanity: the merged complex is valid PDB.
+    back = parse_pdb(pdb_text)
+    assert len(back) == len(complex_mol)
+
+    # Contact analysis: docked ligand sits in the pocket, near receptor
+    # atoms but not clashing through them.
+    rec_coords = np.array(
+        [a.coords for a in complex_mol.atoms if a.chain_id != "L"]
+    )
+    lig_coords = np.array(
+        [a.coords for a in complex_mol.atoms if a.chain_id == "L"]
+    )
+    diff = lig_coords[:, None, :] - rec_coords[None, :, :]
+    dists = np.sqrt((diff**2).sum(axis=-1))
+    n_contacts = int((dists < 4.5).any(axis=1).sum())
+    print(
+        f"complex {complex_mol.name}: FEB {pose.energy:+.2f} kcal/mol, "
+        f"{n_contacts}/{len(lig_coords)} ligand atoms within 4.5 A of the "
+        f"receptor, min contact {dists.min():.2f} A"
+    )
+    assert pose.energy < 0
+    assert n_contacts >= len(lig_coords) // 4
+    assert dists.min() > 1.0  # no atom fusion

@@ -1,0 +1,62 @@
+"""Figure 7 — total execution time of SciDock vs virtual cores.
+
+Paper headline: AD4 drops from 12.5 days (2 cores) to 11.9 hours
+(128 cores); Vina from ~9 days to 7.7 hours, with 95.4 % / 96.1 %
+improvement at 32 cores. The simulated sweep reproduces the shape; the
+TETs below are for REPRO_BENCH_PAIRS pairs (default 1000, i.e. ~1/10 of
+the paper's scale — multiply by 10 to compare absolute magnitudes).
+"""
+
+from repro.perf.experiments import run_single_scale
+
+
+def _print_sweep(sweeps):
+    print("\nFIGURE 7: total execution time (TET)")
+    print(f"{'cores':>6} | {'AD4 TET (h)':>12} | {'Vina TET (h)':>13}")
+    ad4, vina = sweeps["ad4"], sweeps["vina"]
+    for (c, t_ad4), t_vina in zip(
+        zip(ad4.core_counts, ad4.tets), vina.tets
+    ):
+        print(f"{c:>6} | {t_ad4 / 3600:>12.2f} | {t_vina / 3600:>13.2f}")
+
+
+def test_fig7_tet_curves(benchmark, core_sweeps):
+    _print_sweep(core_sweeps)
+    ad4, vina = core_sweeps["ad4"], core_sweeps["vina"]
+
+    # TET decreases monotonically with cores for both engines.
+    for sweep in (ad4, vina):
+        assert all(b < a for a, b in zip(sweep.tets, sweep.tets[1:]))
+    # Vina is faster than AD4 at every scale (paper: 9 vs 12.5 days etc.).
+    assert all(v < a for v, a in zip(vina.tets, ad4.tets))
+    # Improvement at 32 cores is in the paper's ballpark (95.4 / 96.1 %).
+    imp_ad4 = dict(zip(ad4.core_counts, ad4.improvements()))[32]
+    imp_vina = dict(zip(vina.core_counts, vina.improvements()))[32]
+    print(
+        f"improvement at 32 cores: AD4 {imp_ad4:.1f}% (paper 95.4%), "
+        f"Vina {imp_vina:.1f}% (paper 96.1%)"
+    )
+    assert 88.0 < imp_ad4 < 98.0
+    assert 88.0 < imp_vina < 98.0
+    # Overall reduction factor 2 -> 128 cores is order tens (paper ~25x).
+    factor = ad4.tets[0] / ad4.tets[-1]
+    print(f"AD4 TET reduction 2->128 cores: {factor:.1f}x (paper ~25x)")
+    assert factor > 10
+    # Data volume: the paper reports ~600 GB per full workflow execution.
+    point = ad4.points[0]
+    gb = point.report.bytes_written / 1e9
+    scaled = gb * 9996 / max(1, len(point.report.output))
+    print(
+        f"shared-FS data volume: {gb:.1f} GB at this scale, ~{scaled:.0f} GB "
+        "scaled to 9,996 pairs (paper: ~600 GB per execution)"
+    )
+    assert 300 < scaled < 1200
+
+    # Benchmark one representative simulation point (16 cores).
+    benchmark.pedantic(
+        run_single_scale,
+        args=(16,),
+        kwargs=dict(scenario="ad4", n_pairs=200, failure_rate=0.1),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,32 @@
+"""Figure 9 — efficiency of SciDock.
+
+Paper: efficiency decreases as VMs grow from 32 to 128 cores, caused by
+the greedy scheduler's plan-computation overhead growing with
+(activations x VMs).
+"""
+
+
+def test_fig9_efficiency(benchmark, core_sweeps):
+    ad4, vina = core_sweeps["ad4"], core_sweeps["vina"]
+
+    def compute():
+        return {"ad4": ad4.efficiencies(), "vina": vina.efficiencies()}
+
+    series = benchmark(compute)
+    print("\nFIGURE 9: parallel efficiency")
+    print(f"{'cores':>6} | {'AD4':>6} | {'Vina':>6}")
+    for c, e_a, e_v in zip(ad4.core_counts, series["ad4"], series["vina"]):
+        print(f"{c:>6} | {e_a:>6.2f} | {e_v:>6.2f}")
+
+    eff_ad4 = dict(zip(ad4.core_counts, series["ad4"]))
+    eff_vina = dict(zip(vina.core_counts, series["vina"]))
+    # High efficiency through 32 cores ...
+    assert eff_ad4[32] > 0.75
+    # ... declining from 32 to 128 (the paper's Fig. 9 shape).
+    assert eff_ad4[64] < eff_ad4[32]
+    assert eff_ad4[128] < eff_ad4[64]
+    assert eff_vina[128] < eff_vina[32]
+    print(
+        f"efficiency decay 32->128 cores: AD4 {eff_ad4[32]:.2f} -> "
+        f"{eff_ad4[128]:.2f}, Vina {eff_vina[32]:.2f} -> {eff_vina[128]:.2f}"
+    )

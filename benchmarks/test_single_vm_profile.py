@@ -1,0 +1,119 @@
+"""Single-VM program profiling (the paper's §V.C first step).
+
+"For each activity of SciDock ... we first measure the performance of
+all programs on a single VM to analyze the local optimization before
+adding more VMs." These micro-benchmarks time each program of the
+toolchain in isolation — the numbers that calibrate the simulation's
+cost model (`repro.perf.calibrate`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.babel import convert_molecule
+from repro.chem.generate import generate_ligand, generate_receptor
+from repro.core.scidock import FAST_AD4, FAST_VINA
+from repro.docking.autodock import AutoDock4
+from repro.docking.autogrid import AutoGrid
+from repro.docking.box import GridBox
+from repro.docking.prepare import (
+    prepare_gpf,
+    prepare_ligand,
+    prepare_receptor,
+)
+from repro.docking.scoring_ad4 import AD4Scorer
+from repro.docking.scoring_vina import VinaScorer, build_vina_maps
+from repro.docking.vina import Vina
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rec = generate_receptor("2HHN")
+    lig = generate_ligand("0E6")
+    rp = prepare_receptor(rec)
+    lp = prepare_ligand(lig)
+    box = GridBox.around_pocket(
+        np.array(rec.metadata["pocket_center"]),
+        rec.metadata["pocket_radius"],
+        spacing=0.8,
+    )
+    maps = AutoGrid().run(rp.molecule, box, lp.atom_types)
+    vmaps = build_vina_maps(rp.molecule, box)
+    return rec, lig, rp, lp, box, maps, vmaps
+
+
+def test_profile_babel(benchmark, setup):
+    _, lig, *_ = setup
+    out = benchmark(convert_molecule, lig, "mol2")
+    assert "@<TRIPOS>MOLECULE" in out
+
+
+def test_profile_prepare_ligand(benchmark, setup):
+    _, lig, *_ = setup
+    prep = benchmark(prepare_ligand, lig)
+    assert prep.torsdof >= 0
+
+
+def test_profile_prepare_receptor(benchmark, setup):
+    rec, *_ = setup
+    prep = benchmark(prepare_receptor, rec)
+    assert len(prep.molecule) > 100
+
+
+def test_profile_prepare_gpf(benchmark, setup):
+    _, _, rp, lp, box, *_ = setup
+    text = benchmark(prepare_gpf, rp, lp, box)
+    assert "gridcenter" in text
+
+
+def test_profile_autogrid(benchmark, setup):
+    _, _, rp, lp, box, *_ = setup
+    maps = benchmark.pedantic(
+        AutoGrid().run, args=(rp.molecule, box, lp.atom_types),
+        rounds=2, iterations=1,
+    )
+    assert maps.atom_types
+
+
+def test_profile_ad4_energy_evaluation(benchmark, setup):
+    """The GA's inner loop: one grid-based energy evaluation."""
+    _, _, _, lp, _, maps, _ = setup
+    scorer = AD4Scorer(maps, lp.molecule)
+    coords = lp.molecule.coords - lp.molecule.coords.mean(axis=0) + maps.box.center
+    e = benchmark(scorer.docking_energy, coords)
+    assert np.isfinite(e)
+
+
+def test_profile_vina_energy_evaluation(benchmark, setup):
+    """Vina's inner loop, with and without the grid cache."""
+    _, _, rp, lp, box, _, vmaps = setup
+    gridded = VinaScorer(rp.molecule, lp.molecule, box, maps=vmaps)
+    coords = lp.molecule.coords - lp.molecule.coords.mean(axis=0) + box.center
+    e = benchmark(gridded.search_energy, coords)
+    assert np.isfinite(e)
+
+
+def test_profile_vina_exact_evaluation(benchmark, setup):
+    _, _, rp, lp, box, _, _ = setup
+    exact = VinaScorer(rp.molecule, lp.molecule, box)
+    coords = lp.molecule.coords - lp.molecule.coords.mean(axis=0) + box.center
+    e = benchmark(exact.search_energy, coords)
+    assert np.isfinite(e)
+
+
+def test_profile_ad4_docking(benchmark, setup):
+    _, _, _, lp, _, maps, _ = setup
+    result = benchmark.pedantic(
+        AutoDock4(maps, FAST_AD4).dock, args=(lp,), kwargs={"seed": 1},
+        rounds=2, iterations=1,
+    )
+    assert result.poses
+
+
+def test_profile_vina_docking(benchmark, setup):
+    _, _, rp, lp, box, _, vmaps = setup
+    engine = Vina(rp, box, FAST_VINA, maps=vmaps)
+    result = benchmark.pedantic(
+        engine.dock, args=(lp,), kwargs={"seed": 1}, rounds=2, iterations=1
+    )
+    assert result.poses

@@ -1,0 +1,39 @@
+"""Table 1 — characteristics of the VMs used (instance catalog).
+
+Regenerates the paper's Table 1 rows and benchmarks virtual-cluster
+provisioning at the experiment's maximum scale (32 VMs / 128 cores).
+"""
+
+from repro.cloud.cluster import VirtualCluster
+from repro.cloud.instance import table1_rows
+from repro.cloud.provider import CloudProvider
+from repro.cloud.simclock import SimClock
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_rows)
+    print("\nTABLE 1. CHARACTERISTICS OF USED VMS")
+    print(f"{'Instance Type':<14} {'# cores':>8}  Physical Processor")
+    for r in rows:
+        print(
+            f"{r['instance_type']:<14} {r['cores']:>8}  {r['physical_processor']}"
+        )
+    assert rows[0]["instance_type"] == "m3.xlarge" and rows[0]["cores"] == 4
+    assert rows[1]["instance_type"] == "m3.2xlarge" and rows[1]["cores"] == 8
+
+
+def test_provision_128_cores(benchmark):
+    def provision():
+        clock = SimClock()
+        cluster = VirtualCluster(CloudProvider(clock))
+        cluster.scale_to(128)
+        clock.run()
+        return cluster
+
+    cluster = benchmark(provision)
+    print(
+        f"\nprovisioned {len(cluster.active_vms)} VMs / "
+        f"{cluster.total_cores} cores (paper: up to 32 VMs / 128 virtual cores)"
+    )
+    assert cluster.total_cores >= 128
+    assert len(cluster.active_vms) <= 32

@@ -1,0 +1,106 @@
+"""Build your own workflow on the SciCumulus-like engine.
+
+The paper closes with: "results presented in this paper can be
+extrapolated to the development of workflows in other areas that also
+require the exploration of large amounts of data." This example builds a
+*non-docking* workflow from scratch — a parameter-sweep image-filter
+pipeline stand-in — showing the general SWfMS API: activities with
+templates and extractors, the XML spec round-trip, failure handling and
+provenance analytics.
+
+Run:  python examples/custom_workflow.py
+"""
+
+import numpy as np
+
+from repro.provenance.queries import query1_activity_statistics
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.engine import LocalEngine
+from repro.workflow.extractor import JsonExtractor
+from repro.workflow.fault import RetryPolicy
+from repro.workflow.relation import Relation
+from repro.workflow.spec import workflow_to_xml
+from repro.workflow.template import ActivityTemplate
+
+
+def synthesize(tup, ctx):
+    """Activity 1: generate a synthetic signal for this parameter point."""
+    rng = np.random.default_rng(tup["seed"])
+    signal = np.sin(np.linspace(0, tup["freq"] * np.pi, 256))
+    noisy = signal + rng.normal(scale=tup["noise"], size=signal.size)
+    ctx.setdefault("signals", {})[tup["key"]] = noisy
+    return [dict(tup)]
+
+
+def denoise(tup, ctx):
+    """Activity 2: a moving-average filter; fails on a corrupted input."""
+    sig = ctx["signals"][tup["key"]]
+    if tup["noise"] > 0.9:  # hopeless inputs crash the tool
+        raise RuntimeError("filter diverged")
+    kernel = np.ones(5) / 5
+    ctx["signals"][tup["key"]] = np.convolve(sig, kernel, mode="same")
+    return [dict(tup)]
+
+
+def score(tup, ctx):
+    """Activity 3: emit a quality metric through the extractor path."""
+    sig = ctx["signals"][tup["key"]]
+    clean = np.sin(np.linspace(0, tup["freq"] * np.pi, 256))
+    mse = float(((sig - clean) ** 2).mean())
+    out = dict(tup)
+    out["mse"] = round(mse, 5)
+    out["_extract_payload"] = f'{{"mse": {mse:.6f}}}'
+    return [out]
+
+
+def pick_best(tup, ctx):
+    """Activity 4 (REDUCE): keep the best parameter point."""
+    best = min(tup["__tuples__"], key=lambda t: t["mse"])
+    return [best]
+
+
+def main() -> None:
+    workflow = Workflow(
+        tag="SciSweep",
+        description="generic parameter sweep on the SWfMS",
+        activities=[
+            Activity("synthesize", Operator.MAP, fn=synthesize,
+                     template=ActivityTemplate(command="gen --seed %=seed%")),
+            Activity("denoise", Operator.MAP, fn=denoise,
+                     template=ActivityTemplate(command="filter --k 5")),
+            Activity("score", Operator.MAP, fn=score,
+                     extractors=[JsonExtractor(keys=("mse",))]),
+            Activity("pick_best", Operator.REDUCE, fn=pick_best),
+        ],
+    )
+    print("workflow spec (SciCumulus XML):")
+    print(workflow_to_xml(workflow))
+
+    sweep = Relation(
+        "params",
+        [
+            {"key": f"p{f}-{n}", "seed": 7, "freq": f, "noise": n}
+            for f in (2, 4, 8)
+            for n in (0.1, 0.4, 1.2)  # noise 1.2 points will fail
+        ],
+    )
+    store = ProvenanceStore()
+    engine = LocalEngine(store, workers=4, retry=RetryPolicy(max_attempts=2))
+    report = engine.run(workflow, sweep)
+
+    print(f"swept {len(sweep)} parameter points in {report.tet_seconds:.2f} s; "
+          f"{report.counts}")
+    best = report.output[0]
+    print(f"best point: freq={best['freq']} noise={best['noise']} "
+          f"mse={best['mse']}")
+    print("\nper-activity profile (the same Query 1 as SciDock):")
+    for s in query1_activity_statistics(store, report.wkfid):
+        print(f"  {s.tag:<11} n={s.count:<3} avg={s.avg * 1000:7.2f} ms")
+    failed = store.failed_activations(report.wkfid)
+    print(f"\n{len(failed)} failed activation executions "
+          "(corrupted inputs, retried then dropped) — all visible in provenance")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Hit-to-lead: refinement and QSAR on top of a SciDock campaign.
+
+Implements the paper's §V.D recipe end-to-end:
+
+1. screen a receptor panel with SciDock (structure-based),
+2. *refine* the best hits — redocking, minimization, a short MD anneal —
+   to separate real binders from docking artifacts,
+3. train a 2D QSAR model on the measured FEBs and rank the *whole*
+   42-ligand library, shortlisting drug-like candidates for the next
+   docking campaign.
+
+Run:  python examples/hit_to_lead.py
+"""
+
+from repro.core.analysis import collect_outcomes, top_interactions
+from repro.core.datasets import CL0125_RECEPTORS, CP_LIGANDS, TABLE3_LIGANDS, pair_relation
+from repro.core.scidock import SciDockConfig, run_scidock
+from repro.dynamics.refine import refine_pose
+from repro.qsar.screen import describe_model, qsar_screen
+
+
+def main() -> None:
+    # --- 1. structure-based screen (small panel for demo speed) ---------
+    receptors = list(CL0125_RECEPTORS[:4])
+    ligands = ["042", "074", "0D6", "0E6", "ACE", "ALD", "93N", "2CA"]
+    pairs = pair_relation(receptors=receptors, ligands=ligands)
+    print(f"screening {len(pairs)} pairs on {len(receptors)} receptors ...")
+    report, store = run_scidock(pairs, SciDockConfig(scenario="vina", workers=4))
+    outcomes = collect_outcomes(store, report.wkfid)
+    hits = top_interactions(outcomes, n=3)
+    print("top hits:")
+    for o in hits:
+        print(f"  {o.receptor}-{o.ligand}: FEB {o.feb:+.2f} kcal/mol")
+
+    # --- 2. refinement: redock + minimize + MD anneal --------------------
+    print("\nrefining hits (redocking + minimization + MD):")
+    for o in hits[:2]:
+        result = refine_pose(
+            o.receptor, o.ligand, screening_feb=o.feb, md_steps=40, seeds=(0, 1)
+        )
+        print("  " + result.summary())
+
+    # --- 3. ligand-based QSAR over the whole library ---------------------
+    training = {}
+    for o in outcomes:
+        best = training.get(o.ligand)
+        if best is None or o.feb < best:
+            training[o.ligand] = o.feb
+    print(f"\ntraining QSAR on {len(training)} ligands' best FEBs ...")
+    ranking = qsar_screen(training, CP_LIGANDS)
+    print(f"cross-validated q2 = {ranking.q2:.2f}")
+    print(describe_model(ranking.model))
+    print("\npredicted-best ligands for the next campaign:")
+    for lig, feb in ranking.top(6):
+        tag = "drug-like" if ranking.druglike[lig] else "non-drug-like"
+        seen = "trained" if lig in training else "new"
+        print(f"  {lig}: predicted FEB {feb:+.2f} kcal/mol ({tag}, {seen})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Provenance deep-dive: runtime steering and W3C PROV export.
+
+The paper's key claim is that *data provenance*, not just parallelism,
+makes large-scale docking manageable: failures are found by SQL instead
+of directory crawls, problematic inputs (Hg receptors) are identified
+and blocked, and everything exports as standard W3C PROV.
+
+This example injects failures into a simulated campaign, then plays the
+scientist's role: find what failed, what was blocked, what the
+re-execution cost, and produce a PROV-N document.
+
+Run:  python examples/provenance_analysis.py
+"""
+
+from repro.perf.experiments import run_single_scale
+from repro.provenance.prov_model import export_prov_document, to_prov_n
+from repro.provenance.queries import (
+    query1_activity_statistics,
+    workflow_tet,
+)
+
+
+def main() -> None:
+    # A 16-core campaign over the first 238 pairs (= every receptor once)
+    # with the paper's 10% failure rate and the Hg looping pathology.
+    res = run_single_scale(
+        16, scenario="adaptive", n_pairs=238, failure_rate=0.10,
+        block_known_loopers=True,
+    )
+    store, wkfid = res.store, res.report.wkfid
+    print(f"simulated TET: {workflow_tet(store, wkfid) / 3600:.2f} h; "
+          f"{res.report.total_activations} activations\n")
+
+    # 1. "Which activations failed and had to be re-executed?"
+    failed = store.failed_activations(wkfid)
+    print(f"{len(failed)} failed activation executions "
+          f"(re-executed automatically); first few:")
+    for row in failed[:5]:
+        print(f"  taskid={row['taskid']} tuple={row['tuple_key']} "
+              f"attempt={row['attempt']} err={row['errormsg']}")
+
+    # 2. "Which inputs were blocked by the Hg routine?"
+    blocked = store.sql(
+        """
+        SELECT t.tuple_key, t.errormsg
+        FROM hactivation t JOIN hactivity a ON t.actid = a.actid
+        WHERE a.wkfid = ? AND t.status = 'BLOCKED'
+        """,
+        (wkfid,),
+    )
+    print(f"\n{len(blocked)} activations blocked before dispatch "
+          "(receptors containing Hg):")
+    for row in blocked[:5]:
+        print(f"  {row['tuple_key']}: {row['errormsg']}")
+
+    # 3. Runtime statistics per activity (Query 1 / Fig. 10).
+    print("\nper-activity statistics (Query 1):")
+    for s in query1_activity_statistics(store, wkfid):
+        print(f"  {s.tag:<17} min={s.min:8.2f} max={s.max:8.2f} "
+              f"avg={s.avg:8.2f} s  (n={s.count})")
+
+    # 4. Status ledger and the re-execution bill.
+    counts = store.counts_by_status(wkfid)
+    print(f"\nactivation ledger: {counts}")
+    wasted = store.sql(
+        """
+        SELECT COALESCE(SUM(t.endtime - t.starttime), 0) AS wasted
+        FROM hactivation t JOIN hactivity a ON t.actid = a.actid
+        WHERE a.wkfid = ? AND t.status = 'FAILED'
+        """,
+        (wkfid,),
+    )[0]["wasted"]
+    print(f"core-seconds burned by failed attempts: {wasted:.0f} "
+          "(recovered by activation-level re-execution, not a full restart)")
+
+    # 5. Standards-compliant export.
+    doc = export_prov_document(store, wkfid)
+    prov_n = to_prov_n(doc)
+    print(f"\nW3C PROV export: {len(doc['activity'])} activities, "
+          f"{len(doc['entity'])} entities, {len(doc['agent'])} agents "
+          f"({len(prov_n.splitlines())} PROV-N lines)")
+    print("\n".join(prov_n.splitlines()[:6]) + "\n  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: SciDock / SciCumulus reproduction.
+
+A from-scratch Python implementation of the system described in
+"Exploring Large Scale Receptor-Ligand Pairs in Molecular Docking
+Workflows in HPC Clouds" (IPPS 2014): the SciDock virtual-screening
+workflow, a SciCumulus-like cloud workflow engine with PROV-Wf
+provenance, reimplemented AutoDock 4 / AutoDock Vina docking engines,
+and a simulated EC2/S3 substrate for the scalability experiments.
+
+Package map (see docs/ARCHITECTURE.md):
+
+* :mod:`repro.chem` — molecular toolkit and synthetic structures
+* :mod:`repro.docking` — AutoGrid, AD4, Vina, preparation, flexibility
+* :mod:`repro.cloud` — simulated provider, storage, clock, failures
+* :mod:`repro.workflow` — the SWfMS: algebra, engines, scheduling, faults
+* :mod:`repro.provenance` — PROV-Wf store and the paper's queries
+* :mod:`repro.perf` — cost model, calibration, scalability experiments
+* :mod:`repro.core` — SciDock itself (activities, datasets, analysis)
+* :mod:`repro.dynamics`, :mod:`repro.qsar`, :mod:`repro.viz` — the
+  paper's refinement/future-work extensions
+"""
+
+__version__ = "1.0.0"

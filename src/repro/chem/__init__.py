@@ -1,0 +1,65 @@
+"""Molecular toolkit substrate.
+
+Implements, from scratch, the chemistry layer the SciDock workflow depends
+on: atoms and molecules, file-format parsers/writers (PDB, SDF, Sybyl MOL2,
+PDBQT), Open-Babel-style format conversion, Gasteiger partial charges,
+rotatable-bond/torsion-tree analysis, rigid-body geometry and RMSD, and a
+deterministic synthetic-structure generator standing in for RCSB-PDB
+downloads (which are unavailable offline).
+"""
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Bond, Molecule
+from repro.chem.elements import (
+    AUTODOCK_TYPES,
+    COVALENT_RADII,
+    ELEMENTS,
+    VDW_RADII,
+    autodock_type_for,
+    element_info,
+)
+from repro.chem.geometry import (
+    centroid,
+    kabsch_align,
+    random_rotation_matrix,
+    rmsd,
+    rotation_about_axis,
+    symmetric_rmsd,
+)
+from repro.chem.babel import convert_file, convert_molecule, guess_format
+from repro.chem.charges import assign_gasteiger_charges
+from repro.chem.torsions import TorsionTree, find_rotatable_bonds
+from repro.chem.generate import (
+    LigandGenerator,
+    ReceptorGenerator,
+    generate_ligand,
+    generate_receptor,
+)
+
+__all__ = [
+    "Atom",
+    "Bond",
+    "Molecule",
+    "ELEMENTS",
+    "VDW_RADII",
+    "COVALENT_RADII",
+    "AUTODOCK_TYPES",
+    "element_info",
+    "autodock_type_for",
+    "centroid",
+    "rmsd",
+    "symmetric_rmsd",
+    "kabsch_align",
+    "rotation_about_axis",
+    "random_rotation_matrix",
+    "convert_file",
+    "convert_molecule",
+    "guess_format",
+    "assign_gasteiger_charges",
+    "find_rotatable_bonds",
+    "TorsionTree",
+    "LigandGenerator",
+    "ReceptorGenerator",
+    "generate_ligand",
+    "generate_receptor",
+]

@@ -1,0 +1,79 @@
+"""The :class:`Atom` record shared by every file format and engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.chem.elements import element_info
+
+
+@dataclass
+class Atom:
+    """A single atom inside a :class:`~repro.chem.molecule.Molecule`.
+
+    Coordinates are stored as a length-3 float64 numpy array (Angstrom).
+    ``serial`` is the 1-based index within the parent molecule as written
+    to PDB/PDBQT files. ``autodock_type`` is filled in by the preparation
+    step (``prepare_ligand``/``prepare_receptor``); ``charge`` by the
+    Gasteiger routine.
+    """
+
+    serial: int
+    name: str
+    element: str
+    coords: np.ndarray
+    residue_name: str = "UNK"
+    residue_seq: int = 1
+    chain_id: str = "A"
+    charge: float = 0.0
+    autodock_type: str | None = None
+    occupancy: float = 1.00
+    temp_factor: float = 0.00
+    aromatic: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=np.float64)
+        if self.coords.shape != (3,):
+            raise ValueError(
+                f"atom coordinates must be shape (3,), got {self.coords.shape}"
+            )
+        self.element = self.element.strip().upper()
+        # Validate element symbol eagerly so bad input fails at parse time.
+        element_info(self.element)
+
+    @property
+    def mass(self) -> float:
+        return element_info(self.element).mass
+
+    @property
+    def vdw_radius(self) -> float:
+        return element_info(self.element).vdw_radius
+
+    @property
+    def covalent_radius(self) -> float:
+        return element_info(self.element).covalent_radius
+
+    @property
+    def is_metal(self) -> bool:
+        return element_info(self.element).is_metal
+
+    @property
+    def is_hydrogen(self) -> bool:
+        return self.element == "H"
+
+    @property
+    def is_heavy(self) -> bool:
+        return self.element != "H"
+
+    def distance_to(self, other: "Atom") -> float:
+        """Euclidean distance to another atom in Angstrom."""
+        return float(np.linalg.norm(self.coords - other.coords))
+
+    def copy(self) -> "Atom":
+        """Deep-enough copy: coordinates and metadata are duplicated."""
+        return replace(
+            self, coords=self.coords.copy(), metadata=dict(self.metadata)
+        )

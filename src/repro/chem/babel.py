@@ -1,0 +1,89 @@
+"""Open-Babel-equivalent format conversion.
+
+SciDock's first activity runs ``babel -isdf lig.sdf -omol2 lig.mol2``;
+:func:`convert_file` provides the same behaviour over our own parsers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chem.molecule import Molecule
+from repro.chem.formats.mol2 import parse_mol2, write_mol2
+from repro.chem.formats.pdb import parse_pdb, write_pdb
+from repro.chem.formats.pdbqt import parse_pdbqt, write_pdbqt
+from repro.chem.formats.sdf import parse_sdf, write_sdf
+
+_PARSERS = {
+    "sdf": parse_sdf,
+    "mol": parse_sdf,
+    "mol2": parse_mol2,
+    "pdb": parse_pdb,
+    "pdbqt": parse_pdbqt,
+}
+
+_WRITERS = {
+    "sdf": write_sdf,
+    "mol2": write_mol2,
+    "pdb": write_pdb,
+    "pdbqt": write_pdbqt,
+}
+
+SUPPORTED_FORMATS = tuple(sorted(_PARSERS))
+
+
+class UnsupportedFormatError(ValueError):
+    """Raised for a format neither parser nor writer understands."""
+
+
+def guess_format(path: str | Path) -> str:
+    """Infer the format from a file extension (``lig.sdf`` -> ``sdf``)."""
+    suffix = Path(path).suffix.lower().lstrip(".")
+    if suffix not in _PARSERS:
+        raise UnsupportedFormatError(
+            f"cannot guess a supported format from {path!r} "
+            f"(supported: {', '.join(SUPPORTED_FORMATS)})"
+        )
+    return suffix
+
+
+def read_molecule(path: str | Path, fmt: str | None = None) -> Molecule:
+    """Read a molecule from disk, auto-detecting the format by extension."""
+    path = Path(path)
+    fmt = (fmt or guess_format(path)).lower()
+    parser = _PARSERS.get(fmt)
+    if parser is None:
+        raise UnsupportedFormatError(f"no parser for format {fmt!r}")
+    return parser(path.read_text(), name=path.stem)
+
+
+def write_molecule(mol: Molecule, path: str | Path, fmt: str | None = None) -> Path:
+    """Write a molecule to disk in the requested (or inferred) format."""
+    path = Path(path)
+    fmt = (fmt or guess_format(path)).lower()
+    writer = _WRITERS.get(fmt)
+    if writer is None:
+        raise UnsupportedFormatError(f"no writer for format {fmt!r}")
+    path.write_text(writer(mol))
+    return path
+
+
+def convert_molecule(mol: Molecule, to_fmt: str) -> str:
+    """Render a molecule as text in ``to_fmt``."""
+    writer = _WRITERS.get(to_fmt.lower())
+    if writer is None:
+        raise UnsupportedFormatError(f"no writer for format {to_fmt!r}")
+    return writer(mol)
+
+
+def convert_file(
+    src: str | Path,
+    dst: str | Path,
+    *,
+    in_fmt: str | None = None,
+    out_fmt: str | None = None,
+) -> Molecule:
+    """Convert ``src`` to ``dst`` (babel equivalent); returns the molecule."""
+    mol = read_molecule(src, in_fmt)
+    write_molecule(mol, dst, out_fmt)
+    return mol

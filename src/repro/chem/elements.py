@@ -1,0 +1,169 @@
+"""Element data and AutoDock atom typing.
+
+The tables below hold the subset of the periodic table that occurs in
+protein receptors and drug-like ligands, plus the AutoDock 4 atom-type
+vocabulary used by AutoGrid map generation and the AD4/Vina scoring
+functions. Values follow the AD4.1 force-field parameter file
+(AD4.1_bound.dat) closely enough that the scoring terms have realistic
+magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ElementInfo:
+    """Static per-element data."""
+
+    symbol: str
+    atomic_number: int
+    mass: float  # unified atomic mass units
+    vdw_radius: float  # Angstrom
+    covalent_radius: float  # Angstrom
+    electronegativity: float  # Pauling scale
+    is_metal: bool = False
+
+
+# Ordered by atomic number; this is the working set for protein/ligand
+# chemistry plus the metals that appear in PDB structures (notably Hg,
+# which the paper singles out as causing looping activations).
+ELEMENTS: dict[str, ElementInfo] = {
+    "H": ElementInfo("H", 1, 1.008, 1.20, 0.31, 2.20),
+    "C": ElementInfo("C", 6, 12.011, 1.70, 0.76, 2.55),
+    "N": ElementInfo("N", 7, 14.007, 1.55, 0.71, 3.04),
+    "O": ElementInfo("O", 8, 15.999, 1.52, 0.66, 3.44),
+    "F": ElementInfo("F", 9, 18.998, 1.47, 0.57, 3.98),
+    "NA": ElementInfo("NA", 11, 22.990, 2.27, 1.66, 0.93, is_metal=True),
+    "MG": ElementInfo("MG", 12, 24.305, 1.73, 1.41, 1.31, is_metal=True),
+    "P": ElementInfo("P", 15, 30.974, 1.80, 1.07, 2.19),
+    "S": ElementInfo("S", 16, 32.06, 1.80, 1.05, 2.58),
+    "CL": ElementInfo("CL", 17, 35.45, 1.75, 1.02, 3.16),
+    "K": ElementInfo("K", 19, 39.098, 2.75, 2.03, 0.82, is_metal=True),
+    "CA": ElementInfo("CA", 20, 40.078, 2.31, 1.76, 1.00, is_metal=True),
+    "MN": ElementInfo("MN", 25, 54.938, 2.05, 1.39, 1.55, is_metal=True),
+    "FE": ElementInfo("FE", 26, 55.845, 2.04, 1.32, 1.83, is_metal=True),
+    "CO": ElementInfo("CO", 27, 58.933, 2.00, 1.26, 1.88, is_metal=True),
+    "NI": ElementInfo("NI", 28, 58.693, 1.97, 1.24, 1.91, is_metal=True),
+    "CU": ElementInfo("CU", 29, 63.546, 1.96, 1.32, 1.90, is_metal=True),
+    "ZN": ElementInfo("ZN", 30, 65.38, 2.01, 1.22, 1.65, is_metal=True),
+    "BR": ElementInfo("BR", 35, 79.904, 1.85, 1.20, 2.96),
+    "I": ElementInfo("I", 53, 126.904, 1.98, 1.39, 2.66),
+    "HG": ElementInfo("HG", 80, 200.59, 2.05, 1.32, 2.00, is_metal=True),
+}
+
+VDW_RADII: dict[str, float] = {sym: e.vdw_radius for sym, e in ELEMENTS.items()}
+COVALENT_RADII: dict[str, float] = {
+    sym: e.covalent_radius for sym, e in ELEMENTS.items()
+}
+
+
+@dataclass(frozen=True)
+class AutoDockType:
+    """AutoDock 4 atom-type parameters (subset of AD4.1_bound.dat).
+
+    ``rii`` is the sum of vdW radii for a homo-pair (Angstrom), ``epsii``
+    the well depth (kcal/mol), ``solpar`` the atomic solvation parameter
+    and ``vol`` the atomic solvation volume used in the AD4 desolvation
+    term. ``hbond`` is 0 for none, 1/2 for donor hydrogens, 3..5 for
+    acceptors, mirroring AD4's D/A classification.
+    """
+
+    name: str
+    element: str
+    rii: float
+    epsii: float
+    solpar: float
+    vol: float
+    hbond: int = 0
+
+    @property
+    def is_donor(self) -> bool:
+        return self.hbond in (1, 2)
+
+    @property
+    def is_acceptor(self) -> bool:
+        return self.hbond in (3, 4, 5)
+
+    @property
+    def is_hydrophobic(self) -> bool:
+        return self.name in ("C", "A", "Cl", "Br", "I", "F")
+
+
+AUTODOCK_TYPES: dict[str, AutoDockType] = {
+    t.name: t
+    for t in [
+        AutoDockType("H", "H", 2.00, 0.020, 0.00051, 0.0000),
+        AutoDockType("HD", "H", 2.00, 0.020, 0.00051, 0.0000, hbond=2),
+        AutoDockType("HS", "H", 2.00, 0.020, 0.00051, 0.0000, hbond=1),
+        AutoDockType("C", "C", 4.00, 0.150, -0.00143, 33.5103),
+        AutoDockType("A", "C", 4.00, 0.150, -0.00052, 33.5103),
+        AutoDockType("N", "N", 3.50, 0.160, -0.00162, 22.4493),
+        AutoDockType("NA", "N", 3.50, 0.160, -0.00162, 22.4493, hbond=4),
+        AutoDockType("NS", "N", 3.50, 0.160, -0.00162, 22.4493, hbond=3),
+        AutoDockType("OA", "O", 3.20, 0.200, -0.00251, 17.1573, hbond=5),
+        AutoDockType("OS", "O", 3.20, 0.200, -0.00251, 17.1573, hbond=3),
+        AutoDockType("F", "F", 3.09, 0.080, -0.00110, 15.4480),
+        AutoDockType("Mg", "MG", 1.30, 0.875, -0.00110, 1.5600),
+        AutoDockType("P", "P", 4.20, 0.200, -0.00110, 38.7924),
+        AutoDockType("SA", "S", 4.00, 0.200, -0.00214, 33.5103, hbond=5),
+        AutoDockType("S", "S", 4.00, 0.200, -0.00214, 33.5103),
+        AutoDockType("Cl", "CL", 4.09, 0.276, -0.00110, 35.8235),
+        AutoDockType("Ca", "CA", 1.98, 0.550, -0.00110, 2.7700),
+        AutoDockType("Mn", "MN", 1.30, 0.875, -0.00110, 2.1400),
+        AutoDockType("Fe", "FE", 1.30, 0.010, -0.00110, 1.8400),
+        AutoDockType("Zn", "ZN", 1.48, 0.550, -0.00110, 1.7000),
+        AutoDockType("Br", "BR", 4.33, 0.389, -0.00110, 42.5661),
+        AutoDockType("I", "I", 4.72, 0.550, -0.00110, 55.0585),
+        AutoDockType("Hg", "HG", 2.20, 0.450, -0.00110, 3.5000),
+    ]
+}
+
+# Elements for which no AutoDock parameterization exists in our table;
+# preparation raises on them like AD4 rejects unrecognized atoms.
+UNPARAMETERIZED_METALS = frozenset({"K", "NA", "CO", "NI", "CU"})
+
+
+def element_info(symbol: str) -> ElementInfo:
+    """Look up element data, case-insensitively.
+
+    Raises ``KeyError`` with a helpful message for unknown symbols.
+    """
+    key = symbol.strip().upper()
+    try:
+        return ELEMENTS[key]
+    except KeyError:
+        raise KeyError(f"unknown element symbol {symbol!r}") from None
+
+
+def autodock_type_for(
+    element: str,
+    *,
+    aromatic: bool = False,
+    h_bond_donor_neighbor: bool = False,
+    h_bond_acceptor: bool = False,
+) -> str:
+    """Map an element (+ simple environment flags) to an AutoDock type name.
+
+    This is the typing rule that ``prepare_ligand``/``prepare_receptor``
+    apply: carbons become ``A`` when aromatic; hydrogens bonded to N/O/S
+    become polar ``HD``; nitrogens and oxygens with lone pairs available
+    become acceptor types ``NA``/``OA``; sulfur defaults to the acceptor
+    form ``SA`` as in AD4.
+    """
+    el = element.strip().upper()
+    if el == "C":
+        return "A" if aromatic else "C"
+    if el == "H":
+        return "HD" if h_bond_donor_neighbor else "H"
+    if el == "N":
+        return "NA" if h_bond_acceptor else "N"
+    if el == "O":
+        return "OA"
+    if el == "S":
+        return "SA"
+    for name, t in AUTODOCK_TYPES.items():
+        if t.element == el:
+            return name
+    raise KeyError(f"no AutoDock atom type for element {element!r}")

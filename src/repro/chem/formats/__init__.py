@@ -1,0 +1,17 @@
+"""File-format parsers and writers (PDB, SDF, Sybyl MOL2, PDBQT)."""
+
+from repro.chem.formats.pdb import parse_pdb, write_pdb
+from repro.chem.formats.sdf import parse_sdf, write_sdf
+from repro.chem.formats.mol2 import parse_mol2, write_mol2
+from repro.chem.formats.pdbqt import parse_pdbqt, write_pdbqt
+
+__all__ = [
+    "parse_pdb",
+    "write_pdb",
+    "parse_sdf",
+    "write_sdf",
+    "parse_mol2",
+    "write_mol2",
+    "parse_pdbqt",
+    "write_pdbqt",
+]

@@ -1,0 +1,162 @@
+"""Sybyl MOL2 format reader/writer.
+
+Activity 1 of SciDock (Babel) emits Sybyl MOL2; activity 2
+(``prepare_ligand``) consumes it. Only the MOLECULE/ATOM/BOND record
+types are required by that path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Molecule
+
+
+class Mol2ParseError(ValueError):
+    """Raised on malformed MOL2 input."""
+
+
+#: element -> default SYBYL atom type
+_SYBYL_TYPES = {
+    "C": "C.3",
+    "N": "N.3",
+    "O": "O.3",
+    "S": "S.3",
+    "P": "P.3",
+    "H": "H",
+    "F": "F",
+    "CL": "Cl",
+    "BR": "Br",
+    "I": "I",
+    "FE": "Fe",
+    "ZN": "Zn",
+    "MG": "Mg",
+    "CA": "Ca.2",
+    "HG": "Hg",
+    "NA": "Na",
+    "K": "K",
+    "MN": "Mn",
+    "CU": "Cu",
+    "NI": "Ni",
+    "CO": "Co.oh",
+}
+
+
+def _element_from_sybyl(sybyl: str) -> str:
+    base = sybyl.split(".")[0]
+    return base.upper()
+
+
+def parse_mol2(text: str, name: str = "") -> Molecule:
+    """Parse the first molecule of a MOL2 file."""
+    lines = text.splitlines()
+    section = None
+    mol_header: list[str] = []
+    atom_lines: list[str] = []
+    bond_lines: list[str] = []
+    for raw in lines:
+        line = raw.rstrip()
+        if line.startswith("@<TRIPOS>"):
+            section = line[9:].strip().upper()
+            if section == "MOLECULE" and atom_lines:
+                break  # second molecule starts; stop at the first
+            continue
+        if section == "MOLECULE":
+            mol_header.append(line)
+        elif section == "ATOM" and line.strip():
+            atom_lines.append(line)
+        elif section == "BOND" and line.strip():
+            bond_lines.append(line)
+    if not atom_lines:
+        raise Mol2ParseError("no @<TRIPOS>ATOM section found")
+    mol_name = (mol_header[0].strip() if mol_header else "") or name
+    mol = Molecule(name=mol_name)
+    id_to_index: dict[int, int] = {}
+    for ln in atom_lines:
+        fields = ln.split()
+        if len(fields) < 6:
+            raise Mol2ParseError(f"bad atom record: {ln!r}")
+        try:
+            atom_id = int(fields[0])
+            x, y, z = (float(fields[2]), float(fields[3]), float(fields[4]))
+        except ValueError:
+            raise Mol2ParseError(f"bad atom record: {ln!r}") from None
+        sybyl = fields[5]
+        element = _element_from_sybyl(sybyl)
+        charge = 0.0
+        if len(fields) >= 9:
+            try:
+                charge = float(fields[8])
+            except ValueError:
+                charge = 0.0
+        res_name = fields[7][:3] if len(fields) >= 8 else "LIG"
+        atom = Atom(
+            serial=atom_id,
+            name=fields[1],
+            element=element,
+            coords=np.array([x, y, z]),
+            residue_name=res_name or "LIG",
+            charge=charge,
+            aromatic=sybyl.endswith(".ar"),
+        )
+        atom.metadata["sybyl_type"] = sybyl
+        id_to_index[atom_id] = mol.add_atom(atom)
+    for ln in bond_lines:
+        fields = ln.split()
+        if len(fields) < 4:
+            raise Mol2ParseError(f"bad bond record: {ln!r}")
+        try:
+            i, j = int(fields[1]), int(fields[2])
+        except ValueError:
+            raise Mol2ParseError(f"bad bond record: {ln!r}") from None
+        bond_type = fields[3]
+        aromatic = bond_type == "ar"
+        order = {"1": 1, "2": 2, "3": 3, "ar": 1, "am": 1, "du": 1}.get(bond_type, 1)
+        if i not in id_to_index or j not in id_to_index:
+            raise Mol2ParseError(f"bond references unknown atom id in: {ln!r}")
+        mol.add_bond(id_to_index[i], id_to_index[j], order=order, aromatic=aromatic)
+    return mol
+
+
+def sybyl_type_for(atom: Atom, mol: Molecule, index: int) -> str:
+    """Best-effort SYBYL type assignment from element + aromaticity."""
+    cached = atom.metadata.get("sybyl_type")
+    if cached:
+        return cached
+    el = atom.element
+    if el == "C" and atom.aromatic:
+        return "C.ar"
+    if el == "N" and atom.aromatic:
+        return "N.ar"
+    # sp2 oxygens: double-bonded O
+    if el == "O":
+        for b in mol.bonds:
+            if index in (b.i, b.j) and b.order == 2:
+                return "O.2"
+    return _SYBYL_TYPES.get(el, el.capitalize())
+
+
+def write_mol2(mol: Molecule) -> str:
+    """Serialize a molecule as Sybyl MOL2 text."""
+    lines = [
+        "@<TRIPOS>MOLECULE",
+        mol.name or "UNNAMED",
+        f"{len(mol.atoms):>5} {len(mol.bonds):>5}     1     0     0",
+        "SMALL",
+        "USER_CHARGES" if any(a.charge for a in mol.atoms) else "NO_CHARGES",
+        "",
+        "@<TRIPOS>ATOM",
+    ]
+    for k, a in enumerate(mol.atoms):
+        sybyl = sybyl_type_for(a, mol, k)
+        lines.append(
+            f"{k + 1:>7} {a.name:<8} {a.coords[0]:>9.4f} {a.coords[1]:>9.4f}"
+            f" {a.coords[2]:>9.4f} {sybyl:<7} {a.residue_seq:>3} "
+            f"{a.residue_name:<7} {a.charge:>9.4f}"
+        )
+    lines.append("@<TRIPOS>BOND")
+    for k, b in enumerate(mol.bonds):
+        btype = "ar" if b.aromatic else str(b.order)
+        lines.append(f"{k + 1:>6} {b.i + 1:>5} {b.j + 1:>5} {btype:>4}")
+    return "\n".join(lines) + "\n"

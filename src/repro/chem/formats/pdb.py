@@ -1,0 +1,155 @@
+"""PDB (Protein Data Bank) format reader/writer.
+
+Implements the column-oriented ATOM/HETATM/CONECT/TER/END records that the
+SciDock receptor path needs. Columns follow the PDB v3.3 specification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Molecule
+
+
+class PDBParseError(ValueError):
+    """Raised on malformed PDB input."""
+
+
+def _element_from_line(line: str, name: str) -> str:
+    """Element symbol: columns 77-78 when present, else from the atom name."""
+    if len(line) >= 78:
+        el = line[76:78].strip()
+        if el:
+            return el.upper()
+    # Fall back to the atom-name heuristic: strip digits, take the leading
+    # alphabetic characters; two-letter symbols are left-justified in
+    # column 13 only for elements like FE/ZN/HG.
+    stripped = name.strip()
+    letters = "".join(ch for ch in stripped if ch.isalpha())
+    if not letters:
+        raise PDBParseError(f"cannot infer element from atom name {name!r}")
+    two = letters[:2].upper()
+    from repro.chem.elements import ELEMENTS
+
+    if two in ELEMENTS and two not in ("CA", "CL"):  # CA: usually C-alpha
+        return two
+    if two == "CL" and stripped.upper().startswith("CL"):
+        return "CL"
+    return letters[0].upper()
+
+
+def parse_pdb(text: str, name: str = "") -> Molecule:
+    """Parse PDB text into a :class:`Molecule`.
+
+    ATOM and HETATM records become atoms; CONECT records become bonds.
+    Alternate locations other than '' or 'A' are skipped, matching what
+    preparation tools do by default.
+    """
+    mol = Molecule(name=name)
+    serial_to_index: dict[int, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        record = line[:6].strip()
+        if record in ("ATOM", "HETATM"):
+            if len(line) < 54:
+                raise PDBParseError(f"line {lineno}: truncated {record} record")
+            altloc = line[16] if len(line) > 16 else " "
+            if altloc not in (" ", "A"):
+                continue
+            try:
+                serial = int(line[6:11])
+                x = float(line[30:38])
+                y = float(line[38:46])
+                z = float(line[46:54])
+            except ValueError as exc:
+                raise PDBParseError(f"line {lineno}: {exc}") from None
+            atom_name = line[12:16]
+            res_name = line[17:20].strip() or "UNK"
+            chain = line[21].strip() or "A"
+            try:
+                res_seq = int(line[22:26])
+            except ValueError:
+                res_seq = 1
+            occupancy = 1.0
+            temp = 0.0
+            if len(line) >= 60:
+                try:
+                    occupancy = float(line[54:60])
+                except ValueError:
+                    pass
+            if len(line) >= 66:
+                try:
+                    temp = float(line[60:66])
+                except ValueError:
+                    pass
+            atom = Atom(
+                serial=serial,
+                name=atom_name.strip(),
+                element=_element_from_line(line, atom_name),
+                coords=np.array([x, y, z]),
+                residue_name=res_name,
+                residue_seq=res_seq,
+                chain_id=chain,
+                occupancy=occupancy,
+                temp_factor=temp,
+            )
+            atom.metadata["hetatm"] = record == "HETATM"
+            serial_to_index[serial] = mol.add_atom(atom)
+        elif record == "CONECT":
+            fields = line[6:].split()
+            if not fields:
+                continue
+            try:
+                src = int(fields[0])
+                dests = [int(f) for f in fields[1:5]]
+            except ValueError:
+                raise PDBParseError(f"line {lineno}: bad CONECT record") from None
+            if src not in serial_to_index:
+                continue
+            for d in dests:
+                if d in serial_to_index:
+                    i, j = serial_to_index[src], serial_to_index[d]
+                    if i != j and not mol.has_bond(i, j):
+                        mol.add_bond(i, j)
+        elif record == "HEADER" and not mol.name:
+            mol.name = line[62:66].strip() or line[10:50].strip()
+    if not mol.atoms:
+        raise PDBParseError("no ATOM/HETATM records found")
+    return mol
+
+
+def write_pdb(mol: Molecule, *, remarks: list[str] | None = None) -> str:
+    """Serialize a molecule to PDB text (with CONECT records for bonds)."""
+    lines: list[str] = []
+    if mol.name:
+        lines.append(f"HEADER    {'PROTEIN':<40}{'':>11}{mol.name[:4].upper():>4}")
+    for remark in remarks or []:
+        lines.append(f"REMARK    {remark}")
+    for i, a in enumerate(mol.atoms, start=1):
+        record = "HETATM" if a.metadata.get("hetatm") else "ATOM  "
+        # Atom-name column alignment: 1-letter elements start in col 14.
+        name = a.name[:4]
+        if len(a.element) == 1 and len(name) < 4:
+            name = f" {name}"
+        lines.append(
+            f"{record}{i:>5} {name:<4}{' '}{a.residue_name[:3]:>3} "
+            f"{a.chain_id[:1]}{a.residue_seq:>4}    "
+            f"{a.coords[0]:8.3f}{a.coords[1]:8.3f}{a.coords[2]:8.3f}"
+            f"{a.occupancy:6.2f}{a.temp_factor:6.2f}          "
+            f"{a.element[:2]:>2}"
+        )
+    # CONECT records (once per bonded pair, both directions like RCSB).
+    if mol.bonds:
+        adj: dict[int, list[int]] = {}
+        for b in mol.bonds:
+            adj.setdefault(b.i + 1, []).append(b.j + 1)
+            adj.setdefault(b.j + 1, []).append(b.i + 1)
+        for src in sorted(adj):
+            partners = sorted(adj[src])
+            for k in range(0, len(partners), 4):
+                chunk = partners[k : k + 4]
+                lines.append(
+                    "CONECT" + f"{src:>5}" + "".join(f"{p:>5}" for p in chunk)
+                )
+    lines.append("END")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,145 @@
+"""PDBQT format (PDB + partial charge Q + AutoDock atom type T).
+
+This is the lingua franca between MGLTools preparation, AutoGrid and the
+AD4/Vina engines. Ligand PDBQT files carry a torsion tree encoded as
+ROOT/BRANCH/ENDBRANCH/TORSDOF records; receptor PDBQT files are flat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Molecule
+
+
+class PDBQTParseError(ValueError):
+    """Raised on malformed PDBQT input."""
+
+
+def parse_pdbqt(text: str, name: str = "") -> Molecule:
+    """Parse PDBQT text.
+
+    Torsion-tree records are preserved in ``mol.metadata['torsion_tree']``
+    as a list of raw record tuples so that a ligand round-trips losslessly,
+    and ``mol.metadata['torsdof']`` carries the declared torsional degrees
+    of freedom.
+    """
+    mol = Molecule(name=name)
+    tree_records: list[tuple] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        record = line[:6].strip()
+        if record in ("ATOM", "HETATM"):
+            if len(line) < 78:
+                raise PDBQTParseError(
+                    f"line {lineno}: PDBQT atom record too short"
+                )
+            try:
+                serial = int(line[6:11])
+                x = float(line[30:38])
+                y = float(line[38:46])
+                z = float(line[46:54])
+                charge = float(line[66:76])
+            except ValueError as exc:
+                raise PDBQTParseError(f"line {lineno}: {exc}") from None
+            adtype = line[77:79].strip()
+            if not adtype:
+                raise PDBQTParseError(f"line {lineno}: missing AutoDock type")
+            from repro.chem.elements import AUTODOCK_TYPES
+
+            if adtype not in AUTODOCK_TYPES:
+                raise PDBQTParseError(
+                    f"line {lineno}: unknown AutoDock type {adtype!r}"
+                )
+            element = AUTODOCK_TYPES[adtype].element
+            atom = Atom(
+                serial=serial,
+                name=line[12:16].strip(),
+                element=element,
+                coords=np.array([x, y, z]),
+                residue_name=line[17:20].strip() or "UNK",
+                residue_seq=int(line[22:26]) if line[22:26].strip() else 1,
+                chain_id=line[21].strip() or "A",
+                charge=charge,
+                autodock_type=adtype,
+            )
+            idx = mol.add_atom(atom)
+            tree_records.append(("ATOM", idx))
+        elif record == "ROOT":
+            tree_records.append(("ROOT",))
+        elif record == "ENDROOT":
+            tree_records.append(("ENDROOT",))
+        elif record == "BRANCH":
+            fields = line.split()
+            if len(fields) != 3:
+                raise PDBQTParseError(f"line {lineno}: bad BRANCH record")
+            tree_records.append(("BRANCH", int(fields[1]), int(fields[2])))
+        elif record == "ENDBRA" or line.startswith("ENDBRANCH"):
+            fields = line.split()
+            tree_records.append(("ENDBRANCH", int(fields[1]), int(fields[2])))
+        elif record == "TORSDO" or line.startswith("TORSDOF"):
+            fields = line.split()
+            mol.metadata["torsdof"] = int(fields[1])
+        elif record == "REMARK":
+            mol.metadata.setdefault("remarks", []).append(line[6:].strip())
+    if not mol.atoms:
+        raise PDBQTParseError("no ATOM/HETATM records found")
+    if any(r[0] != "ATOM" for r in tree_records):
+        mol.metadata["torsion_tree"] = tree_records
+    return mol
+
+
+def _atom_line(a: Atom, serial: int) -> str:
+    name = a.name[:4]
+    if len(a.element) == 1 and len(name) < 4:
+        name = f" {name}"
+    adtype = a.autodock_type or "C"
+    return (
+        f"ATOM  {serial:>5} {name:<4} {a.residue_name[:3]:>3} "
+        f"{a.chain_id[:1]}{a.residue_seq:>4}    "
+        f"{a.coords[0]:8.3f}{a.coords[1]:8.3f}{a.coords[2]:8.3f}"
+        f"{a.occupancy:6.2f}{a.temp_factor:6.2f}    "
+        f"{a.charge:>+6.3f} {adtype:<2}"
+    )
+
+
+def write_pdbqt(mol: Molecule, *, rigid: bool = False) -> str:
+    """Serialize to PDBQT.
+
+    When the molecule carries a ``torsion_tree`` (ligand) and ``rigid`` is
+    False, the ROOT/BRANCH structure is re-emitted with atoms renumbered in
+    tree order; otherwise a flat (receptor-style) file is written.
+    """
+    for a in mol.atoms:
+        if a.autodock_type is None:
+            raise ValueError(
+                f"atom {a.name} has no AutoDock type; run prepare first"
+            )
+    lines: list[str] = []
+    tree = mol.metadata.get("torsion_tree")
+    if tree and not rigid:
+        serial_of: dict[int, int] = {}
+        next_serial = 1
+        for rec in tree:
+            if rec[0] == "ATOM":
+                idx = rec[1]
+                serial_of[idx] = next_serial
+                lines.append(_atom_line(mol.atoms[idx], next_serial))
+                next_serial += 1
+            elif rec[0] == "ROOT":
+                lines.append("ROOT")
+            elif rec[0] == "ENDROOT":
+                lines.append("ENDROOT")
+            elif rec[0] == "BRANCH":
+                lines.append(f"BRANCH {rec[1]:>3} {rec[2]:>3}")
+            elif rec[0] == "ENDBRANCH":
+                lines.append(f"ENDBRANCH {rec[1]:>3} {rec[2]:>3}")
+        lines.append(f"TORSDOF {mol.metadata.get('torsdof', 0)}")
+    else:
+        for remark in mol.metadata.get("remarks", []):
+            lines.append(f"REMARK {remark}")
+        for k, a in enumerate(mol.atoms, start=1):
+            lines.append(_atom_line(a, k))
+        if "torsdof" in mol.metadata and not rigid:
+            lines.append(f"TORSDOF {mol.metadata['torsdof']}")
+    return "\n".join(lines) + "\n"

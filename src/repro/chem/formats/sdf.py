@@ -1,0 +1,139 @@
+"""SDF / MDL molfile (V2000) reader and writer.
+
+SciDock's first activity converts ligands from SDF to Sybyl MOL2 with
+Babel; this module implements the SDF side. Multi-record SD files
+(``$$$$``-separated) are supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Molecule
+
+
+class SDFParseError(ValueError):
+    """Raised on malformed SDF input."""
+
+
+def _parse_counts_line(line: str) -> tuple[int, int]:
+    try:
+        n_atoms = int(line[0:3])
+        n_bonds = int(line[3:6])
+    except (ValueError, IndexError):
+        raise SDFParseError(f"bad counts line: {line!r}") from None
+    return n_atoms, n_bonds
+
+
+def _parse_one(block: list[str], default_name: str) -> Molecule:
+    if len(block) < 4:
+        raise SDFParseError("molfile shorter than the 4 header lines")
+    name = block[0].strip() or default_name
+    counts = block[3]
+    n_atoms, n_bonds = _parse_counts_line(counts)
+    if len(block) < 4 + n_atoms + n_bonds:
+        raise SDFParseError(
+            f"molfile declares {n_atoms} atoms / {n_bonds} bonds but is truncated"
+        )
+    mol = Molecule(name=name)
+    for k in range(n_atoms):
+        line = block[4 + k]
+        try:
+            x = float(line[0:10])
+            y = float(line[10:20])
+            z = float(line[20:30])
+            element = line[31:34].strip()
+        except (ValueError, IndexError):
+            raise SDFParseError(f"bad atom line {k + 1}: {line!r}") from None
+        if not element:
+            raise SDFParseError(f"atom line {k + 1} missing element symbol")
+        mol.add_atom(
+            Atom(
+                serial=k + 1,
+                name=f"{element}{k + 1}",
+                element=element,
+                coords=np.array([x, y, z]),
+                residue_name="LIG",
+            )
+        )
+    for k in range(n_bonds):
+        line = block[4 + n_atoms + k]
+        try:
+            i = int(line[0:3])
+            j = int(line[3:6])
+            order = int(line[6:9])
+        except (ValueError, IndexError):
+            raise SDFParseError(f"bad bond line {k + 1}: {line!r}") from None
+        if not (1 <= i <= n_atoms and 1 <= j <= n_atoms):
+            raise SDFParseError(f"bond ({i}, {j}) out of range")
+        aromatic = order == 4
+        mol.add_bond(i - 1, j - 1, order=min(order, 3), aromatic=aromatic)
+        if aromatic:
+            mol.atoms[i - 1].aromatic = True
+            mol.atoms[j - 1].aromatic = True
+    # Data items: "> <KEY>" followed by a value line.
+    idx = 4 + n_atoms + n_bonds
+    while idx < len(block):
+        line = block[idx]
+        if line.startswith(">"):
+            key = line.split("<")[-1].rstrip(">").strip() if "<" in line else ""
+            if key and idx + 1 < len(block):
+                mol.metadata[key] = block[idx + 1].strip()
+                idx += 1
+        idx += 1
+    return mol
+
+
+def parse_sdf(text: str, name: str = "") -> Molecule:
+    """Parse the *first* record of an SD file."""
+    mols = parse_sdf_multi(text, name)
+    return mols[0]
+
+
+def parse_sdf_multi(text: str, name: str = "") -> list[Molecule]:
+    """Parse every ``$$$$``-separated record of an SD file."""
+    blocks: list[list[str]] = []
+    current: list[str] = []
+    for line in text.splitlines():
+        if line.strip() == "$$$$":
+            if current:
+                blocks.append(current)
+                current = []
+        else:
+            current.append(line)
+    if any(l.strip() for l in current):
+        blocks.append(current)
+    if not blocks:
+        raise SDFParseError("empty SD file")
+    return [
+        _parse_one(b, default_name=name or f"MOL{k + 1}")
+        for k, b in enumerate(blocks)
+    ]
+
+
+def write_sdf(mol: Molecule, *, program: str = "repro") -> str:
+    """Serialize a single molecule as an MDL V2000 record."""
+    lines = [
+        mol.name or "UNNAMED",
+        f"  {program:<8}3D",
+        "",
+        f"{len(mol.atoms):>3}{len(mol.bonds):>3}  0  0  0  0  0  0  0  0999 V2000",
+    ]
+    for a in mol.atoms:
+        el = a.element.capitalize()
+        lines.append(
+            f"{a.coords[0]:>10.4f}{a.coords[1]:>10.4f}{a.coords[2]:>10.4f}"
+            f" {el:<3} 0  0  0  0  0  0  0  0  0  0  0  0"
+        )
+    for b in mol.bonds:
+        order = 4 if b.aromatic else b.order
+        lines.append(f"{b.i + 1:>3}{b.j + 1:>3}{order:>3}  0  0  0  0")
+    lines.append("M  END")
+    for key, value in mol.metadata.items():
+        if isinstance(value, (str, int, float)):
+            lines.append(f">  <{key}>")
+            lines.append(str(value))
+            lines.append("")
+    lines.append("$$$$")
+    return "\n".join(lines) + "\n"

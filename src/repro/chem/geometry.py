@@ -1,0 +1,151 @@
+"""Rigid-body geometry: rotations, alignment, RMSD.
+
+All routines operate on ``(N, 3)`` float64 arrays and are fully
+vectorized; they sit on the hot path of the docking search (every GA
+individual / MC step re-poses the ligand).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def centroid(coords: np.ndarray) -> np.ndarray:
+    """Mean position of a coordinate set."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 3 or coords.shape[0] == 0:
+        raise ValueError(f"expected non-empty (N, 3) array, got {coords.shape}")
+    return coords.mean(axis=0)
+
+
+def rotation_about_axis(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rotation matrix for a rotation of ``angle`` radians about ``axis``.
+
+    Rodrigues' formula; ``axis`` need not be normalized.
+    """
+    axis = np.asarray(axis, dtype=np.float64)
+    norm = np.linalg.norm(axis)
+    if norm < 1e-12:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / norm
+    c, s = np.cos(angle), np.sin(angle)
+    C = 1.0 - c
+    return np.array(
+        [
+            [x * x * C + c, x * y * C - z * s, x * z * C + y * s],
+            [y * x * C + z * s, y * y * C + c, y * z * C - x * s],
+            [z * x * C - y * s, z * y * C + x * s, z * z * C + c],
+        ]
+    )
+
+
+def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
+    """Unit quaternion (w, x, y, z) to a 3x3 rotation matrix."""
+    q = np.asarray(q, dtype=np.float64)
+    if q.shape != (4,):
+        raise ValueError("quaternion must have shape (4,)")
+    n = np.linalg.norm(q)
+    if n < 1e-12:
+        raise ValueError("zero quaternion has no orientation")
+    w, x, y, z = q / n
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def random_rotation_matrix(rng: np.random.Generator) -> np.ndarray:
+    """Uniform random rotation (via a random unit quaternion)."""
+    q = rng.normal(size=4)
+    return quaternion_to_matrix(q)
+
+
+def random_unit_quaternion(rng: np.random.Generator) -> np.ndarray:
+    q = rng.normal(size=4)
+    return q / np.linalg.norm(q)
+
+
+def apply_rotation(
+    coords: np.ndarray, rotation: np.ndarray, origin: np.ndarray | None = None
+) -> np.ndarray:
+    """Rotate ``coords`` about ``origin`` (default: their centroid)."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if origin is None:
+        origin = centroid(coords)
+    return (coords - origin) @ rotation.T + origin
+
+
+def rmsd(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain (identity-mapping) root-mean-square deviation in Angstrom.
+
+    This is what AutoDock reports in its RMSD tables: atoms are compared
+    in input order, with no optimal superposition.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    if a.shape[0] == 0:
+        raise ValueError("cannot compute RMSD of empty coordinate sets")
+    return float(np.sqrt(((a - b) ** 2).sum(axis=1).mean()))
+
+
+def symmetric_rmsd(a: np.ndarray, b: np.ndarray) -> float:
+    """Nearest-atom-mapping RMSD, tolerant to atom-order permutations.
+
+    For each atom in ``a`` the closest atom in ``b`` is used (and vice
+    versa, taking the max of the two directions so it stays symmetric).
+    Vina uses a comparable symmetry-corrected measure.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != 3 or b.shape[1] != 3:
+        raise ValueError("expected (N, 3) coordinate arrays")
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        raise ValueError("cannot compute RMSD of empty coordinate sets")
+    diff = a[:, None, :] - b[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    ab = float(np.sqrt(d2.min(axis=1).mean()))
+    ba = float(np.sqrt(d2.min(axis=0).mean()))
+    return max(ab, ba)
+
+
+def kabsch_align(mobile: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, float]:
+    """Optimal superposition of ``mobile`` onto ``target`` (Kabsch).
+
+    Returns the transformed mobile coordinates and the post-alignment
+    RMSD. Used by the clustering step and by analysis utilities.
+    """
+    mobile = np.asarray(mobile, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if mobile.shape != target.shape:
+        raise ValueError(f"shape mismatch {mobile.shape} vs {target.shape}")
+    mc, tc = centroid(mobile), centroid(target)
+    P = mobile - mc
+    Q = target - tc
+    H = P.T @ Q
+    U, _, Vt = np.linalg.svd(H)
+    d = np.sign(np.linalg.det(Vt.T @ U.T))
+    D = np.diag([1.0, 1.0, d])
+    R = Vt.T @ D @ U.T
+    aligned = P @ R.T + tc
+    return aligned, rmsd(aligned, target)
+
+
+def dihedral_angle(
+    p0: np.ndarray, p1: np.ndarray, p2: np.ndarray, p3: np.ndarray
+) -> float:
+    """Signed dihedral angle p0-p1-p2-p3 in radians."""
+    b0 = np.asarray(p1, dtype=np.float64) - np.asarray(p0, dtype=np.float64)
+    b1 = np.asarray(p2, dtype=np.float64) - np.asarray(p1, dtype=np.float64)
+    b2 = np.asarray(p3, dtype=np.float64) - np.asarray(p2, dtype=np.float64)
+    n1 = np.cross(b0, b1)
+    n2 = np.cross(b1, b2)
+    b1n = b1 / np.linalg.norm(b1)
+    m1 = np.cross(n1, b1n)
+    x = n1 @ n2
+    y = m1 @ n2
+    return float(np.arctan2(y, x))

@@ -1,0 +1,256 @@
+"""Rotatable-bond detection and the ligand torsion tree.
+
+``prepare_ligand4.py`` picks a root atom, detects rotatable bonds and
+writes the ROOT/BRANCH hierarchy into the ligand PDBQT. The docking
+engines then treat the ligand as a rigid root plus branches rotated about
+their parent bonds. :class:`TorsionTree` provides exactly that pose
+machinery, vectorized over atom blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.geometry import quaternion_to_matrix, rotation_about_axis
+from repro.chem.molecule import Molecule
+
+
+def _in_ring(mol: Molecule, i: int, j: int) -> bool:
+    """True when edge (i, j) lies on a cycle (removal keeps i-j connected)."""
+    adj = mol.adjacency
+    seen = {i}
+    stack = [i]
+    while stack:
+        v = stack.pop()
+        for w in adj[v]:
+            if v == i and w == j:
+                continue  # skip the bond itself
+            if (v, w) == (i, j) or (v, w) == (j, i):
+                continue
+            if w == j:
+                return True
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return False
+
+
+def find_rotatable_bonds(mol: Molecule) -> list[tuple[int, int]]:
+    """Rotatable bonds per the AutoDockTools rules.
+
+    A bond is rotatable when it is a single, non-aromatic, acyclic bond
+    whose two ends each have at least one additional heavy-atom neighbor
+    (terminal bonds such as C-H or C-CH3-with-only-H are skipped; amide
+    C-N bonds are excluded).
+    """
+    rotatable: list[tuple[int, int]] = []
+    for b in mol.bonds:
+        if b.order != 1 or b.aromatic:
+            continue
+        ai, aj = mol.atoms[b.i], mol.atoms[b.j]
+        if ai.is_hydrogen or aj.is_hydrogen:
+            continue
+        # Each endpoint needs a heavy neighbor besides the other endpoint.
+        heavy_i = [
+            k for k in mol.neighbors(b.i) if k != b.j and mol.atoms[k].is_heavy
+        ]
+        heavy_j = [
+            k for k in mol.neighbors(b.j) if k != b.i and mol.atoms[k].is_heavy
+        ]
+        if not heavy_i or not heavy_j:
+            continue
+        if _is_amide(mol, b.i, b.j) or _is_amide(mol, b.j, b.i):
+            continue
+        if _in_ring(mol, b.i, b.j):
+            continue
+        rotatable.append((b.i, b.j))
+    return rotatable
+
+
+def _is_amide(mol: Molecule, c_idx: int, n_idx: int) -> bool:
+    """C-N where the carbon also carries a double-bonded oxygen."""
+    if mol.atoms[c_idx].element != "C" or mol.atoms[n_idx].element != "N":
+        return False
+    for b in mol.bonds:
+        if b.order == 2 and c_idx in (b.i, b.j):
+            other = b.other(c_idx)
+            if mol.atoms[other].element == "O":
+                return True
+    return False
+
+
+@dataclass
+class Branch:
+    """One rotatable bond and the atom set it moves.
+
+    ``axis_from``/``axis_to`` are atom indices defining the rotation axis;
+    ``moved`` is the array of atom indices on the distal side. Branches
+    are stored in tree (pre-)order, so applying them sequentially composes
+    parent-before-child rotations correctly.
+    """
+
+    axis_from: int
+    axis_to: int
+    moved: np.ndarray
+
+
+class TorsionTree:
+    """Rigid-root-plus-branches model of a flexible ligand.
+
+    Construction picks the root as the atom that minimizes the size of the
+    largest branch (AutoDockTools' "best root" heuristic), then records,
+    for every rotatable bond, which atoms rotate with it.
+
+    :meth:`pose` maps a conformation vector — translation (3), orientation
+    quaternion (4), torsion angles (T) — onto fresh coordinates without
+    mutating the molecule, which keeps the GA/MC loops allocation-light.
+    """
+
+    def __init__(self, mol: Molecule, rotatable: list[tuple[int, int]] | None = None):
+        if len(mol.atoms) == 0:
+            raise ValueError("cannot build a torsion tree over an empty molecule")
+        self.mol = mol
+        self.reference = mol.coords  # (N, 3) snapshot
+        self.rotatable = (
+            list(rotatable) if rotatable is not None else find_rotatable_bonds(mol)
+        )
+        self.root = self._pick_root()
+        self.branches = self._build_branches()
+
+    # -- construction --------------------------------------------------------
+    def _pick_root(self) -> int:
+        heavy = [i for i, a in enumerate(self.mol.atoms) if a.is_heavy]
+        candidates = heavy or list(range(len(self.mol.atoms)))
+        if not self.rotatable:
+            return candidates[0]
+        best, best_cost = candidates[0], float("inf")
+        for cand in candidates:
+            cost = max(
+                (len(self._distal_set(i, j, cand)) for i, j in self.rotatable),
+                default=0,
+            )
+            if cost < best_cost:
+                best, best_cost = cand, cost
+        return best
+
+    def _distal_set(self, i: int, j: int, root: int) -> set[int]:
+        """Atoms on the far side of bond (i, j) as seen from ``root``."""
+        adj = self.mol.adjacency
+        # BFS from root avoiding the (i, j) edge; unreachable atoms move.
+        seen = {root}
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            for w in adj[v]:
+                if {v, w} == {i, j}:
+                    continue
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return set(range(len(self.mol.atoms))) - seen
+
+    def _build_branches(self) -> list[Branch]:
+        branches: list[Branch] = []
+        for i, j in self.rotatable:
+            moved = self._distal_set(i, j, self.root)
+            # Orient the axis so axis_from is on the root side.
+            if i in moved and j not in moved:
+                i, j = j, i
+            elif j in moved and i in moved:
+                # Disconnected fragment oddity; skip.
+                continue
+            distal = np.array(sorted(moved - {i, j}), dtype=np.intp)
+            if distal.size == 0:
+                continue
+            branches.append(Branch(axis_from=i, axis_to=j, moved=distal))
+        # Pre-order: branches whose axis atoms move under another branch
+        # must come after it. Sort by depth = number of branches moving
+        # this branch's axis_to atom.
+        def depth(br: Branch) -> int:
+            return sum(
+                1 for other in branches if br.axis_to in other.moved
+            )
+
+        branches.sort(key=depth)
+        return branches
+
+    # -- posing ---------------------------------------------------------------
+    @property
+    def n_torsions(self) -> int:
+        return len(self.branches)
+
+    @property
+    def dof(self) -> int:
+        """Total degrees of freedom: 3 translation + 3 rotation + torsions."""
+        return 6 + self.n_torsions
+
+    def pose(
+        self,
+        translation: np.ndarray,
+        quaternion: np.ndarray,
+        torsions: np.ndarray,
+    ) -> np.ndarray:
+        """Coordinates for the given conformation vector.
+
+        Torsions are applied innermost-last in tree order on the reference
+        geometry, then the whole ligand is rotated about its root atom by
+        ``quaternion`` and translated so the root lands at
+        ``reference[root] + translation``.
+        """
+        torsions = np.asarray(torsions, dtype=np.float64)
+        if torsions.shape != (self.n_torsions,):
+            raise ValueError(
+                f"expected {self.n_torsions} torsion angles, got {torsions.shape}"
+            )
+        coords = self.reference.copy()
+        for angle, br in zip(torsions, self.branches):
+            if abs(angle) < 1e-12:
+                continue
+            origin = coords[br.axis_from]
+            axis = coords[br.axis_to] - origin
+            norm = np.linalg.norm(axis)
+            if norm < 1e-9:
+                continue
+            R = rotation_about_axis(axis, float(angle))
+            coords[br.moved] = (coords[br.moved] - origin) @ R.T + origin
+        root_pos = coords[self.root]
+        R = quaternion_to_matrix(np.asarray(quaternion, dtype=np.float64))
+        coords = (coords - root_pos) @ R.T + root_pos
+        return coords + np.asarray(translation, dtype=np.float64)
+
+    def identity_conformation(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The conformation that reproduces the reference coordinates."""
+        return (
+            np.zeros(3),
+            np.array([1.0, 0.0, 0.0, 0.0]),
+            np.zeros(self.n_torsions),
+        )
+
+    def to_pdbqt_records(self) -> list[tuple]:
+        """ROOT/BRANCH record stream for :func:`write_pdbqt`.
+
+        Atoms are emitted root-fragment first, then each branch's atoms
+        after its BRANCH record, with ENDBRANCH closers — the layout AD4
+        expects.
+        """
+        in_branch: dict[int, int] = {}
+        for bi, br in enumerate(self.branches):
+            for idx in br.moved.tolist():
+                # innermost branch wins (later branches are deeper)
+                in_branch[idx] = bi
+        records: list[tuple] = [("ROOT",)]
+        root_atoms = [
+            i for i in range(len(self.mol.atoms)) if i not in in_branch
+        ]
+        for idx in root_atoms:
+            records.append(("ATOM", idx))
+        records.append(("ENDROOT",))
+        for bi, br in enumerate(self.branches):
+            records.append(("BRANCH", br.axis_from + 1, br.axis_to + 1))
+            for idx in br.moved.tolist():
+                if in_branch[idx] == bi:
+                    records.append(("ATOM", idx))
+            records.append(("ENDBRANCH", br.axis_from + 1, br.axis_to + 1))
+        return records

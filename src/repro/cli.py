@@ -1,0 +1,221 @@
+"""``scidock`` command-line interface.
+
+Subcommands:
+
+* ``dock`` — dock receptor-ligand pairs for real and print the outcomes.
+* ``sweep`` — run the simulated 2..128-core scalability experiment.
+* ``table3`` — reproduce the paper's Table 3 on a pair subset.
+* ``spec`` — print the SciDock XML specification.
+* ``dataset`` — show the Table 2 dataset summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.analysis import collect_outcomes, compute_table3, format_table3, total_favorable
+from repro.core.datasets import (
+    CL0125_RECEPTORS,
+    CP_LIGANDS,
+    TABLE3_LIGANDS,
+    pair_relation,
+)
+from repro.core.scidock import SciDockConfig, run_scidock
+from repro.core.spec import scidock_xml
+from repro.perf.experiments import run_core_sweep
+
+
+def _cmd_dock(args: argparse.Namespace) -> int:
+    receptors = args.receptors or list(CL0125_RECEPTORS[: args.n_receptors])
+    ligands = args.ligands or list(TABLE3_LIGANDS[: args.n_ligands])
+    pairs = pair_relation(receptors=receptors, ligands=ligands)
+    config = SciDockConfig(scenario=args.scenario, workers=args.workers, seed=args.seed)
+    print(f"docking {len(pairs)} pairs (scenario={args.scenario}) ...")
+    report, store = run_scidock(pairs, config)
+    outcomes = collect_outcomes(store, report.wkfid)
+    for o in sorted(outcomes, key=lambda o: o.feb):
+        mark = "*" if o.converged else " "
+        print(
+            f" {mark} {o.ligand}-{o.receptor} [{o.engine}] "
+            f"FEB {o.feb:+7.2f} kcal/mol, RMSD {o.rmsd:6.1f} A"
+        )
+    print(
+        f"TET {report.tet_seconds:.1f} s; {report.counts}; "
+        f"blocked {report.blocked} (Hg), retried {report.retried}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cores = tuple(args.cores)
+    sweep = run_core_sweep(
+        scenario=args.scenario, core_counts=cores, n_pairs=args.pairs,
+        failure_rate=args.failure_rate, seed=args.seed,
+    )
+    print(f"scenario={args.scenario}, {args.pairs} pairs")
+    print(f"{'cores':>6} {'TET (h)':>10} {'speedup':>8} {'eff':>6} {'improv%':>8}")
+    for c, t, s, e, i in zip(
+        sweep.core_counts, sweep.tets, sweep.speedups(),
+        sweep.efficiencies(), sweep.improvements(),
+    ):
+        print(f"{c:>6} {t / 3600:>10.2f} {s:>8.2f} {e:>6.2f} {i:>8.1f}")
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    receptors = list(CL0125_RECEPTORS[: args.n_receptors])
+    rows_all = []
+    for scenario in ("ad4", "vina"):
+        pairs = pair_relation(receptors=receptors, ligands=list(TABLE3_LIGANDS))
+        print(f"running {len(pairs)} pairs with {scenario} ...", file=sys.stderr)
+        report, store = run_scidock(
+            pairs, SciDockConfig(scenario=scenario, workers=args.workers, seed=args.seed)
+        )
+        outcomes = collect_outcomes(store, report.wkfid)
+        rows_all.extend(compute_table3(outcomes, ligands=TABLE3_LIGANDS))
+    print(format_table3(rows_all))
+    for engine in ("autodock4", "vina"):
+        print(f"total FEB(-) {engine}: {total_favorable(rows_all, engine)}")
+    return 0
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    from repro.dynamics.refine import refine_pose
+
+    result = refine_pose(
+        args.receptor,
+        args.ligand,
+        md_steps=args.md_steps,
+        seeds=tuple(range(args.seeds)),
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_qsar(args: argparse.Namespace) -> int:
+    from repro.core.analysis import collect_outcomes
+    from repro.qsar.screen import describe_model, qsar_screen
+
+    receptors = list(CL0125_RECEPTORS[: args.n_receptors])
+    train_ligands = list(CP_LIGANDS[: args.n_train_ligands])
+    pairs = pair_relation(receptors=receptors, ligands=train_ligands)
+    print(
+        f"docking {len(pairs)} pairs to build the QSAR training set ...",
+        file=sys.stderr,
+    )
+    report, store = run_scidock(
+        pairs, SciDockConfig(scenario="vina", workers=args.workers, seed=args.seed)
+    )
+    training: dict[str, float] = {}
+    for o in collect_outcomes(store, report.wkfid):
+        if o.ligand not in training or o.feb < training[o.ligand]:
+            training[o.ligand] = o.feb
+    ranking = qsar_screen(training, CP_LIGANDS)
+    print(f"cross-validated q2 = {ranking.q2:.2f} on {ranking.training_size} ligands")
+    print(describe_model(ranking.model))
+    print("predicted-best ligands:")
+    for lig, feb in ranking.top(args.top):
+        mark = "drug-like" if ranking.druglike[lig] else "non-drug-like"
+        print(f"  {lig}: {feb:+.2f} kcal/mol ({mark})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import campaign_report
+
+    receptors = args.receptors or list(CL0125_RECEPTORS[: args.n_receptors])
+    ligands = args.ligands or list(TABLE3_LIGANDS[: args.n_ligands])
+    pairs = pair_relation(receptors=receptors, ligands=ligands)
+    print(f"running {len(pairs)} pairs ...", file=sys.stderr)
+    report, store = run_scidock(
+        pairs, SciDockConfig(scenario=args.scenario, workers=args.workers, seed=args.seed)
+    )
+    print(campaign_report(store, report.wkfid), end="")
+    return 0
+
+
+def _cmd_spec(_args: argparse.Namespace) -> int:
+    print(scidock_xml(), end="")
+    return 0
+
+
+def _cmd_dataset(_args: argparse.Namespace) -> int:
+    print(f"clan Peptidase_CA (CL0125): {len(CL0125_RECEPTORS)} receptors, "
+          f"{len(CP_LIGANDS)} ligands, {len(CL0125_RECEPTORS) * len(CP_LIGANDS)} pairs")
+    print("receptors:", " ".join(CL0125_RECEPTORS))
+    print("ligands:", " ".join(CP_LIGANDS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scidock",
+        description="SciDock molecular docking workflows in (simulated) HPC clouds",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dock = sub.add_parser("dock", help="dock pairs for real")
+    dock.add_argument("--receptors", nargs="*", default=None)
+    dock.add_argument("--ligands", nargs="*", default=None)
+    dock.add_argument("--n-receptors", type=int, default=3)
+    dock.add_argument("--n-ligands", type=int, default=2)
+    dock.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="adaptive")
+    dock.add_argument("--workers", type=int, default=4)
+    dock.add_argument("--seed", type=int, default=0)
+    dock.set_defaults(fn=_cmd_dock)
+
+    sweep = sub.add_parser("sweep", help="simulated core-count sweep (Figs 7-9)")
+    sweep.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="ad4")
+    sweep.add_argument("--cores", nargs="*", type=int, default=[2, 4, 8, 16, 32, 64, 128])
+    sweep.add_argument("--pairs", type=int, default=1000)
+    sweep.add_argument("--failure-rate", type=float, default=0.10)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    table3 = sub.add_parser("table3", help="reproduce Table 3 on a subset")
+    table3.add_argument("--n-receptors", type=int, default=20)
+    table3.add_argument("--workers", type=int, default=4)
+    table3.add_argument("--seed", type=int, default=0)
+    table3.set_defaults(fn=_cmd_table3)
+
+    rep = sub.add_parser("report", help="run a campaign and print a markdown report")
+    rep.add_argument("--receptors", nargs="*", default=None)
+    rep.add_argument("--ligands", nargs="*", default=None)
+    rep.add_argument("--n-receptors", type=int, default=3)
+    rep.add_argument("--n-ligands", type=int, default=2)
+    rep.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="adaptive")
+    rep.add_argument("--workers", type=int, default=4)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.set_defaults(fn=_cmd_report)
+
+    refine = sub.add_parser("refine", help="redock + minimize + MD one pair")
+    refine.add_argument("receptor")
+    refine.add_argument("ligand")
+    refine.add_argument("--md-steps", type=int, default=60)
+    refine.add_argument("--seeds", type=int, default=2)
+    refine.set_defaults(fn=_cmd_refine)
+
+    qsar = sub.add_parser("qsar", help="ligand-based QSAR screening")
+    qsar.add_argument("--n-receptors", type=int, default=3)
+    qsar.add_argument("--n-train-ligands", type=int, default=8)
+    qsar.add_argument("--workers", type=int, default=4)
+    qsar.add_argument("--seed", type=int, default=0)
+    qsar.add_argument("--top", type=int, default=5)
+    qsar.set_defaults(fn=_cmd_qsar)
+
+    spec = sub.add_parser("spec", help="print the SciDock XML specification")
+    spec.set_defaults(fn=_cmd_spec)
+
+    dataset = sub.add_parser("dataset", help="show the Table 2 dataset")
+    dataset.set_defaults(fn=_cmd_dataset)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Simulated cloud substrate (Amazon EC2 / S3 stand-in).
+
+The paper runs SciCumulus on EC2 m3.xlarge/m3.2xlarge instances with an
+s3fs shared file system. Offline we simulate that environment: a
+provider with the same instance catalog, boot latency and hourly billing,
+an object store with a latency/bandwidth cost model, a virtual cluster
+with elastic scale-up/down, a discrete-event clock for the performance
+experiments, and failure-injection models reproducing the paper's ~10 %
+activity failure rate and the Hg "looping state" pathology.
+"""
+
+from repro.cloud.simclock import SimClock
+from repro.cloud.instance import (
+    INSTANCE_CATALOG,
+    InstanceType,
+    M3_2XLARGE,
+    M3_XLARGE,
+)
+from repro.cloud.provider import (
+    CloudProvider,
+    ProviderError,
+    VirtualMachine,
+    VMState,
+)
+from repro.cloud.storage import S3ObjectStore, SharedFileSystem, StorageError
+from repro.cloud.cluster import VirtualCluster
+from repro.cloud.failures import ActivityFailureModel, LoopingStateModel
+
+__all__ = [
+    "SimClock",
+    "InstanceType",
+    "M3_XLARGE",
+    "M3_2XLARGE",
+    "INSTANCE_CATALOG",
+    "CloudProvider",
+    "VirtualMachine",
+    "VMState",
+    "ProviderError",
+    "S3ObjectStore",
+    "SharedFileSystem",
+    "StorageError",
+    "VirtualCluster",
+    "ActivityFailureModel",
+    "LoopingStateModel",
+]

@@ -1,0 +1,57 @@
+"""Failure injection: the paper's two observed pathologies.
+
+* ~10 % of activity executions fail and must be re-submitted
+  (SciCumulus' re-execution mechanism handles them).
+* Activities on receptors containing Hg enter a *looping state*: they
+  never finish and never emit an error — only a watchdog (or the routine
+  SciCumulus added after the discovery) stops them.
+
+Both models are deterministic functions of (activation key, seed) so
+simulated runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _unit_hash(*parts: object) -> float:
+    """Stable hash of the parts mapped to [0, 1)."""
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64
+
+
+class ActivityFailureModel:
+    """Bernoulli failure per (activation, attempt) with a fixed rate."""
+
+    def __init__(self, rate: float = 0.10, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"failure rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    def fails(self, activation_key: str, attempt: int = 0) -> bool:
+        """Whether this attempt of this activation fails.
+
+        Different attempts re-roll, so re-execution eventually succeeds —
+        the paper's recovery path.
+        """
+        return _unit_hash("fail", self.seed, activation_key, attempt) < self.rate
+
+
+class LoopingStateModel:
+    """Detects activations that would hang (Hg receptors, bad ligands).
+
+    ``would_loop`` is consulted *before* dispatch once the paper's
+    Hg-recognition routine is enabled; with the routine disabled the
+    engine only notices via the watchdog timeout.
+    """
+
+    def __init__(self, *, hg_loops: bool = True, extra_looping_keys: set[str] | None = None):
+        self.hg_loops = hg_loops
+        self.extra_looping_keys = set(extra_looping_keys or ())
+
+    def would_loop(self, activation_key: str, *, receptor_has_hg: bool = False) -> bool:
+        if self.hg_loops and receptor_has_hg:
+            return True
+        return activation_key in self.extra_looping_keys

@@ -1,0 +1,156 @@
+"""Simulated EC2-style provider: provision, terminate, describe, bill.
+
+VMs transition PENDING -> RUNNING after the instance type's boot latency
+(on the shared :class:`~repro.cloud.simclock.SimClock`), and accumulate
+cost by the hour (partial hours round up, as EC2 billed in 2014).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cloud.instance import INSTANCE_CATALOG, InstanceType
+from repro.cloud.simclock import SimClock
+
+
+class ProviderError(RuntimeError):
+    """Raised for invalid provider API usage."""
+
+
+class VMState(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class VirtualMachine:
+    """One provisioned instance."""
+
+    vm_id: str
+    instance_type: InstanceType
+    launch_time: float
+    state: VMState = VMState.PENDING
+    ready_time: float | None = None
+    terminate_time: float | None = None
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def cores(self) -> int:
+        return self.instance_type.cores
+
+    def billed_hours(self, now: float) -> int:
+        """Whole billed hours (partial hours round up)."""
+        end = self.terminate_time if self.terminate_time is not None else now
+        elapsed = max(0.0, end - self.launch_time)
+        return max(1, math.ceil(elapsed / 3600.0)) if elapsed > 0 else 0
+
+    def cost(self, now: float) -> float:
+        return self.billed_hours(now) * self.instance_type.hourly_price_usd
+
+
+class CloudProvider:
+    """The EC2 stand-in.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulation clock. Boot latency and billing use it.
+    region:
+        Cosmetic; the paper uses us-east-1 (N. Virginia).
+    max_instances:
+        Account limit; provisioning beyond it raises, mirroring EC2
+        instance-limit errors.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        region: str = "us-east-1",
+        max_instances: int = 512,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.region = region
+        self.max_instances = max_instances
+        self._vms: dict[str, VirtualMachine] = {}
+        self._ids = itertools.count(1)
+
+    # -- API -------------------------------------------------------------
+    def provision(
+        self,
+        instance_type: str | InstanceType,
+        count: int = 1,
+        tags: dict | None = None,
+    ) -> list[VirtualMachine]:
+        """Launch ``count`` instances; they become RUNNING after boot."""
+        if count < 1:
+            raise ProviderError("count must be >= 1")
+        if isinstance(instance_type, str):
+            try:
+                instance_type = INSTANCE_CATALOG[instance_type]
+            except KeyError:
+                raise ProviderError(
+                    f"unknown instance type {instance_type!r}; catalog has "
+                    f"{sorted(INSTANCE_CATALOG)}"
+                ) from None
+        running = sum(
+            1 for vm in self._vms.values() if vm.state != VMState.TERMINATED
+        )
+        if running + count > self.max_instances:
+            raise ProviderError(
+                f"instance limit exceeded ({running} running, "
+                f"{count} requested, limit {self.max_instances})"
+            )
+        out = []
+        for _ in range(count):
+            vm = VirtualMachine(
+                vm_id=f"i-{next(self._ids):08x}",
+                instance_type=instance_type,
+                launch_time=self.clock.now,
+                tags=dict(tags or {}),
+            )
+            self._vms[vm.vm_id] = vm
+
+            def make_ready(v: VirtualMachine = vm) -> None:
+                if v.state == VMState.PENDING:
+                    v.state = VMState.RUNNING
+                    v.ready_time = self.clock.now
+
+            self.clock.schedule(instance_type.boot_seconds, make_ready)
+            out.append(vm)
+        return out
+
+    def terminate(self, vm_id: str) -> VirtualMachine:
+        vm = self._get(vm_id)
+        if vm.state == VMState.TERMINATED:
+            raise ProviderError(f"{vm_id} already terminated")
+        vm.state = VMState.TERMINATED
+        vm.terminate_time = self.clock.now
+        return vm
+
+    def describe(self, vm_id: str) -> VirtualMachine:
+        return self._get(vm_id)
+
+    def instances(self, state: VMState | None = None) -> list[VirtualMachine]:
+        vms = list(self._vms.values())
+        if state is not None:
+            vms = [vm for vm in vms if vm.state == state]
+        return vms
+
+    def running_cores(self) -> int:
+        return sum(
+            vm.cores for vm in self._vms.values() if vm.state == VMState.RUNNING
+        )
+
+    def total_cost(self) -> float:
+        """Accumulated bill for every instance ever launched."""
+        return sum(vm.cost(self.clock.now) for vm in self._vms.values())
+
+    def _get(self, vm_id: str) -> VirtualMachine:
+        try:
+            return self._vms[vm_id]
+        except KeyError:
+            raise ProviderError(f"no such instance {vm_id!r}") from None

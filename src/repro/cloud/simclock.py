@@ -1,0 +1,72 @@
+"""Discrete-event simulation clock.
+
+A minimal event-queue clock: callbacks are scheduled at absolute virtual
+times and executed in order when the clock runs. Ties break by
+scheduling order, so simulations are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class SimClock:
+    """Virtual time source + event queue for the simulated cloud."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} < now ({self._now})")
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def advance_to(self, when: float) -> None:
+        """Jump the clock forward without running events (bookkeeping)."""
+        if when < self._now:
+            raise ValueError(f"cannot move time backwards to {when}")
+        self._now = when
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self._now = when
+        callback()
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue (optionally stopping at ``until``).
+
+        Returns the final virtual time.
+        """
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

@@ -1,0 +1,146 @@
+"""S3-style object store and the s3fs-like shared file system.
+
+SciCumulus stages activity inputs/outputs through a FUSE file system
+backed by S3. The simulation models the performance-relevant behaviour:
+per-operation latency plus bandwidth-limited transfer time, and full
+read-after-write consistency (sufficient for the workflow's sequential
+producer-consumer file passing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.simclock import SimClock
+
+
+class StorageError(KeyError):
+    """Raised for missing keys / invalid paths."""
+
+
+@dataclass
+class TransferStats:
+    """Aggregate I/O accounting (used by the performance model)."""
+
+    puts: int = 0
+    gets: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    total_latency_seconds: float = 0.0
+
+
+class S3ObjectStore:
+    """Flat key -> bytes store with a latency/bandwidth cost model.
+
+    ``op_latency`` models the per-request round trip (~50 ms to S3 from
+    EC2 in-region); ``bandwidth_bps`` the sustained transfer rate.
+    Operations return the simulated seconds they cost; callers in the
+    DES engine add that to activity service time.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        op_latency: float = 0.05,
+        bandwidth_bps: float = 100e6 / 8,
+    ) -> None:
+        if op_latency < 0 or bandwidth_bps <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth positive")
+        self.clock = clock or SimClock()
+        self.op_latency = op_latency
+        self.bandwidth_bps = bandwidth_bps
+        self._objects: dict[str, bytes] = {}
+        self.stats = TransferStats()
+
+    def _cost(self, nbytes: int) -> float:
+        seconds = self.op_latency + nbytes / self.bandwidth_bps
+        self.stats.total_latency_seconds += seconds
+        return seconds
+
+    def put(self, key: str, data: bytes | str) -> float:
+        """Store an object; returns the simulated transfer seconds."""
+        if not key:
+            raise StorageError("empty key")
+        payload = data.encode() if isinstance(data, str) else bytes(data)
+        self._objects[key] = payload
+        self.stats.puts += 1
+        self.stats.bytes_in += len(payload)
+        return self._cost(len(payload))
+
+    def get(self, key: str) -> tuple[bytes, float]:
+        """Fetch an object; returns (data, simulated seconds)."""
+        try:
+            payload = self._objects[key]
+        except KeyError:
+            raise StorageError(f"no such object {key!r}") from None
+        self.stats.gets += 1
+        self.stats.bytes_out += len(payload)
+        return payload, self._cost(len(payload))
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise StorageError(f"no such object {key!r}")
+        del self._objects[key]
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def list(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def size(self, key: str) -> int:
+        try:
+            return len(self._objects[key])
+        except KeyError:
+            raise StorageError(f"no such object {key!r}") from None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._objects.values())
+
+
+class SharedFileSystem:
+    """s3fs stand-in: POSIX-ish paths over the object store.
+
+    The workflow engine reads/writes activity files through this facade
+    so the experiment's 600 GB-per-run data volume flows through one
+    accounted channel.
+    """
+
+    def __init__(self, store: S3ObjectStore | None = None, root: str = "/root/exp") -> None:
+        self.store = store or S3ObjectStore()
+        self.root = root.rstrip("/")
+
+    def _key(self, path: str) -> str:
+        if not path:
+            raise StorageError("empty path")
+        if not path.startswith("/"):
+            path = f"{self.root}/{path}"
+        return path
+
+    def write_text(self, path: str, text: str) -> float:
+        return self.store.put(self._key(path), text)
+
+    def read_text(self, path: str) -> str:
+        data, _ = self.store.get(self._key(path))
+        return data.decode()
+
+    def write_bytes(self, path: str, data: bytes) -> float:
+        return self.store.put(self._key(path), data)
+
+    def read_bytes(self, path: str) -> bytes:
+        data, _ = self.store.get(self._key(path))
+        return data
+
+    def exists(self, path: str) -> bool:
+        return self.store.exists(self._key(path))
+
+    def listdir(self, path: str) -> list[str]:
+        prefix = self._key(path).rstrip("/") + "/"
+        return self.store.list(prefix)
+
+    def remove(self, path: str) -> None:
+        self.store.delete(self._key(path))
+
+    def file_size(self, path: str) -> int:
+        return self.store.size(self._key(path))

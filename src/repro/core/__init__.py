@@ -1,0 +1,53 @@
+"""SciDock: the molecular docking-based virtual screening workflow.
+
+The paper's primary contribution: an 8-activity workflow (Babel ->
+ligand/receptor preparation -> GPF -> AutoGrid -> docking filter ->
+DPF/Vina-config -> AD4/Vina docking) executed by the SciCumulus-like
+engine, over the clan CL0125 dataset (238 receptors x 42 ligands).
+"""
+
+from repro.core.datasets import (
+    CL0125_RECEPTORS,
+    CP_LIGANDS,
+    TABLE3_LIGANDS,
+    pair_relation,
+    receptor_count,
+    ligand_count,
+)
+from repro.core.scidock import (
+    SciDockConfig,
+    build_scidock_workflow,
+    build_scidock_sim_workflow,
+    run_scidock,
+)
+from repro.core.analysis import (
+    DockingOutcome,
+    Table3Row,
+    collect_outcomes,
+    compute_table3,
+    top_interactions,
+)
+from repro.core.spec import scidock_xml
+from repro.core.experiment import SciDockExperiment
+from repro.core.report import campaign_report
+
+__all__ = [
+    "SciDockExperiment",
+    "campaign_report",
+    "CL0125_RECEPTORS",
+    "CP_LIGANDS",
+    "TABLE3_LIGANDS",
+    "pair_relation",
+    "receptor_count",
+    "ligand_count",
+    "SciDockConfig",
+    "build_scidock_workflow",
+    "build_scidock_sim_workflow",
+    "run_scidock",
+    "DockingOutcome",
+    "Table3Row",
+    "collect_outcomes",
+    "compute_table3",
+    "top_interactions",
+    "scidock_xml",
+]

@@ -1,0 +1,150 @@
+"""Multi-workflow experiments: the paper's two-scenario campaign.
+
+The evaluation runs *two* workflow executions over the same pairs —
+Scenario I (all AD4) and Scenario II (all Vina) — and compares them
+through the shared provenance repository ("10,000 executions of the 7
+activities of 2 workflows"). :class:`SciDockExperiment` reproduces that
+structure: both scenarios run into one store, and every comparison
+(Table 3, engine agreement, runtime ratios) is a provenance query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import (
+    DockingOutcome,
+    EngineAgreement,
+    Table3Row,
+    collect_outcomes,
+    compute_table3,
+    engine_agreement,
+    total_favorable,
+)
+from repro.core.scidock import SciDockConfig, run_scidock
+from repro.provenance.queries import query1_activity_statistics, workflow_tet
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.relation import Relation
+
+
+@dataclass
+class ScenarioRun:
+    """One scenario's execution inside the experiment."""
+
+    scenario: str
+    wkfid: int
+    tet_seconds: float
+    outcomes: list[DockingOutcome] = field(default_factory=list)
+
+
+class SciDockExperiment:
+    """Run and compare the paper's Scenario I / Scenario II campaigns."""
+
+    def __init__(
+        self,
+        pairs: Relation,
+        *,
+        workers: int = 4,
+        seed: int = 0,
+        store: ProvenanceStore | None = None,
+    ) -> None:
+        if len(pairs) == 0:
+            raise ValueError("experiment needs at least one pair")
+        self.pairs = pairs
+        self.workers = workers
+        self.seed = seed
+        self.store = store or ProvenanceStore()
+        self.runs: dict[str, ScenarioRun] = {}
+
+    def run_scenario(self, scenario: str) -> ScenarioRun:
+        """Execute one scenario into the shared provenance store."""
+        config = SciDockConfig(
+            scenario=scenario, workers=self.workers, seed=self.seed
+        )
+        report, _ = run_scidock(self.pairs.copy(), config, store=self.store)
+        run = ScenarioRun(
+            scenario=scenario,
+            wkfid=report.wkfid,
+            tet_seconds=report.tet_seconds,
+            outcomes=collect_outcomes(self.store, report.wkfid),
+        )
+        self.runs[scenario] = run
+        return run
+
+    def run_both(self) -> tuple[ScenarioRun, ScenarioRun]:
+        """The paper's full campaign: Scenario I then Scenario II."""
+        return self.run_scenario("ad4"), self.run_scenario("vina")
+
+    # -- comparisons -----------------------------------------------------------
+    def _need(self, *scenarios: str) -> None:
+        missing = [s for s in scenarios if s not in self.runs]
+        if missing:
+            raise ValueError(f"scenario(s) not run yet: {missing}")
+
+    def table3(self, ligands: tuple[str, ...] | None = None) -> list[Table3Row]:
+        self._need("ad4", "vina")
+        rows: list[Table3Row] = []
+        for run in self.runs.values():
+            rows.extend(compute_table3(run.outcomes, ligands=ligands))
+        return rows
+
+    def favorable_counts(self) -> dict[str, int]:
+        """Total FEB(-) per engine (the paper's 287 / 355)."""
+        rows = self.table3()
+        return {
+            engine: total_favorable(rows, engine)
+            for engine in ("autodock4", "vina")
+        }
+
+    def agreement(self) -> EngineAgreement:
+        """Chang-et-al-style AD4/Vina prediction association."""
+        self._need("ad4", "vina")
+        return engine_agreement(
+            self.runs["ad4"].outcomes, self.runs["vina"].outcomes
+        )
+
+    def runtime_ratio(self) -> float:
+        """TET(AD4) / TET(Vina): >1 reproduces 'Vina performs better'."""
+        self._need("ad4", "vina")
+        return self.runs["ad4"].tet_seconds / self.runs["vina"].tet_seconds
+
+    def docking_time_ratio(self) -> float:
+        """Mean docking-activity time ratio AD4/Vina from provenance.
+
+        Vina's authors claim ~10x faster docking than AD4; the paper
+        quotes it. Our reduced-budget engines land lower but > 1.
+        """
+        self._need("ad4", "vina")
+        means = {}
+        for scenario, run in self.runs.items():
+            stats = {
+                s.tag: s for s in query1_activity_statistics(self.store, run.wkfid)
+            }
+            means[scenario] = stats["docking"].avg
+        return means["ad4"] / means["vina"]
+
+    def total_activations(self) -> int:
+        """Across both workflows (the paper's '140,000' at full scale)."""
+        self._need("ad4", "vina")
+        rows = self.store.sql(
+            """
+            SELECT COUNT(*) AS n FROM hactivation t
+            JOIN hactivity a ON t.actid = a.actid
+            WHERE a.wkfid IN (?, ?)
+            """,
+            (self.runs["ad4"].wkfid, self.runs["vina"].wkfid),
+        )
+        return int(rows[0]["n"])
+
+    def summary(self) -> str:
+        self._need("ad4", "vina")
+        fav = self.favorable_counts()
+        agg = self.agreement()
+        return (
+            f"{len(self.pairs)} pairs x 2 workflows: "
+            f"{self.total_activations()} activations; "
+            f"TET ad4 {self.runs['ad4'].tet_seconds:.1f} s vs vina "
+            f"{self.runs['vina'].tet_seconds:.1f} s; FEB(-) ad4 "
+            f"{fav['autodock4']} vs vina {fav['vina']}; agreement "
+            f"r={agg.pearson_r:.2f}"
+        )

@@ -1,0 +1,134 @@
+"""Campaign report generation: the paper's analyses as one document.
+
+Produces a markdown experiment report straight from a provenance store —
+runtime statistics (Query 1), artifact catalog (Query 2), Table-3-style
+docking summary, fault ledger and the shortlist — so a campaign's
+outcome is communicable without anyone writing SQL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import (
+    collect_outcomes,
+    compute_table3,
+    top_interactions,
+    total_favorable,
+)
+from repro.provenance.queries import (
+    activation_durations,
+    query1_activity_statistics,
+    query2_files,
+    workflow_tet,
+)
+from repro.provenance.store import ProvenanceStore
+
+
+def campaign_report(
+    store: ProvenanceStore,
+    wkfid: int,
+    *,
+    title: str = "SciDock campaign report",
+    top_n: int = 5,
+) -> str:
+    """Render one workflow execution as a markdown report."""
+    wf = store.workflow_row(wkfid)
+    lines = [f"# {title}", ""]
+    lines.append(f"Workflow `{wf['tag']}` (execution {wkfid})")
+    try:
+        tet = workflow_tet(store, wkfid)
+        lines.append(f"Total execution time: **{tet:.1f} s**")
+    except ValueError:
+        lines.append("Total execution time: *(still running)*")
+    counts = store.counts_by_status(wkfid)
+    lines.append(
+        "Activations: "
+        + ", ".join(f"{k.lower()} {v}" for k, v in sorted(counts.items()))
+    )
+    lines.append("")
+
+    # Query 1: per-activity statistics.
+    stats = query1_activity_statistics(store, wkfid)
+    if stats:
+        lines += [
+            "## Activity runtime statistics (Query 1)",
+            "",
+            "| activity | n | min (s) | max (s) | avg (s) | sum (s) |",
+            "|---|---|---|---|---|---|",
+        ]
+        for s in stats:
+            lines.append(
+                f"| {s.tag} | {s.count} | {s.min:.3f} | {s.max:.3f} "
+                f"| {s.avg:.3f} | {s.sum:.2f} |"
+            )
+        durations = activation_durations(store, wkfid)
+        lines += [
+            "",
+            f"Activation-duration distribution: n={len(durations)}, "
+            f"mean {np.mean(durations):.2f} s, std {np.std(durations):.2f} s, "
+            f"median {np.median(durations):.2f} s.",
+            "",
+        ]
+
+    # Query 2: artifact catalog.
+    artifacts = []
+    for ext in (".dlg", ".log"):
+        artifacts.extend(query2_files(store, wkfid, ext))
+    if artifacts:
+        total_bytes = sum(f.fsize for f in artifacts)
+        lines += [
+            "## Docking artifacts (Query 2)",
+            "",
+            f"{len(artifacts)} docking logs, {total_bytes / 1024:.1f} KiB total. "
+            f"Example: `{artifacts[0].fdir}{artifacts[0].fname}` "
+            f"({artifacts[0].fsize} bytes).",
+            "",
+        ]
+
+    # Biology: Table-3-style summary.
+    outcomes = collect_outcomes(store, wkfid)
+    if outcomes:
+        rows = compute_table3(outcomes)
+        lines += [
+            "## Docking results",
+            "",
+            "| ligand | engine | FEB(-) | avg FEB(-) (kcal/mol) | avg RMSD (A) | pairs |",
+            "|---|---|---|---|---|---|",
+        ]
+        for r in rows:
+            feb = f"{r.avg_feb_negative:.2f}" if r.avg_feb_negative is not None else "-"
+            rmsd = f"{r.avg_rmsd:.1f}" if r.avg_rmsd is not None else "-"
+            lines.append(
+                f"| {r.ligand} | {r.engine} | {r.feb_negative_count} "
+                f"| {feb} | {rmsd} | {r.n_pairs} |"
+            )
+        engines = sorted({o.engine for o in outcomes})
+        lines.append("")
+        for e in engines:
+            lines.append(f"Total favorable interactions via {e}: "
+                         f"**{total_favorable(rows, e)}**")
+        shortlist = top_interactions(outcomes, n=top_n)
+        if shortlist:
+            lines += ["", "## Shortlist", ""]
+            for o in shortlist:
+                lines.append(
+                    f"- **{o.receptor}-{o.ligand}** ({o.engine}): "
+                    f"FEB {o.feb:+.2f} kcal/mol"
+                )
+        lines.append("")
+
+    # Fault ledger.
+    failed = store.failed_activations(wkfid)
+    blocked = store.sql(
+        "SELECT t.tuple_key, t.errormsg FROM hactivation t"
+        " JOIN hactivity a ON t.actid = a.actid"
+        " WHERE a.wkfid = ? AND t.status IN ('BLOCKED', 'ABORTED')",
+        (wkfid,),
+    )
+    lines += ["## Fault ledger", ""]
+    lines.append(f"- failed activation executions (re-submitted): {len(failed)}")
+    lines.append(f"- blocked/aborted activations: {len(blocked)}")
+    for row in blocked[:top_n]:
+        lines.append(f"  - `{row['tuple_key']}`: {row['errormsg']}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,24 @@
+"""The SciDock XML specification (paper Fig. 2), generated from code."""
+
+from __future__ import annotations
+
+from repro.core.scidock import SciDockConfig, build_scidock_workflow
+from repro.workflow.spec import DatabaseConfig, workflow_to_xml
+
+
+def scidock_xml(
+    config: SciDockConfig | None = None,
+    db: DatabaseConfig | None = None,
+) -> str:
+    """Render SciDock as SciCumulus XML.
+
+    Defaults mirror the paper's excerpt: the provenance database on an
+    EC2 endpoint, workflow tag ``SciDock``, exectag ``scidock``.
+    """
+    workflow = build_scidock_workflow(config)
+    db = db or DatabaseConfig(
+        name="scicumulus",
+        server="ec2-50-17-107-164.compute-1.amazonaws.com",
+        port=5432,
+    )
+    return workflow_to_xml(workflow, db)

@@ -1,0 +1,52 @@
+"""Docking substrate: AutoGrid, AutoDock 4 (Lamarckian GA) and Vina.
+
+From-scratch reimplementations of the programs SciDock orchestrates:
+
+* :mod:`repro.docking.prepare` — MGLTools-equivalent preparation scripts
+  (``prepare_ligand``, ``prepare_receptor``, ``prepare_gpf``,
+  ``prepare_dpf``, Vina config writer).
+* :mod:`repro.docking.autogrid` — AutoGrid affinity/electrostatic/
+  desolvation map generation over a :class:`~repro.docking.box.GridBox`.
+* :mod:`repro.docking.autodock` — AD4: Lamarckian genetic algorithm over
+  the AD4 empirical free-energy function, grid-interpolated.
+* :mod:`repro.docking.vina` — AutoDock Vina: iterated local search with
+  the Vina scoring function, computed atom-pairwise.
+"""
+
+from repro.docking.box import GridBox
+from repro.docking.conformation import Conformation, DockingResult, Pose
+from repro.docking.autogrid import AutoGrid, GridMaps
+from repro.docking.autodock import AutoDock4, AD4Parameters
+from repro.docking.vina import Vina, VinaParameters
+from repro.docking.flex import FlexibleVina, select_flexible_residues
+from repro.docking.prepare import (
+    LigandPreparation,
+    ReceptorPreparation,
+    prepare_dpf,
+    prepare_gpf,
+    prepare_ligand,
+    prepare_receptor,
+    prepare_vina_config,
+)
+
+__all__ = [
+    "GridBox",
+    "Conformation",
+    "Pose",
+    "DockingResult",
+    "AutoGrid",
+    "GridMaps",
+    "AutoDock4",
+    "AD4Parameters",
+    "Vina",
+    "VinaParameters",
+    "FlexibleVina",
+    "select_flexible_residues",
+    "prepare_ligand",
+    "prepare_receptor",
+    "prepare_gpf",
+    "prepare_dpf",
+    "prepare_vina_config",
+    "LigandPreparation",
+    "ReceptorPreparation",
+]

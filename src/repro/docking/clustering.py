@@ -1,0 +1,63 @@
+"""Conformational clustering of docked poses (AD4's analysis step).
+
+AD4 groups docked conformations by RMSD: poses are visited best-energy
+first, and each pose joins the first existing cluster whose representative
+lies within the tolerance, else founds a new cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.geometry import rmsd
+from repro.docking.conformation import ClusterInfo, Pose
+
+#: AD4's default clustering tolerance in Angstrom.
+DEFAULT_TOLERANCE = 2.0
+
+
+def cluster_poses(
+    poses: list[Pose], tolerance: float = DEFAULT_TOLERANCE
+) -> list[ClusterInfo]:
+    """Greedy energy-ordered RMSD clustering; annotates ``pose.cluster``.
+
+    Returns clusters sorted by their best (lowest) energy, matching the
+    histogram AD4 prints at the end of a DLG file.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    if not poses:
+        return []
+    order = np.argsort([p.energy for p in poses])
+    reps: list[int] = []  # representative pose index per cluster
+    members: list[list[int]] = []
+    for idx in order.tolist():
+        pose = poses[idx]
+        placed = False
+        for c, rep_idx in enumerate(reps):
+            if rmsd(pose.coords, poses[rep_idx].coords) <= tolerance:
+                members[c].append(idx)
+                pose.cluster = c
+                placed = True
+                break
+        if not placed:
+            pose.cluster = len(reps)
+            reps.append(idx)
+            members.append([idx])
+    clusters = [
+        ClusterInfo(
+            rank=c,
+            size=len(m),
+            best_energy=min(poses[i].energy for i in m),
+            mean_energy=float(np.mean([poses[i].energy for i in m])),
+            representative=reps[c],
+        )
+        for c, m in enumerate(members)
+    ]
+    clusters.sort(key=lambda ci: ci.best_energy)
+    remap = {ci.rank: new_rank for new_rank, ci in enumerate(clusters)}
+    for new_rank, ci in enumerate(clusters):
+        ci.rank = new_rank
+    for pose in poses:
+        pose.cluster = remap[pose.cluster]
+    return clusters

@@ -1,0 +1,196 @@
+"""Pose/conformation representations shared by AD4 and Vina.
+
+A :class:`Conformation` is the genotype the searches optimize — a flat
+vector [tx, ty, tz, qw, qx, qy, qz, tor_1..tor_T]. A :class:`Pose` is a
+scored phenotype (coordinates + energy breakdown). A
+:class:`DockingResult` is the full outcome of one receptor-ligand docking:
+ranked poses, cluster table and run statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.torsions import TorsionTree
+
+
+@dataclass
+class Conformation:
+    """Search-space point: rigid-body transform plus torsion angles."""
+
+    vector: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vector = np.asarray(self.vector, dtype=np.float64)
+        if self.vector.ndim != 1 or self.vector.size < 7:
+            raise ValueError(
+                "conformation vector must be 1-D with >= 7 entries "
+                "(3 translation + 4 quaternion)"
+            )
+
+    @property
+    def translation(self) -> np.ndarray:
+        return self.vector[:3]
+
+    @property
+    def quaternion(self) -> np.ndarray:
+        return self.vector[3:7]
+
+    @property
+    def torsions(self) -> np.ndarray:
+        return self.vector[7:]
+
+    @property
+    def n_torsions(self) -> int:
+        return self.vector.size - 7
+
+    def normalized(self) -> "Conformation":
+        """Copy with a unit quaternion and torsions wrapped to (-pi, pi]."""
+        v = self.vector.copy()
+        qn = np.linalg.norm(v[3:7])
+        if qn < 1e-12:
+            v[3:7] = (1.0, 0.0, 0.0, 0.0)
+        else:
+            v[3:7] /= qn
+        v[7:] = np.mod(v[7:] + np.pi, 2 * np.pi) - np.pi
+        return Conformation(v)
+
+    def coords(self, tree: TorsionTree) -> np.ndarray:
+        """Phenotype coordinates for this genotype."""
+        c = self.normalized()
+        return tree.pose(c.translation, c.quaternion, c.torsions)
+
+    @classmethod
+    def identity(cls, n_torsions: int) -> "Conformation":
+        v = np.zeros(7 + n_torsions)
+        v[3] = 1.0
+        return cls(v)
+
+    @classmethod
+    def random(
+        cls,
+        n_torsions: int,
+        rng: np.random.Generator,
+        translation_extent: float = 5.0,
+        center: np.ndarray | None = None,
+    ) -> "Conformation":
+        """Random genotype within a translation cube around ``center``."""
+        v = np.empty(7 + n_torsions)
+        base = np.zeros(3) if center is None else np.asarray(center, float)
+        v[:3] = base + rng.uniform(-translation_extent, translation_extent, 3)
+        q = rng.normal(size=4)
+        v[3:7] = q / np.linalg.norm(q)
+        v[7:] = rng.uniform(-np.pi, np.pi, n_torsions)
+        return cls(v)
+
+
+#: Gas constant in kcal/mol/K and AutoDock's reporting temperature.
+GAS_CONSTANT_KCAL = 0.0019872041
+KI_TEMPERATURE = 298.15
+
+
+def inhibition_constant(feb_kcal_mol: float, temperature: float = KI_TEMPERATURE) -> float | None:
+    """AutoDock's estimated inhibition constant Ki = exp(FEB / RT), molar.
+
+    Only meaningful for favorable (negative) binding free energies; AD4
+    leaves the field out otherwise, so this returns ``None`` for
+    FEB >= 0.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    if feb_kcal_mol >= 0:
+        return None
+    return float(np.exp(feb_kcal_mol / (GAS_CONSTANT_KCAL * temperature)))
+
+
+def format_ki(ki_molar: float | None) -> str:
+    """Human units the DLG uses (mM/uM/nM/pM)."""
+    if ki_molar is None:
+        return "n/a"
+    for scale, unit in ((1e-12, "pM"), (1e-9, "nM"), (1e-6, "uM"), (1e-3, "mM")):
+        if ki_molar < scale * 1000:
+            return f"{ki_molar / scale:.2f} {unit}"
+    return f"{ki_molar:.3g} M"
+
+
+@dataclass
+class Pose:
+    """A scored ligand pose."""
+
+    conformation: Conformation
+    coords: np.ndarray
+    energy: float  # total FEB estimate, kcal/mol
+    intermolecular: float = 0.0
+    intramolecular: float = 0.0
+    torsional: float = 0.0
+    rmsd_from_input: float = 0.0
+    cluster: int = -1
+
+    def __lt__(self, other: "Pose") -> bool:
+        return self.energy < other.energy
+
+    @property
+    def ki(self) -> float | None:
+        """Estimated inhibition constant (molar); None if FEB >= 0."""
+        return inhibition_constant(self.energy)
+
+
+@dataclass
+class ClusterInfo:
+    """One row of the AD4 clustering histogram."""
+
+    rank: int
+    size: int
+    best_energy: float
+    mean_energy: float
+    representative: int  # pose index
+
+
+@dataclass
+class DockingResult:
+    """Outcome of docking one receptor-ligand pair."""
+
+    receptor_name: str
+    ligand_name: str
+    engine: str  # "autodock4" | "vina"
+    poses: list[Pose] = field(default_factory=list)
+    clusters: list[ClusterInfo] = field(default_factory=list)
+    evaluations: int = 0
+    runtime_seconds: float = 0.0
+    seed: int | None = None
+
+    @property
+    def best_pose(self) -> Pose:
+        if not self.poses:
+            raise ValueError("docking produced no poses")
+        return min(self.poses)
+
+    @property
+    def best_energy(self) -> float:
+        """Free energy of binding (FEB) of the best pose, kcal/mol."""
+        return self.best_pose.energy
+
+    @property
+    def favorable(self) -> bool:
+        """Paper's FEB(-) criterion: negative binding free energy."""
+        return self.best_energy < 0.0
+
+    @property
+    def best_rmsd(self) -> float:
+        return self.best_pose.rmsd_from_input
+
+    def summary(self) -> dict:
+        """Flat dict used by provenance extractors and analysis tables."""
+        return {
+            "receptor": self.receptor_name,
+            "ligand": self.ligand_name,
+            "engine": self.engine,
+            "feb": round(self.best_energy, 3) if self.poses else None,
+            "rmsd": round(self.best_rmsd, 3) if self.poses else None,
+            "n_poses": len(self.poses),
+            "n_clusters": len(self.clusters),
+            "evaluations": self.evaluations,
+            "runtime_seconds": round(self.runtime_seconds, 4),
+        }

@@ -1,0 +1,158 @@
+"""Docking log files: AD4 ``.dlg`` and Vina stdout-style logs.
+
+The provenance extractors (SciCumulus instrumentation) parse these files
+to pull FEB/RMSD into the provenance database, exactly as the paper's
+Query 2 workflow does with real AutoDock output.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.docking.conformation import DockingResult, format_ki
+
+
+def write_dlg(result: DockingResult) -> str:
+    """Render an AD4-style docking log (subset of the real format)."""
+    lines = [
+        "_______________________________________________________",
+        "__________//____________________________/////_________",
+        "AutoDock 4.2.5.1 (repro reimplementation)",
+        "",
+        f"DPF> move {result.ligand_name}.pdbqt",
+        f"DPF> fld {result.receptor_name}.maps.fld",
+        f"Random seed: {result.seed}",
+        f"Number of energy evaluations: {result.evaluations}",
+        f"Total docking runtime: {result.runtime_seconds:.3f} s",
+        "",
+    ]
+    for k, pose in enumerate(result.poses, start=1):
+        lines += [
+            f"DOCKED: MODEL     {k}",
+            f"DOCKED: USER    Run = {k}",
+            "DOCKED: USER    Estimated Free Energy of Binding    ="
+            f" {pose.energy:+8.2f} kcal/mol",
+            "DOCKED: USER    Estimated Inhibition Constant, Ki   ="
+            f" {format_ki(pose.ki)}",
+            "DOCKED: USER",
+            "DOCKED: USER    Intermolecular Energy               ="
+            f" {pose.intermolecular:+8.2f} kcal/mol",
+            "DOCKED: USER    Internal Energy                     ="
+            f" {pose.intramolecular:+8.2f} kcal/mol",
+            "DOCKED: USER    Torsional Free Energy               ="
+            f" {pose.torsional:+8.2f} kcal/mol",
+            f"DOCKED: USER    RMSD from reference structure       ="
+            f" {pose.rmsd_from_input:8.2f} A",
+            "DOCKED: ENDMDL",
+            "",
+        ]
+    lines.append("    CLUSTERING HISTOGRAM")
+    lines.append("    ____________________")
+    lines.append("   Clus | Lowest    | Run | Mean      | Num | Histogram")
+    lines.append("   Rank | Binding   |     | Binding   | in  |")
+    lines.append("        | Energy    |     | Energy    | Clus|")
+    lines.append("   _____|___________|_____|___________|_____|" + "_" * 20)
+    for c in result.clusters:
+        bars = "#" * c.size
+        lines.append(
+            f"   {c.rank + 1:>4} | {c.best_energy:>+9.2f} |"
+            f" {c.representative + 1:>3} | {c.mean_energy:>+9.2f} |"
+            f" {c.size:>3} | {bars}"
+        )
+    lines.append("")
+    if result.poses:
+        best = result.best_pose
+        lines.append("    LOWEST ENERGY DOCKED CONFORMATION from EACH CLUSTER")
+        lines.append(
+            f"    Estimated Free Energy of Binding = {best.energy:+8.2f} kcal/mol"
+        )
+        lines.append(
+            f"    RMSD from reference structure = {best.rmsd_from_input:8.2f} A"
+        )
+    lines.append("Successful Completion")
+    return "\n".join(lines) + "\n"
+
+
+def write_vina_log(result: DockingResult) -> str:
+    """Render a Vina-style mode table log."""
+    lines = [
+        "#################################################################",
+        "# AutoDock Vina 1.1.2 (repro reimplementation)                  #",
+        "#################################################################",
+        "",
+        f"Receptor: {result.receptor_name}.pdbqt",
+        f"Ligand: {result.ligand_name}.pdbqt",
+        f"Random seed: {result.seed}",
+        f"Function evaluations: {result.evaluations}",
+        f"Total docking runtime: {result.runtime_seconds:.3f} s",
+        "",
+        "mode |   affinity | dist from best mode",
+        "     | (kcal/mol) | rmsd l.b.| rmsd u.b.",
+        "-----+------------+----------+----------",
+    ]
+    best = result.poses[0] if result.poses else None
+    from repro.chem.geometry import rmsd as _rmsd
+
+    for k, pose in enumerate(result.poses, start=1):
+        lb = 0.0 if best is None else _rmsd(pose.coords, best.coords)
+        lines.append(
+            f"{k:>4}   {pose.energy:>10.1f}   {lb:>8.3f}   {lb:>8.3f}"
+        )
+    lines.append("Writing output ... done.")
+    return "\n".join(lines) + "\n"
+
+
+_DLG_FEB = re.compile(
+    r"^DOCKED:.*Estimated Free Energy of Binding\s*=\s*([+-]?\d+\.\d+)\s*kcal/mol",
+    re.MULTILINE,
+)
+_DLG_RMSD = re.compile(
+    r"^DOCKED:.*RMSD from reference structure\s*=\s*([+-]?\d+\.\d+)", re.MULTILINE
+)
+_DLG_EVALS = re.compile(r"Number of energy evaluations:\s*(\d+)")
+_DLG_RUNTIME = re.compile(r"Total docking runtime:\s*([\d.]+)\s*s")
+_VINA_MODE = re.compile(r"^\s*(\d+)\s+([+-]?\d+\.\d+)\s+([\d.]+)\s+([\d.]+)\s*$")
+
+
+def parse_dlg(text: str) -> dict:
+    """Extract FEB/RMSD/eval statistics from a DLG (extractor component)."""
+    febs = [float(m) for m in _DLG_FEB.findall(text)]
+    rmsds = [float(m) for m in _DLG_RMSD.findall(text)]
+    if not febs:
+        raise ValueError("no docked conformations found in DLG text")
+    evals_m = _DLG_EVALS.search(text)
+    runtime_m = _DLG_RUNTIME.search(text)
+    return {
+        "best_feb": min(febs),
+        "all_feb": febs,
+        "best_rmsd": rmsds[febs.index(min(febs))] if rmsds else None,
+        "all_rmsd": rmsds,
+        "evaluations": int(evals_m.group(1)) if evals_m else None,
+        "runtime_seconds": float(runtime_m.group(1)) if runtime_m else None,
+        "success": "Successful Completion" in text,
+    }
+
+
+def parse_vina_log(text: str) -> dict:
+    """Extract the mode table from a Vina log (extractor component)."""
+    modes = []
+    for line in text.splitlines():
+        m = _VINA_MODE.match(line)
+        if m:
+            modes.append(
+                {
+                    "mode": int(m.group(1)),
+                    "affinity": float(m.group(2)),
+                    "rmsd_lb": float(m.group(3)),
+                    "rmsd_ub": float(m.group(4)),
+                }
+            )
+    if not modes:
+        raise ValueError("no binding modes found in Vina log text")
+    runtime_m = _DLG_RUNTIME.search(text)
+    return {
+        "best_feb": min(m["affinity"] for m in modes),
+        "modes": modes,
+        "runtime_seconds": float(runtime_m.group(1)) if runtime_m else None,
+        "success": "done." in text,
+    }

@@ -1,0 +1,256 @@
+"""Flexible receptor side-chains (``prepare_flexreceptor4.py`` counterpart).
+
+AutoDock supports selective receptor flexibility: side-chains lining the
+binding site rotate during the search while the backbone stays rigid.
+(The paper's related work discusses FLIPDock, built on the same idea.)
+
+This module selects pocket-lining residues, models each as one chi-1
+rotation about its CA->CB axis (the dominant side-chain degree of
+freedom), and runs a Vina-style iterated local search over the joint
+space [ligand pose + side-chain torsions] using the exact (non-grid)
+scorer, whose receptor coordinates are updated per evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.geometry import rmsd, rotation_about_axis
+from repro.chem.molecule import Molecule
+from repro.docking.box import GridBox
+from repro.docking.clustering import cluster_poses
+from repro.docking.conformation import Conformation, DockingResult, Pose
+from repro.docking.mc import ILSConfig, IteratedLocalSearch
+from repro.docking.prepare import LigandPreparation, ReceptorPreparation
+from repro.docking.scoring_vina import VinaScorer
+
+#: Backbone atom names: everything else in a residue is side-chain.
+_BACKBONE = {"N", "CA", "C", "O"}
+
+#: Harmonic strain constant for side-chain rotation away from the input
+#: rotamer (kcal/mol/rad^2) — keeps the search from wild rearrangements.
+CHI_STRAIN = 0.3
+
+
+class FlexError(ValueError):
+    """Raised for invalid flexibility selections."""
+
+
+@dataclass
+class FlexResidue:
+    """One flexible side-chain: a chi-1 rotation axis plus moved atoms."""
+
+    residue_key: tuple[str, int]  # (chain, residue_seq)
+    axis_from: int  # CA atom index in the receptor
+    axis_to: int  # CB atom index
+    moved: np.ndarray  # atom indices distal to CB (includes CB's children)
+
+
+def select_flexible_residues(
+    receptor: Molecule,
+    pocket_center: np.ndarray,
+    radius: float,
+    max_residues: int = 4,
+) -> list[FlexResidue]:
+    """Pocket-lining residues eligible for side-chain flexibility.
+
+    A residue qualifies when it has CA and CB atoms plus at least one
+    more side-chain atom, and any side-chain atom sits within ``radius``
+    of the pocket center. The closest ``max_residues`` are returned.
+    """
+    if max_residues < 1:
+        raise FlexError("max_residues must be >= 1")
+    pocket_center = np.asarray(pocket_center, dtype=np.float64)
+    candidates: list[tuple[float, FlexResidue]] = []
+    for key, atom_idx in receptor.residues().items():
+        names = {receptor.atoms[i].name: i for i in atom_idx}
+        if "CA" not in names or "CB" not in names:
+            continue
+        sidechain = [
+            i for i in atom_idx if receptor.atoms[i].name not in _BACKBONE
+        ]
+        moved = [i for i in sidechain if i != names["CB"]]
+        if not moved:
+            continue  # alanine-like: nothing rotates about chi-1
+        dists = [
+            float(np.linalg.norm(receptor.atoms[i].coords - pocket_center))
+            for i in sidechain
+        ]
+        if min(dists) > radius:
+            continue
+        candidates.append(
+            (
+                min(dists),
+                FlexResidue(
+                    residue_key=key,
+                    axis_from=names["CA"],
+                    axis_to=names["CB"],
+                    # CB rotates its children; CB itself stays on the axis.
+                    moved=np.array(sorted(moved), dtype=np.intp),
+                ),
+            )
+        )
+    candidates.sort(key=lambda pair: pair[0])
+    return [fr for _, fr in candidates[:max_residues]]
+
+
+class FlexibleReceptor:
+    """Receptor with selected rotatable side-chains."""
+
+    def __init__(self, receptor: Molecule, flex: list[FlexResidue]) -> None:
+        if not flex:
+            raise FlexError("no flexible residues selected")
+        self.receptor = receptor
+        self.flex = flex
+        self.reference = receptor.coords
+
+    @property
+    def n_torsions(self) -> int:
+        return len(self.flex)
+
+    def pose(self, chi: np.ndarray) -> np.ndarray:
+        """Receptor coordinates for the given chi-1 angles (radians)."""
+        chi = np.asarray(chi, dtype=np.float64)
+        if chi.shape != (self.n_torsions,):
+            raise FlexError(
+                f"expected {self.n_torsions} chi angles, got {chi.shape}"
+            )
+        coords = self.reference.copy()
+        for angle, fr in zip(chi, self.flex):
+            if abs(angle) < 1e-12:
+                continue
+            origin = coords[fr.axis_from]
+            axis = coords[fr.axis_to] - origin
+            norm = np.linalg.norm(axis)
+            if norm < 1e-9:
+                continue
+            R = rotation_about_axis(axis, float(angle))
+            coords[fr.moved] = (coords[fr.moved] - origin) @ R.T + origin
+        return coords
+
+    def strain(self, chi: np.ndarray) -> float:
+        """Harmonic penalty for leaving the input rotamer."""
+        chi = np.asarray(chi, dtype=np.float64)
+        return float(CHI_STRAIN * (chi**2).sum())
+
+
+class FlexibleVina:
+    """Vina-style docking over [ligand pose + side-chain torsions]."""
+
+    name = "vina-flex"
+
+    def __init__(
+        self,
+        receptor: ReceptorPreparation | Molecule,
+        box: GridBox,
+        flex: list[FlexResidue] | None = None,
+        *,
+        flex_radius: float | None = None,
+        max_flex_residues: int = 4,
+        ils: ILSConfig | None = None,
+        num_modes: int = 9,
+    ) -> None:
+        self.receptor = (
+            receptor.molecule
+            if isinstance(receptor, ReceptorPreparation)
+            else receptor
+        )
+        self.box = box
+        if flex is None:
+            radius = (
+                flex_radius
+                if flex_radius is not None
+                else float(min(box.dimensions) / 2.0)
+            )
+            flex = select_flexible_residues(
+                self.receptor, box.center, radius, max_flex_residues
+            )
+        if not flex:
+            raise FlexError(
+                "no flexible residues found near the box; pass flex explicitly"
+            )
+        self.flexible = FlexibleReceptor(self.receptor, flex)
+        self.ils = ils or ILSConfig(restarts=2, steps_per_restart=3, bfgs_iterations=8)
+        self.num_modes = num_modes
+
+    def dock(self, ligand: LigandPreparation, seed: int = 0) -> DockingResult:
+        started = time.perf_counter()
+        scorer = VinaScorer(self.receptor, ligand.molecule, self.box)
+        tree = ligand.tree
+        reference = tree.reference
+        n_lig = 7 + tree.n_torsions
+        n_flex = self.flexible.n_torsions
+        # Map full-receptor indices to scorer rows (pruned neighborhood).
+        row_of = {int(full): row for row, full in enumerate(scorer.rec_index)}
+        flex_rows: list[tuple[np.ndarray, np.ndarray]] = []
+        for fr in self.flexible.flex:
+            present = [i for i in fr.moved.tolist() if i in row_of]
+            flex_rows.append(
+                (
+                    np.array([row_of[i] for i in present], dtype=np.intp),
+                    np.array(present, dtype=np.intp),
+                )
+            )
+
+        def apply_receptor(chi: np.ndarray) -> None:
+            coords = self.flexible.pose(chi)
+            for (rows, fulls) in flex_rows:
+                if rows.size:
+                    scorer.rec_coords[rows] = coords[fulls]
+
+        def objective(vector: np.ndarray) -> float:
+            lig_vec = vector[:n_lig]
+            chi = vector[n_lig:]
+            apply_receptor(chi)
+            coords = Conformation(lig_vec).coords(tree)
+            return scorer.search_energy(coords) + self.flexible.strain(chi)
+
+        center_offset = self.box.center - reference[tree.root]
+        ils = IteratedLocalSearch(
+            lambda v: objective(v), tree.n_torsions + n_flex, self.ils
+        )
+        # The ILS treats extra dimensions as torsions; that matches chi
+        # angles exactly (periodic rotations).
+        rng = np.random.default_rng((seed, 104729))
+        # Extend the random starting conformation with chi angles = 0.
+        result = ils.run(rng, center=center_offset)
+
+        poses: list[Pose] = []
+        for conf, _e in result.minima[: self.num_modes * 2]:
+            lig_vec = conf.vector[:n_lig]
+            chi = conf.vector[n_lig:]
+            apply_receptor(chi)
+            coords = Conformation(lig_vec).coords(tree)
+            affinity = scorer.total(coords)
+            poses.append(
+                Pose(
+                    conformation=Conformation(lig_vec).normalized(),
+                    coords=coords,
+                    energy=affinity,
+                    intermolecular=affinity,
+                    rmsd_from_input=rmsd(coords, reference),
+                )
+            )
+        poses.sort()
+        # Mode filter as in the rigid engine.
+        modes: list[Pose] = []
+        for pose in poses:
+            if len(modes) >= self.num_modes:
+                break
+            if all(rmsd(pose.coords, m.coords) >= 1.0 for m in modes):
+                modes.append(pose)
+        if not modes and poses:
+            modes = [poses[0]]
+        return DockingResult(
+            receptor_name=self.receptor.name,
+            ligand_name=ligand.molecule.name,
+            engine=self.name,
+            poses=modes,
+            clusters=cluster_poses(modes),
+            evaluations=result.evaluations,
+            runtime_seconds=time.perf_counter() - started,
+            seed=seed,
+        )

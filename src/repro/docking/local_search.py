@@ -1,0 +1,108 @@
+"""Local search operators: Solis-Wets (AD4) and BFGS (Vina).
+
+Both operate on the flat conformation vector through a user-supplied
+objective ``f(vector) -> float``; the engines close over their scorers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy.optimize import minimize
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class LocalSearchResult:
+    vector: np.ndarray
+    energy: float
+    evaluations: int
+
+
+def solis_wets(
+    f: Objective,
+    x0: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_steps: int = 50,
+    rho: float = 1.0,
+    rho_min: float = 0.01,
+    expand_after: int = 5,
+    contract_after: int = 3,
+) -> LocalSearchResult:
+    """Solis & Wets (1981) adaptive random-walk minimization.
+
+    This is AD4's Lamarckian local-search operator: propose a Gaussian
+    step, accept if it improves, try the mirrored step otherwise; expand
+    the step size after consecutive successes, contract after consecutive
+    failures, stop when ``rho`` underflows or the step budget is spent.
+    """
+    x = np.asarray(x0, dtype=np.float64).copy()
+    fx = f(x)
+    evals = 1
+    successes = failures = 0
+    bias = np.zeros_like(x)
+    for _ in range(max_steps):
+        if rho < rho_min:
+            break
+        step = rng.normal(scale=rho, size=x.shape) + bias
+        candidate = x + step
+        fc = f(candidate)
+        evals += 1
+        if fc < fx:
+            x, fx = candidate, fc
+            bias = 0.4 * step + 0.2 * bias
+            successes += 1
+            failures = 0
+        else:
+            mirrored = x - step
+            fm = f(mirrored)
+            evals += 1
+            if fm < fx:
+                x, fx = mirrored, fm
+                bias = bias - 0.4 * step
+                successes += 1
+                failures = 0
+            else:
+                successes = 0
+                failures += 1
+                bias *= 0.5
+        if successes >= expand_after:
+            rho *= 2.0
+            successes = 0
+        elif failures >= contract_after:
+            rho *= 0.5
+            failures = 0
+    return LocalSearchResult(vector=x, energy=fx, evaluations=evals)
+
+
+def bfgs_minimize(
+    f: Objective,
+    x0: np.ndarray,
+    *,
+    max_iterations: int = 40,
+) -> LocalSearchResult:
+    """Quasi-Newton refinement (Vina's local optimizer).
+
+    Gradients are finite-differenced by scipy; the conformation space is
+    small (6 + T dimensions) so this stays cheap.
+    """
+    evals = 0
+
+    def counted(x: np.ndarray) -> float:
+        nonlocal evals
+        evals += 1
+        return f(x)
+
+    res = minimize(
+        counted,
+        np.asarray(x0, dtype=np.float64),
+        method="L-BFGS-B",
+        options={"maxiter": max_iterations, "ftol": 1e-6},
+    )
+    return LocalSearchResult(
+        vector=np.asarray(res.x), energy=float(res.fun), evaluations=evals
+    )

@@ -1,0 +1,115 @@
+"""Iterated local search (Vina's global optimizer).
+
+Trott & Olson (2010): a sequence of (mutate -> BFGS local optimization ->
+Metropolis accept) steps, run as several independent restarts; the pool
+of accepted minima becomes the candidate pose set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.docking.conformation import Conformation
+from repro.docking.local_search import bfgs_minimize
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class ILSConfig:
+    """Scaled-down Vina search knobs."""
+
+    restarts: int = 4
+    steps_per_restart: int = 12
+    temperature: float = 1.2  # kcal/mol, Metropolis acceptance
+    mutation_translation: float = 2.0
+    mutation_torsion: float = 1.0
+    bfgs_iterations: int = 25
+    translation_extent: float = 5.0
+    max_evaluations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        if self.steps_per_restart < 1:
+            raise ValueError("steps_per_restart must be >= 1")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+
+
+@dataclass
+class ILSResult:
+    best: Conformation
+    best_energy: float
+    evaluations: int
+    minima: list[tuple[Conformation, float]] = field(default_factory=list)
+
+
+class IteratedLocalSearch:
+    def __init__(self, objective: Objective, n_torsions: int, config: ILSConfig | None = None):
+        self.objective = objective
+        self.n_torsions = n_torsions
+        self.config = config or ILSConfig()
+
+    def _mutate(self, vec: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vina-style mutation: perturb one randomly chosen block."""
+        out = vec.copy()
+        choice = rng.integers(3 if self.n_torsions == 0 else 4)
+        if choice == 0:  # translation
+            out[:3] += rng.normal(scale=self.config.mutation_translation, size=3)
+        elif choice == 1:  # orientation
+            out[3:7] += rng.normal(scale=0.3, size=4)
+        elif choice == 2:  # everything a little
+            out += rng.normal(scale=0.15, size=out.size)
+        else:  # one torsion
+            t = 7 + int(rng.integers(self.n_torsions))
+            out[t] += rng.normal(scale=self.config.mutation_torsion)
+        return Conformation(out).normalized().vector
+
+    def run(
+        self,
+        rng: np.random.Generator,
+        center: np.ndarray | None = None,
+    ) -> ILSResult:
+        cfg = self.config
+        evals = 0
+        minima: list[tuple[Conformation, float]] = []
+        best_vec: np.ndarray | None = None
+        best_e = np.inf
+
+        for _restart in range(cfg.restarts):
+            current = Conformation.random(
+                self.n_torsions, rng, cfg.translation_extent, center
+            ).normalized()
+            res = bfgs_minimize(
+                self.objective, current.vector, max_iterations=cfg.bfgs_iterations
+            )
+            evals += res.evaluations
+            cur_vec, cur_e = res.vector, res.energy
+            minima.append((Conformation(cur_vec).normalized(), cur_e))
+            for _step in range(cfg.steps_per_restart):
+                if cfg.max_evaluations is not None and evals >= cfg.max_evaluations:
+                    break
+                candidate = self._mutate(cur_vec, rng)
+                res = bfgs_minimize(
+                    self.objective, candidate, max_iterations=cfg.bfgs_iterations
+                )
+                evals += res.evaluations
+                delta = res.energy - cur_e
+                if delta < 0 or rng.random() < np.exp(-delta / cfg.temperature):
+                    cur_vec, cur_e = res.vector, res.energy
+                    minima.append((Conformation(cur_vec).normalized(), cur_e))
+            if cur_e < best_e:
+                best_vec, best_e = cur_vec, cur_e
+
+        assert best_vec is not None  # restarts >= 1 guarantees assignment
+        minima.sort(key=lambda pair: pair[1])
+        return ILSResult(
+            best=Conformation(best_vec).normalized(),
+            best_energy=float(best_e),
+            evaluations=evals,
+            minima=minima,
+        )

@@ -1,0 +1,282 @@
+"""MGLTools-equivalent preparation: the glue activities of SciDock.
+
+* :func:`prepare_ligand` — ``prepare_ligand4.py``: Gasteiger charges,
+  AutoDock atom types, merged non-polar hydrogens, torsion tree, PDBQT.
+* :func:`prepare_receptor` — ``prepare_receptor4.py``: charges, types,
+  rigid PDBQT; rejects atoms with no AD4 parameterization.
+* :func:`prepare_gpf` — ``prepare_gpf4.py``: the Grid Parameter File.
+* :func:`prepare_dpf` — ``prepare_dpf4.py``: the Docking Parameter File.
+* :func:`prepare_vina_config` — the custom script of activity 7b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.charges import assign_gasteiger_charges
+from repro.chem.elements import AUTODOCK_TYPES, UNPARAMETERIZED_METALS, autodock_type_for
+from repro.chem.formats.pdbqt import write_pdbqt
+from repro.chem.molecule import Molecule
+from repro.chem.torsions import TorsionTree
+from repro.docking.box import GridBox
+
+
+class PreparationError(ValueError):
+    """Raised when a molecule cannot be prepared for docking."""
+
+
+@dataclass
+class LigandPreparation:
+    """Output of ``prepare_ligand``: typed molecule + torsion tree + text."""
+
+    molecule: Molecule
+    tree: TorsionTree
+    pdbqt: str
+
+    @property
+    def torsdof(self) -> int:
+        return self.tree.n_torsions
+
+    @property
+    def atom_types(self) -> tuple[str, ...]:
+        return tuple(sorted({a.autodock_type for a in self.molecule.atoms}))
+
+
+@dataclass
+class ReceptorPreparation:
+    """Output of ``prepare_receptor``: typed rigid molecule + text."""
+
+    molecule: Molecule
+    pdbqt: str
+
+    @property
+    def atom_types(self) -> tuple[str, ...]:
+        return tuple(sorted({a.autodock_type for a in self.molecule.atoms}))
+
+
+def _assign_types(mol: Molecule) -> None:
+    """AutoDock typing pass shared by ligand and receptor preparation."""
+    for i, a in enumerate(mol.atoms):
+        if a.element in UNPARAMETERIZED_METALS:
+            raise PreparationError(
+                f"atom {a.name} ({a.element}) has no AutoDock parameters"
+            )
+        donor_neighbor = False
+        acceptor = False
+        if a.element == "H":
+            donor_neighbor = any(
+                mol.atoms[j].element in ("N", "O", "S") for j in mol.neighbors(i)
+            )
+        if a.element == "N":
+            # Nitrogens with fewer than 3 heavy neighbors keep a lone pair.
+            heavy = sum(1 for j in mol.neighbors(i) if mol.atoms[j].is_heavy)
+            acceptor = heavy < 3
+        a.autodock_type = autodock_type_for(
+            a.element,
+            aromatic=a.aromatic,
+            h_bond_donor_neighbor=donor_neighbor,
+            h_bond_acceptor=acceptor,
+        )
+
+
+def _merge_nonpolar_hydrogens(mol: Molecule) -> Molecule:
+    """Drop C-H hydrogens, folding their charge into the carbon (AD4 united-atom)."""
+    drop: set[int] = set()
+    for i, a in enumerate(mol.atoms):
+        if a.element != "H":
+            continue
+        neighbors = mol.neighbors(i)
+        if neighbors and all(mol.atoms[j].element == "C" for j in neighbors):
+            drop.add(i)
+            for j in neighbors:
+                mol.atoms[j].charge += a.charge / len(neighbors)
+    if not drop:
+        return mol
+    keep = [i for i in range(len(mol.atoms)) if i not in drop]
+    remap = {old: new for new, old in enumerate(keep)}
+    out = Molecule(mol.name)
+    for i in keep:
+        out.add_atom(mol.atoms[i].copy())
+    for b in mol.bonds:
+        if b.i in remap and b.j in remap:
+            out.add_bond(remap[b.i], remap[b.j], b.order, b.aromatic)
+    out.metadata = dict(mol.metadata)
+    out.renumber()
+    return out
+
+
+def prepare_ligand(mol: Molecule, *, merge_nonpolar_h: bool = True) -> LigandPreparation:
+    """``prepare_ligand4.py``: charge, type, build torsion tree, emit PDBQT."""
+    if len(mol.atoms) == 0:
+        raise PreparationError("cannot prepare an empty ligand")
+    work = mol.copy()
+    if not work.bonds:
+        work.perceive_bonds()
+    if len(work.connected_components()) != 1:
+        raise PreparationError(
+            f"ligand {mol.name!r} has disconnected fragments; clean the input"
+        )
+    assign_gasteiger_charges(work)
+    if merge_nonpolar_h:
+        work = _merge_nonpolar_hydrogens(work)
+    _assign_types(work)
+    tree = TorsionTree(work)
+    work.metadata["torsion_tree"] = tree.to_pdbqt_records()
+    work.metadata["torsdof"] = tree.n_torsions
+    return LigandPreparation(molecule=work, tree=tree, pdbqt=write_pdbqt(work))
+
+
+def prepare_receptor(mol: Molecule, *, strip_water: bool = True) -> ReceptorPreparation:
+    """``prepare_receptor4.py``: charge, type, emit rigid PDBQT."""
+    if len(mol.atoms) == 0:
+        raise PreparationError("cannot prepare an empty receptor")
+    work = mol.copy()
+    if strip_water:
+        keep = [i for i, a in enumerate(work.atoms) if a.residue_name != "HOH"]
+        if len(keep) != len(work.atoms):
+            remap = {old: new for new, old in enumerate(keep)}
+            stripped = Molecule(work.name)
+            for i in keep:
+                stripped.add_atom(work.atoms[i].copy())
+            for b in work.bonds:
+                if b.i in remap and b.j in remap:
+                    stripped.add_bond(remap[b.i], remap[b.j], b.order, b.aromatic)
+            stripped.metadata = dict(work.metadata)
+            work = stripped
+    if len(work.atoms) == 0:
+        raise PreparationError("receptor contained only water")
+    if not work.bonds:
+        # PDB receptors rarely carry CONECT records; Gasteiger charges and
+        # donor/acceptor typing both need the bond graph.
+        work.perceive_bonds()
+    assign_gasteiger_charges(work)
+    _assign_types(work)
+    work.renumber()
+    return ReceptorPreparation(molecule=work, pdbqt=write_pdbqt(work, rigid=True))
+
+
+def prepare_gpf(
+    receptor: ReceptorPreparation,
+    ligand: LigandPreparation,
+    box: GridBox,
+) -> str:
+    """Grid Parameter File for AutoGrid (activity 4)."""
+    types = " ".join(ligand.atom_types)
+    rec = receptor.molecule.name or "receptor"
+    lines = [
+        f"npts {box.npts[0]} {box.npts[1]} {box.npts[2]}"
+        "                        # num. grid points in xyz",
+        "gridfld {0}.maps.fld                # grid_data_file".format(rec),
+        f"spacing {box.spacing:.3f}                        # spacing (A)",
+        f"receptor_types {' '.join(receptor.atom_types)}   # receptor atom types",
+        f"ligand_types {types}                 # ligand atom types",
+        f"receptor {rec}.pdbqt                # macromolecule",
+        f"gridcenter {box.center[0]:.3f} {box.center[1]:.3f} {box.center[2]:.3f}"
+        "  # xyz-coordinates or auto",
+        "smooth 0.5                           # store minimum energy w/in rad(A)",
+    ]
+    for t in ligand.atom_types:
+        lines.append(f"map {rec}.{t}.map                    # atom-specific affinity map")
+    lines.append(f"elecmap {rec}.e.map                  # electrostatic potential map")
+    lines.append(f"dsolvmap {rec}.d.map                 # desolvation potential map")
+    lines.append("dielectric -0.1465                   # <0, AD4 distance-dep.diel")
+    return "\n".join(lines) + "\n"
+
+
+def prepare_dpf(
+    receptor: ReceptorPreparation,
+    ligand: LigandPreparation,
+    *,
+    ga_runs: int = 10,
+    ga_pop_size: int = 150,
+    ga_num_evals: int = 2_500_000,
+    ga_num_generations: int = 27_000,
+    seed: int | None = None,
+) -> str:
+    """Docking Parameter File for AD4 (activity 7a)."""
+    rec = receptor.molecule.name or "receptor"
+    lig = ligand.molecule.name or "ligand"
+    lines = [
+        "autodock_parameter_version 4.2       # used by autodock to validate parameter set",
+        f"outlev 1                             # diagnostic output level",
+        f"seed {'pid time' if seed is None else seed}  # seeds for random generator",
+        f"ligand_types {' '.join(ligand.atom_types)}    # atoms types in ligand",
+        f"fld {rec}.maps.fld                   # grid_data_file",
+    ]
+    for t in ligand.atom_types:
+        lines.append(f"map {rec}.{t}.map                    # atom-specific affinity map")
+    lines += [
+        f"elecmap {rec}.e.map                  # electrostatics map",
+        f"desolvmap {rec}.d.map                # desolvation map",
+        f"move {lig}.pdbqt                     # small molecule",
+        f"ga_pop_size {ga_pop_size}            # number of individuals in population",
+        f"ga_num_evals {ga_num_evals}          # maximum number of energy evaluations",
+        f"ga_num_generations {ga_num_generations}  # maximum number of generations",
+        "ga_elitism 1                         # number of top individuals to survive",
+        "ga_mutation_rate 0.02                # rate of gene mutation",
+        "ga_crossover_rate 0.8                # rate of crossover",
+        "sw_max_its 300                       # iterations of Solis & Wets local search",
+        "ls_search_freq 0.06                  # probability of local search on individual",
+        f"ga_run {ga_runs}                     # do this many hybrid GA-LS runs",
+        "analysis                             # perform a ranked cluster analysis",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def prepare_vina_config(
+    receptor: ReceptorPreparation,
+    ligand: LigandPreparation,
+    box: GridBox,
+    *,
+    exhaustiveness: int = 8,
+    num_modes: int = 9,
+    energy_range: float = 3.0,
+    cpu: int = 1,
+    seed: int | None = None,
+) -> str:
+    """Vina configuration file (activity 7b's custom script output)."""
+    rec = receptor.molecule.name or "receptor"
+    lig = ligand.molecule.name or "ligand"
+    dims = box.dimensions
+    lines = [
+        f"receptor = {rec}.pdbqt",
+        f"ligand = {lig}.pdbqt",
+        "",
+        f"center_x = {box.center[0]:.3f}",
+        f"center_y = {box.center[1]:.3f}",
+        f"center_z = {box.center[2]:.3f}",
+        "",
+        f"size_x = {dims[0]:.3f}",
+        f"size_y = {dims[1]:.3f}",
+        f"size_z = {dims[2]:.3f}",
+        "",
+        f"exhaustiveness = {exhaustiveness}",
+        f"num_modes = {num_modes}",
+        f"energy_range = {energy_range:.1f}",
+        f"cpu = {cpu}",
+    ]
+    if seed is not None:
+        lines.append(f"seed = {seed}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_vina_config(text: str) -> dict:
+    """Parse a Vina config back into a dict (used by activity 8b)."""
+    out: dict = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.split("#")[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise PreparationError(f"bad vina config line {lineno}: {line!r}")
+        key, value = (part.strip() for part in line.split("=", 1))
+        try:
+            out[key] = int(value)
+        except ValueError:
+            try:
+                out[key] = float(value)
+            except ValueError:
+                out[key] = value
+    return out

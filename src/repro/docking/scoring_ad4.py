@@ -1,0 +1,234 @@
+"""AD4 empirical free-energy scoring.
+
+The intermolecular part reads the AutoGrid maps. For speed the scorer
+collapses, per ligand atom, the three relevant grids into one *per-atom
+map stack*::
+
+    M_i = affinity[type_i] + W_estat * q_i * E + |q_i| * D
+
+so a pose evaluation is a single vectorized trilinear gather over all
+ligand atoms — the hot path of the Lamarckian GA. The intramolecular
+part is a flat pair table (1-4 and beyond) evaluated in one expression.
+
+The reported FEB follows AD4.2's default ``unbound_model = bound``:
+intermolecular + torsional; the internal-energy *change* only steers the
+search (``docking_energy``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.docking import forcefield as ff
+from repro.docking.autogrid import GridMaps
+
+
+class ScoringError(ValueError):
+    """Raised for un-scoreable inputs."""
+
+
+@dataclass
+class AD4Terms:
+    """Energy breakdown in kcal/mol."""
+
+    vdw_hb_desolv: float
+    electrostatic: float
+    intramolecular: float
+    torsional: float
+
+    @property
+    def intermolecular(self) -> float:
+        return self.vdw_hb_desolv + self.electrostatic
+
+    @property
+    def total(self) -> float:
+        """Reported FEB.
+
+        AD4.2's default ``unbound_model = bound`` makes the internal-energy
+        contribution cancel exactly in the reported free energy, so the
+        estimate is intermolecular + torsional. The intramolecular delta
+        still steers the search via :attr:`docking_energy`.
+        """
+        return self.intermolecular + self.torsional
+
+    @property
+    def docking_energy(self) -> float:
+        """Search objective: includes the internal-energy change."""
+        return self.intermolecular + self.intramolecular + self.torsional
+
+
+class AD4Scorer:
+    """Grid-based AD4 scorer bound to one (receptor maps, ligand) pair."""
+
+    def __init__(self, maps: GridMaps, ligand: Molecule) -> None:
+        self.maps = maps
+        self.ligand = ligand
+        self.types: list[str] = []
+        for a in ligand.atoms:
+            if a.autodock_type is None:
+                raise ScoringError(
+                    f"ligand atom {a.name} has no AutoDock type; run "
+                    "prepare_ligand first"
+                )
+            if a.autodock_type not in maps.affinity:
+                raise ScoringError(
+                    f"grid maps lack type {a.autodock_type!r} "
+                    f"(have {maps.atom_types})"
+                )
+            self.types.append(a.autodock_type)
+        self.charges = np.array([a.charge for a in ligand.atoms])
+        self.abs_charges = np.abs(self.charges)
+        self.torsdof = int(ligand.metadata.get("torsdof", 0))
+
+        # Per-atom collapsed map stacks; electrostatics separate only so
+        # the term breakdown stays reportable.
+        n = len(ligand.atoms)
+        shape = maps.box.shape
+        self._stack_affinity = np.empty((n, *shape))
+        self._stack_elec = np.empty((n, *shape))
+        for i, (t, q, aq) in enumerate(zip(self.types, self.charges, self.abs_charges)):
+            self._stack_affinity[i] = maps.affinity[t] + aq * maps.desolvation
+            self._stack_elec[i] = ff.FE_COEFF_ESTAT * q * maps.electrostatic
+        self._shape = np.array(shape)
+
+        # Flat intramolecular pair tables.
+        pairs = self._nonbonded_pairs(ligand)
+        self._pair_i = pairs[:, 0]
+        self._pair_j = pairs[:, 1]
+        cA = np.empty(len(pairs))
+        cB = np.empty(len(pairs))
+        is10 = np.zeros(len(pairs), dtype=bool)
+        w = np.empty(len(pairs))
+        req = np.empty(len(pairs))
+        for k, (a, b) in enumerate(pairs):
+            p = ff.pair_params(self.types[a], self.types[b])
+            cA[k], cB[k] = p.cA, p.cB
+            is10[k] = p.n == 10
+            w[k] = ff.FE_COEFF_HBOND if p.is_hbond else ff.FE_COEFF_VDW
+            req[k] = p.req
+        self._pair_cA, self._pair_cB = cA, cB
+        self._pair_is10, self._pair_w = is10, w
+        self._pair_req = req
+        self._pair_qq = self.charges[self._pair_i] * self.charges[self._pair_j]
+
+        # AD4's FEB is a bound-minus-unbound difference: the unbound
+        # reference internal energy (input geometry) is subtracted so the
+        # intramolecular term reports only the conformational *change*.
+        self._intra_reference = 0.0
+        self._intra_reference = self._intra_raw(ligand.coords)
+
+    @staticmethod
+    def _nonbonded_pairs(mol: Molecule) -> np.ndarray:
+        """Ligand atom pairs >= 3 bonds apart (1-4 and beyond)."""
+        n = len(mol.atoms)
+        INF = 99
+        dist = np.full((n, n), INF, dtype=np.int16)
+        np.fill_diagonal(dist, 0)
+        adj = mol.adjacency
+        for src in range(n):
+            frontier = [src]
+            d = 0
+            seen = {src}
+            while frontier and d < 3:
+                d += 1
+                nxt = []
+                for v in frontier:
+                    for w in adj[v]:
+                        if w not in seen:
+                            seen.add(w)
+                            dist[src, w] = min(dist[src, w], d)
+                            nxt.append(w)
+                frontier = nxt
+        ii, jj = np.triu_indices(n, k=1)
+        mask = dist[ii, jj] >= 3
+        return np.stack([ii[mask], jj[mask]], axis=1).reshape(-1, 2)
+
+    # -- grid gather -----------------------------------------------------------
+    def _gather(self, stack: np.ndarray, coords: np.ndarray) -> float:
+        """Trilinear interpolation of per-atom maps, summed over atoms."""
+        f = (coords - self.maps.box.minimum) / self.maps.box.spacing
+        f = np.clip(f, 0.0, self._shape - 1.000001)
+        i0 = f.astype(np.intp)
+        t = f - i0
+        x0, y0, z0 = i0[:, 0], i0[:, 1], i0[:, 2]
+        x1, y1, z1 = x0 + 1, y0 + 1, z0 + 1
+        tx, ty, tz = t[:, 0], t[:, 1], t[:, 2]
+        n = np.arange(stack.shape[0])
+        c00 = stack[n, x0, y0, z0] * (1 - tx) + stack[n, x1, y0, z0] * tx
+        c10 = stack[n, x0, y1, z0] * (1 - tx) + stack[n, x1, y1, z0] * tx
+        c01 = stack[n, x0, y0, z1] * (1 - tx) + stack[n, x1, y0, z1] * tx
+        c11 = stack[n, x0, y1, z1] * (1 - tx) + stack[n, x1, y1, z1] * tx
+        c0 = c00 * (1 - ty) + c10 * ty
+        c1 = c01 * (1 - ty) + c11 * ty
+        return float((c0 * (1 - tz) + c1 * tz).sum())
+
+    # -- term evaluation ------------------------------------------------------
+    def intermolecular(self, coords: np.ndarray) -> tuple[float, float]:
+        """(vdw+hb+desolv, electrostatic) from the grids, with wall penalty."""
+        coords = np.asarray(coords, dtype=np.float64)
+        affinity = self._gather(self._stack_affinity, coords)
+        elec = self._gather(self._stack_elec, coords)
+        wall = float(self.maps.outside_penalty(coords).sum())
+        return affinity + wall, elec
+
+    def intramolecular(self, coords: np.ndarray) -> float:
+        """Internal energy change relative to the unbound input geometry."""
+        return self._intra_raw(coords) - self._intra_reference
+
+    def _intra_raw(self, coords: np.ndarray) -> float:
+        """Softened internal energy over 1-4+ pairs (absolute)."""
+        if self._pair_i.size == 0:
+            return 0.0
+        diff = coords[self._pair_i] - coords[self._pair_j]
+        r = np.maximum(np.sqrt((diff * diff).sum(axis=1)), 0.01)
+        # AutoGrid-style potential smoothing (see forcefield.vdw_energy).
+        s = ff.SMOOTH_RADIUS
+        req = self._pair_req
+        r_lj = np.where(r < req - s, r + s, np.where(r > req + s, r - s, req))
+        inv6 = r_lj**-6
+        inv_n = np.where(self._pair_is10, inv6 * r_lj**-4, inv6)
+        lj = np.minimum(
+            self._pair_cA * inv6 * inv6 - self._pair_cB * inv_n, ff.EINTCLAMP
+        )
+        eps = ff.mehler_solmajer_dielectric(r)
+        coul = np.clip(
+            332.06363 * self._pair_qq / (eps * r), -ff.ESTAT_CLAMP, ff.ESTAT_CLAMP
+        )
+        return float((lj * self._pair_w).sum() + ff.FE_COEFF_ESTAT * coul.sum())
+
+    def torsional(self) -> float:
+        return ff.FE_COEFF_TORS * self.torsdof
+
+    def score(self, coords: np.ndarray) -> AD4Terms:
+        """Full AD4 free-energy estimate for a set of ligand coordinates."""
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.shape != (len(self.ligand.atoms), 3):
+            raise ScoringError(
+                f"expected coords shape ({len(self.ligand.atoms)}, 3), "
+                f"got {coords.shape}"
+            )
+        vdw, elec = self.intermolecular(coords)
+        return AD4Terms(
+            vdw_hb_desolv=vdw,
+            electrostatic=elec,
+            intramolecular=self.intramolecular(coords),
+            torsional=self.torsional(),
+        )
+
+    def total(self, coords: np.ndarray) -> float:
+        """Reported FEB for these coordinates."""
+        return self.score(coords).total
+
+    def docking_energy(self, coords: np.ndarray) -> float:
+        """Search objective (adds the internal-energy change).
+
+        Hot path: inlined to avoid building the term dataclass per call.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        affinity = self._gather(self._stack_affinity, coords)
+        elec = self._gather(self._stack_elec, coords)
+        wall = float(self.maps.outside_penalty(coords).sum())
+        return affinity + elec + wall + self.intramolecular(coords) + self.torsional()

@@ -1,0 +1,373 @@
+"""AutoDock Vina scoring function.
+
+Vina scores atom pairs directly (no precomputed receptor grid in our
+implementation — the receptor neighbor list is pre-pruned to the box
+instead). Terms operate on the *surface distance*
+``d = r - R_i - R_j`` where R are Vina atom radii:
+
+* gauss1:      exp(-(d / 0.5)^2)
+* gauss2:      exp(-((d - 3) / 2)^2)
+* repulsion:   d^2 if d < 0 else 0
+* hydrophobic: 1 if d < 0.5, 0 if d > 1.5, linear ramp between
+               (both atoms hydrophobic)
+* hbond:       1 if d < -0.7, 0 if d > 0, linear ramp between
+               (donor-acceptor pairs)
+
+The inter-molecular sum is divided by ``1 + w_rot * N_rot`` — Vina's
+conformational-entropy normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.elements import AUTODOCK_TYPES
+from repro.chem.molecule import Molecule
+from repro.docking.box import GridBox
+
+#: Vina weights (Trott & Olson 2010, Table 1).
+W_GAUSS1 = -0.035579
+W_GAUSS2 = -0.005156
+W_REPULSION = 0.840245
+W_HYDROPHOBIC = -0.035069
+W_HBOND = -0.587439
+W_ROT = 0.05846
+
+#: Pairwise interaction cutoff (Angstrom).
+CUTOFF = 8.0
+
+#: Vina's per-type radii (xs radii); fall back to half of AD4 Rii.
+_XS_RADII = {
+    "C": 1.9,
+    "A": 1.9,
+    "N": 1.8,
+    "NA": 1.8,
+    "NS": 1.8,
+    "O": 1.7,
+    "OA": 1.7,
+    "OS": 1.7,
+    "S": 2.0,
+    "SA": 2.0,
+    "P": 2.1,
+    "F": 1.5,
+    "Cl": 1.8,
+    "Br": 2.0,
+    "I": 2.2,
+    "H": 0.0,
+    "HD": 0.0,
+    "HS": 0.0,
+}
+
+
+class VinaScoringError(ValueError):
+    """Raised for un-scoreable inputs."""
+
+
+def xs_radius(adtype: str) -> float:
+    r = _XS_RADII.get(adtype)
+    if r is not None:
+        return r
+    try:
+        return AUTODOCK_TYPES[adtype].rii / 2.0
+    except KeyError:
+        raise VinaScoringError(f"unknown AutoDock type {adtype!r}") from None
+
+
+def _type_vectors(mol: Molecule) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(radii, hydrophobic, donor, acceptor) arrays for a typed molecule."""
+    radii = np.empty(len(mol.atoms))
+    hydro = np.zeros(len(mol.atoms), dtype=bool)
+    donor = np.zeros(len(mol.atoms), dtype=bool)
+    acceptor = np.zeros(len(mol.atoms), dtype=bool)
+    for k, a in enumerate(mol.atoms):
+        t = a.autodock_type
+        if t is None:
+            raise VinaScoringError(
+                f"atom {a.name} has no AutoDock type; run prepare first"
+            )
+        radii[k] = xs_radius(t)
+        info = AUTODOCK_TYPES.get(t)
+        if info is not None:
+            hydro[k] = info.is_hydrophobic
+            donor[k] = info.is_donor
+            acceptor[k] = info.is_acceptor
+    return radii, hydro, donor, acceptor
+
+
+def pairwise_terms(
+    d: np.ndarray,
+    hydro_pair: np.ndarray,
+    hbond_pair: np.ndarray,
+) -> np.ndarray:
+    """Weighted Vina energy per pair given surface distances ``d``."""
+    g1 = np.exp(-((d / 0.5) ** 2))
+    g2 = np.exp(-(((d - 3.0) / 2.0) ** 2))
+    rep = np.where(d < 0.0, d * d, 0.0)
+    hyd = np.clip(1.5 - d, 0.0, 1.0) * hydro_pair
+    hb = np.clip(-d / 0.7, 0.0, 1.0) * hbond_pair
+    return (
+        W_GAUSS1 * g1
+        + W_GAUSS2 * g2
+        + W_REPULSION * rep
+        + W_HYDROPHOBIC * hyd
+        + W_HBOND * hb
+    )
+
+
+@dataclass(frozen=True)
+class VinaAtomClass:
+    """Everything the Vina terms need to know about a ligand atom."""
+
+    radius: float
+    hydrophobic: bool
+    donor: bool
+    acceptor: bool
+
+
+def atom_class_for(adtype: str) -> VinaAtomClass:
+    """Interaction class of one AutoDock type under the Vina terms."""
+    info = AUTODOCK_TYPES.get(adtype)
+    return VinaAtomClass(
+        radius=round(xs_radius(adtype), 3),
+        hydrophobic=bool(info and info.is_hydrophobic),
+        donor=bool(info and info.is_donor),
+        acceptor=bool(info and info.is_acceptor),
+    )
+
+
+#: Classes covering every organic ligand our generator emits; used to
+#: precompute receptor maps once and reuse them across all 42 ligands.
+STANDARD_CLASSES: tuple[VinaAtomClass, ...] = tuple(
+    dict.fromkeys(
+        atom_class_for(t)
+        for t in ("C", "A", "N", "NA", "OA", "SA", "S", "HD", "H", "F", "Cl", "Br", "I", "P")
+    )
+)
+
+
+@dataclass
+class VinaMaps:
+    """Precomputed Vina interaction grids (Vina's internal grid cache).
+
+    ``grids[cls]`` holds, at each box point, the summed weighted Vina
+    terms between a probe atom of that class and every receptor atom —
+    so pose evaluation becomes a trilinear gather exactly like AD4's.
+    """
+
+    box: GridBox
+    grids: dict[VinaAtomClass, np.ndarray]
+    receptor_name: str = ""
+
+
+def build_vina_maps(
+    receptor: Molecule,
+    box: GridBox,
+    classes: tuple[VinaAtomClass, ...] = STANDARD_CLASSES,
+    chunk_atoms: int = 256,
+) -> VinaMaps:
+    """Build per-class Vina grids over ``box`` (amortized per receptor)."""
+    points = box.points()
+    P = points.shape[0]
+    rad, hyd, don, acc = _type_vectors(receptor)
+    rec_coords = receptor.coords
+    lo = box.minimum - CUTOFF
+    hi = box.maximum + CUTOFF
+    keep = np.all((rec_coords >= lo) & (rec_coords <= hi), axis=1)
+    rec_coords = rec_coords[keep]
+    rad, hyd, don, acc = rad[keep], hyd[keep], don[keep], acc[keep]
+    grids = {cls: np.zeros(P) for cls in classes}
+    for start in range(0, rec_coords.shape[0], chunk_atoms):
+        stop = start + chunk_atoms
+        chunk = rec_coords[start:stop]
+        diff = points[:, None, :] - chunk[None, :, :]
+        r2 = np.einsum("pcx,pcx->pc", diff, diff)
+        pi, ci = np.nonzero(r2 <= CUTOFF**2)
+        if pi.size == 0:
+            continue
+        rv = np.sqrt(r2[pi, ci])
+        rad_c = rad[start:stop][ci]
+        hyd_c = hyd[start:stop][ci]
+        don_c = don[start:stop][ci]
+        acc_c = acc[start:stop][ci]
+        for cls, grid in grids.items():
+            d = rv - cls.radius - rad_c
+            hydro_pair = cls.hydrophobic & hyd_c
+            hbond_pair = (cls.donor & acc_c) | (cls.acceptor & don_c)
+            e = pairwise_terms(d, hydro_pair, hbond_pair)
+            grid += np.bincount(pi, weights=e, minlength=P)
+    shape = box.shape
+    return VinaMaps(
+        box=box,
+        grids={cls: g.reshape(shape) for cls, g in grids.items()},
+        receptor_name=receptor.name,
+    )
+
+
+class VinaScorer:
+    """Vina scorer bound to one (receptor, ligand, box) triple.
+
+    When ``maps`` (a :class:`VinaMaps` cache) is supplied, intermolecular
+    evaluation is a per-atom trilinear gather; otherwise the exact
+    pairwise sum over the pre-pruned receptor neighborhood is used.
+    """
+
+    def __init__(
+        self,
+        receptor: Molecule,
+        ligand: Molecule,
+        box: GridBox,
+        maps: VinaMaps | None = None,
+    ) -> None:
+        self.box = box
+        self.ligand = ligand
+        rec_coords = receptor.coords
+        rad, hyd, don, acc = _type_vectors(receptor)
+        lo = box.minimum - CUTOFF
+        hi = box.maximum + CUTOFF
+        keep = np.all((rec_coords >= lo) & (rec_coords <= hi), axis=1)
+        #: Original receptor indices of the pruned rows (used by the
+        #: flexible-receptor extension to update side-chain coordinates).
+        self.rec_index = np.nonzero(keep)[0]
+        self.rec_coords = rec_coords[keep]
+        self.rec_radii = rad[keep]
+        self.rec_hydro = hyd[keep]
+        self.rec_donor = don[keep]
+        self.rec_acceptor = acc[keep]
+        (
+            self.lig_radii,
+            self.lig_hydro,
+            self.lig_donor,
+            self.lig_acceptor,
+        ) = _type_vectors(ligand)
+        self.n_rot = int(ligand.metadata.get("torsdof", 0))
+        self._entropy_norm = 1.0 + W_ROT * self.n_rot
+        self._intra_pairs = self._intra_pair_table(ligand)
+        # Precomputed pair masks and radius sums (hot-path constants).
+        self._inter_hydro = self.lig_hydro[:, None] & self.rec_hydro[None, :]
+        self._inter_hbond = (
+            self.lig_donor[:, None] & self.rec_acceptor[None, :]
+        ) | (self.lig_acceptor[:, None] & self.rec_donor[None, :])
+        self._inter_rsum = self.lig_radii[:, None] + self.rec_radii[None, :]
+        ii, jj = self._intra_pairs[:, 0], self._intra_pairs[:, 1]
+        self._intra_hydro = self.lig_hydro[ii] & self.lig_hydro[jj]
+        self._intra_hbond = (self.lig_donor[ii] & self.lig_acceptor[jj]) | (
+            self.lig_acceptor[ii] & self.lig_donor[jj]
+        )
+        self._intra_rsum = self.lig_radii[ii] + self.lig_radii[jj]
+        # Optional grid cache: build the per-atom map stack once.
+        self._stack: np.ndarray | None = None
+        if maps is not None:
+            if maps.box is not box and not (
+                np.allclose(maps.box.center, box.center)
+                and maps.box.npts == box.npts
+                and maps.box.spacing == box.spacing
+            ):
+                raise VinaScoringError("VinaMaps box does not match the docking box")
+            stacks = []
+            for a in ligand.atoms:
+                cls = atom_class_for(a.autodock_type)
+                grid = maps.grids.get(cls)
+                if grid is None:
+                    raise VinaScoringError(
+                        f"VinaMaps missing class {cls} for atom {a.name}"
+                    )
+                stacks.append(grid)
+            self._stack = np.stack(stacks)
+            self._shape = np.array(box.shape)
+
+    @staticmethod
+    def _intra_pair_table(mol: Molecule) -> np.ndarray:
+        """Ligand pairs separated by >= 4 bonds (Vina's 1-4 exclusion)."""
+        n = len(mol.atoms)
+        INF = 99
+        dist = np.full((n, n), INF, dtype=np.int16)
+        np.fill_diagonal(dist, 0)
+        adj = mol.adjacency
+        for src in range(n):
+            frontier = [src]
+            seen = {src}
+            d = 0
+            while frontier and d < 4:
+                d += 1
+                nxt = []
+                for v in frontier:
+                    for w in adj[v]:
+                        if w not in seen:
+                            seen.add(w)
+                            dist[src, w] = min(dist[src, w], d)
+                            nxt.append(w)
+                frontier = nxt
+        ii, jj = np.triu_indices(n, k=1)
+        mask = dist[ii, jj] >= 4
+        return np.stack([ii[mask], jj[mask]], axis=1)
+
+    # -- scoring ---------------------------------------------------------------
+    def intermolecular(self, coords: np.ndarray) -> float:
+        """Ligand-receptor energy (pre-normalization)."""
+        coords = np.asarray(coords, dtype=np.float64)
+        if self._stack is not None:
+            return self._gather(coords)
+        if self.rec_coords.shape[0] == 0:
+            return 0.0
+        diff = coords[:, None, :] - self.rec_coords[None, :, :]
+        r = np.sqrt(np.einsum("lrx,lrx->lr", diff, diff))
+        within = r <= CUTOFF
+        d = r - self._inter_rsum
+        e = pairwise_terms(d, self._inter_hydro, self._inter_hbond)
+        return float(np.where(within, e, 0.0).sum())
+
+    def _gather(self, coords: np.ndarray) -> float:
+        """Trilinear interpolation over the per-atom grid stack."""
+        box = self.box
+        f = (coords - box.minimum) / box.spacing
+        f = np.clip(f, 0.0, self._shape - 1.000001)
+        i0 = f.astype(np.intp)
+        t = f - i0
+        x0, y0, z0 = i0[:, 0], i0[:, 1], i0[:, 2]
+        x1, y1, z1 = x0 + 1, y0 + 1, z0 + 1
+        tx, ty, tz = t[:, 0], t[:, 1], t[:, 2]
+        s = self._stack
+        n = np.arange(s.shape[0])
+        c00 = s[n, x0, y0, z0] * (1 - tx) + s[n, x1, y0, z0] * tx
+        c10 = s[n, x0, y1, z0] * (1 - tx) + s[n, x1, y1, z0] * tx
+        c01 = s[n, x0, y0, z1] * (1 - tx) + s[n, x1, y0, z1] * tx
+        c11 = s[n, x0, y1, z1] * (1 - tx) + s[n, x1, y1, z1] * tx
+        c0 = c00 * (1 - ty) + c10 * ty
+        c1 = c01 * (1 - ty) + c11 * ty
+        return float((c0 * (1 - tz) + c1 * tz).sum())
+
+    def intramolecular(self, coords: np.ndarray) -> float:
+        if self._intra_pairs.size == 0:
+            return 0.0
+        ii, jj = self._intra_pairs[:, 0], self._intra_pairs[:, 1]
+        diff = coords[ii] - coords[jj]
+        r = np.sqrt((diff * diff).sum(axis=1))
+        d = r - self._intra_rsum
+        e = pairwise_terms(d, self._intra_hydro, self._intra_hbond)
+        return float(np.where(r <= CUTOFF, e, 0.0).sum())
+
+    def outside_penalty(self, coords: np.ndarray) -> float:
+        coords = np.atleast_2d(coords)
+        lo, hi = self.box.minimum, self.box.maximum
+        under = np.clip(lo - coords, 0.0, None)
+        over = np.clip(coords - hi, 0.0, None)
+        return 10.0 * float((under**2).sum() + (over**2).sum())
+
+    def total(self, coords: np.ndarray) -> float:
+        """Vina's reported binding affinity estimate (kcal/mol)."""
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.shape != (len(self.ligand.atoms), 3):
+            raise VinaScoringError(
+                f"expected coords shape ({len(self.ligand.atoms)}, 3), "
+                f"got {coords.shape}"
+            )
+        inter = self.intermolecular(coords)
+        penalty = self.outside_penalty(coords)
+        # Vina reports inter / (1 + w N_rot); intra only steers the search.
+        return (inter + penalty) / self._entropy_norm
+
+    def search_energy(self, coords: np.ndarray) -> float:
+        """Objective used during optimization (adds intramolecular)."""
+        return self.total(coords) + self.intramolecular(coords)

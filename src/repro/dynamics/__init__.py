@@ -1,0 +1,35 @@
+"""Pose refinement substrate: minimization, MD, and redocking.
+
+The paper's biological analysis ends with: "these receptor-ligand
+associations should be refined and reinforced using alternative
+approaches, such as: (i) testing other receptor or ligand conformations;
+(ii) redocking, molecular dynamics or QSAR analyses" (§V.D). This
+package implements (i) and (ii):
+
+* :mod:`repro.dynamics.forcefield_intra` — a bonded force field (harmonic
+  bonds/angles + LJ nonbonded) over the ligand;
+* :mod:`repro.dynamics.minimize` — Cartesian energy minimization of a
+  docked pose inside the receptor field;
+* :mod:`repro.dynamics.md` — velocity-Verlet dynamics with a Langevin
+  thermostat for short refinement trajectories;
+* :mod:`repro.dynamics.refine` — the redocking protocol: re-dock top
+  hits with a larger budget and/or alternative ligand conformations,
+  then minimize and re-score.
+"""
+
+from repro.dynamics.forcefield_intra import IntraFF
+from repro.dynamics.minimize import MinimizationResult, minimize_pose
+from repro.dynamics.md import MDConfig, MDResult, run_md
+from repro.dynamics.refine import RefinementResult, redock, refine_pose
+
+__all__ = [
+    "IntraFF",
+    "minimize_pose",
+    "MinimizationResult",
+    "MDConfig",
+    "MDResult",
+    "run_md",
+    "redock",
+    "refine_pose",
+    "RefinementResult",
+]

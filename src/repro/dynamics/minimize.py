@@ -1,0 +1,95 @@
+"""Cartesian energy minimization of a docked pose.
+
+Minimizes bonded(ligand) + intermolecular(receptor field) over all
+ligand coordinates with L-BFGS-B. The receptor field is the Vina scorer
+(optionally grid-cached), whose gradient is finite-differenced per atom
+in a vectorized batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize as scipy_minimize
+
+from repro.chem.molecule import Molecule
+from repro.docking.scoring_vina import VinaScorer
+from repro.dynamics.forcefield_intra import IntraFF
+
+
+@dataclass
+class MinimizationResult:
+    coords: np.ndarray
+    initial_energy: float
+    final_energy: float
+    iterations: int
+    converged: bool
+
+    @property
+    def energy_drop(self) -> float:
+        return self.initial_energy - self.final_energy
+
+
+def minimize_pose(
+    ligand: Molecule,
+    start_coords: np.ndarray,
+    scorer: VinaScorer,
+    *,
+    max_iterations: int = 60,
+    field_weight: float = 5.0,
+    fd_step: float = 1e-3,
+) -> MinimizationResult:
+    """Relax a pose in the receptor field.
+
+    ``field_weight`` balances the kcal/mol-scale receptor interaction
+    against the stiffer bonded terms so minimization improves contacts
+    without tearing bonds.
+    """
+    start = np.asarray(start_coords, dtype=np.float64)
+    n = len(ligand.atoms)
+    if start.shape != (n, 3):
+        raise ValueError(f"expected coords shape ({n}, 3), got {start.shape}")
+    ff = IntraFF.from_molecule(ligand)
+
+    def field_energy(coords: np.ndarray) -> float:
+        return scorer.intermolecular(coords) + scorer.outside_penalty(coords)
+
+    def field_gradient(coords: np.ndarray) -> np.ndarray:
+        """Per-atom central differences (6N scorer calls; ligands are small)."""
+        grad = np.zeros_like(coords)
+        for i in range(coords.shape[0]):
+            for axis in range(3):
+                plus = coords.copy()
+                minus = coords.copy()
+                plus[i, axis] += fd_step
+                minus[i, axis] -= fd_step
+                grad[i, axis] = (field_energy(plus) - field_energy(minus)) / (
+                    2 * fd_step
+                )
+        return grad
+
+    def objective(x: np.ndarray) -> tuple[float, np.ndarray]:
+        coords = x.reshape(n, 3)
+        e_intra, g_intra = ff.energy_gradient(coords)
+        e_field = field_energy(coords)
+        g_field = field_gradient(coords)
+        total = e_intra + field_weight * e_field
+        return total, (g_intra + field_weight * g_field).ravel()
+
+    e0 = objective(start.ravel())[0]
+    res = scipy_minimize(
+        objective,
+        start.ravel(),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iterations, "ftol": 1e-8},
+    )
+    final = res.x.reshape(n, 3)
+    return MinimizationResult(
+        coords=final,
+        initial_energy=float(e0),
+        final_energy=float(res.fun),
+        iterations=int(res.nit),
+        converged=bool(res.success),
+    )

@@ -1,0 +1,136 @@
+"""The redocking / refinement protocol of the paper's §V.D.
+
+Given a hit from the screening campaign (a receptor-ligand pair whose
+SciDock FEB looked promising), :func:`redock` re-docks it with a larger
+search budget (and optionally alternative ligand input conformations),
+and :func:`refine_pose` relaxes the resulting pose by minimization plus
+a short MD anneal before re-scoring. The re-scored affinity either
+*reinforces* the hit or exposes it as a docking artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.generate import generate_ligand, generate_receptor
+from repro.chem.geometry import rmsd
+from repro.docking.box import GridBox
+from repro.docking.conformation import DockingResult
+from repro.docking.mc import ILSConfig
+from repro.docking.prepare import prepare_ligand, prepare_receptor
+from repro.docking.scoring_vina import VinaScorer, build_vina_maps
+from repro.docking.vina import Vina, VinaParameters
+from repro.dynamics.md import MDConfig, run_md
+from repro.dynamics.minimize import minimize_pose
+
+#: Deeper-than-screening Vina budget used for redocking.
+REDOCK_VINA = VinaParameters(
+    exhaustiveness=4,
+    ils=ILSConfig(restarts=3, steps_per_restart=5, bfgs_iterations=12),
+)
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of refine_pose / redock on one pair."""
+
+    receptor_id: str
+    ligand_id: str
+    screening_feb: float | None
+    redock_feb: float
+    refined_feb: float
+    pose_shift_rmsd: float
+    reinforced: bool
+
+    def summary(self) -> str:
+        verdict = "REINFORCED" if self.reinforced else "ARTIFACT?"
+        return (
+            f"{self.receptor_id}-{self.ligand_id}: screening "
+            f"{self.screening_feb if self.screening_feb is not None else 'n/a'} -> "
+            f"redock {self.redock_feb:+.2f} -> refined {self.refined_feb:+.2f} "
+            f"kcal/mol (pose moved {self.pose_shift_rmsd:.2f} A) [{verdict}]"
+        )
+
+
+def redock(
+    receptor_id: str,
+    ligand_id: str,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    params: VinaParameters | None = None,
+    alternative_conformation: bool = False,
+) -> tuple[DockingResult, VinaScorer, object]:
+    """Re-dock one pair with a deeper budget; returns (result, scorer, prep).
+
+    ``alternative_conformation`` regenerates the ligand under a rotated
+    input frame — the paper's "(i) testing other receptor or ligand
+    conformations".
+    """
+    receptor = generate_receptor(receptor_id)
+    ligand = generate_ligand(ligand_id)
+    if alternative_conformation:
+        # Rotate the input geometry; the torsion tree and search then
+        # start from a genuinely different conformer basin.
+        from repro.chem.geometry import random_rotation_matrix
+
+        rot = random_rotation_matrix(np.random.default_rng(99))
+        ligand.set_coords(ligand.coords @ rot.T)
+    rp = prepare_receptor(receptor)
+    lp = prepare_ligand(ligand)
+    box = GridBox.around_pocket(
+        np.array(receptor.metadata["pocket_center"]),
+        receptor.metadata["pocket_radius"],
+        spacing=0.6,
+    )
+    maps = build_vina_maps(rp.molecule, box)
+    engine = Vina(rp, box, params or REDOCK_VINA, maps=maps)
+    results = [engine.dock(lp, seed=s) for s in seeds]
+    best = min(results, key=lambda r: r.best_energy)
+    scorer = VinaScorer(rp.molecule, lp.molecule, box, maps=maps)
+    return best, scorer, lp
+
+
+def refine_pose(
+    receptor_id: str,
+    ligand_id: str,
+    *,
+    screening_feb: float | None = None,
+    md_steps: int = 100,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    reinforce_tolerance: float = 1.5,
+) -> RefinementResult:
+    """Redock + minimize + MD anneal + re-minimize + re-score one hit.
+
+    ``reinforced`` is True when the refined affinity stays within
+    ``reinforce_tolerance`` kcal/mol of the redocked one (i.e. the pose
+    survives relaxation instead of collapsing).
+    """
+    result, scorer, lp = redock(receptor_id, ligand_id, seeds=seeds)
+    pose = result.best_pose
+    ligand = lp.molecule
+
+    # 1. Minimize straight from the docked pose.
+    m1 = minimize_pose(ligand, pose.coords, scorer, max_iterations=40)
+    # 2. Short thermostatted MD to escape shallow artifacts.
+    md = run_md(
+        ligand,
+        m1.coords,
+        scorer,
+        MDConfig(steps=md_steps, sample_every=max(1, md_steps // 4)),
+        rng=np.random.default_rng(7),
+    )
+    # 3. Re-minimize and re-score with the docking scorer.
+    m2 = minimize_pose(ligand, md.coords, scorer, max_iterations=40)
+    refined_feb = scorer.total(m2.coords)
+    shift = rmsd(m2.coords, pose.coords)
+    return RefinementResult(
+        receptor_id=receptor_id,
+        ligand_id=ligand_id,
+        screening_feb=screening_feb,
+        redock_feb=result.best_energy,
+        refined_feb=refined_feb,
+        pose_shift_rmsd=shift,
+        reinforced=refined_feb <= result.best_energy + reinforce_tolerance,
+    )

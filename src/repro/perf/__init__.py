@@ -1,0 +1,31 @@
+"""Performance modeling and the paper's evaluation harness.
+
+* :mod:`repro.perf.cost_model` — per-activity service-time distributions
+  (calibratable against real engine runs).
+* :mod:`repro.perf.calibrate` — measure the real engines on a sample and
+  rescale the cost model.
+* :mod:`repro.perf.metrics` — TET, speedup, efficiency.
+* :mod:`repro.perf.experiments` — scenario runners behind Figs 5-9.
+"""
+
+from repro.perf.cost_model import ActivityCostModel, PAPER_ACTIVITY_MEANS
+from repro.perf.calibrate import calibrate_cost_model, measure_activity_seconds
+from repro.perf.metrics import efficiency, improvement_percent, speedup
+from repro.perf.experiments import (
+    CoreSweepResult,
+    run_core_sweep,
+    run_single_scale,
+)
+
+__all__ = [
+    "ActivityCostModel",
+    "PAPER_ACTIVITY_MEANS",
+    "calibrate_cost_model",
+    "measure_activity_seconds",
+    "speedup",
+    "efficiency",
+    "improvement_percent",
+    "run_core_sweep",
+    "run_single_scale",
+    "CoreSweepResult",
+]

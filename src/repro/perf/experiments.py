@@ -1,0 +1,149 @@
+"""Scenario runners behind the paper's performance figures (Figs 5-9).
+
+``run_single_scale`` simulates one SciDock execution at a fixed core
+count; ``run_core_sweep`` repeats it over the paper's 2..128-core range
+and derives TET / speedup / efficiency series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.cluster import VirtualCluster
+from repro.cloud.failures import ActivityFailureModel
+from repro.cloud.provider import CloudProvider
+from repro.cloud.simclock import SimClock
+from repro.core.datasets import pair_relation
+from repro.core.scidock import build_scidock_sim_workflow
+from repro.perf.cost_model import ActivityCostModel
+from repro.perf.metrics import efficiency, improvement_percent, speedup
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.engine import ExecutionReport, SimulatedEngine
+from repro.workflow.fault import RetryPolicy, Watchdog
+from repro.workflow.relation import Relation
+from repro.workflow.scheduler import GreedyCostScheduler, Scheduler
+
+#: The paper's virtual-core ladder (Figs 7-9).
+PAPER_CORE_COUNTS: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class ScaleResult:
+    """One point of the sweep."""
+
+    cores: int
+    tet_seconds: float
+    report: ExecutionReport
+    store: ProvenanceStore
+
+
+@dataclass
+class CoreSweepResult:
+    """The full sweep for one scenario (engine)."""
+
+    scenario: str
+    points: list[ScaleResult] = field(default_factory=list)
+
+    @property
+    def core_counts(self) -> list[int]:
+        return [p.cores for p in self.points]
+
+    @property
+    def tets(self) -> list[float]:
+        return [p.tet_seconds for p in self.points]
+
+    def baseline(self) -> ScaleResult:
+        return min(self.points, key=lambda p: p.cores)
+
+    def speedups(self) -> list[float]:
+        base = self.baseline()
+        return [
+            speedup(base.tet_seconds, p.tet_seconds, baseline_cores=base.cores)
+            for p in self.points
+        ]
+
+    def efficiencies(self) -> list[float]:
+        base = self.baseline()
+        return [
+            efficiency(
+                base.tet_seconds, p.tet_seconds, p.cores, baseline_cores=base.cores
+            )
+            for p in self.points
+        ]
+
+    def improvements(self) -> list[float]:
+        base = self.baseline()
+        return [
+            improvement_percent(base.tet_seconds, p.tet_seconds)
+            for p in self.points
+        ]
+
+
+def run_single_scale(
+    cores: int,
+    *,
+    scenario: str = "ad4",
+    n_pairs: int = 1000,
+    cost_model: ActivityCostModel | None = None,
+    scheduler: Scheduler | None = None,
+    failure_rate: float = 0.10,
+    seed: int = 0,
+    pairs: Relation | None = None,
+    store: ProvenanceStore | None = None,
+    elasticity=None,
+    block_known_loopers: bool = True,
+) -> ScaleResult:
+    """Simulate one SciDock execution at ``cores`` virtual cores."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    cost_model = cost_model or ActivityCostModel(seed=seed)
+    store = store or ProvenanceStore()
+    clock = SimClock()
+    cluster = VirtualCluster(CloudProvider(clock, max_instances=4096))
+    cluster.scale_to(max(cores, 4))
+    engine = SimulatedEngine(
+        store,
+        cluster,
+        scheduler or GreedyCostScheduler(),
+        retry=RetryPolicy(max_attempts=4, retry_delay=1.0),
+        watchdog=Watchdog(timeout=600.0),
+        failure_model=ActivityFailureModel(rate=failure_rate, seed=seed),
+        elasticity=elasticity,
+        core_limit=cores,
+        block_known_loopers=block_known_loopers,
+        data_model=cost_model.output_bytes,
+    )
+    workflow = build_scidock_sim_workflow(cost_model, scenario=scenario)
+    relation = pairs if pairs is not None else pair_relation(limit=n_pairs)
+    report = engine.run(workflow, relation)
+    return ScaleResult(
+        cores=cores, tet_seconds=report.tet_seconds, report=report, store=store
+    )
+
+
+def run_core_sweep(
+    *,
+    scenario: str = "ad4",
+    core_counts: tuple[int, ...] = PAPER_CORE_COUNTS,
+    n_pairs: int = 1000,
+    cost_model: ActivityCostModel | None = None,
+    scheduler: Scheduler | None = None,
+    failure_rate: float = 0.10,
+    seed: int = 0,
+) -> CoreSweepResult:
+    """The paper's scalability experiment for one engine scenario."""
+    result = CoreSweepResult(scenario=scenario)
+    pairs = pair_relation(limit=n_pairs)
+    for cores in core_counts:
+        result.points.append(
+            run_single_scale(
+                cores,
+                scenario=scenario,
+                cost_model=cost_model,
+                scheduler=scheduler,
+                failure_rate=failure_rate,
+                seed=seed,
+                pairs=pairs.copy(),
+            )
+        )
+    return result

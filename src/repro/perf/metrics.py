@@ -1,0 +1,31 @@
+"""Scalability metrics: TET-derived speedup, efficiency, improvement."""
+
+from __future__ import annotations
+
+
+def speedup(tet_baseline: float, tet: float, *, baseline_cores: int = 1) -> float:
+    """Speedup versus the baseline execution.
+
+    The paper computes speedup "relative to the best-performing workflow
+    execution on a single core"; when only a 2-core measurement exists,
+    ``baseline_cores=2`` extrapolates the 1-core time linearly.
+    """
+    if tet <= 0 or tet_baseline <= 0:
+        raise ValueError("execution times must be positive")
+    if baseline_cores < 1:
+        raise ValueError("baseline_cores must be >= 1")
+    return (tet_baseline * baseline_cores) / tet
+
+
+def efficiency(tet_baseline: float, tet: float, cores: int, *, baseline_cores: int = 1) -> float:
+    """Parallel efficiency = speedup / cores."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return speedup(tet_baseline, tet, baseline_cores=baseline_cores) / cores
+
+
+def improvement_percent(tet_baseline: float, tet: float) -> float:
+    """The paper's "% improvement": (TET_base - TET) / TET_base * 100."""
+    if tet_baseline <= 0:
+        raise ValueError("baseline TET must be positive")
+    return (tet_baseline - tet) / tet_baseline * 100.0

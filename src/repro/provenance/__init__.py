@@ -1,0 +1,33 @@
+"""PROV-Wf provenance repository (SciCumulus' PostgreSQL stand-in).
+
+Same relational shape as the paper's provenance database —
+``hworkflow`` / ``hactivity`` / ``hactivation`` / ``hfile`` /
+``hextract`` — on SQLite, with the paper's Query 1 and Query 2 exposed
+both as raw SQL and as typed helpers, plus a W3C PROV export.
+"""
+
+from repro.provenance.schema import SCHEMA_DDL
+from repro.provenance.store import ActivationStatus, ProvenanceStore
+from repro.provenance.queries import (
+    query1_activity_statistics,
+    query1_sql,
+    query2_files,
+    query2_sql,
+    activation_durations,
+    workflow_tet,
+)
+from repro.provenance.prov_model import export_prov_document, to_prov_n
+
+__all__ = [
+    "SCHEMA_DDL",
+    "ProvenanceStore",
+    "ActivationStatus",
+    "query1_activity_statistics",
+    "query1_sql",
+    "query2_files",
+    "query2_sql",
+    "activation_durations",
+    "workflow_tet",
+    "export_prov_document",
+    "to_prov_n",
+]

@@ -1,0 +1,120 @@
+"""W3C PROV export of a workflow run.
+
+SciCumulus' repository follows PROV/PROV-Wf; this module maps the
+relational records onto PROV concepts:
+
+* each activation -> ``prov:Activity`` (with start/end times),
+* each produced/consumed file -> ``prov:Entity`` with ``wasGeneratedBy``
+  / ``used`` edges,
+* each VM -> ``prov:Agent`` with ``wasAssociatedWith`` edges.
+
+Export formats: a plain dict (JSON-ready) and PROV-N text.
+"""
+
+from __future__ import annotations
+
+from repro.provenance.store import ProvenanceStore
+
+
+def export_prov_document(store: ProvenanceStore, wkfid: int) -> dict:
+    """Build a PROV document (dict form) for one workflow run."""
+    wf = store.workflow_row(wkfid)
+    activities: dict[str, dict] = {}
+    entities: dict[str, dict] = {}
+    agents: dict[str, dict] = {}
+    used: list[tuple[str, str]] = []
+    generated: list[tuple[str, str]] = []
+    associated: list[tuple[str, str]] = []
+
+    rows = store.sql(
+        """
+        SELECT t.taskid, t.tuple_key, t.starttime, t.endtime, t.status,
+               t.vm_id, a.tag
+        FROM hactivation t JOIN hactivity a ON t.actid = a.actid
+        WHERE a.wkfid = ?
+        """,
+        (wkfid,),
+    )
+    for r in rows:
+        act_id = f"activation:{r['taskid']}"
+        activities[act_id] = {
+            "prov:type": "scicumulus:activation",
+            "scicumulus:activity": r["tag"],
+            "scicumulus:tuple": r["tuple_key"],
+            "prov:startTime": r["starttime"],
+            "prov:endTime": r["endtime"],
+            "scicumulus:status": r["status"],
+        }
+        if r["vm_id"]:
+            agent_id = f"vm:{r['vm_id']}"
+            agents.setdefault(
+                agent_id, {"prov:type": "scicumulus:virtualMachine"}
+            )
+            associated.append((act_id, agent_id))
+
+    files = store.sql(
+        """
+        SELECT f.fileid, f.fname, f.fsize, f.fdir, f.direction, f.taskid
+        FROM hfile f
+        JOIN hactivation t ON f.taskid = t.taskid
+        JOIN hactivity a ON t.actid = a.actid
+        WHERE a.wkfid = ?
+        """,
+        (wkfid,),
+    )
+    for f in files:
+        ent_id = f"file:{f['fileid']}"
+        entities[ent_id] = {
+            "prov:type": "scicumulus:file",
+            "scicumulus:name": f["fname"],
+            "scicumulus:size": f["fsize"],
+            "scicumulus:dir": f["fdir"],
+        }
+        act_id = f"activation:{f['taskid']}"
+        if f["direction"] == "OUTPUT":
+            generated.append((ent_id, act_id))
+        else:
+            used.append((act_id, ent_id))
+
+    return {
+        "workflow": {
+            "wkfid": wkfid,
+            "tag": wf["tag"],
+            "starttime": wf["starttime"],
+            "endtime": wf["endtime"],
+        },
+        "activity": activities,
+        "entity": entities,
+        "agent": agents,
+        "used": used,
+        "wasGeneratedBy": generated,
+        "wasAssociatedWith": associated,
+    }
+
+
+def to_prov_n(document: dict) -> str:
+    """Render the dict document as PROV-N text."""
+    lines = ["document", "  prefix scicumulus <http://scicumulus.repro/ns#>"]
+    for act_id, attrs in document["activity"].items():
+        start = attrs.get("prov:startTime")
+        end = attrs.get("prov:endTime")
+        lines.append(
+            f"  activity({act_id}, {start}, {end}, "
+            f"[scicumulus:activity=\"{attrs['scicumulus:activity']}\", "
+            f"scicumulus:status=\"{attrs['scicumulus:status']}\"])"
+        )
+    for ent_id, attrs in document["entity"].items():
+        lines.append(
+            f"  entity({ent_id}, [scicumulus:name=\"{attrs['scicumulus:name']}\", "
+            f"scicumulus:size=\"{attrs['scicumulus:size']}\"])"
+        )
+    for agent_id in document["agent"]:
+        lines.append(f"  agent({agent_id}, [prov:type=\"scicumulus:virtualMachine\"])")
+    for ent_id, act_id in document["wasGeneratedBy"]:
+        lines.append(f"  wasGeneratedBy({ent_id}, {act_id}, -)")
+    for act_id, ent_id in document["used"]:
+        lines.append(f"  used({act_id}, {ent_id}, -)")
+    for act_id, agent_id in document["wasAssociatedWith"]:
+        lines.append(f"  wasAssociatedWith({act_id}, {agent_id}, -)")
+    lines.append("endDocument")
+    return "\n".join(lines) + "\n"

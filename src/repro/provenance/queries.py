@@ -1,0 +1,156 @@
+"""The paper's provenance queries (Figures 10 and 11) and helpers.
+
+Query 1 — "Obtain the TET, statistical averages and biological
+information related to the SciDock executions": per-activity min / max /
+sum / avg of activation durations.
+
+Query 2 — "Retrieve the names, sizes and locations of files with the
+extension '.dlg' …, recovering also which workflow and activities
+produced those files".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.provenance.store import ProvenanceStore
+
+
+def query1_sql() -> str:
+    """The literal Query 1 (paper Fig. 10), ported from PostgreSQL.
+
+    ``extract('epoch' from (t.endtime - t.starttime))`` becomes plain
+    subtraction because the store keeps times as epoch seconds.
+    """
+    return """
+        SELECT a.tag,
+               MIN(t.endtime - t.starttime) AS min,
+               MAX(t.endtime - t.starttime) AS max,
+               SUM(t.endtime - t.starttime) AS sum,
+               AVG(t.endtime - t.starttime) AS avg
+        FROM hworkflow w, hactivity a, hactivation t
+        WHERE w.wkfid = a.wkfid
+          AND a.actid = t.actid
+          AND t.status = 'FINISHED'
+          AND w.wkfid = ?
+        GROUP BY a.tag
+        ORDER BY a.tag
+    """
+
+
+def query2_sql() -> str:
+    """The literal Query 2 (paper Fig. 11)."""
+    return """
+        SELECT w.tag AS workflow_tag,
+               a.tag AS activity_tag,
+               f.fname,
+               f.fsize,
+               f.fdir
+        FROM hworkflow w, hactivity a, hactivation t, hfile f
+        WHERE w.wkfid = a.wkfid
+          AND a.actid = t.actid
+          AND t.taskid = f.taskid
+          AND f.fname LIKE ?
+          AND w.wkfid = ?
+        ORDER BY f.fileid
+    """
+
+
+@dataclass
+class ActivityStats:
+    """One row of Query 1's result."""
+
+    tag: str
+    min: float
+    max: float
+    sum: float
+    avg: float
+    count: int
+
+
+def query1_activity_statistics(
+    store: ProvenanceStore, wkfid: int
+) -> list[ActivityStats]:
+    """Typed Query 1: per-activity execution-time statistics."""
+    rows = store.sql(
+        """
+        SELECT a.tag,
+               MIN(t.endtime - t.starttime) AS min,
+               MAX(t.endtime - t.starttime) AS max,
+               SUM(t.endtime - t.starttime) AS sum,
+               AVG(t.endtime - t.starttime) AS avg,
+               COUNT(*) AS count
+        FROM hworkflow w, hactivity a, hactivation t
+        WHERE w.wkfid = a.wkfid
+          AND a.actid = t.actid
+          AND t.status = 'FINISHED'
+          AND w.wkfid = ?
+        GROUP BY a.tag
+        ORDER BY a.tag
+        """,
+        (wkfid,),
+    )
+    return [
+        ActivityStats(
+            tag=r["tag"],
+            min=r["min"],
+            max=r["max"],
+            sum=r["sum"],
+            avg=r["avg"],
+            count=r["count"],
+        )
+        for r in rows
+    ]
+
+
+@dataclass
+class FileRecord:
+    """One row of Query 2's result."""
+
+    workflow_tag: str
+    activity_tag: str
+    fname: str
+    fsize: int
+    fdir: str
+
+
+def query2_files(
+    store: ProvenanceStore, wkfid: int, extension: str = ".dlg"
+) -> list[FileRecord]:
+    """Typed Query 2: produced files matching an extension."""
+    rows = store.sql(query2_sql(), (f"%{extension}", wkfid))
+    return [
+        FileRecord(
+            workflow_tag=r["workflow_tag"],
+            activity_tag=r["activity_tag"],
+            fname=r["fname"],
+            fsize=r["fsize"],
+            fdir=r["fdir"],
+        )
+        for r in rows
+    ]
+
+
+def activation_durations(store: ProvenanceStore, wkfid: int) -> list[float]:
+    """All finished activation durations (the paper's Fig. 5 histogram)."""
+    rows = store.sql(
+        """
+        SELECT (t.endtime - t.starttime) AS seconds
+        FROM hworkflow w, hactivity a, hactivation t
+        WHERE w.wkfid = a.wkfid
+          AND a.actid = t.actid
+          AND t.status = 'FINISHED'
+          AND w.wkfid = ?
+        ORDER BY t.endtime
+        """,
+        (wkfid,),
+    )
+    return [r["seconds"] for r in rows]
+
+
+def workflow_tet(store: ProvenanceStore, wkfid: int) -> float:
+    """Total execution time of the workflow run, in seconds."""
+    row = store.workflow_row(wkfid)
+    if row["endtime"] is None or row["starttime"] is None:
+        raise ValueError(f"workflow {wkfid} has not finished")
+    return float(row["endtime"] - row["starttime"])

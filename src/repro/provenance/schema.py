@@ -1,0 +1,69 @@
+"""Relational schema of the provenance repository (PROV-Wf).
+
+Table and column names follow the paper's SQL excerpts (Figures 10/11):
+``hworkflow.wkfid``, ``hactivity.actid/tag``, ``hactivation`` with
+``starttime``/``endtime``, and the file catalog with ``fname``/``fsize``/
+``fdir``. Times are stored as REAL seconds so the paper's
+``extract('epoch' from (endtime - starttime))`` becomes plain
+subtraction.
+"""
+
+SCHEMA_DDL = """
+CREATE TABLE IF NOT EXISTS hworkflow (
+    wkfid       INTEGER PRIMARY KEY AUTOINCREMENT,
+    tag         TEXT NOT NULL,
+    description TEXT DEFAULT '',
+    exectag     TEXT DEFAULT '',
+    expdir      TEXT DEFAULT '',
+    starttime   REAL,
+    endtime     REAL
+);
+
+CREATE TABLE IF NOT EXISTS hactivity (
+    actid       INTEGER PRIMARY KEY AUTOINCREMENT,
+    wkfid       INTEGER NOT NULL REFERENCES hworkflow(wkfid),
+    tag         TEXT NOT NULL,
+    description TEXT DEFAULT '',
+    templatedir TEXT DEFAULT '',
+    activation  TEXT DEFAULT '',
+    optype      TEXT DEFAULT 'MAP'
+);
+
+CREATE TABLE IF NOT EXISTS hactivation (
+    taskid      INTEGER PRIMARY KEY AUTOINCREMENT,
+    actid       INTEGER NOT NULL REFERENCES hactivity(actid),
+    tuple_key   TEXT DEFAULT '',
+    starttime   REAL,
+    endtime     REAL,
+    status      TEXT DEFAULT 'READY',
+    exitstatus  INTEGER DEFAULT 0,
+    attempt     INTEGER DEFAULT 0,
+    vm_id       TEXT DEFAULT '',
+    core_index  INTEGER DEFAULT -1,
+    workdir     TEXT DEFAULT '',
+    errormsg    TEXT DEFAULT ''
+);
+
+CREATE TABLE IF NOT EXISTS hfile (
+    fileid      INTEGER PRIMARY KEY AUTOINCREMENT,
+    taskid      INTEGER NOT NULL REFERENCES hactivation(taskid),
+    fname       TEXT NOT NULL,
+    fsize       INTEGER DEFAULT 0,
+    fdir        TEXT DEFAULT '',
+    direction   TEXT DEFAULT 'OUTPUT'
+);
+
+CREATE TABLE IF NOT EXISTS hextract (
+    extractid   INTEGER PRIMARY KEY AUTOINCREMENT,
+    taskid      INTEGER NOT NULL REFERENCES hactivation(taskid),
+    key         TEXT NOT NULL,
+    value       TEXT
+);
+
+CREATE INDEX IF NOT EXISTS idx_hactivity_wkfid ON hactivity(wkfid);
+CREATE INDEX IF NOT EXISTS idx_hactivation_actid ON hactivation(actid);
+CREATE INDEX IF NOT EXISTS idx_hactivation_status ON hactivation(status);
+CREATE INDEX IF NOT EXISTS idx_hfile_taskid ON hfile(taskid);
+CREATE INDEX IF NOT EXISTS idx_hextract_taskid ON hextract(taskid);
+CREATE INDEX IF NOT EXISTS idx_hextract_key ON hextract(key);
+"""

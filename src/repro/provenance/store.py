@@ -1,0 +1,224 @@
+"""The provenance store API used by the workflow engine and analyses.
+
+One store per experiment (in-memory by default, file-backed on request).
+All writes go through typed helpers; reads can use the helpers in
+:mod:`repro.provenance.queries` or raw SQL via :meth:`ProvenanceStore.sql`
+— the paper stresses that scientists submit *high level database
+analytical queries* directly.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from enum import Enum
+from pathlib import Path
+
+from repro.provenance.schema import SCHEMA_DDL
+
+
+class ActivationStatus(str, Enum):
+    READY = "READY"
+    RUNNING = "RUNNING"
+    FINISHED = "FINISHED"
+    FAILED = "FAILED"
+    ABORTED = "ABORTED"  # looping-state kills
+    BLOCKED = "BLOCKED"  # aborted pre-dispatch (e.g. Hg routine)
+
+
+class ProvenanceStore:
+    """SQLite-backed PROV-Wf repository."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        # The LocalEngine records provenance from worker threads; SQLite
+        # allows that with check_same_thread=False as long as calls are
+        # serialized, which _execute's lock guarantees.
+        self._conn = sqlite3.connect(
+            str(path) if path else ":memory:", check_same_thread=False
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.Lock()
+        with self._lock:
+            self._conn.executescript(SCHEMA_DDL)
+            self._conn.commit()
+
+
+    def _execute(self, query: str, params: tuple = ()) -> sqlite3.Cursor:
+        """Serialized write/read entry point (thread-safe)."""
+        with self._lock:
+            cur = self._conn.execute(query, params)
+            self._conn.commit()
+            return cur
+
+    def _executemany(self, query: str, rows: list[tuple]) -> None:
+        with self._lock:
+            self._conn.executemany(query, rows)
+            self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- workflow lifecycle -------------------------------------------------
+    def begin_workflow(
+        self,
+        tag: str,
+        description: str = "",
+        exectag: str = "",
+        expdir: str = "",
+        starttime: float = 0.0,
+    ) -> int:
+        cur = self._execute(
+            "INSERT INTO hworkflow (tag, description, exectag, expdir, starttime)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (tag, description, exectag, expdir, starttime),
+        )
+        return int(cur.lastrowid)
+
+    def end_workflow(self, wkfid: int, endtime: float) -> None:
+        self._execute(
+            "UPDATE hworkflow SET endtime = ? WHERE wkfid = ?", (endtime, wkfid)
+        )
+
+    def register_activity(
+        self,
+        wkfid: int,
+        tag: str,
+        description: str = "",
+        templatedir: str = "",
+        activation: str = "",
+        optype: str = "MAP",
+    ) -> int:
+        cur = self._execute(
+            "INSERT INTO hactivity (wkfid, tag, description, templatedir,"
+            " activation, optype) VALUES (?, ?, ?, ?, ?, ?)",
+            (wkfid, tag, description, templatedir, activation, optype),
+        )
+        return int(cur.lastrowid)
+
+    # -- activation lifecycle -------------------------------------------------
+    def begin_activation(
+        self,
+        actid: int,
+        tuple_key: str,
+        starttime: float,
+        vm_id: str = "",
+        core_index: int = -1,
+        workdir: str = "",
+        attempt: int = 0,
+    ) -> int:
+        cur = self._execute(
+            "INSERT INTO hactivation (actid, tuple_key, starttime, status,"
+            " vm_id, core_index, workdir, attempt)"
+            " VALUES (?, ?, ?, 'RUNNING', ?, ?, ?, ?)",
+            (actid, tuple_key, starttime, vm_id, core_index, workdir, attempt),
+        )
+        return int(cur.lastrowid)
+
+    def end_activation(
+        self,
+        taskid: int,
+        endtime: float,
+        status: ActivationStatus = ActivationStatus.FINISHED,
+        exitstatus: int = 0,
+        errormsg: str = "",
+    ) -> None:
+        self._execute(
+            "UPDATE hactivation SET endtime = ?, status = ?, exitstatus = ?,"
+            " errormsg = ? WHERE taskid = ?",
+            (endtime, status.value, exitstatus, errormsg, taskid),
+        )
+
+    def record_blocked(
+        self, actid: int, tuple_key: str, when: float, reason: str
+    ) -> int:
+        """An activation aborted before dispatch (paper's Hg routine)."""
+        cur = self._execute(
+            "INSERT INTO hactivation (actid, tuple_key, starttime, endtime,"
+            " status, errormsg) VALUES (?, ?, ?, ?, 'BLOCKED', ?)",
+            (actid, tuple_key, when, when, reason),
+        )
+        return int(cur.lastrowid)
+
+    # -- artifacts -------------------------------------------------------------
+    def record_file(
+        self,
+        taskid: int,
+        fname: str,
+        fsize: int,
+        fdir: str,
+        direction: str = "OUTPUT",
+    ) -> int:
+        cur = self._execute(
+            "INSERT INTO hfile (taskid, fname, fsize, fdir, direction)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (taskid, fname, fsize, fdir, direction),
+        )
+        return int(cur.lastrowid)
+
+    def record_extract(self, taskid: int, key: str, value: object) -> int:
+        """Domain data pulled out of produced files by extractor components."""
+        cur = self._execute(
+            "INSERT INTO hextract (taskid, key, value) VALUES (?, ?, ?)",
+            (taskid, key, str(value)),
+        )
+        return int(cur.lastrowid)
+
+    def record_extracts(self, taskid: int, items: dict) -> None:
+        self._executemany(
+            "INSERT INTO hextract (taskid, key, value) VALUES (?, ?, ?)",
+            [(taskid, k, str(v)) for k, v in items.items()],
+        )
+
+    # -- reads -------------------------------------------------------------------
+    def sql(self, query: str, params: tuple = ()) -> list[sqlite3.Row]:
+        """Run an arbitrary analytical query (read-only by convention)."""
+        with self._lock:
+            return self._conn.execute(query, params).fetchall()
+
+    def workflow_row(self, wkfid: int) -> sqlite3.Row:
+        rows = self.sql("SELECT * FROM hworkflow WHERE wkfid = ?", (wkfid,))
+        if not rows:
+            raise KeyError(f"no workflow {wkfid}")
+        return rows[0]
+
+    def activations(
+        self, wkfid: int, status: ActivationStatus | None = None
+    ) -> list[sqlite3.Row]:
+        q = (
+            "SELECT t.* FROM hactivation t JOIN hactivity a ON t.actid = a.actid"
+            " WHERE a.wkfid = ?"
+        )
+        params: tuple = (wkfid,)
+        if status is not None:
+            q += " AND t.status = ?"
+            params += (status.value,)
+        return self.sql(q + " ORDER BY t.taskid", params)
+
+    def failed_activations(self, wkfid: int) -> list[sqlite3.Row]:
+        """The paper's recovery query: everything needing re-execution."""
+        return self.activations(wkfid, ActivationStatus.FAILED)
+
+    def extracts(self, wkfid: int, key: str) -> list[sqlite3.Row]:
+        return self.sql(
+            "SELECT t.taskid, t.tuple_key, e.value"
+            " FROM hextract e"
+            " JOIN hactivation t ON e.taskid = t.taskid"
+            " JOIN hactivity a ON t.actid = a.actid"
+            " WHERE a.wkfid = ? AND e.key = ? ORDER BY t.taskid",
+            (wkfid, key),
+        )
+
+    def counts_by_status(self, wkfid: int) -> dict[str, int]:
+        rows = self.sql(
+            "SELECT t.status, COUNT(*) AS n FROM hactivation t"
+            " JOIN hactivity a ON t.actid = a.actid"
+            " WHERE a.wkfid = ? GROUP BY t.status",
+            (wkfid,),
+        )
+        return {row["status"]: row["n"] for row in rows}

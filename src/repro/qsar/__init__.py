@@ -1,0 +1,34 @@
+"""QSAR substrate: descriptors, drug-likeness and activity models.
+
+The paper's future work: "we plan to model other computing-intensive
+CADD workflows (e.g. ... ligand-based and structure-based virtual
+screening, 2D and 3D QSAR)". This package provides that layer:
+
+* :mod:`repro.qsar.descriptors` — 2D/3D molecular descriptors computed
+  from our own molecule representation;
+* :mod:`repro.qsar.lipinski` — rule-of-five drug-likeness filtering;
+* :mod:`repro.qsar.model` — ridge-regression QSAR with cross-validation;
+* :mod:`repro.qsar.screen` — the SciQSAR mini-workflow: train on docked
+  FEBs, predict the rest of the library, rank candidates.
+"""
+
+from repro.qsar.descriptors import DESCRIPTOR_NAMES, MolecularDescriptors, compute_descriptors
+from repro.qsar.lipinski import LipinskiReport, lipinski_report, passes_rule_of_five
+from repro.qsar.model import QSARModel, cross_validate
+from repro.qsar.screen import ScreeningRanking, qsar_screen
+from repro.qsar.library import LigandLibrary, enumerate_library
+
+__all__ = [
+    "LigandLibrary",
+    "enumerate_library",
+    "MolecularDescriptors",
+    "DESCRIPTOR_NAMES",
+    "compute_descriptors",
+    "passes_rule_of_five",
+    "lipinski_report",
+    "LipinskiReport",
+    "QSARModel",
+    "cross_validate",
+    "qsar_screen",
+    "ScreeningRanking",
+]

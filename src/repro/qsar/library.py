@@ -1,0 +1,129 @@
+"""Ligand library management: the ZINC-database stand-in.
+
+"Thousands or millions of potential receptors and entire ligand
+databases need to be screened" (§III). This module enumerates synthetic
+libraries at any size, filters them for drug-likeness, and picks
+*diverse* subsets — the paper's "uniformly cover the diverse space of
+compounds" goal — by greedy max-min selection in standardized descriptor
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.generate import generate_ligand
+from repro.qsar.descriptors import compute_descriptors
+from repro.qsar.lipinski import lipinski_report
+
+
+def enumerate_library(n: int, prefix: str = "ZINC") -> list[str]:
+    """Deterministic library IDs (ZINC-style accession numbers)."""
+    if n < 1:
+        raise ValueError("library size must be >= 1")
+    return [f"{prefix}{i:08d}" for i in range(1, n + 1)]
+
+
+@dataclass
+class LibraryEntry:
+    ligand_id: str
+    descriptors: np.ndarray
+    druglike: bool
+
+
+@dataclass
+class LigandLibrary:
+    """A featurized ligand collection with filtering and selection."""
+
+    entries: list[LibraryEntry] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, ligand_ids: list[str] | tuple[str, ...]) -> "LigandLibrary":
+        """Generate + featurize every ligand (deterministic per ID)."""
+        if not ligand_ids:
+            raise ValueError("need at least one ligand ID")
+        entries = []
+        for lid in dict.fromkeys(ligand_ids):
+            mol = generate_ligand(lid)
+            d = compute_descriptors(mol)
+            entries.append(
+                LibraryEntry(
+                    ligand_id=lid,
+                    descriptors=d.vector(),
+                    druglike=lipinski_report(d).passes,
+                )
+            )
+        return cls(entries=entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def ids(self) -> list[str]:
+        return [e.ligand_id for e in self.entries]
+
+    def druglike_subset(self) -> "LigandLibrary":
+        """Rule-of-five pass-through filter."""
+        return LigandLibrary([e for e in self.entries if e.druglike])
+
+    def _standardized(self) -> np.ndarray:
+        X = np.stack([e.descriptors for e in self.entries])
+        mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        return (X - mean) / std
+
+    def select_diverse(self, k: int, seed_index: int = 0) -> list[str]:
+        """Greedy max-min diversity pick of ``k`` ligands.
+
+        Starts from ``seed_index`` and repeatedly adds the ligand whose
+        minimum distance to the chosen set is largest — the classic
+        sphere-exclusion-style coverage of compound space.
+        """
+        if not 1 <= k <= len(self.entries):
+            raise ValueError(f"k must be in [1, {len(self.entries)}], got {k}")
+        if not 0 <= seed_index < len(self.entries):
+            raise ValueError("seed_index out of range")
+        Z = self._standardized()
+        chosen = [seed_index]
+        # Distance from every entry to its nearest chosen entry.
+        d_min = np.linalg.norm(Z - Z[seed_index], axis=1)
+        while len(chosen) < k:
+            nxt = int(np.argmax(d_min))
+            chosen.append(nxt)
+            d_min = np.minimum(d_min, np.linalg.norm(Z - Z[nxt], axis=1))
+        return [self.entries[i].ligand_id for i in chosen]
+
+    def nearest_neighbors(self, ligand_id: str, k: int = 5) -> list[tuple[str, float]]:
+        """Most similar library members to one ligand (analog search)."""
+        ids = self.ids()
+        try:
+            idx = ids.index(ligand_id)
+        except ValueError:
+            raise KeyError(f"{ligand_id!r} not in library") from None
+        Z = self._standardized()
+        dist = np.linalg.norm(Z - Z[idx], axis=1)
+        order = np.argsort(dist)
+        out = []
+        for i in order.tolist():
+            if i == idx:
+                continue
+            out.append((ids[i], float(dist[i])))
+            if len(out) >= k:
+                break
+        return out
+
+    def coverage_radius(self, selected_ids: list[str]) -> float:
+        """Max distance from any library member to the selected set.
+
+        Lower = the selection covers compound space better; the metric
+        behind the paper's "uniformly cover the diverse space" argument.
+        """
+        if not selected_ids:
+            raise ValueError("selection is empty")
+        ids = self.ids()
+        sel = [ids.index(s) for s in selected_ids]
+        Z = self._standardized()
+        d = np.linalg.norm(Z[:, None, :] - Z[sel][None, :, :], axis=2)
+        return float(d.min(axis=1).max())

@@ -1,0 +1,48 @@
+"""Lipinski rule-of-five drug-likeness filtering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chem.molecule import Molecule
+from repro.qsar.descriptors import MolecularDescriptors, compute_descriptors
+
+
+@dataclass
+class LipinskiReport:
+    """Rule-by-rule pass/fail for one ligand."""
+
+    molecular_weight_ok: bool  # <= 500 Da
+    clogp_ok: bool  # <= 5
+    donors_ok: bool  # <= 5
+    acceptors_ok: bool  # <= 10
+    violations: int
+
+    @property
+    def passes(self) -> bool:
+        """Lipinski allows one violation."""
+        return self.violations <= 1
+
+
+def lipinski_report(
+    mol_or_descriptors: Molecule | MolecularDescriptors,
+) -> LipinskiReport:
+    d = (
+        mol_or_descriptors
+        if isinstance(mol_or_descriptors, MolecularDescriptors)
+        else compute_descriptors(mol_or_descriptors)
+    )
+    checks = {
+        "molecular_weight_ok": d.molecular_weight <= 500.0,
+        "clogp_ok": d.clogp <= 5.0,
+        "donors_ok": d.h_bond_donors <= 5,
+        "acceptors_ok": d.h_bond_acceptors <= 10,
+    }
+    return LipinskiReport(
+        violations=sum(1 for ok in checks.values() if not ok), **checks
+    )
+
+
+def passes_rule_of_five(mol: Molecule) -> bool:
+    """Convenience wrapper: does this ligand look drug-like?"""
+    return lipinski_report(mol).passes

@@ -1,0 +1,116 @@
+"""Ridge-regression QSAR model with cross-validation.
+
+Maps descriptor vectors to an activity (here: docking FEB). Features are
+standardized internally; the closed-form ridge solution keeps the model
+dependency-free and exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class QSARError(ValueError):
+    """Raised for ill-posed fits/predictions."""
+
+
+@dataclass
+class QSARModel:
+    """Standardized ridge regression y ~ X."""
+
+    alpha: float = 1.0
+    coefficients: np.ndarray | None = field(default=None, repr=False)
+    intercept: float = 0.0
+    _mean: np.ndarray | None = field(default=None, repr=False)
+    _std: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise QSARError("alpha must be non-negative")
+
+    # -- fitting -------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "QSARModel":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise QSARError(
+                f"need X (n, d) and y (n,); got {X.shape} and {y.shape}"
+            )
+        if X.shape[0] < 2:
+            raise QSARError("need at least two training samples")
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std < 1e-12, 1.0, std)
+        Z = (X - self._mean) / self._std
+        y_mean = y.mean()
+        yc = y - y_mean
+        d = Z.shape[1]
+        A = Z.T @ Z + self.alpha * np.eye(d)
+        self.coefficients = np.linalg.solve(A, Z.T @ yc)
+        self.intercept = float(y_mean)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coefficients is not None
+
+    # -- inference ------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise QSARError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        Z = (X - self._mean) / self._std
+        return Z @ self.coefficients + self.intercept
+
+    def r_squared(self, X: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y, dtype=np.float64)
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        if ss_tot < 1e-12:
+            raise QSARError("target has no variance")
+        return 1.0 - ss_res / ss_tot
+
+    def feature_importance(self) -> np.ndarray:
+        """|standardized coefficient| per feature."""
+        if not self.is_fitted:
+            raise QSARError("model is not fitted")
+        return np.abs(self.coefficients)
+
+
+def cross_validate(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    k: int = 5,
+    seed: int = 0,
+) -> dict:
+    """K-fold cross-validation; returns q2 (CV r^2) and fold RMSEs."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = X.shape[0]
+    if k < 2 or k > n:
+        raise QSARError(f"k must be in [2, n={n}], got {k}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    preds = np.empty(n)
+    rmses = []
+    for fold in folds:
+        mask = np.ones(n, dtype=bool)
+        mask[fold] = False
+        model = QSARModel(alpha=alpha).fit(X[mask], y[mask])
+        p = model.predict(X[fold])
+        preds[fold] = p
+        rmses.append(float(np.sqrt(((y[fold] - p) ** 2).mean())))
+    ss_res = float(((y - preds) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return {
+        "q2": 1.0 - ss_res / ss_tot if ss_tot > 1e-12 else float("nan"),
+        "fold_rmse": rmses,
+        "rmse": float(np.sqrt(((y - preds) ** 2).mean())),
+        "predictions": preds,
+    }

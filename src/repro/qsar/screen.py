@@ -1,0 +1,98 @@
+"""SciQSAR: ligand-based virtual screening on top of SciDock results.
+
+The pipeline the paper sketches as future work: dock a *subset* of the
+library structure-based (expensive), train a QSAR model on the measured
+FEBs, then rank the *whole* library by predicted affinity so the next
+docking campaign spends its budget on the most promising ligands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.generate import generate_ligand
+from repro.qsar.descriptors import DESCRIPTOR_NAMES, compute_descriptors
+from repro.qsar.lipinski import lipinski_report
+from repro.qsar.model import QSARError, QSARModel, cross_validate
+
+
+@dataclass
+class ScreeningRanking:
+    """Output of :func:`qsar_screen`."""
+
+    ranked_ligands: list[tuple[str, float]]  # (ligand_id, predicted FEB)
+    model: QSARModel
+    q2: float
+    training_size: int
+    druglike: dict[str, bool] = field(default_factory=dict)
+
+    def top(self, n: int = 5, druglike_only: bool = False) -> list[tuple[str, float]]:
+        out = []
+        for lig, feb in self.ranked_ligands:
+            if druglike_only and not self.druglike.get(lig, False):
+                continue
+            out.append((lig, feb))
+            if len(out) >= n:
+                break
+        return out
+
+
+def qsar_screen(
+    training_febs: dict[str, float],
+    library: list[str] | tuple[str, ...],
+    *,
+    alpha: float = 1.0,
+    cv_folds: int = 4,
+    seed: int = 0,
+) -> ScreeningRanking:
+    """Train on docked FEBs, rank the whole ligand library.
+
+    ``training_febs`` maps ligand IDs to their (best) docking FEB; all
+    ligands are featurized with :func:`compute_descriptors` over the
+    deterministic generator, so training and library descriptors live in
+    the same space.
+    """
+    if len(training_febs) < max(4, cv_folds):
+        raise QSARError(
+            f"need at least {max(4, cv_folds)} training ligands, "
+            f"got {len(training_febs)}"
+        )
+    train_ids = sorted(training_febs)
+    X_train = np.stack(
+        [compute_descriptors(generate_ligand(l)).vector() for l in train_ids]
+    )
+    y_train = np.array([training_febs[l] for l in train_ids])
+
+    cv = cross_validate(X_train, y_train, alpha=alpha, k=cv_folds, seed=seed)
+    model = QSARModel(alpha=alpha).fit(X_train, y_train)
+
+    ranked: list[tuple[str, float]] = []
+    druglike: dict[str, bool] = {}
+    for lig in dict.fromkeys(library):
+        mol = generate_ligand(lig)
+        d = compute_descriptors(mol)
+        pred = float(model.predict(d.vector()[None, :])[0])
+        ranked.append((lig, pred))
+        druglike[lig] = lipinski_report(d).passes
+    ranked.sort(key=lambda pair: pair[1])  # most negative FEB first
+    return ScreeningRanking(
+        ranked_ligands=ranked,
+        model=model,
+        q2=cv["q2"],
+        training_size=len(train_ids),
+        druglike=druglike,
+    )
+
+
+def describe_model(model: QSARModel) -> str:
+    """Human-readable feature-importance table."""
+    if not model.is_fitted:
+        raise QSARError("model is not fitted")
+    importance = model.feature_importance()
+    order = np.argsort(importance)[::-1]
+    lines = ["feature importance (|standardized coefficient|):"]
+    for idx in order:
+        lines.append(f"  {DESCRIPTOR_NAMES[idx]:<22} {importance[idx]:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Complex visualization (the paper's Figure 12), dependency-free.
+
+Renders a receptor-ligand complex the way the paper's screenshot does —
+receptor atoms, the docked ligand highlighted, the grid box drawn around
+the binding site — as an SVG file and as a quick ASCII depth view for
+terminals.
+"""
+
+from repro.viz.render import (
+    ascii_complex,
+    render_complex_svg,
+    project_orthographic,
+)
+
+__all__ = ["render_complex_svg", "ascii_complex", "project_orthographic"]

@@ -1,0 +1,156 @@
+"""Orthographic SVG / ASCII rendering of docked complexes.
+
+No matplotlib: geometry is projected with numpy and written as SVG
+primitives, so the artifact regenerates anywhere the library runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.docking.box import GridBox
+
+#: CPK-ish fill colors per element.
+_ELEMENT_COLORS = {
+    "C": "#909090",
+    "N": "#3050f8",
+    "O": "#ff0d0d",
+    "S": "#ffff30",
+    "H": "#e8e8e8",
+    "P": "#ff8000",
+    "F": "#90e050",
+    "CL": "#1ff01f",
+    "BR": "#a62929",
+    "I": "#940094",
+    "FE": "#e06633",
+    "ZN": "#7d80b0",
+    "MG": "#8aff00",
+    "CA": "#3dff00",
+    "HG": "#b8b8d0",
+}
+
+
+def project_orthographic(
+    coords: np.ndarray, view_axis: int = 2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project 3D coordinates onto the plane orthogonal to ``view_axis``.
+
+    Returns (xy, depth): the 2-D positions and the depth along the view
+    axis (larger = closer to the viewer).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError("expected (N, 3) coordinates")
+    if view_axis not in (0, 1, 2):
+        raise ValueError("view_axis must be 0, 1 or 2")
+    keep = [a for a in range(3) if a != view_axis]
+    return coords[:, keep], coords[:, view_axis]
+
+
+def render_complex_svg(
+    receptor: Molecule,
+    ligand: Molecule,
+    box: GridBox | None = None,
+    *,
+    width: int = 640,
+    view_axis: int = 2,
+    title: str = "",
+) -> str:
+    """Render receptor (muted) + ligand (highlighted) + box as SVG text."""
+    if len(receptor.atoms) == 0 or len(ligand.atoms) == 0:
+        raise ValueError("receptor and ligand must be non-empty")
+    rec_xy, rec_z = project_orthographic(receptor.coords, view_axis)
+    lig_xy, lig_z = project_orthographic(ligand.coords, view_axis)
+    all_xy = np.vstack([rec_xy, lig_xy])
+    lo = all_xy.min(axis=0) - 3.0
+    hi = all_xy.max(axis=0) + 3.0
+    span = hi - lo
+    scale = (width - 20) / span.max()
+    height = int(span[1] * scale) + 20
+
+    def to_px(xy: np.ndarray) -> np.ndarray:
+        p = (xy - lo) * scale + 10
+        p[:, 1] = height - p[:, 1]  # flip y for SVG
+        return p
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#10131a"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="12" y="20" fill="#e6e6e6" font-family="monospace" '
+            f'font-size="14">{title}</text>'
+        )
+    # Grid box (the paper's "white box").
+    if box is not None:
+        keep = [a for a in range(3) if a != view_axis]
+        b_lo = to_px(box.minimum[keep][None, :])[0]
+        b_hi = to_px(box.maximum[keep][None, :])[0]
+        x, y = min(b_lo[0], b_hi[0]), min(b_lo[1], b_hi[1])
+        w, h = abs(b_hi[0] - b_lo[0]), abs(b_hi[1] - b_lo[1])
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            'fill="none" stroke="#ffffff" stroke-width="1.5" '
+            'stroke-dasharray="6 3"/>'
+        )
+    # Receptor: painter's algorithm, muted palette, depth-scaled radii.
+    rec_px = to_px(rec_xy)
+    order = np.argsort(rec_z)
+    z_lo, z_hi = rec_z.min(), max(rec_z.max(), rec_z.min() + 1e-9)
+    for i in order.tolist():
+        depth = (rec_z[i] - z_lo) / (z_hi - z_lo)
+        r = 1.2 + 1.3 * depth
+        color = _ELEMENT_COLORS.get(receptor.atoms[i].element, "#b0b0b0")
+        parts.append(
+            f'<circle cx="{rec_px[i, 0]:.1f}" cy="{rec_px[i, 1]:.1f}" '
+            f'r="{r:.2f}" fill="{color}" fill-opacity="{0.25 + 0.3 * depth:.2f}"/>'
+        )
+    # Ligand bonds then atoms, full-saturation on top.
+    lig_px = to_px(lig_xy)
+    for b in ligand.bonds:
+        parts.append(
+            f'<line x1="{lig_px[b.i, 0]:.1f}" y1="{lig_px[b.i, 1]:.1f}" '
+            f'x2="{lig_px[b.j, 0]:.1f}" y2="{lig_px[b.j, 1]:.1f}" '
+            'stroke="#ffd24d" stroke-width="2"/>'
+        )
+    for i, a in enumerate(ligand.atoms):
+        color = _ELEMENT_COLORS.get(a.element, "#ffd24d")
+        parts.append(
+            f'<circle cx="{lig_px[i, 0]:.1f}" cy="{lig_px[i, 1]:.1f}" r="4" '
+            f'fill="{color}" stroke="#ffd24d" stroke-width="1.2"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def ascii_complex(
+    receptor: Molecule,
+    ligand: Molecule,
+    *,
+    width: int = 72,
+    height: int = 28,
+    view_axis: int = 2,
+) -> str:
+    """Terminal depiction: receptor as '.'/':' by depth, ligand as '#'."""
+    if width < 10 or height < 5:
+        raise ValueError("canvas too small")
+    rec_xy, rec_z = project_orthographic(receptor.coords, view_axis)
+    lig_xy, _ = project_orthographic(ligand.coords, view_axis)
+    all_xy = np.vstack([rec_xy, lig_xy])
+    lo = all_xy.min(axis=0)
+    span = np.maximum(all_xy.max(axis=0) - lo, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+
+    def plot(xy: np.ndarray, chars) -> None:
+        cols = np.clip(((xy[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(((xy[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int), 0, height - 1)
+        for k, (r, c) in enumerate(zip(rows.tolist(), cols.tolist())):
+            canvas[height - 1 - r][c] = chars(k)
+
+    z_mid = float(np.median(rec_z))
+    plot(rec_xy, lambda k: ":" if rec_z[k] > z_mid else ".")
+    plot(lig_xy, lambda k: "#")
+    return "\n".join("".join(row) for row in canvas) + "\n"

@@ -1,0 +1,66 @@
+"""SciCumulus-like cloud Scientific Workflow Management System.
+
+Implements the engine features the paper leans on:
+
+* the algebraic data-centric model (relations in, relations out, one
+  *activation* per tuple) — :mod:`repro.workflow.relation`,
+  :mod:`repro.workflow.algebra`;
+* XML workflow specification with instrumented command templates and
+  extractor components — :mod:`repro.workflow.spec`,
+  :mod:`repro.workflow.template`, :mod:`repro.workflow.extractor`;
+* a greedy weighted-cost-model scheduler over heterogeneous VM cores —
+  :mod:`repro.workflow.scheduler`;
+* adaptive elasticity (scale the virtual cluster with the load) —
+  :mod:`repro.workflow.adaptive`;
+* fault tolerance: failed-activation re-execution and the looping-state
+  watchdog — :mod:`repro.workflow.fault`;
+* two execution engines — a real thread-pool engine and a discrete-event
+  simulated engine for the 2..128-core sweeps —
+  :mod:`repro.workflow.engine`.
+"""
+
+from repro.workflow.relation import Relation
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.algebra import apply_operator
+from repro.workflow.template import ActivityTemplate, TemplateError
+from repro.workflow.extractor import Extractor, RegexExtractor, JsonExtractor
+from repro.workflow.spec import parse_workflow_xml, workflow_to_xml
+from repro.workflow.scheduler import (
+    GreedyCostScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.workflow.adaptive import AdaptiveElasticityPolicy, StaticPolicy
+from repro.workflow.fault import RetryPolicy, Watchdog
+from repro.workflow.engine import (
+    EngineError,
+    ExecutionReport,
+    LocalEngine,
+    SimulatedEngine,
+)
+
+__all__ = [
+    "Relation",
+    "Activity",
+    "Operator",
+    "Workflow",
+    "apply_operator",
+    "ActivityTemplate",
+    "TemplateError",
+    "Extractor",
+    "RegexExtractor",
+    "JsonExtractor",
+    "parse_workflow_xml",
+    "workflow_to_xml",
+    "Scheduler",
+    "GreedyCostScheduler",
+    "RoundRobinScheduler",
+    "AdaptiveElasticityPolicy",
+    "StaticPolicy",
+    "RetryPolicy",
+    "Watchdog",
+    "LocalEngine",
+    "SimulatedEngine",
+    "EngineError",
+    "ExecutionReport",
+]

@@ -1,0 +1,121 @@
+"""Activities, operators and the workflow container.
+
+An :class:`Activity` couples an algebraic operator type with the Python
+callable that processes one tuple (real mode) and an optional cost hint
+(simulated mode). A :class:`Workflow` is a linear pipeline of activities
+— exactly SciDock's shape; branching (AD4 vs Vina) is expressed by a
+Filter/SplitMap emitting tuples tagged with their route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.workflow.extractor import Extractor
+from repro.workflow.template import ActivityTemplate
+
+
+class Operator(str, Enum):
+    """SciCumulus' workflow algebra (Ogasawara et al., VLDB 2011)."""
+
+    MAP = "MAP"  # 1 tuple -> 1 tuple
+    SPLIT_MAP = "SPLIT_MAP"  # 1 tuple -> N tuples
+    FILTER = "FILTER"  # 1 tuple -> 0..1 tuples
+    REDUCE = "REDUCE"  # all tuples -> 1 tuple
+    SR_QUERY = "SR_QUERY"  # relational query over one relation
+    MR_QUERY = "MR_QUERY"  # relational query over many relations
+
+
+#: Real-mode activation function: (tuple, context) -> output tuples.
+ActivationFn = Callable[[dict, dict], list[dict]]
+
+#: Simulated-mode cost hint: tuple -> service seconds on a baseline core.
+CostFn = Callable[[dict], float]
+
+
+class ActivityError(ValueError):
+    """Raised for ill-formed activity definitions."""
+
+
+@dataclass
+class Activity:
+    """One step of the workflow."""
+
+    tag: str
+    operator: Operator = Operator.MAP
+    fn: ActivationFn | None = None
+    cost_fn: CostFn | None = None
+    template: ActivityTemplate | None = None
+    extractors: list[Extractor] = field(default_factory=list)
+    description: str = ""
+    #: Activations of this activity may enter a looping state for some
+    #: inputs (set by SciDock for the receptor-preparation step).
+    looping_predicate: Callable[[dict], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            raise ActivityError("activity needs a tag")
+
+    def run(self, tup: dict, context: dict) -> list[dict]:
+        """Execute one activation in real mode."""
+        if self.fn is None:
+            raise ActivityError(f"activity {self.tag!r} has no callable")
+        out = self.fn(tup, context)
+        if out is None:
+            out = []
+        if self.operator is Operator.MAP and len(out) != 1:
+            raise ActivityError(
+                f"MAP activity {self.tag!r} must emit exactly 1 tuple, got {len(out)}"
+            )
+        if self.operator is Operator.FILTER and len(out) > 1:
+            raise ActivityError(
+                f"FILTER activity {self.tag!r} must emit 0 or 1 tuples, got {len(out)}"
+            )
+        return out
+
+    def cost(self, tup: dict) -> float:
+        """Expected service seconds (simulated mode)."""
+        if self.cost_fn is None:
+            return 1.0
+        c = float(self.cost_fn(tup))
+        if c < 0:
+            raise ActivityError(f"negative cost for activity {self.tag!r}")
+        return c
+
+    def would_loop(self, tup: dict) -> bool:
+        return bool(self.looping_predicate and self.looping_predicate(tup))
+
+
+@dataclass
+class Workflow:
+    """A linear pipeline of activities over an input relation."""
+
+    tag: str
+    activities: list[Activity] = field(default_factory=list)
+    description: str = ""
+    exectag: str = ""
+    expdir: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            raise ActivityError("workflow needs a tag")
+        tags = [a.tag for a in self.activities]
+        if len(set(tags)) != len(tags):
+            raise ActivityError(f"duplicate activity tags in workflow: {tags}")
+
+    def add(self, activity: Activity) -> "Workflow":
+        if any(a.tag == activity.tag for a in self.activities):
+            raise ActivityError(f"duplicate activity tag {activity.tag!r}")
+        self.activities.append(activity)
+        return self
+
+    def activity(self, tag: str) -> Activity:
+        for a in self.activities:
+            if a.tag == tag:
+                return a
+        raise KeyError(f"no activity {tag!r} in workflow {self.tag!r}")
+
+    def __len__(self) -> int:
+        return len(self.activities)

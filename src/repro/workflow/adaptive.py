@@ -1,0 +1,55 @@
+"""Adaptive elasticity: SciCumulus' cloud-native scaling policy.
+
+The engine periodically asks the policy for a core target given the
+current backlog and activity profile; the policy drives
+:meth:`VirtualCluster.scale_to`. The paper calls this *adaptive
+execution*: acquire VMs while compute-heavy activities (Vina/AD4
+docking) dominate the queue, release them as the tail drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StaticPolicy:
+    """No elasticity: hold the configured core count (ablation baseline)."""
+
+    cores: int
+
+    def target_cores(self, n_ready: int, n_running: int, mean_cost: float) -> int:
+        return self.cores
+
+
+@dataclass
+class AdaptiveElasticityPolicy:
+    """Queue-pressure policy bounded by [min_cores, max_cores].
+
+    Target = enough cores to drain the current backlog within
+    ``drain_horizon`` seconds, assuming the observed mean activation
+    cost; clamped to bounds and quantized up to whole instances by the
+    cluster's mix planner. Scale-down happens only when utilization
+    drops below ``scale_down_threshold`` to avoid thrash (hourly billing
+    makes eager release wasteful).
+    """
+
+    min_cores: int = 2
+    max_cores: int = 128
+    drain_horizon: float = 3600.0
+    scale_down_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_cores < 1 or self.max_cores < self.min_cores:
+            raise ValueError("need 1 <= min_cores <= max_cores")
+        if self.drain_horizon <= 0:
+            raise ValueError("drain_horizon must be positive")
+
+    def target_cores(self, n_ready: int, n_running: int, mean_cost: float) -> int:
+        demand_seconds = max(0.0, mean_cost) * (n_ready + n_running)
+        needed = int(demand_seconds / self.drain_horizon) + 1
+        current_demand = n_ready + n_running
+        if current_demand == 0:
+            return self.min_cores
+        target = max(needed, min(current_demand, self.max_cores))
+        return max(self.min_cores, min(self.max_cores, target))

@@ -1,0 +1,78 @@
+"""Whole-relation application of the workflow algebra.
+
+The engines stream tuple-by-tuple; this module provides the equivalent
+bulk semantics (used by tests, by REDUCE barriers and by the SR/MR query
+operators, which are relational rather than per-tuple).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workflow.activity import Activity, ActivityError, Operator
+from repro.workflow.relation import Relation
+
+
+def apply_operator(
+    activity: Activity, relation: Relation, context: dict | None = None
+) -> Relation:
+    """Apply one activity to a whole relation, honoring its operator."""
+    context = context or {}
+    out = Relation(f"{relation.name}->{activity.tag}")
+    op = activity.operator
+    if op in (Operator.MAP, Operator.SPLIT_MAP, Operator.FILTER):
+        for tup in relation:
+            for result in activity.run(tup, context):
+                out.append(result)
+    elif op is Operator.REDUCE:
+        if activity.fn is None:
+            raise ActivityError(f"REDUCE activity {activity.tag!r} has no callable")
+        results = activity.fn({"__tuples__": list(relation)}, context)
+        for result in results or []:
+            out.append(result)
+    elif op is Operator.SR_QUERY:
+        if activity.fn is None:
+            raise ActivityError(f"SR_QUERY activity {activity.tag!r} has no callable")
+        for result in activity.fn({"__relation__": list(relation)}, context) or []:
+            out.append(result)
+    else:
+        raise ActivityError(f"operator {op} needs apply_multi (multiple relations)")
+    return out
+
+
+def apply_multi(
+    activity: Activity,
+    relations: dict[str, Relation],
+    context: dict | None = None,
+) -> Relation:
+    """MR_QUERY: a relational query over several named relations."""
+    if activity.operator is not Operator.MR_QUERY:
+        raise ActivityError(
+            f"apply_multi expects an MR_QUERY activity, got {activity.operator}"
+        )
+    if activity.fn is None:
+        raise ActivityError(f"MR_QUERY activity {activity.tag!r} has no callable")
+    context = context or {}
+    payload = {"__relations__": {k: list(v) for k, v in relations.items()}}
+    out = Relation(f"mr->{activity.tag}")
+    for result in activity.fn(payload, context) or []:
+        out.append(result)
+    return out
+
+
+def make_filter(tag: str, predicate: Callable[[dict], bool], **kw) -> Activity:
+    """Convenience constructor for FILTER activities."""
+
+    def fn(tup: dict, _ctx: dict) -> list[dict]:
+        return [dict(tup)] if predicate(tup) else []
+
+    return Activity(tag=tag, operator=Operator.FILTER, fn=fn, **kw)
+
+
+def make_map(tag: str, transform: Callable[[dict], dict], **kw) -> Activity:
+    """Convenience constructor for MAP activities."""
+
+    def fn(tup: dict, _ctx: dict) -> list[dict]:
+        return [transform(dict(tup))]
+
+    return Activity(tag=tag, operator=Operator.MAP, fn=fn, **kw)

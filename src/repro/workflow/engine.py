@@ -1,0 +1,594 @@
+"""Execution engines: real (thread pool) and simulated (discrete event).
+
+Both engines run the same :class:`~repro.workflow.activity.Workflow`
+against an input :class:`~repro.workflow.relation.Relation`, record full
+PROV-Wf provenance, re-execute failed activations, and handle
+looping-state activations (pre-dispatch blocking when the Hg routine is
+enabled, watchdog aborts otherwise).
+
+* :class:`LocalEngine` actually executes the activation callables on a
+  thread pool — used for the biology-side results (Table 3) and the
+  provenance queries (Figs 10-12).
+* :class:`SimulatedEngine` replaces execution with a calibrated service
+  -time model and schedules activations onto simulated VM cores through
+  a pluggable :class:`~repro.workflow.scheduler.Scheduler` — used for
+  the 2..128-core sweeps (Figs 5-9), which would take CPU-days to run
+  for real.
+
+Activation functions may attach two reserved fields to their output
+tuples: ``_files`` (list of ``(fname, fsize, fdir)`` records) and
+``_extract_payload`` (a string fed to the activity's extractors). The
+engine strips both before the tuple continues downstream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cloud.cluster import CoreHandle, VirtualCluster
+from repro.cloud.failures import ActivityFailureModel
+from repro.cloud.provider import VMState
+from repro.provenance.store import ActivationStatus, ProvenanceStore
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.extractor import run_extractors
+from repro.workflow.fault import RetryPolicy, Watchdog
+from repro.workflow.relation import Relation, tuple_key
+from repro.workflow.scheduler import (
+    GreedyCostScheduler,
+    PendingActivation,
+    Scheduler,
+)
+
+
+class EngineError(RuntimeError):
+    """Raised for unrecoverable engine conditions."""
+
+
+@dataclass
+class ExecutionReport:
+    """Summary of one workflow run."""
+
+    wkfid: int
+    workflow_tag: str
+    tet_seconds: float
+    output: Relation
+    counts: dict[str, int] = field(default_factory=dict)
+    total_activations: int = 0
+    retried: int = 0
+    blocked: int = 0
+    aborted: int = 0
+    cost_usd: float = 0.0
+    peak_cores: int = 0
+    bytes_written: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.counts.get("FAILED", 0) == 0
+
+
+def _strip_reserved(tup: dict) -> tuple[dict, list, str | None]:
+    """Pop the engine-reserved fields off an output tuple."""
+    files = tup.pop("_files", [])
+    payload = tup.pop("_extract_payload", None)
+    return tup, files, payload
+
+
+class LocalEngine:
+    """Real execution on a thread pool."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        workers: int = 4,
+        retry: RetryPolicy | None = None,
+        watchdog: Watchdog | None = None,
+        *,
+        block_known_loopers: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise EngineError("need at least one worker")
+        self.store = store
+        self.workers = workers
+        self.retry = retry or RetryPolicy()
+        self.watchdog = watchdog or Watchdog()
+        self.block_known_loopers = block_known_loopers
+
+    def run(
+        self,
+        workflow: Workflow,
+        relation: Relation,
+        context: dict | None = None,
+    ) -> ExecutionReport:
+        context = dict(context or {})
+        t0 = time.perf_counter()
+        wkfid = self.store.begin_workflow(
+            workflow.tag,
+            workflow.description,
+            workflow.exectag,
+            workflow.expdir,
+            starttime=0.0,
+        )
+        actids = {
+            a.tag: self.store.register_activity(
+                wkfid,
+                a.tag,
+                a.description,
+                a.template.templatedir if a.template else "",
+                a.template.command if a.template else "",
+                a.operator.value,
+            )
+            for a in workflow.activities
+        }
+        context["wkfid"] = wkfid
+
+        retried = blocked = aborted = total = 0
+        current = [(dict(t), tuple_key(t, i)) for i, t in enumerate(relation)]
+        final = Relation(f"{workflow.tag}:output")
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for idx, activity in enumerate(workflow.activities):
+                actid = actids[activity.tag]
+                if activity.operator is Operator.REDUCE:
+                    tuples = [t for t, _ in current]
+                    out = self._run_one(
+                        pool, activity, actid,
+                        {"__tuples__": tuples}, f"reduce-{activity.tag}",
+                        context, t0,
+                    )
+                    next_tuples = [(t, tuple_key(t, k)) for k, t in enumerate(out)]
+                    total += 1
+                else:
+                    steering = context.get("steering")
+                    futures = []
+                    next_tuples = []
+                    for tup, key in current:
+                        total += 1
+                        if steering is not None and steering.should_abort(
+                            activity.tag, key
+                        ):
+                            self.store.record_blocked(
+                                actid, key, time.perf_counter() - t0,
+                                "aborted by user steering",
+                            )
+                            blocked += 1
+                            continue
+                        if activity.would_loop(tup):
+                            if self.block_known_loopers:
+                                self.store.record_blocked(
+                                    actid, key, time.perf_counter() - t0,
+                                    "known looping input (Hg routine)",
+                                )
+                                blocked += 1
+                            else:
+                                # Watchdog kill: the activation consumed its
+                                # full deadline before being aborted.
+                                start = time.perf_counter() - t0
+                                tid = self.store.begin_activation(
+                                    actid, key, start, workdir=context.get("workdir", "")
+                                )
+                                deadline = self.watchdog.deadline(activity.cost(tup))
+                                self.store.end_activation(
+                                    tid, start + deadline,
+                                    ActivationStatus.ABORTED, 137,
+                                    "looping state killed by watchdog",
+                                )
+                                aborted += 1
+                            continue
+                        futures.append(
+                            pool.submit(
+                                self._run_with_retry, activity, actid, tup, key,
+                                context, t0,
+                            )
+                        )
+                    for fut in futures:
+                        outs, n_retries = fut.result()
+                        retried += n_retries
+                        for out_tup in outs:
+                            next_tuples.append((out_tup, tuple_key(out_tup, len(next_tuples))))
+                current = next_tuples
+        for tup, _ in current:
+            final.append(tup)
+        tet = time.perf_counter() - t0
+        self.store.end_workflow(wkfid, tet)
+        return ExecutionReport(
+            wkfid=wkfid,
+            workflow_tag=workflow.tag,
+            tet_seconds=tet,
+            output=final,
+            counts=self.store.counts_by_status(wkfid),
+            total_activations=total,
+            retried=retried,
+            blocked=blocked,
+            aborted=aborted,
+            peak_cores=self.workers,
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def _run_one(self, pool, activity, actid, tup, key, context, t0):
+        outs, _ = self._run_with_retry(activity, actid, tup, key, context, t0)
+        return outs
+
+    def _run_with_retry(
+        self,
+        activity: Activity,
+        actid: int,
+        tup: dict,
+        key: str,
+        context: dict,
+        t0: float,
+    ) -> tuple[list[dict], int]:
+        attempt = 0
+        while True:
+            start = time.perf_counter() - t0
+            tid = self.store.begin_activation(
+                actid, key, start, workdir=context.get("workdir", ""), attempt=attempt
+            )
+            try:
+                raw = activity.run(tup, context)
+            except Exception as exc:  # noqa: BLE001 - activation errors are data
+                self.store.end_activation(
+                    tid,
+                    time.perf_counter() - t0,
+                    ActivationStatus.FAILED,
+                    1,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                if self.retry.should_retry(attempt):
+                    attempt += 1
+                    continue
+                return [], attempt
+            outs = []
+            for out in raw:
+                clean, files, payload = _strip_reserved(dict(out))
+                for fname, fsize, fdir in files:
+                    self.store.record_file(tid, fname, int(fsize), fdir)
+                if payload is not None and activity.extractors:
+                    self.store.record_extracts(
+                        tid, run_extractors(activity.extractors, payload)
+                    )
+                outs.append(clean)
+            self.store.end_activation(tid, time.perf_counter() - t0)
+            return outs, attempt
+
+
+@dataclass
+class _SimJob:
+    """One activation inside the simulated engine."""
+
+    activity_index: int
+    tup: dict
+    key: str
+    attempt: int = 0
+    ready_at: float = 0.0
+
+
+class SimulatedEngine:
+    """Discrete-event execution over a simulated virtual cluster.
+
+    Service time of an activation = ``activity.cost(tuple) / core.speed``.
+    Activation callables, when present, are executed *zero-cost* to
+    propagate routing/filter decisions (they must be lightweight in
+    simulation workflows). Failure injection, watchdog aborts, retries,
+    scheduler overhead and (optional) elasticity are all modeled.
+    """
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        cluster: VirtualCluster,
+        scheduler: Scheduler | None = None,
+        retry: RetryPolicy | None = None,
+        watchdog: Watchdog | None = None,
+        failure_model: ActivityFailureModel | None = None,
+        elasticity=None,
+        *,
+        block_known_loopers: bool = True,
+        core_limit: int | None = None,
+        data_model=None,
+    ) -> None:
+        self.store = store
+        self.cluster = cluster
+        self.scheduler = scheduler or GreedyCostScheduler()
+        self.retry = retry or RetryPolicy()
+        self.watchdog = watchdog or Watchdog()
+        self.failure_model = failure_model or ActivityFailureModel(rate=0.0)
+        self.elasticity = elasticity
+        self.block_known_loopers = block_known_loopers
+        #: Optional (activity_tag, tuple) -> bytes model: accumulates the
+        #: shared-FS data volume the run would produce (the paper's
+        #: "600 GB for each workflow execution").
+        self.data_model = data_model
+        # The paper's 2-core baseline uses half an m3.xlarge; core_limit
+        # caps how many of the cluster's cores the engine may occupy.
+        if core_limit is not None and core_limit < 1:
+            raise EngineError("core_limit must be >= 1")
+        self.core_limit = core_limit
+
+    def _release_idle_vms(
+        self, target_cores: int, busy_cores: set[tuple[str, int]]
+    ) -> None:
+        """Terminate idle VMs (newest first) down toward ``target_cores``."""
+        busy_vms = {vm_id for vm_id, _ in busy_cores}
+        for vm in sorted(
+            self.cluster.active_vms, key=lambda v: v.launch_time, reverse=True
+        ):
+            if self.cluster.total_cores - vm.cores < target_cores:
+                break
+            if vm.vm_id in busy_vms:
+                continue
+            self.cluster.provider.terminate(vm.vm_id)
+
+    # -- core loop ----------------------------------------------------------
+    def run(
+        self,
+        workflow: Workflow,
+        relation: Relation,
+        context: dict | None = None,
+    ) -> ExecutionReport:
+        context = dict(context or {})
+        clock = self.cluster.provider.clock
+        start_time = clock.now
+        wkfid = self.store.begin_workflow(
+            workflow.tag, workflow.description, workflow.exectag,
+            workflow.expdir, starttime=start_time,
+        )
+        actids = {
+            a.tag: self.store.register_activity(
+                wkfid, a.tag, a.description, "", "", a.operator.value
+            )
+            for a in workflow.activities
+        }
+        context["wkfid"] = wkfid
+
+        now = start_time
+        seq = itertools.count()
+        arrivals = itertools.count()
+        #: Dispatchable jobs, keyed by scheduler priority (max-heap).
+        ready_heap: list[tuple[float, int, _SimJob]] = []
+        #: Jobs waiting on a retry delay, keyed by eligibility time.
+        waiting: list[tuple[float, int, _SimJob]] = []
+        #: (finish_time, seq, job, core, outcome) — outcome in
+        #: {"ok", "fail", "loop"}.
+        running: list[tuple[float, int, _SimJob, CoreHandle, str]] = []
+        busy_cores: set[tuple[str, int]] = set()
+        retired_counts = {"retried": 0, "blocked": 0, "aborted": 0, "total": 0}
+        bytes_written = 0.0
+        final = Relation(f"{workflow.tag}:output")
+        peak_cores = self.cluster.total_cores
+        reduce_pending: dict[int, int] = {}
+        reduce_buffer: dict[int, list[dict]] = {}
+        # Track in-flight work per activity index for REDUCE barriers.
+        inflight: dict[int, int] = {i: 0 for i in range(len(workflow.activities))}
+
+        def priority_of(job: _SimJob) -> float:
+            activity = workflow.activities[job.activity_index]
+            return self.scheduler.job_priority(
+                PendingActivation(
+                    key=job.key,
+                    expected_cost=activity.cost(job.tup),
+                    arrival=next(arrivals),
+                )
+            )
+
+        def enqueue(job: _SimJob, when: float) -> None:
+            if job.ready_at > when:
+                heapq.heappush(waiting, (job.ready_at, next(seq), job))
+            else:
+                heapq.heappush(ready_heap, (-priority_of(job), next(seq), job))
+
+        steering = context.get("steering")
+
+        def emit(index: int, tup: dict, key: str, when: float) -> None:
+            """Queue an activation of activity ``index`` for ``tup``."""
+            retired_counts["total"] += 1
+            activity = workflow.activities[index]
+            if steering is not None and steering.should_abort(activity.tag, key):
+                self.store.record_blocked(
+                    actids[activity.tag], key, when, "aborted by user steering"
+                )
+                retired_counts["blocked"] += 1
+                return
+            if activity.would_loop(tup) and self.block_known_loopers:
+                self.store.record_blocked(
+                    actids[activity.tag], key, when, "known looping input (Hg routine)"
+                )
+                retired_counts["blocked"] += 1
+                return
+            inflight[index] += 1
+            enqueue(_SimJob(index, tup, key, ready_at=when), when)
+
+        def downstream(index: int, outputs: list[dict], when: float) -> None:
+            """Feed an activation's outputs to the next activity."""
+            nxt = index + 1
+            if nxt >= len(workflow.activities):
+                for out in outputs:
+                    final.append(out)
+                return
+            nxt_activity = workflow.activities[nxt]
+            if nxt_activity.operator is Operator.REDUCE:
+                reduce_buffer.setdefault(nxt, []).extend(outputs)
+                return
+            for k, out in enumerate(outputs):
+                emit(nxt, out, tuple_key(out, retired_counts["total"] + k), when)
+
+        def maybe_release_reduce(when: float) -> None:
+            """Fire REDUCE activations whose upstream fully drained."""
+            for idx, activity in enumerate(workflow.activities):
+                if activity.operator is not Operator.REDUCE:
+                    continue
+                if idx in reduce_pending:
+                    continue  # already fired
+                upstream_busy = any(inflight.get(i, 0) for i in range(idx))
+                if idx == 0 or not upstream_busy:
+                    reduce_pending[idx] = 1
+                    tuples = reduce_buffer.get(idx, [])
+                    emit(idx, {"__tuples__": tuples}, f"reduce-{activity.tag}", when)
+
+        # Seed stage 0.
+        for i, tup in enumerate(relation):
+            emit(0, dict(tup), tuple_key(tup, i), now)
+
+        while ready_heap or waiting or running:
+            # Promote retry-delayed jobs that became eligible.
+            while waiting and waiting[0][0] <= now:
+                _, _, job = heapq.heappop(waiting)
+                heapq.heappush(ready_heap, (-priority_of(job), next(seq), job))
+
+            # Elasticity: consult the policy before each scheduling round.
+            if self.elasticity is not None:
+                if ready_heap:
+                    mean_cost = sum(
+                        workflow.activities[j.activity_index].cost(j.tup)
+                        for _, _, j in ready_heap
+                    ) / len(ready_heap)
+                else:
+                    mean_cost = 0.0
+                target = self.elasticity.target_cores(
+                    len(ready_heap), len(running), mean_cost
+                )
+                if target > self.cluster.total_cores:
+                    clock.advance_to(max(clock.now, now))
+                    self.cluster.scale_to(target)
+                elif target < self.cluster.total_cores:
+                    # Release only *idle* VMs (no busy core), newest first
+                    # — the paper's scale-down as the tail drains.
+                    clock.advance_to(max(clock.now, now))
+                    self._release_idle_vms(target, busy_cores)
+            # Make provider boot events catch up to engine time.
+            clock.run(until=max(clock.now, now))
+            peak_cores = max(peak_cores, self.cluster.total_cores)
+
+            usable = self.cluster.cores()
+            if self.core_limit is not None:
+                usable = usable[: self.core_limit]
+            free = [
+                h
+                for h in usable
+                if (h.vm_id, h.core_index) not in busy_cores
+                and self.cluster.provider.describe(h.vm_id).state == VMState.RUNNING
+            ]
+            if free and ready_heap:
+                free.sort(key=self.scheduler.core_priority, reverse=True)
+                n_round = min(len(free), len(ready_heap))
+                effective_cores = self.cluster.total_cores
+                if self.core_limit is not None:
+                    effective_cores = min(effective_cores, self.core_limit)
+                overhead = self.scheduler.overhead_seconds(
+                    len(ready_heap), effective_cores
+                )
+                start = now + overhead
+                for core in free[:n_round]:
+                    _, _, job = heapq.heappop(ready_heap)
+                    activity = workflow.activities[job.activity_index]
+                    cost = activity.cost(job.tup)
+                    loops = activity.would_loop(job.tup)
+                    fails = self.failure_model.fails(
+                        f"{activity.tag}:{job.key}", job.attempt
+                    )
+                    if loops:
+                        service = self.watchdog.deadline(cost)
+                        outcome = "loop"
+                    else:
+                        service = cost / core.speed
+                        outcome = "fail" if fails else "ok"
+                    job.tid = self.store.begin_activation(  # type: ignore[attr-defined]
+                        actids[activity.tag],
+                        job.key,
+                        start,
+                        vm_id=core.vm_id,
+                        core_index=core.core_index,
+                        attempt=job.attempt,
+                    )
+                    busy_cores.add((core.vm_id, core.core_index))
+                    heapq.heappush(
+                        running, (start + service, next(seq), job, core, outcome)
+                    )
+                continue
+
+            if not running:
+                if ready_heap:
+                    # Cores exist but are still booting: advance to next boot.
+                    if self.cluster.provider.clock.pending:
+                        self.cluster.provider.clock.step()
+                        now = max(now, self.cluster.provider.clock.now)
+                        continue
+                    raise EngineError(
+                        "deadlock: ready activations but no cores available"
+                    )
+                if waiting:
+                    # Jobs waiting on retry delay: jump to the earliest.
+                    now = waiting[0][0]
+                    maybe_release_reduce(now)
+                    continue
+                maybe_release_reduce(now)
+                if not (ready_heap or waiting or running):
+                    break
+                continue
+
+            finish, _, job, core, outcome = heapq.heappop(running)
+            now = max(now, finish)
+            busy_cores.discard((core.vm_id, core.core_index))
+            activity = workflow.activities[job.activity_index]
+            inflight[job.activity_index] -= 1
+            if outcome == "loop":
+                self.store.end_activation(
+                    job.tid, finish, ActivationStatus.ABORTED, 137,
+                    "looping state killed by watchdog",
+                )
+                retired_counts["aborted"] += 1
+            elif outcome == "fail":
+                self.store.end_activation(
+                    job.tid, finish, ActivationStatus.FAILED, 1, "injected failure"
+                )
+                if self.retry.should_retry(job.attempt):
+                    retired_counts["retried"] += 1
+                    inflight[job.activity_index] += 1
+                    retry_job = _SimJob(
+                        job.activity_index,
+                        job.tup,
+                        job.key,
+                        attempt=job.attempt + 1,
+                        ready_at=finish + self.retry.retry_delay,
+                    )
+                    enqueue(retry_job, now)
+            else:
+                self.store.end_activation(job.tid, finish)
+                if self.data_model is not None:
+                    bytes_written += self.data_model(activity.tag, job.tup)
+                if activity.fn is not None:
+                    raw = activity.run(job.tup, context)
+                else:
+                    raw = [dict(job.tup)]
+                outputs = []
+                for out in raw:
+                    clean, files, payload = _strip_reserved(dict(out))
+                    for fname, fsize, fdir in files:
+                        self.store.record_file(job.tid, fname, int(fsize), fdir)
+                    if payload is not None and activity.extractors:
+                        self.store.record_extracts(
+                            job.tid, run_extractors(activity.extractors, payload)
+                        )
+                    outputs.append(clean)
+                downstream(job.activity_index, outputs, now)
+            maybe_release_reduce(now)
+
+        tet = now - start_time
+        self.store.end_workflow(wkfid, now)
+        return ExecutionReport(
+            wkfid=wkfid,
+            workflow_tag=workflow.tag,
+            tet_seconds=tet,
+            output=final,
+            counts=self.store.counts_by_status(wkfid),
+            total_activations=retired_counts["total"],
+            retried=retired_counts["retried"],
+            blocked=retired_counts["blocked"],
+            aborted=retired_counts["aborted"],
+            cost_usd=self.cluster.cost(),
+            peak_cores=peak_cores,
+            bytes_written=bytes_written,
+        )

@@ -1,0 +1,102 @@
+"""Extractor components.
+
+After an activation completes, SciCumulus opens the files it produced
+and extracts domain values (e.g. binding-energy statistics) into the
+provenance repository, enabling Query-1/Query-2-style analyses. An
+:class:`Extractor` maps an output payload to ``{key: value}`` records.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+
+class ExtractorError(ValueError):
+    """Raised when extraction fails on well-formed input expectations."""
+
+
+class Extractor(Protocol):
+    """Anything that can pull provenance records out of activation output."""
+
+    def extract(self, payload: str) -> dict:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class RegexExtractor:
+    """Extracts named values via regular expressions.
+
+    ``patterns`` maps record keys to regexes with one capture group; the
+    first match wins. ``required`` keys raise when absent, optional keys
+    are skipped silently.
+    """
+
+    patterns: dict[str, str]
+    required: tuple[str, ...] = ()
+    cast: Callable[[str], object] = float
+
+    def extract(self, payload: str) -> dict:
+        out: dict = {}
+        for key, pattern in self.patterns.items():
+            m = re.search(pattern, payload, re.MULTILINE)
+            if m is None:
+                if key in self.required:
+                    raise ExtractorError(
+                        f"required key {key!r} not found by pattern {pattern!r}"
+                    )
+                continue
+            raw = m.group(1)
+            try:
+                out[key] = self.cast(raw)
+            except (TypeError, ValueError):
+                out[key] = raw
+        return out
+
+
+@dataclass
+class JsonExtractor:
+    """Extracts selected keys from a JSON payload (our engines' summaries)."""
+
+    keys: tuple[str, ...] = ()
+    prefix: str = ""
+
+    def extract(self, payload: str) -> dict:
+        try:
+            doc = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ExtractorError(f"payload is not JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ExtractorError("JSON payload must be an object")
+        keys = self.keys or tuple(doc)
+        out = {}
+        for k in keys:
+            if k in doc:
+                out[f"{self.prefix}{k}"] = doc[k]
+        return out
+
+
+@dataclass
+class CallableExtractor:
+    """Adapter for plain functions ``payload -> dict``."""
+
+    fn: Callable[[str], dict]
+    name: str = "callable"
+
+    def extract(self, payload: str) -> dict:
+        out = self.fn(payload)
+        if not isinstance(out, dict):
+            raise ExtractorError(
+                f"extractor {self.name!r} must return a dict, got {type(out).__name__}"
+            )
+        return out
+
+
+def run_extractors(extractors: list, payload: str) -> dict:
+    """Run every extractor, merging results (later extractors win ties)."""
+    merged: dict = {}
+    for ex in extractors:
+        merged.update(ex.extract(payload))
+    return merged

@@ -1,0 +1,56 @@
+"""Fault tolerance: re-execution and the looping-state watchdog.
+
+Two mechanisms from the paper:
+
+* ~10 % of activation executions fail; SciCumulus re-submits *only the
+  failed activations* (the provenance repository knows exactly which),
+  never the whole workflow.
+* Some activations enter a *looping state* — no error, no progress
+  (receptors containing Hg). A watchdog kills them after a timeout;
+  once the Hg routine is enabled, such activations are blocked before
+  dispatch instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RetryPolicy:
+    """How failed activations are re-executed."""
+
+    max_attempts: int = 3
+    #: Delay before a retry is eligible (simulated seconds).
+    retry_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.retry_delay < 0:
+            raise ValueError("retry_delay cannot be negative")
+
+    def should_retry(self, attempt: int) -> bool:
+        """``attempt`` is 0-based; attempt 0 failing leaves max-1 retries."""
+        return attempt + 1 < self.max_attempts
+
+
+@dataclass
+class Watchdog:
+    """Kills looping activations after ``timeout`` service seconds.
+
+    ``multiplier`` expresses the adaptive variant: an activation is
+    declared looping when it exceeds ``multiplier`` x the activity's
+    expected cost, bounded below by ``timeout``.
+    """
+
+    timeout: float = 600.0
+    multiplier: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0 or self.multiplier <= 1:
+            raise ValueError("timeout must be positive and multiplier > 1")
+
+    def deadline(self, expected_cost: float) -> float:
+        """Seconds after which a running activation is killed."""
+        return max(self.timeout, self.multiplier * max(0.0, expected_cost))

@@ -1,0 +1,140 @@
+"""Re-execution of failed work from a previous run.
+
+The paper: "SciCumulus has a re-execution mechanism, which supports long
+running workflows, when some activity executions fail and need to be
+re-submitted ... Since it has all information stored in the provenance
+repository it does not need to restart the entire workflow."
+
+This module answers, from provenance alone, *which tuples still need
+work*, and re-runs just those through the engine under a fresh workflow
+execution — the recovery path after a crash, a VM loss, or retry
+exhaustion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.activity import Workflow
+from repro.workflow.engine import ExecutionReport, LocalEngine
+from repro.workflow.relation import Relation, tuple_key
+
+
+@dataclass
+class RecoveryPlan:
+    """What a resume would re-run, and why."""
+
+    wkfid: int
+    completed_keys: set[str]
+    failed_keys: set[str]
+    aborted_keys: set[str]
+    blocked_keys: set[str]
+    missing_keys: set[str]
+
+    @property
+    def keys_to_rerun(self) -> set[str]:
+        """Failed or never-started tuples; aborted/blocked stay excluded
+        (they are known-bad inputs, e.g. Hg receptors)."""
+        return self.failed_keys | self.missing_keys
+
+    def summary(self) -> str:
+        return (
+            f"workflow {self.wkfid}: {len(self.completed_keys)} complete, "
+            f"{len(self.failed_keys)} failed, {len(self.missing_keys)} missing, "
+            f"{len(self.aborted_keys)} aborted, {len(self.blocked_keys)} blocked"
+            f" -> re-running {len(self.keys_to_rerun)}"
+        )
+
+
+def _root_key(key: str) -> str:
+    """Activation keys inherit the pair key (``<ligand>_<receptor>``)."""
+    return key
+
+
+def analyze_run(
+    store: ProvenanceStore,
+    wkfid: int,
+    workflow: Workflow,
+    relation: Relation,
+) -> RecoveryPlan:
+    """Classify every input tuple of a prior run by its recovery need.
+
+    A tuple is *complete* when the final activity has a FINISHED
+    activation for its key; *failed* when some activation for its key
+    ended FAILED without a later FINISHED of the same activity;
+    *aborted*/*blocked* when the looping machinery stopped it; *missing*
+    when no terminal record exists at all (crash mid-run).
+    """
+    last_tag = workflow.activities[-1].tag
+    rows = store.sql(
+        """
+        SELECT a.tag, t.tuple_key, t.status, t.attempt
+        FROM hactivation t JOIN hactivity a ON t.actid = a.actid
+        WHERE a.wkfid = ?
+        ORDER BY t.taskid
+        """,
+        (wkfid,),
+    )
+    finished_last: set[str] = set()
+    # (tag, key) -> last seen status wins (retries overwrite failures).
+    final_status: dict[tuple[str, str], str] = {}
+    for r in rows:
+        key = _root_key(r["tuple_key"])
+        final_status[(r["tag"], key)] = r["status"]
+        if r["tag"] == last_tag and r["status"] == "FINISHED":
+            finished_last.add(key)
+
+    all_keys = {tuple_key(t, i) for i, t in enumerate(relation)}
+    failed: set[str] = set()
+    aborted: set[str] = set()
+    blocked: set[str] = set()
+    for (tag, key), status in final_status.items():
+        if key not in all_keys:
+            continue
+        if status == "FAILED":
+            failed.add(key)
+        elif status == "ABORTED":
+            aborted.add(key)
+        elif status == "BLOCKED":
+            blocked.add(key)
+    completed = finished_last & all_keys
+    terminalized = completed | failed | aborted | blocked
+    missing = all_keys - terminalized
+    # A key can appear in several sets (e.g. failed early, finished after
+    # retry); completion wins, then abort/block, then failure.
+    failed -= completed | aborted | blocked
+    return RecoveryPlan(
+        wkfid=wkfid,
+        completed_keys=completed,
+        failed_keys=failed,
+        aborted_keys=aborted,
+        blocked_keys=blocked,
+        missing_keys=missing,
+    )
+
+
+def resume_failed(
+    store: ProvenanceStore,
+    wkfid: int,
+    workflow: Workflow,
+    relation: Relation,
+    engine: LocalEngine | None = None,
+    context: dict | None = None,
+) -> tuple[ExecutionReport | None, RecoveryPlan]:
+    """Re-run only the tuples a prior run left unfinished.
+
+    Returns ``(report, plan)``; ``report`` is ``None`` when nothing
+    needed re-execution. The resumed work runs as a new workflow
+    execution in the same store, so provenance keeps the full history.
+    """
+    plan = analyze_run(store, wkfid, workflow, relation)
+    if not plan.keys_to_rerun:
+        return None, plan
+    rerun = Relation(f"{relation.name}:resume")
+    for i, tup in enumerate(relation):
+        if tuple_key(tup, i) in plan.keys_to_rerun:
+            rerun.append(dict(tup))
+    engine = engine or LocalEngine(store)
+    report = engine.run(workflow, rerun, context=context)
+    return report, plan

@@ -1,0 +1,97 @@
+"""Relations and tuples — the algebraic data model.
+
+SciCumulus treats every activity as an operator that consumes a relation
+and emits a relation; each tuple is processed by one *activation*. A
+:class:`Relation` here is a named, schema-checked list of dict tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class RelationError(ValueError):
+    """Raised for schema violations."""
+
+
+class Relation:
+    """An ordered bag of tuples sharing a schema (set of field names)."""
+
+    def __init__(
+        self,
+        name: str,
+        tuples: Iterable[dict] | None = None,
+        schema: tuple[str, ...] | None = None,
+    ) -> None:
+        if not name:
+            raise RelationError("relation needs a name")
+        self.name = name
+        self._tuples: list[dict] = []
+        self.schema: tuple[str, ...] | None = tuple(schema) if schema else None
+        for t in tuples or []:
+            self.append(t)
+
+    def append(self, tup: dict) -> None:
+        if not isinstance(tup, dict):
+            raise RelationError(f"tuples must be dicts, got {type(tup).__name__}")
+        if self.schema is None:
+            self.schema = tuple(sorted(tup))
+        elif tuple(sorted(tup)) != self.schema:
+            raise RelationError(
+                f"tuple fields {sorted(tup)} do not match relation schema "
+                f"{list(self.schema)}"
+            )
+        self._tuples.append(dict(tup))
+
+    def extend(self, tuples: Iterable[dict]) -> None:
+        for t in tuples:
+            self.append(t)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._tuples)
+
+    def __getitem__(self, idx: int) -> dict:
+        return self._tuples[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Relation({self.name!r}, {len(self)} tuples)"
+
+    def fields(self) -> tuple[str, ...]:
+        if self.schema is None:
+            raise RelationError(f"relation {self.name!r} is empty and untyped")
+        return self.schema
+
+    def column(self, field: str) -> list:
+        if self.schema is not None and field not in self.schema:
+            raise RelationError(f"no field {field!r} in {list(self.schema)}")
+        return [t[field] for t in self._tuples]
+
+    def project(self, fields: Iterable[str]) -> "Relation":
+        fields = tuple(fields)
+        missing = set(fields) - set(self.fields())
+        if missing:
+            raise RelationError(f"cannot project missing fields {sorted(missing)}")
+        return Relation(
+            self.name, ({f: t[f] for f in fields} for t in self._tuples)
+        )
+
+    def copy(self) -> "Relation":
+        return Relation(self.name, (dict(t) for t in self._tuples), self.schema)
+
+
+def tuple_key(tup: dict, index: int | None = None) -> str:
+    """Stable human-readable key for one tuple.
+
+    Prefers an explicit ``key`` field, then the SciDock convention
+    ``ligand_receptor``, then a positional fallback.
+    """
+    if "key" in tup:
+        return str(tup["key"])
+    if "ligand_id" in tup and "receptor_id" in tup:
+        return f"{tup['ligand_id']}_{tup['receptor_id']}"
+    if index is not None:
+        return f"tuple-{index}"
+    return "tuple-" + "-".join(f"{k}={tup[k]}" for k in sorted(tup))

@@ -1,0 +1,166 @@
+"""SciCumulus XML workflow specification.
+
+Round-trips the paper's XML dialect (Figure 2)::
+
+    <SciCumulus>
+      <database name="scicumulus" port="5432" server="..."/>
+      <SciCumulusWorkflow tag="SciDock" description="Docking"
+                          exectag="scidock" expdir="/root/scidock/">
+        <SciCumulusActivity tag="babel" templatedir=".../template_babel/"
+                            activation="./experiment.cmd" operator="MAP">
+          <Relation reltype="Input" name="rel_in_1" filename="input_1.txt"/>
+          <Relation reltype="Output" name="rel_out1" filename="output_1.txt"/>
+          <File instrumented="true" filename="experiment.cmd"/>
+        </SciCumulusActivity>
+      </SciCumulusWorkflow>
+    </SciCumulus>
+
+Parsing yields a :class:`~repro.workflow.activity.Workflow` whose
+activities carry templates; callables are attached afterwards by the
+application (the XML only describes structure, as in SciCumulus).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.template import ActivityTemplate
+
+
+class SpecError(ValueError):
+    """Raised for malformed workflow XML."""
+
+
+@dataclass
+class DatabaseConfig:
+    """The provenance-database endpoint from the spec header."""
+
+    name: str = "scicumulus"
+    server: str = "localhost"
+    port: int = 5432
+
+
+def parse_workflow_xml(text: str) -> tuple[Workflow, DatabaseConfig]:
+    """Parse SciCumulus XML into (workflow skeleton, database config)."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SpecError(f"invalid XML: {exc}") from None
+    if root.tag != "SciCumulus":
+        raise SpecError(f"expected <SciCumulus> root, got <{root.tag}>")
+
+    db_el = root.find("database")
+    db = DatabaseConfig()
+    if db_el is not None:
+        db = DatabaseConfig(
+            name=db_el.get("name", db.name),
+            server=db_el.get("server", db.server),
+            port=int(db_el.get("port", db.port)),
+        )
+
+    wf_el = root.find("SciCumulusWorkflow")
+    if wf_el is None:
+        raise SpecError("missing <SciCumulusWorkflow> element")
+    tag = wf_el.get("tag")
+    if not tag:
+        raise SpecError("<SciCumulusWorkflow> needs a tag attribute")
+    workflow = Workflow(
+        tag=tag,
+        description=wf_el.get("description", ""),
+        exectag=wf_el.get("exectag", ""),
+        expdir=wf_el.get("expdir", ""),
+    )
+
+    for act_el in wf_el.findall("SciCumulusActivity"):
+        atag = act_el.get("tag")
+        if not atag:
+            raise SpecError("<SciCumulusActivity> needs a tag attribute")
+        op_name = act_el.get("operator", "MAP").upper()
+        try:
+            operator = Operator(op_name)
+        except ValueError:
+            raise SpecError(
+                f"unknown operator {op_name!r} on activity {atag!r}"
+            ) from None
+        input_rel = output_rel = None
+        for rel_el in act_el.findall("Relation"):
+            reltype = rel_el.get("reltype", "").lower()
+            if reltype == "input":
+                input_rel = rel_el.get("filename", "input.txt")
+            elif reltype == "output":
+                output_rel = rel_el.get("filename", "output.txt")
+            else:
+                raise SpecError(
+                    f"Relation reltype must be Input/Output, got {reltype!r}"
+                )
+        command = ""
+        for file_el in act_el.findall("File"):
+            if file_el.get("instrumented", "false").lower() == "true":
+                command = file_el.get("filename", "")
+        template = ActivityTemplate(
+            command=act_el.get("activation", command or "./experiment.cmd"),
+            templatedir=act_el.get("templatedir", ""),
+            input_relation=input_rel or "input.txt",
+            output_relation=output_rel or "output.txt",
+        )
+        workflow.add(
+            Activity(
+                tag=atag,
+                operator=operator,
+                template=template,
+                description=act_el.get("description", ""),
+            )
+        )
+    return workflow, db
+
+
+def workflow_to_xml(workflow: Workflow, db: DatabaseConfig | None = None) -> str:
+    """Serialize a workflow skeleton back to SciCumulus XML."""
+    root = ET.Element("SciCumulus")
+    db = db or DatabaseConfig()
+    ET.SubElement(
+        root,
+        "database",
+        name=db.name,
+        server=db.server,
+        port=str(db.port),
+    )
+    wf_el = ET.SubElement(
+        root,
+        "SciCumulusWorkflow",
+        tag=workflow.tag,
+        description=workflow.description,
+        exectag=workflow.exectag,
+        expdir=workflow.expdir,
+    )
+    for act in workflow.activities:
+        tpl = act.template or ActivityTemplate(command="./experiment.cmd")
+        act_el = ET.SubElement(
+            wf_el,
+            "SciCumulusActivity",
+            tag=act.tag,
+            templatedir=tpl.templatedir,
+            activation=tpl.command,
+            operator=act.operator.value,
+        )
+        ET.SubElement(
+            act_el,
+            "Relation",
+            reltype="Input",
+            name=f"rel_in_{act.tag}",
+            filename=tpl.input_relation,
+        )
+        ET.SubElement(
+            act_el,
+            "Relation",
+            reltype="Output",
+            name=f"rel_out_{act.tag}",
+            filename=tpl.output_relation,
+        )
+        ET.SubElement(
+            act_el, "File", instrumented="true", filename="experiment.cmd"
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"

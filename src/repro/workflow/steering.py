@@ -1,0 +1,143 @@
+"""Runtime steering: monitor a running workflow and intervene.
+
+"It is worth noticing that SciCumulus allows for runtime provenance
+query, which is a unique feature, yet it allows for user steering and
+anticipating results." — the scientist watches the provenance store
+while the workflow runs, spots abnormal activations (e.g. the Hg
+receptors stuck in a looping state), and aborts the matching inputs so
+no future activation wastes time on them.
+
+:class:`SteeringControl` is shared with the engines through the run
+context (``context['steering']``); engines consult
+:meth:`SteeringControl.should_abort` before dispatching an activation.
+:class:`SteeringMonitor` implements the scientist's side: partial
+statistics, anticipated results and abnormal-activation detection over a
+live store.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.provenance.store import ProvenanceStore
+
+
+class SteeringControl:
+    """Thread-safe set of (activity, tuple-key) abort rules."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._abort_keys: set[str] = set()
+        self._abort_pairs: set[tuple[str, str]] = set()
+
+    def abort_tuple(self, tuple_key: str) -> None:
+        """Abort every future activation of this input tuple."""
+        with self._lock:
+            self._abort_keys.add(tuple_key)
+
+    def abort_activation(self, activity_tag: str, tuple_key: str) -> None:
+        """Abort only one activity's activation for a tuple."""
+        with self._lock:
+            self._abort_pairs.add((activity_tag, tuple_key))
+
+    def should_abort(self, activity_tag: str, tuple_key: str) -> bool:
+        with self._lock:
+            return (
+                tuple_key in self._abort_keys
+                or (activity_tag, tuple_key) in self._abort_pairs
+            )
+
+    @property
+    def rules(self) -> int:
+        with self._lock:
+            return len(self._abort_keys) + len(self._abort_pairs)
+
+
+@dataclass
+class AbnormalActivation:
+    """An activation flagged by the monitor."""
+
+    taskid: int
+    activity_tag: str
+    tuple_key: str
+    running_seconds: float
+    activity_avg_seconds: float
+    reason: str = "running far beyond the activity average"
+
+
+@dataclass
+class SteeringMonitor:
+    """Provenance-backed runtime monitoring (the scientist's console)."""
+
+    store: ProvenanceStore
+    wkfid: int
+    control: SteeringControl = field(default_factory=SteeringControl)
+
+    def progress(self) -> dict[str, int]:
+        """Live activation counts by status."""
+        return self.store.counts_by_status(self.wkfid)
+
+    def anticipated_results(self, key: str = "feb", limit: int = 10) -> list[tuple[str, float]]:
+        """Peek at domain extracts before the workflow finishes.
+
+        The paper's "anticipating results": the best binding energies
+        recorded so far, while docking activations are still running.
+        """
+        rows = self.store.sql(
+            """
+            SELECT t.tuple_key, CAST(e.value AS REAL) AS v
+            FROM hextract e
+            JOIN hactivation t ON e.taskid = t.taskid
+            JOIN hactivity a ON t.actid = a.actid
+            WHERE a.wkfid = ? AND e.key = ?
+            ORDER BY v ASC LIMIT ?
+            """,
+            (self.wkfid, key, limit),
+        )
+        return [(r["tuple_key"], r["v"]) for r in rows]
+
+    def abnormal_activations(
+        self, now: float, threshold: float = 10.0, min_seconds: float = 5.0
+    ) -> list[AbnormalActivation]:
+        """Activations running ``threshold`` x their activity's average.
+
+        This is how the paper's users found the Hg looping state: no
+        error message, just runtimes wildly beyond the norm.
+        """
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0")
+        rows = self.store.sql(
+            """
+            SELECT t.taskid, t.tuple_key, t.starttime, a.tag,
+                   (SELECT AVG(t2.endtime - t2.starttime)
+                    FROM hactivation t2
+                    WHERE t2.actid = t.actid AND t2.status = 'FINISHED') AS avg_s
+            FROM hactivation t JOIN hactivity a ON t.actid = a.actid
+            WHERE a.wkfid = ? AND t.status = 'RUNNING'
+            """,
+            (self.wkfid,),
+        )
+        flagged = []
+        for r in rows:
+            running = now - r["starttime"]
+            avg = r["avg_s"]
+            baseline = max(min_seconds, (avg or 0.0) * threshold)
+            if running > baseline:
+                flagged.append(
+                    AbnormalActivation(
+                        taskid=r["taskid"],
+                        activity_tag=r["tag"],
+                        tuple_key=r["tuple_key"],
+                        running_seconds=running,
+                        activity_avg_seconds=avg or 0.0,
+                    )
+                )
+        return flagged
+
+    def abort_abnormal(self, now: float, threshold: float = 10.0) -> list[AbnormalActivation]:
+        """Flag and abort: the paper's intervention loop in one call."""
+        flagged = self.abnormal_activations(now, threshold)
+        for f in flagged:
+            self.control.abort_tuple(f.tuple_key)
+        return flagged

@@ -1,0 +1,61 @@
+"""Instrumented command templates.
+
+SciCumulus activities are *instrumented*: the XML points at a template
+directory containing an ``experiment.cmd`` whose tags (``%=NAME%``) are
+substituted with each tuple's values at dispatch time (paper Figs 2-3).
+The engine records the fully instantiated command line in provenance so
+every parameter of every activation is queryable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_TAG = re.compile(r"%=([A-Za-z_][A-Za-z0-9_]*)%")
+
+
+class TemplateError(ValueError):
+    """Raised for unresolved or malformed templates."""
+
+
+@dataclass
+class ActivityTemplate:
+    """One activity's command template + relation file wiring."""
+
+    command: str
+    templatedir: str = ""
+    input_relation: str = "input.txt"
+    output_relation: str = "output.txt"
+    extra_files: dict[str, str] = field(default_factory=dict)
+
+    def tags(self) -> list[str]:
+        """Tag names appearing in the command, in order of appearance."""
+        seen: list[str] = []
+        for m in _TAG.finditer(self.command):
+            if m.group(1) not in seen:
+                seen.append(m.group(1))
+        return seen
+
+    def instantiate(self, values: dict) -> str:
+        """Replace every ``%=TAG%`` with the tuple's value.
+
+        Raises :class:`TemplateError` when a tag has no value — the
+        engine treats that as a configuration error, not a runtime
+        failure, exactly like SciCumulus refusing to dispatch.
+        """
+
+        def sub(m: re.Match) -> str:
+            name = m.group(1)
+            if name not in values:
+                raise TemplateError(
+                    f"template tag %={name}% has no value; tuple provides "
+                    f"{sorted(values)}"
+                )
+            return str(values[name])
+
+        return _TAG.sub(sub, self.command)
+
+    def validate_against(self, fields: tuple[str, ...]) -> list[str]:
+        """Tags not satisfiable by the given tuple fields."""
+        return [t for t in self.tags() if t not in fields]

@@ -1,0 +1,74 @@
+"""Unit tests for the Babel-equivalent converter."""
+
+import numpy as np
+import pytest
+
+from repro.chem.atom import Atom
+from repro.chem.babel import (
+    UnsupportedFormatError,
+    convert_file,
+    convert_molecule,
+    guess_format,
+    read_molecule,
+    write_molecule,
+)
+from repro.chem.molecule import Molecule
+
+
+def make_mol() -> Molecule:
+    m = Molecule(name="LIG")
+    m.add_atom(Atom(1, "C1", "C", [0.0, 0.0, 0.0]))
+    m.add_atom(Atom(2, "O1", "O", [1.4, 0.0, 0.0]))
+    m.add_bond(0, 1)
+    return m
+
+
+class TestGuessFormat:
+    @pytest.mark.parametrize(
+        "name,fmt",
+        [("x.sdf", "sdf"), ("x.mol2", "mol2"), ("x.pdb", "pdb"), ("x.PDBQT", "pdbqt")],
+    )
+    def test_known_extensions(self, name, fmt):
+        assert guess_format(name) == fmt
+
+    def test_unknown_extension_raises(self):
+        with pytest.raises(UnsupportedFormatError):
+            guess_format("x.docx")
+
+
+class TestConvert:
+    def test_sdf_to_mol2_file(self, tmp_path):
+        src = tmp_path / "lig.sdf"
+        dst = tmp_path / "lig.mol2"
+        write_molecule(make_mol(), src)
+        mol = convert_file(src, dst)
+        assert dst.exists()
+        assert "@<TRIPOS>MOLECULE" in dst.read_text()
+        assert len(mol) == 2
+
+    def test_roundtrip_preserves_coords(self, tmp_path):
+        src = tmp_path / "lig.sdf"
+        write_molecule(make_mol(), src)
+        for fmt in ("mol2", "pdb"):
+            dst = tmp_path / f"lig.{fmt}"
+            convert_file(src, dst)
+            back = read_molecule(dst)
+            assert np.allclose(back.coords, make_mol().coords, atol=1e-3)
+
+    def test_convert_molecule_text(self):
+        text = convert_molecule(make_mol(), "mol2")
+        assert text.startswith("@<TRIPOS>MOLECULE")
+
+    def test_convert_molecule_bad_format(self):
+        with pytest.raises(UnsupportedFormatError):
+            convert_molecule(make_mol(), "smiles")
+
+    def test_explicit_format_override(self, tmp_path):
+        path = tmp_path / "weird.dat"
+        write_molecule(make_mol(), path, fmt="sdf")
+        mol = read_molecule(path, fmt="sdf")
+        assert len(mol) == 2
+
+    def test_read_missing_parser(self, tmp_path):
+        with pytest.raises(UnsupportedFormatError):
+            read_molecule(tmp_path / "x.xyz", fmt="xyz")

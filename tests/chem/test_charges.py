@@ -1,0 +1,86 @@
+"""Unit + property tests for Gasteiger charge assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.atom import Atom
+from repro.chem.charges import assign_gasteiger_charges, total_charge
+from repro.chem.generate import generate_ligand
+from repro.chem.molecule import Molecule
+
+
+def make_methanol() -> Molecule:
+    m = Molecule(name="MEOH")
+    m.add_atom(Atom(1, "C1", "C", [0.0, 0.0, 0.0]))
+    m.add_atom(Atom(2, "O1", "O", [1.43, 0.0, 0.0]))
+    m.add_atom(Atom(3, "H1", "H", [1.8, 0.9, 0.0]))
+    m.add_bond(0, 1)
+    m.add_bond(1, 2)
+    return m
+
+
+class TestGasteiger:
+    def test_oxygen_negative_carbon_positive(self):
+        m = make_methanol()
+        q = assign_gasteiger_charges(m)
+        assert q[1] < 0  # oxygen pulls density
+        assert q[0] > 0  # carbon loses it
+        assert q[2] > 0  # hydroxyl hydrogen is positive
+
+    def test_charges_written_to_atoms(self):
+        m = make_methanol()
+        q = assign_gasteiger_charges(m)
+        assert m.atoms[1].charge == pytest.approx(q[1])
+
+    def test_neutral_molecule_conserves_charge(self):
+        m = make_methanol()
+        assign_gasteiger_charges(m)
+        assert total_charge(m) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_molecule(self):
+        q = assign_gasteiger_charges(Molecule())
+        assert q.shape == (0,)
+
+    def test_isolated_atom_stays_neutral(self):
+        m = Molecule()
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        q = assign_gasteiger_charges(m)
+        assert q[0] == 0.0
+
+    def test_metal_gets_formal_charge(self):
+        m = Molecule()
+        m.add_atom(Atom(1, "ZN", "ZN", [0, 0, 0]))
+        q = assign_gasteiger_charges(m)
+        assert q[0] == pytest.approx(2.0)
+
+    def test_mercury_fixed_charge(self):
+        m = Molecule()
+        m.add_atom(Atom(1, "HG", "HG", [0, 0, 0]))
+        assert assign_gasteiger_charges(m)[0] == pytest.approx(2.0)
+
+    def test_more_iterations_converges(self):
+        m1, m2 = make_methanol(), make_methanol()
+        q6 = assign_gasteiger_charges(m1, iterations=6)
+        q12 = assign_gasteiger_charges(m2, iterations=12)
+        # Damping is geometric: 12 iterations barely move vs 6.
+        assert np.allclose(q6, q12, atol=0.05)
+
+    def test_charges_bounded(self):
+        m = make_methanol()
+        q = assign_gasteiger_charges(m)
+        assert np.all(np.abs(q) < 1.0)
+
+    @given(st.sampled_from(["042", "074", "0D6", "0E6", "ACE", "ALD", "3FC"]))
+    @settings(max_examples=7, deadline=None)
+    def test_property_generated_ligands_conserve_charge(self, ligand_id):
+        lig = generate_ligand(ligand_id)
+        # Generated ligands are metal-free, so PEOE conserves total charge.
+        assert total_charge(lig) == pytest.approx(0.0, abs=1e-6)
+
+    def test_total_charge_length_check(self):
+        from repro.chem.charges import mol_charges_to_atoms
+
+        with pytest.raises(ValueError):
+            mol_charges_to_atoms(make_methanol(), np.zeros(5))

@@ -1,0 +1,94 @@
+"""Unit tests for element data and AutoDock atom typing."""
+
+import pytest
+
+from repro.chem.elements import (
+    AUTODOCK_TYPES,
+    ELEMENTS,
+    autodock_type_for,
+    element_info,
+)
+
+
+class TestElementInfo:
+    def test_lookup_is_case_insensitive(self):
+        assert element_info("c").symbol == "C"
+        assert element_info(" Zn ").symbol == "ZN"
+
+    def test_unknown_element_raises_keyerror(self):
+        with pytest.raises(KeyError, match="XX"):
+            element_info("XX")
+
+    def test_carbon_values(self):
+        c = element_info("C")
+        assert c.atomic_number == 6
+        assert c.mass == pytest.approx(12.011)
+        assert not c.is_metal
+
+    def test_mercury_is_metal(self):
+        assert element_info("HG").is_metal
+
+    def test_all_elements_have_positive_radii(self):
+        for e in ELEMENTS.values():
+            assert e.vdw_radius > 0
+            assert e.covalent_radius > 0
+
+    def test_vdw_radius_exceeds_covalent(self):
+        for e in ELEMENTS.values():
+            assert e.vdw_radius > e.covalent_radius
+
+
+class TestAutoDockTypes:
+    def test_every_type_maps_to_known_element(self):
+        for t in AUTODOCK_TYPES.values():
+            assert t.element in ELEMENTS
+
+    def test_donor_and_acceptor_flags(self):
+        assert AUTODOCK_TYPES["HD"].is_donor
+        assert not AUTODOCK_TYPES["HD"].is_acceptor
+        assert AUTODOCK_TYPES["OA"].is_acceptor
+        assert AUTODOCK_TYPES["NA"].is_acceptor
+        assert not AUTODOCK_TYPES["C"].is_donor
+
+    def test_hydrophobic_classification(self):
+        assert AUTODOCK_TYPES["C"].is_hydrophobic
+        assert AUTODOCK_TYPES["A"].is_hydrophobic
+        assert not AUTODOCK_TYPES["OA"].is_hydrophobic
+
+    def test_rii_positive_and_reasonable(self):
+        for t in AUTODOCK_TYPES.values():
+            assert 1.0 < t.rii < 5.0
+
+    def test_epsii_positive(self):
+        for t in AUTODOCK_TYPES.values():
+            assert t.epsii > 0
+
+
+class TestAutodockTypeFor:
+    def test_aromatic_carbon_is_A(self):
+        assert autodock_type_for("C", aromatic=True) == "A"
+
+    def test_aliphatic_carbon_is_C(self):
+        assert autodock_type_for("C") == "C"
+
+    def test_polar_hydrogen_is_HD(self):
+        assert autodock_type_for("H", h_bond_donor_neighbor=True) == "HD"
+        assert autodock_type_for("H") == "H"
+
+    def test_oxygen_is_acceptor(self):
+        assert autodock_type_for("O") == "OA"
+
+    def test_nitrogen_acceptor_flag(self):
+        assert autodock_type_for("N", h_bond_acceptor=True) == "NA"
+        assert autodock_type_for("N") == "N"
+
+    def test_sulfur_defaults_to_SA(self):
+        assert autodock_type_for("S") == "SA"
+
+    def test_metal_falls_through_to_table(self):
+        assert autodock_type_for("ZN") == "Zn"
+        assert autodock_type_for("HG") == "Hg"
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(KeyError):
+            autodock_type_for("K")  # deliberately unparameterized

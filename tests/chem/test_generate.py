@@ -1,0 +1,142 @@
+"""Unit + property tests for the synthetic structure generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.generate import (
+    LigandGenerator,
+    ReceptorGenerator,
+    generate_ligand,
+    generate_receptor,
+    receptor_contains_mercury,
+    receptor_size_class,
+)
+
+
+class TestDeterminism:
+    def test_receptor_deterministic(self):
+        a = generate_receptor("1AEC")
+        b = generate_receptor("1AEC")
+        assert len(a) == len(b)
+        assert np.allclose(a.coords, b.coords)
+
+    def test_ligand_deterministic(self):
+        a = generate_ligand("0E6")
+        b = generate_ligand("0E6")
+        assert len(a) == len(b)
+        assert np.allclose(a.coords, b.coords)
+        assert [x.charge for x in a.atoms] == [x.charge for x in b.atoms]
+
+    def test_different_ids_differ(self):
+        a = generate_receptor("1AEC")
+        b = generate_receptor("2HHN")
+        assert len(a) != len(b) or not np.allclose(
+            a.coords[: min(len(a), len(b))], b.coords[: min(len(a), len(b))]
+        )
+
+    def test_size_class_deterministic(self):
+        assert receptor_size_class("1AEC") == receptor_size_class("1AEC")
+
+    def test_mercury_flag_deterministic(self):
+        assert receptor_contains_mercury("1AEC") == receptor_contains_mercury("1AEC")
+
+
+class TestReceptor:
+    def test_has_pocket_metadata(self):
+        r = generate_receptor("2HHN")
+        assert "pocket_center" in r.metadata
+        assert r.metadata["pocket_radius"] > 0
+        assert r.metadata["size_class"] in ("small", "large")
+
+    def test_pocket_is_cavity(self):
+        """No receptor atom sits deep inside the pocket sphere."""
+        r = generate_receptor("1HUC")
+        center = np.array(r.metadata["pocket_center"])
+        radius = r.metadata["pocket_radius"]
+        dists = np.linalg.norm(r.coords - center, axis=1)
+        assert dists.min() > radius * 0.5
+
+    def test_size_classes_partition_receptor_counts(self):
+        small = generate_receptor("SMALL-TEST-aaa")
+        # Size class drives residue count: large receptors have more atoms
+        # than small ones on average. Check via metadata consistency.
+        assert small.metadata["n_residues"] >= 4
+
+    def test_large_receptors_bigger_than_small(self):
+        ids = [f"TST{i}" for i in range(40)]
+        small_sizes = [
+            len(generate_receptor(i)) for i in ids if receptor_size_class(i) == "small"
+        ]
+        large_sizes = [
+            len(generate_receptor(i)) for i in ids if receptor_size_class(i) == "large"
+        ]
+        assert small_sizes and large_sizes
+        assert np.mean(large_sizes) > np.mean(small_sizes)
+
+    def test_mercury_rate_near_five_percent(self):
+        flags = [receptor_contains_mercury(f"R{i}") for i in range(400)]
+        rate = sum(flags) / len(flags)
+        assert 0.01 < rate < 0.12
+
+    def test_mercury_receptor_contains_hg_atom(self):
+        for i in range(200):
+            pid = f"R{i}"
+            if receptor_contains_mercury(pid):
+                assert generate_receptor(pid).contains_element("HG")
+                return
+        pytest.fail("no mercury receptor found in 200 draws")
+
+    def test_protein_backbone_atoms_present(self):
+        r = generate_receptor("1AEC")
+        names = {a.name for a in r.atoms}
+        assert {"N", "CA", "C", "O"} <= names
+
+    def test_invalid_residue_range_raises(self):
+        with pytest.raises(ValueError):
+            ReceptorGenerator(n_residues_range=(1, 2))
+
+
+class TestLigand:
+    def test_heavy_atom_range_respected(self):
+        gen = LigandGenerator(heavy_atoms_range=(8, 12))
+        for lid in ("a", "b", "c"):
+            lig = gen.generate(lid)
+            n_heavy = sum(1 for a in lig.atoms if a.is_heavy)
+            assert 8 <= n_heavy <= 12
+
+    def test_ligand_is_connected(self):
+        lig = generate_ligand("042")
+        assert len(lig.connected_components()) == 1
+
+    def test_ligand_has_charges(self):
+        lig = generate_ligand("074")
+        assert any(a.charge != 0 for a in lig.atoms)
+
+    def test_no_atom_overlaps(self):
+        lig = generate_ligand("0D6")
+        coords = lig.coords
+        diff = coords[:, None] - coords[None, :]
+        d = np.sqrt((diff**2).sum(axis=-1))
+        np.fill_diagonal(d, 10.0)
+        assert d.min() > 0.8
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            LigandGenerator(heavy_atoms_range=(1, 2))
+
+    @given(st.text(alphabet="ABCDEFG0123456789", min_size=2, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_any_id_yields_valid_ligand(self, lid):
+        lig = generate_ligand(lid)
+        assert len(lig) >= 3
+        assert len(lig.connected_components()) == 1
+        assert np.isfinite(lig.coords).all()
+
+    @given(st.text(alphabet="ABCDEFG0123456789", min_size=2, max_size=4))
+    @settings(max_examples=10, deadline=None)
+    def test_property_any_id_yields_valid_receptor(self, pid):
+        rec = generate_receptor(pid)
+        assert len(rec) > 100
+        assert np.isfinite(rec.coords).all()

@@ -1,0 +1,163 @@
+"""Unit + property tests for geometry primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.chem.geometry import (
+    apply_rotation,
+    centroid,
+    dihedral_angle,
+    kabsch_align,
+    quaternion_to_matrix,
+    random_rotation_matrix,
+    random_unit_quaternion,
+    rmsd,
+    rotation_about_axis,
+    symmetric_rmsd,
+)
+
+coords_strategy = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 12), st.just(3)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestCentroid:
+    def test_simple(self):
+        c = centroid(np.array([[0.0, 0, 0], [2.0, 0, 0]]))
+        assert np.allclose(c, [1, 0, 0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid(np.zeros((0, 3)))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            centroid(np.zeros((3, 2)))
+
+
+class TestRotations:
+    def test_rotation_about_z_quarter_turn(self):
+        R = rotation_about_axis([0, 0, 1], np.pi / 2)
+        assert np.allclose(R @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_zero_axis_raises(self):
+        with pytest.raises(ValueError):
+            rotation_about_axis([0, 0, 0], 1.0)
+
+    def test_rotation_matrices_are_orthonormal(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            R = random_rotation_matrix(rng)
+            assert np.allclose(R @ R.T, np.eye(3), atol=1e-10)
+            assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_identity_quaternion(self):
+        R = quaternion_to_matrix(np.array([1.0, 0, 0, 0]))
+        assert np.allclose(R, np.eye(3))
+
+    def test_zero_quaternion_raises(self):
+        with pytest.raises(ValueError):
+            quaternion_to_matrix(np.zeros(4))
+
+    def test_quaternion_shape_check(self):
+        with pytest.raises(ValueError):
+            quaternion_to_matrix(np.zeros(3))
+
+    def test_unit_quaternion_has_unit_norm(self):
+        rng = np.random.default_rng(1)
+        q = random_unit_quaternion(rng)
+        assert np.linalg.norm(q) == pytest.approx(1.0)
+
+    def test_apply_rotation_preserves_centroid(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(10, 3))
+        R = random_rotation_matrix(rng)
+        rotated = apply_rotation(pts, R)
+        assert np.allclose(centroid(rotated), centroid(pts), atol=1e-10)
+
+
+class TestRMSD:
+    def test_identical_is_zero(self):
+        pts = np.arange(12.0).reshape(4, 3)
+        assert rmsd(pts, pts) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 3))
+        b = np.array([[1.0, 0, 0], [1.0, 0, 0]])
+        assert rmsd(a, b) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmsd(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmsd(np.zeros((0, 3)), np.zeros((0, 3)))
+
+    def test_symmetric_rmsd_permutation_invariant(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(8, 3))
+        perm = rng.permutation(8)
+        assert symmetric_rmsd(a, a[perm]) == pytest.approx(0.0, abs=1e-10)
+
+    def test_symmetric_rmsd_is_symmetric(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(7, 3))
+        assert symmetric_rmsd(a, b) == pytest.approx(symmetric_rmsd(b, a))
+
+    @given(coords_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_property_rmsd_nonnegative(self, pts):
+        shifted = pts + 1.0
+        assert rmsd(pts, shifted) >= 0
+
+    @given(coords_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_property_translation_rmsd(self, pts):
+        # Rigid translation by d gives RMSD exactly d.
+        shifted = pts + np.array([3.0, 4.0, 0.0])
+        assert rmsd(pts, shifted) == pytest.approx(5.0, rel=1e-9)
+
+
+class TestKabsch:
+    def test_alignment_recovers_rotation(self):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(10, 3))
+        R = random_rotation_matrix(rng)
+        rotated = pts @ R.T + np.array([1.0, -2.0, 3.0])
+        aligned, r = kabsch_align(rotated, pts)
+        assert r == pytest.approx(0.0, abs=1e-8)
+        assert np.allclose(aligned, pts, atol=1e-8)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kabsch_align(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    @given(coords_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_property_kabsch_never_increases_rmsd(self, pts):
+        rng = np.random.default_rng(int(abs(pts).sum() * 1000) % 2**31)
+        R = random_rotation_matrix(rng)
+        moved = pts @ R.T + 2.0
+        _, aligned_rmsd = kabsch_align(moved, pts)
+        assert aligned_rmsd <= rmsd(moved, pts) + 1e-9
+
+
+class TestDihedral:
+    def test_planar_cis_is_zero(self):
+        angle = dihedral_angle([1, 1, 0], [1, 0, 0], [0, 0, 0], [0, 1, 0])
+        assert angle == pytest.approx(0.0, abs=1e-10)
+
+    def test_planar_trans_is_pi(self):
+        angle = dihedral_angle([1, 1, 0], [1, 0, 0], [0, 0, 0], [0, -1, 0])
+        assert abs(angle) == pytest.approx(np.pi, abs=1e-10)
+
+    def test_right_angle(self):
+        angle = dihedral_angle([1, 1, 0], [1, 0, 0], [0, 0, 0], [0, 0, 1])
+        assert abs(angle) == pytest.approx(np.pi / 2, abs=1e-10)

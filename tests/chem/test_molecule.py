@@ -1,0 +1,198 @@
+"""Unit tests for Atom/Bond/Molecule."""
+
+import numpy as np
+import pytest
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Bond, Molecule
+
+
+def make_water() -> Molecule:
+    m = Molecule(name="HOH")
+    m.add_atom(Atom(1, "O", "O", np.array([0.0, 0.0, 0.0])))
+    m.add_atom(Atom(2, "H1", "H", np.array([0.96, 0.0, 0.0])))
+    m.add_atom(Atom(3, "H2", "H", np.array([-0.24, 0.93, 0.0])))
+    m.add_bond(0, 1)
+    m.add_bond(0, 2)
+    return m
+
+
+class TestAtom:
+    def test_coords_coerced_to_float64(self):
+        a = Atom(1, "C1", "C", [1, 2, 3])
+        assert a.coords.dtype == np.float64
+
+    def test_bad_coords_shape_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            Atom(1, "C1", "C", [1, 2])
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(KeyError):
+            Atom(1, "Q1", "Q", [0, 0, 0])
+
+    def test_element_normalized(self):
+        a = Atom(1, "ZN", "zn", [0, 0, 0])
+        assert a.element == "ZN"
+        assert a.is_metal
+
+    def test_distance(self):
+        a = Atom(1, "C1", "C", [0, 0, 0])
+        b = Atom(2, "C2", "C", [3, 4, 0])
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_copy_is_independent(self):
+        a = Atom(1, "C1", "C", [0, 0, 0], metadata={"k": 1})
+        c = a.copy()
+        c.coords[0] = 9.0
+        c.metadata["k"] = 2
+        assert a.coords[0] == 0.0
+        assert a.metadata["k"] == 1
+
+    def test_hydrogen_flags(self):
+        h = Atom(1, "H1", "H", [0, 0, 0])
+        assert h.is_hydrogen and not h.is_heavy
+
+
+class TestBond:
+    def test_canonical_ordering(self):
+        assert Bond(3, 1) == Bond(1, 3)
+
+    def test_self_bond_rejected(self):
+        with pytest.raises(ValueError):
+            Bond(2, 2)
+
+    def test_other(self):
+        b = Bond(1, 4)
+        assert b.other(1) == 4
+        assert b.other(4) == 1
+        with pytest.raises(ValueError):
+            b.other(2)
+
+
+class TestMolecule:
+    def test_len_iter_getitem(self):
+        m = make_water()
+        assert len(m) == 3
+        assert [a.name for a in m] == ["O", "H1", "H2"]
+        assert m[0].element == "O"
+
+    def test_add_bond_out_of_range(self):
+        m = make_water()
+        with pytest.raises(IndexError):
+            m.add_bond(0, 7)
+
+    def test_coords_roundtrip(self):
+        m = make_water()
+        c = m.coords
+        c2 = c + 1.0
+        m.set_coords(c2)
+        assert np.allclose(m.coords, c + 1.0)
+
+    def test_set_coords_shape_check(self):
+        m = make_water()
+        with pytest.raises(ValueError):
+            m.set_coords(np.zeros((2, 3)))
+
+    def test_centroid_translate(self):
+        m = make_water()
+        c0 = m.centroid()
+        m.translate([1.0, 0.0, 0.0])
+        assert np.allclose(m.centroid(), c0 + [1.0, 0.0, 0.0])
+
+    def test_empty_centroid_raises(self):
+        with pytest.raises(ValueError):
+            Molecule().centroid()
+
+    def test_bounding_box_padding(self):
+        m = make_water()
+        lo, hi = m.bounding_box(padding=2.0)
+        assert np.all(lo <= m.coords.min(axis=0) - 1.999)
+        assert np.all(hi >= m.coords.max(axis=0) + 1.999)
+
+    def test_formula_hill_system(self):
+        m = make_water()
+        assert m.formula == "H2O"
+
+    def test_molecular_weight(self):
+        m = make_water()
+        assert m.molecular_weight == pytest.approx(18.015, abs=0.01)
+
+    def test_adjacency_and_degree(self):
+        m = make_water()
+        assert m.neighbors(0) == {1, 2}
+        assert m.degree(0) == 2
+        assert m.degree(1) == 1
+
+    def test_has_bond(self):
+        m = make_water()
+        assert m.has_bond(0, 1)
+        assert not m.has_bond(1, 2)
+
+    def test_contains_element(self):
+        m = make_water()
+        assert m.contains_element("o")
+        assert not m.contains_element("HG")
+
+    def test_heavy_atoms(self):
+        assert make_water().heavy_atoms() == [0]
+
+    def test_connected_components_single(self):
+        m = make_water()
+        assert m.connected_components() == [[0, 1, 2]]
+
+    def test_connected_components_disjoint(self):
+        m = make_water()
+        m.add_atom(Atom(4, "C9", "C", [10, 10, 10]))
+        comps = m.connected_components()
+        assert sorted(map(len, comps)) == [1, 3]
+
+    def test_copy_independent(self):
+        m = make_water()
+        m2 = m.copy()
+        m2.atoms[0].coords[0] = 99.0
+        m2.add_bond(1, 2)
+        assert m.atoms[0].coords[0] == 0.0
+        assert len(m.bonds) == 2
+
+    def test_renumber(self):
+        m = make_water()
+        m.atoms[0].serial = 42
+        m.renumber()
+        assert [a.serial for a in m.atoms] == [1, 2, 3]
+
+    def test_residues_grouping(self):
+        m = make_water()
+        m.atoms[2].residue_seq = 2
+        groups = m.residues()
+        assert groups[("A", 1)] == [0, 1]
+        assert groups[("A", 2)] == [2]
+
+
+class TestBondPerception:
+    def test_perceives_water_bonds(self):
+        m = make_water()
+        m.bonds.clear()
+        m._adjacency = None
+        added = m.perceive_bonds()
+        assert added == 2
+        assert m.has_bond(0, 1) and m.has_bond(0, 2)
+
+    def test_does_not_duplicate_existing(self):
+        m = make_water()
+        assert m.perceive_bonds() == 0
+        assert len(m.bonds) == 2
+
+    def test_distant_atoms_not_bonded(self):
+        m = Molecule()
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        m.add_atom(Atom(2, "C2", "C", [5, 0, 0]))
+        assert m.perceive_bonds() == 0
+
+    def test_overlapping_atoms_not_bonded(self):
+        m = Molecule()
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        m.add_atom(Atom(2, "C2", "C", [0.1, 0, 0]))
+        assert m.perceive_bonds() == 0
+
+    def test_radius_of_gyration_positive(self):
+        assert make_water().radius_of_gyration() > 0

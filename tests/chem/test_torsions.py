@@ -1,0 +1,177 @@
+"""Unit + property tests for rotatable bonds and the torsion tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.atom import Atom
+from repro.chem.generate import generate_ligand
+from repro.chem.geometry import rmsd
+from repro.chem.molecule import Molecule
+from repro.chem.torsions import TorsionTree, find_rotatable_bonds
+
+
+def make_butane() -> Molecule:
+    """C1-C2-C3-C4 chain: one rotatable bond (C2-C3)."""
+    m = Molecule(name="BUT")
+    coords = [[0, 0, 0], [1.5, 0, 0], [2.3, 1.3, 0], [3.8, 1.3, 0]]
+    for i, c in enumerate(coords):
+        m.add_atom(Atom(i + 1, f"C{i + 1}", "C", np.array(c, dtype=float)))
+    m.add_bond(0, 1)
+    m.add_bond(1, 2)
+    m.add_bond(2, 3)
+    return m
+
+
+def make_benzene() -> Molecule:
+    m = Molecule(name="BNZ")
+    for k in range(6):
+        theta = 2 * np.pi * k / 6
+        m.add_atom(
+            Atom(
+                k + 1,
+                f"C{k + 1}",
+                "C",
+                np.array([1.39 * np.cos(theta), 1.39 * np.sin(theta), 0.0]),
+                aromatic=True,
+            )
+        )
+    for k in range(6):
+        m.add_bond(k, (k + 1) % 6, aromatic=True)
+    return m
+
+
+def make_acetamide() -> Molecule:
+    """CH3-C(=O)-NH2: the C-N amide bond must not be rotatable."""
+    m = Molecule(name="ACM")
+    m.add_atom(Atom(1, "C1", "C", [0.0, 0, 0]))  # methyl C
+    m.add_atom(Atom(2, "C2", "C", [1.5, 0, 0]))  # carbonyl C
+    m.add_atom(Atom(3, "O1", "O", [2.1, 1.1, 0]))
+    m.add_atom(Atom(4, "N1", "N", [2.2, -1.2, 0]))
+    m.add_atom(Atom(5, "C3", "C", [3.6, -1.3, 0]))  # N-methyl to make both ends non-terminal
+    m.add_bond(0, 1)
+    m.add_bond(1, 2, order=2)
+    m.add_bond(1, 3)
+    m.add_bond(3, 4)
+    return m
+
+
+class TestFindRotatableBonds:
+    def test_butane_central_bond(self):
+        assert find_rotatable_bonds(make_butane()) == [(1, 2)]
+
+    def test_benzene_has_none(self):
+        assert find_rotatable_bonds(make_benzene()) == []
+
+    def test_amide_excluded(self):
+        rot = find_rotatable_bonds(make_acetamide())
+        assert (1, 3) not in rot
+
+    def test_double_bond_excluded(self):
+        m = make_butane()
+        m.bonds[1] = type(m.bonds[1])(1, 2, 2, False)
+        assert find_rotatable_bonds(m) == []
+
+    def test_terminal_bond_excluded(self):
+        m = Molecule()
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        m.add_atom(Atom(2, "C2", "C", [1.5, 0, 0]))
+        m.add_bond(0, 1)
+        assert find_rotatable_bonds(m) == []
+
+    def test_ring_bond_excluded(self):
+        # cyclohexane with a tail: only the tail bond attaching is terminal,
+        # so nothing rotates.
+        m = make_benzene()
+        for b in list(m.bonds):
+            m.bonds[m.bonds.index(b)] = type(b)(b.i, b.j, 1, False)
+        for a in m.atoms:
+            a.aromatic = False
+        m._adjacency = None
+        assert find_rotatable_bonds(m) == []
+
+
+class TestTorsionTree:
+    def test_empty_molecule_raises(self):
+        with pytest.raises(ValueError):
+            TorsionTree(Molecule())
+
+    def test_butane_tree_one_torsion(self):
+        tree = TorsionTree(make_butane())
+        assert tree.n_torsions == 1
+        assert tree.dof == 7
+
+    def test_identity_conformation_reproduces_input(self):
+        tree = TorsionTree(make_butane())
+        t, q, tor = tree.identity_conformation()
+        coords = tree.pose(t, q, tor)
+        assert np.allclose(coords, tree.reference, atol=1e-10)
+
+    def test_translation_moves_everything(self):
+        tree = TorsionTree(make_butane())
+        t, q, tor = tree.identity_conformation()
+        coords = tree.pose(t + [1.0, 2.0, 3.0], q, tor)
+        assert np.allclose(coords, tree.reference + [1.0, 2.0, 3.0], atol=1e-10)
+
+    def test_torsion_rotates_only_distal_atoms(self):
+        tree = TorsionTree(make_butane())
+        t, q, tor = tree.identity_conformation()
+        coords = tree.pose(t, q, tor + np.pi / 3)
+        moved = tree.branches[0].moved
+        fixed = sorted(set(range(4)) - set(moved.tolist()))
+        assert np.allclose(coords[fixed], tree.reference[fixed], atol=1e-9)
+        assert not np.allclose(coords[moved], tree.reference[moved])
+
+    def test_torsion_preserves_bond_lengths(self):
+        m = make_butane()
+        tree = TorsionTree(m)
+        t, q, tor = tree.identity_conformation()
+        coords = tree.pose(t, q, tor + 1.0)
+        for b in m.bonds:
+            before = np.linalg.norm(tree.reference[b.i] - tree.reference[b.j])
+            after = np.linalg.norm(coords[b.i] - coords[b.j])
+            assert after == pytest.approx(before, abs=1e-9)
+
+    def test_full_turn_is_identity(self):
+        tree = TorsionTree(make_butane())
+        t, q, tor = tree.identity_conformation()
+        coords = tree.pose(t, q, tor + 2 * np.pi)
+        assert rmsd(coords, tree.reference) == pytest.approx(0.0, abs=1e-9)
+
+    def test_wrong_torsion_count_raises(self):
+        tree = TorsionTree(make_butane())
+        with pytest.raises(ValueError, match="torsion"):
+            tree.pose(np.zeros(3), [1, 0, 0, 0], np.zeros(5))
+
+    def test_pose_does_not_mutate_molecule(self):
+        m = make_butane()
+        snapshot = m.coords
+        tree = TorsionTree(m)
+        tree.pose([5.0, 0, 0], [1, 0, 0, 0], np.array([2.0]))
+        assert np.allclose(m.coords, snapshot)
+
+    def test_pdbqt_records_cover_all_atoms(self):
+        tree = TorsionTree(make_butane())
+        records = tree.to_pdbqt_records()
+        atoms = [r[1] for r in records if r[0] == "ATOM"]
+        assert sorted(atoms) == [0, 1, 2, 3]
+        kinds = [r[0] for r in records]
+        assert kinds[0] == "ROOT"
+        assert kinds.count("BRANCH") == kinds.count("ENDBRANCH") == 1
+
+    @given(st.sampled_from(["042", "074", "0D6", "0E6", "1EV", "APD", "93N"]))
+    @settings(max_examples=7, deadline=None)
+    def test_property_generated_ligand_pose_invariants(self, ligand_id):
+        lig = generate_ligand(ligand_id)
+        tree = TorsionTree(lig)
+        rng = np.random.default_rng(7)
+        q = rng.normal(size=4)
+        tor = rng.uniform(-np.pi, np.pi, size=tree.n_torsions)
+        coords = tree.pose(rng.normal(size=3) * 3, q, tor)
+        # Shape preserved and all bond lengths intact within each branch.
+        assert coords.shape == tree.reference.shape
+        for b in lig.bonds:
+            before = np.linalg.norm(tree.reference[b.i] - tree.reference[b.j])
+            after = np.linalg.norm(coords[b.i] - coords[b.j])
+            assert after == pytest.approx(before, abs=1e-6)

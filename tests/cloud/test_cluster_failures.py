@@ -1,0 +1,120 @@
+"""Unit tests for the virtual cluster and failure models."""
+
+import pytest
+
+from repro.cloud.cluster import VirtualCluster
+from repro.cloud.failures import ActivityFailureModel, LoopingStateModel, _unit_hash
+from repro.cloud.provider import CloudProvider
+from repro.cloud.simclock import SimClock
+
+
+class TestPlanMix:
+    def test_exact_large_multiple(self):
+        plan = VirtualCluster.plan_mix(16)
+        assert [t.name for t in plan] == ["m3.2xlarge", "m3.2xlarge"]
+
+    def test_top_up_with_small(self):
+        plan = VirtualCluster.plan_mix(12)
+        assert [t.name for t in plan] == ["m3.2xlarge", "m3.xlarge"]
+
+    def test_small_targets(self):
+        assert [t.name for t in VirtualCluster.plan_mix(2)] == ["m3.xlarge"]
+
+    def test_meets_or_exceeds_target(self):
+        for target in (1, 2, 5, 7, 13, 32, 128):
+            plan = VirtualCluster.plan_mix(target)
+            assert sum(t.cores for t in plan) >= target
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            VirtualCluster.plan_mix(0)
+
+
+class TestVirtualCluster:
+    def setup_method(self):
+        self.clock = SimClock()
+        self.provider = CloudProvider(self.clock)
+        self.cluster = VirtualCluster(self.provider)
+
+    def test_scale_up(self):
+        self.cluster.scale_to(16)
+        assert self.cluster.total_cores >= 16
+
+    def test_scale_is_idempotent(self):
+        self.cluster.scale_to(16)
+        n = len(self.cluster.active_vms)
+        self.cluster.scale_to(16)
+        assert len(self.cluster.active_vms) == n
+
+    def test_scale_down(self):
+        self.cluster.scale_to(32)
+        self.cluster.scale_to(8)
+        assert 8 <= self.cluster.total_cores < 32
+
+    def test_scale_down_never_undershoots(self):
+        self.cluster.scale_to(24)
+        self.cluster.scale_to(9)
+        assert self.cluster.total_cores >= 9
+
+    def test_cores_handles(self):
+        self.cluster.scale_to(12)
+        handles = self.cluster.cores()
+        assert len(handles) == self.cluster.total_cores
+        assert all(h.speed > 0 for h in handles)
+
+    def test_terminate_all(self):
+        self.cluster.scale_to(8)
+        self.cluster.terminate_all()
+        assert self.cluster.total_cores == 0
+
+    def test_cost_includes_terminated(self):
+        self.cluster.scale_to(4)
+        self.clock.run()
+        self.clock.advance_to(3600)
+        self.cluster.terminate_all()
+        assert self.cluster.cost() > 0
+
+
+class TestFailureModels:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ActivityFailureModel(rate=1.0)
+        with pytest.raises(ValueError):
+            ActivityFailureModel(rate=-0.1)
+
+    def test_deterministic(self):
+        m = ActivityFailureModel(rate=0.1, seed=1)
+        assert m.fails("act-1", 0) == m.fails("act-1", 0)
+
+    def test_rate_approximately_respected(self):
+        m = ActivityFailureModel(rate=0.10, seed=2)
+        n = 5000
+        failures = sum(m.fails(f"act-{i}") for i in range(n))
+        assert 0.07 < failures / n < 0.13
+
+    def test_reexecution_eventually_succeeds(self):
+        m = ActivityFailureModel(rate=0.5, seed=3)
+        for key in ("a", "b", "c"):
+            assert any(not m.fails(key, attempt) for attempt in range(20))
+
+    def test_zero_rate_never_fails(self):
+        m = ActivityFailureModel(rate=0.0)
+        assert not any(m.fails(f"k{i}") for i in range(100))
+
+    def test_unit_hash_in_range(self):
+        vals = [_unit_hash("x", i) for i in range(100)]
+        assert all(0 <= v < 1 for v in vals)
+
+    def test_looping_on_mercury(self):
+        m = LoopingStateModel()
+        assert m.would_loop("any", receptor_has_hg=True)
+        assert not m.would_loop("any", receptor_has_hg=False)
+
+    def test_looping_disabled(self):
+        m = LoopingStateModel(hg_loops=False)
+        assert not m.would_loop("any", receptor_has_hg=True)
+
+    def test_extra_looping_keys(self):
+        m = LoopingStateModel(extra_looping_keys={"bad-ligand"})
+        assert m.would_loop("bad-ligand")
+        assert not m.would_loop("good-ligand")

@@ -1,0 +1,115 @@
+"""Unit tests for the simulated EC2 provider and instance catalog."""
+
+import pytest
+
+from repro.cloud.instance import INSTANCE_CATALOG, M3_2XLARGE, M3_XLARGE, InstanceType, table1_rows
+from repro.cloud.provider import CloudProvider, ProviderError, VMState
+from repro.cloud.simclock import SimClock
+
+
+class TestCatalog:
+    def test_paper_instance_types(self):
+        assert M3_XLARGE.cores == 4
+        assert M3_2XLARGE.cores == 8
+        assert "E5-2670" in M3_XLARGE.processor
+
+    def test_table1_rows_match_paper(self):
+        rows = table1_rows()
+        assert rows == [
+            {"instance_type": "m3.xlarge", "cores": 4, "physical_processor": "Intel Xeon E5-2670"},
+            {"instance_type": "m3.2xlarge", "cores": 8, "physical_processor": "Intel Xeon E5-2670"},
+        ]
+
+    def test_catalog_keys(self):
+        assert set(INSTANCE_CATALOG) == {"m3.xlarge", "m3.2xlarge"}
+
+    def test_invalid_instance_type(self):
+        with pytest.raises(ValueError):
+            InstanceType("bad", 0, 1.0, "x", 0.1)
+        with pytest.raises(ValueError):
+            InstanceType("bad", 1, 1.0, "x", -0.1)
+
+
+class TestProvider:
+    def setup_method(self):
+        self.clock = SimClock()
+        self.ec2 = CloudProvider(self.clock)
+
+    def test_provision_starts_pending(self):
+        [vm] = self.ec2.provision("m3.xlarge")
+        assert vm.state == VMState.PENDING
+
+    def test_boot_transition(self):
+        [vm] = self.ec2.provision("m3.xlarge")
+        self.clock.run()
+        assert vm.state == VMState.RUNNING
+        assert vm.ready_time == pytest.approx(M3_XLARGE.boot_seconds)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ProviderError, match="unknown instance type"):
+            self.ec2.provision("t2.nano")
+
+    def test_zero_count_raises(self):
+        with pytest.raises(ProviderError):
+            self.ec2.provision("m3.xlarge", count=0)
+
+    def test_instance_limit(self):
+        ec2 = CloudProvider(self.clock, max_instances=2)
+        ec2.provision("m3.xlarge", count=2)
+        with pytest.raises(ProviderError, match="limit"):
+            ec2.provision("m3.xlarge")
+
+    def test_terminate(self):
+        [vm] = self.ec2.provision("m3.xlarge")
+        self.clock.run()
+        self.ec2.terminate(vm.vm_id)
+        assert vm.state == VMState.TERMINATED
+        with pytest.raises(ProviderError, match="already terminated"):
+            self.ec2.terminate(vm.vm_id)
+
+    def test_terminated_vm_never_boots(self):
+        [vm] = self.ec2.provision("m3.xlarge")
+        self.ec2.terminate(vm.vm_id)
+        self.clock.run()
+        assert vm.state == VMState.TERMINATED
+
+    def test_describe_unknown_raises(self):
+        with pytest.raises(ProviderError):
+            self.ec2.describe("i-nope")
+
+    def test_running_cores(self):
+        self.ec2.provision("m3.2xlarge", count=2)
+        assert self.ec2.running_cores() == 0  # still booting
+        self.clock.run()
+        assert self.ec2.running_cores() == 16
+
+    def test_billing_rounds_up(self):
+        [vm] = self.ec2.provision("m3.xlarge")
+        self.clock.run()
+        self.clock.advance_to(3600 * 1.5)
+        assert vm.billed_hours(self.clock.now) == 2
+        assert vm.cost(self.clock.now) == pytest.approx(2 * M3_XLARGE.hourly_price_usd)
+
+    def test_billing_stops_at_termination(self):
+        [vm] = self.ec2.provision("m3.xlarge")
+        self.clock.run()
+        self.clock.advance_to(1800)
+        self.ec2.terminate(vm.vm_id)
+        self.clock.advance_to(36000)
+        assert vm.billed_hours(self.clock.now) == 1
+
+    def test_total_cost_aggregates(self):
+        self.ec2.provision("m3.xlarge")
+        self.ec2.provision("m3.2xlarge")
+        self.clock.run()
+        self.clock.advance_to(3600)
+        expected = M3_XLARGE.hourly_price_usd + M3_2XLARGE.hourly_price_usd
+        assert self.ec2.total_cost() == pytest.approx(expected)
+
+    def test_instances_filter_by_state(self):
+        [a] = self.ec2.provision("m3.xlarge")
+        [b] = self.ec2.provision("m3.xlarge")
+        self.clock.run()
+        self.ec2.terminate(a.vm_id)
+        assert self.ec2.instances(VMState.RUNNING) == [b]
+        assert self.ec2.instances(VMState.TERMINATED) == [a]

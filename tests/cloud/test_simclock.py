@@ -1,0 +1,75 @@
+"""Unit tests for the discrete-event clock."""
+
+import pytest
+
+from repro.cloud.simclock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_schedule_negative_raises(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        c = SimClock(10.0)
+        with pytest.raises(ValueError):
+            c.schedule_at(5.0, lambda: None)
+
+    def test_events_run_in_time_order(self):
+        c = SimClock()
+        order = []
+        c.schedule(5, lambda: order.append("b"))
+        c.schedule(1, lambda: order.append("a"))
+        c.schedule(9, lambda: order.append("c"))
+        c.run()
+        assert order == ["a", "b", "c"]
+        assert c.now == 9.0
+
+    def test_ties_break_by_insertion(self):
+        c = SimClock()
+        order = []
+        c.schedule(3, lambda: order.append(1))
+        c.schedule(3, lambda: order.append(2))
+        c.run()
+        assert order == [1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert SimClock().step() is False
+
+    def test_events_can_schedule_events(self):
+        c = SimClock()
+        seen = []
+
+        def first():
+            seen.append(c.now)
+            c.schedule(2, lambda: seen.append(c.now))
+
+        c.schedule(1, first)
+        c.run()
+        assert seen == [1.0, 3.0]
+
+    def test_run_until_stops_early(self):
+        c = SimClock()
+        seen = []
+        c.schedule(1, lambda: seen.append(1))
+        c.schedule(10, lambda: seen.append(10))
+        c.run(until=5)
+        assert seen == [1]
+        assert c.now == 5.0
+        assert c.pending == 1
+
+    def test_run_until_advances_even_without_events(self):
+        c = SimClock()
+        c.run(until=42.0)
+        assert c.now == 42.0
+
+    def test_advance_to_backwards_raises(self):
+        c = SimClock(5.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)

@@ -1,0 +1,110 @@
+"""Unit tests for the S3 object store and shared file system."""
+
+import pytest
+
+from repro.cloud.storage import S3ObjectStore, SharedFileSystem, StorageError
+
+
+class TestObjectStore:
+    def setup_method(self):
+        self.s3 = S3ObjectStore()
+
+    def test_put_get_roundtrip(self):
+        self.s3.put("a/b.txt", "hello")
+        data, _ = self.s3.get("a/b.txt")
+        assert data == b"hello"
+
+    def test_put_bytes(self):
+        self.s3.put("bin", b"\x00\x01")
+        assert self.s3.get("bin")[0] == b"\x00\x01"
+
+    def test_empty_key_raises(self):
+        with pytest.raises(StorageError):
+            self.s3.put("", "x")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(StorageError):
+            self.s3.get("nope")
+
+    def test_delete(self):
+        self.s3.put("k", "v")
+        self.s3.delete("k")
+        assert not self.s3.exists("k")
+        with pytest.raises(StorageError):
+            self.s3.delete("k")
+
+    def test_list_prefix(self):
+        for k in ("exp/a", "exp/b", "other/c"):
+            self.s3.put(k, "x")
+        assert self.s3.list("exp/") == ["exp/a", "exp/b"]
+
+    def test_size(self):
+        self.s3.put("k", "12345")
+        assert self.s3.size("k") == 5
+        with pytest.raises(StorageError):
+            self.s3.size("missing")
+
+    def test_cost_model_scales_with_size(self):
+        t_small = self.s3.put("s", b"x")
+        t_big = self.s3.put("b", b"x" * 10_000_000)
+        assert t_big > t_small
+        assert t_small >= self.s3.op_latency
+
+    def test_invalid_model_params(self):
+        with pytest.raises(ValueError):
+            S3ObjectStore(op_latency=-1)
+        with pytest.raises(ValueError):
+            S3ObjectStore(bandwidth_bps=0)
+
+    def test_stats_accumulate(self):
+        self.s3.put("k", "abc")
+        self.s3.get("k")
+        assert self.s3.stats.puts == 1
+        assert self.s3.stats.gets == 1
+        assert self.s3.stats.bytes_in == 3
+        assert self.s3.stats.bytes_out == 3
+        assert self.s3.stats.total_latency_seconds > 0
+
+    def test_total_bytes(self):
+        self.s3.put("a", "xx")
+        self.s3.put("b", "yyy")
+        assert self.s3.total_bytes == 5
+
+
+class TestSharedFileSystem:
+    def setup_method(self):
+        self.fs = SharedFileSystem(root="/root/exp_SciDock")
+
+    def test_relative_paths_anchored_at_root(self):
+        self.fs.write_text("autodock4/1/out.dlg", "log")
+        assert self.fs.exists("/root/exp_SciDock/autodock4/1/out.dlg")
+
+    def test_absolute_paths_used_verbatim(self):
+        self.fs.write_text("/tmp/x.txt", "y")
+        assert self.fs.read_text("/tmp/x.txt") == "y"
+
+    def test_roundtrip_text_and_bytes(self):
+        self.fs.write_text("f.txt", "data")
+        assert self.fs.read_text("f.txt") == "data"
+        self.fs.write_bytes("f.bin", b"\x01")
+        assert self.fs.read_bytes("f.bin") == b"\x01"
+
+    def test_listdir(self):
+        self.fs.write_text("d/a.txt", "1")
+        self.fs.write_text("d/b.txt", "2")
+        names = self.fs.listdir("d")
+        assert len(names) == 2
+        assert all(n.endswith((".txt",)) for n in names)
+
+    def test_remove(self):
+        self.fs.write_text("gone.txt", "x")
+        self.fs.remove("gone.txt")
+        assert not self.fs.exists("gone.txt")
+
+    def test_file_size(self):
+        self.fs.write_text("s.txt", "abcd")
+        assert self.fs.file_size("s.txt") == 4
+
+    def test_empty_path_raises(self):
+        with pytest.raises(StorageError):
+            self.fs.write_text("", "x")

@@ -1,0 +1,166 @@
+"""Focused unit tests for the individual SciDock activity functions."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cloud.storage import S3ObjectStore, SharedFileSystem
+from repro.core.activities import (
+    KeyedCache,
+    STANDARD_MAP_TYPES,
+    autogrid_activity,
+    babel,
+    docking,
+    docking_filter,
+    prepare_docking,
+    prepare_gpf_activity,
+    prepare_ligand,
+    prepare_receptor,
+    receptor_would_loop,
+)
+from repro.core.scidock import FAST_AD4, FAST_VINA
+
+PAIR = {"receptor_id": "1PIP", "ligand_id": "042"}
+
+
+def ctx(**extra):
+    base = {
+        "seed": 0,
+        "grid_spacing": 0.8,
+        "expdir": "/root/exp_test",
+        "ad4_params": FAST_AD4,
+        "vina_params": FAST_VINA,
+    }
+    base.update(extra)
+    return base
+
+
+class TestKeyedCache:
+    def test_build_once(self):
+        cache = KeyedCache()
+        calls = []
+        for _ in range(3):
+            cache.get_or_build("k", lambda: calls.append(1) or "value")
+        assert len(calls) == 1
+
+    def test_distinct_keys(self):
+        cache = KeyedCache()
+        assert cache.get_or_build("a", lambda: 1) == 1
+        assert cache.get_or_build("b", lambda: 2) == 2
+
+    def test_thread_safety(self):
+        cache = KeyedCache()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return "v"
+
+        threads = [
+            threading.Thread(target=lambda: cache.get_or_build("k", build))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+
+
+class TestPreparationActivities:
+    def test_babel_emits_mol2(self):
+        context = ctx()
+        [out] = babel(dict(PAIR), context)
+        assert out["ligand_mol2"].endswith("042.mol2")
+        assert any(f[0].endswith(".sdf") for f in out["_files"])
+        assert any(f[0].endswith(".mol2") for f in out["_files"])
+
+    def test_babel_writes_through_fs(self):
+        fs = SharedFileSystem(S3ObjectStore(), root="/root/exp_test")
+        context = ctx(fs=fs)
+        babel(dict(PAIR), context)
+        assert fs.exists("/root/exp_test/babel/042/042.mol2")
+
+    def test_prepare_ligand_reports_torsdof(self):
+        [out] = prepare_ligand(dict(PAIR), ctx())
+        assert out["torsdof"] >= 0
+        assert out["ligand_pdbqt"].endswith(".pdbqt")
+
+    def test_prepare_receptor_classifies_size(self):
+        [out] = prepare_receptor(dict(PAIR), ctx())
+        assert out["receptor_size_class"] in ("small", "large")
+
+    def test_receptor_would_loop_matches_generator(self):
+        from repro.chem.generate import receptor_contains_mercury
+
+        for rid in ("1PIP", "2HHN", "2ACT", "1NQC"):
+            assert receptor_would_loop({"receptor_id": rid}) == \
+                receptor_contains_mercury(rid)
+
+    def test_gpf_activity(self):
+        [out] = prepare_gpf_activity(dict(PAIR), ctx())
+        assert out["gpf"].endswith("042_1PIP.gpf")
+
+    def test_autogrid_activity_reuses_cache(self):
+        context = ctx()
+        [out1] = autogrid_activity(dict(PAIR), context)
+        maps1 = context["caches"]["maps"].get_or_build("1PIP", lambda: None)
+        [out2] = autogrid_activity(dict(PAIR), context)
+        maps2 = context["caches"]["maps"].get_or_build("1PIP", lambda: None)
+        assert maps1 is maps2
+        assert out1["maps_fld"] == out2["maps_fld"]
+
+    def test_autogrid_covers_standard_types(self):
+        context = ctx()
+        autogrid_activity(dict(PAIR), context)
+        maps = context["caches"]["maps"].get_or_build("1PIP", lambda: None)
+        assert set(STANDARD_MAP_TYPES) <= set(maps.atom_types)
+
+
+class TestDockingActivities:
+    def test_prepare_docking_ad4_writes_dpf(self):
+        tup = dict(PAIR, engine="autodock4")
+        [out] = prepare_docking(tup, ctx())
+        assert out["docking_params"].endswith(".dpf")
+
+    def test_prepare_docking_vina_writes_conf(self):
+        tup = dict(PAIR, engine="vina")
+        [out] = prepare_docking(tup, ctx())
+        assert out["docking_params"].endswith(".conf")
+
+    def test_docking_unknown_engine_raises(self):
+        tup = dict(PAIR, engine="glide")
+        with pytest.raises(ValueError, match="glide"):
+            docking(tup, ctx())
+
+    def test_docking_vina_payload_complete(self):
+        tup = dict(PAIR, engine="vina")
+        [out] = docking(tup, ctx())
+        payload = json.loads(out["_extract_payload"])
+        for key in ("feb", "rmsd", "engine", "in_pocket", "converged", "modes"):
+            assert key in payload
+        assert payload["engine"] == "vina"
+        assert out["feb"] == payload["feb"]
+
+    def test_docking_ad4_writes_dlg(self):
+        tup = dict(PAIR, engine="autodock4")
+        [out] = docking(tup, ctx())
+        assert out["_files"][0][0].endswith(".dlg")
+
+    def test_docking_deterministic_per_seed(self):
+        tup = dict(PAIR, engine="vina")
+        [a] = docking(tup, ctx(seed=3))
+        [b] = docking(dict(PAIR, engine="vina"), ctx(seed=3))
+        assert a["feb"] == b["feb"]
+
+
+class TestDockingFilterScenarios:
+    def test_adaptive_uses_precomputed_size_class(self):
+        tup = dict(PAIR, receptor_size_class="large")
+        [out] = docking_filter(tup, {"scenario": "adaptive"})
+        assert out["engine"] == "vina"
+
+    def test_default_scenario_is_adaptive(self):
+        [out] = docking_filter(dict(PAIR), {})
+        assert out["engine"] in ("autodock4", "vina")

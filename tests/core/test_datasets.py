@@ -1,0 +1,71 @@
+"""Unit tests for the Table 2 dataset and pair sweep."""
+
+import pytest
+
+from repro.core.datasets import (
+    CL0125_RECEPTORS,
+    CP_LIGANDS,
+    TABLE3_LIGANDS,
+    ligand_count,
+    pair_relation,
+    receptor_count,
+)
+
+
+class TestTable2:
+    def test_receptor_count_matches_paper(self):
+        assert receptor_count() == 238
+
+    def test_ligand_count_matches_paper(self):
+        assert ligand_count() == 42
+
+    def test_total_pairs_near_ten_thousand(self):
+        assert receptor_count() * ligand_count() == 9996
+
+    def test_no_duplicate_receptors(self):
+        assert len(set(CL0125_RECEPTORS)) == 238
+
+    def test_no_duplicate_ligands(self):
+        assert len(set(CP_LIGANDS)) == 42
+
+    def test_paper_highlights_present(self):
+        # The paper's best interactions involve these structures.
+        for pid in ("2HHN", "1S4V", "1HUC"):
+            assert pid in CL0125_RECEPTORS
+        for lig in ("0E6", "0D6"):
+            assert lig in CP_LIGANDS
+
+    def test_table3_ligands(self):
+        assert TABLE3_LIGANDS == ("042", "074", "0D6", "0E6")
+        assert set(TABLE3_LIGANDS) <= set(CP_LIGANDS)
+
+    def test_receptor_ids_are_pdb_shaped(self):
+        assert all(len(r) == 4 and r[0].isdigit() for r in CL0125_RECEPTORS)
+
+
+class TestPairRelation:
+    def test_full_sweep_size(self):
+        rel = pair_relation()
+        assert len(rel) == 9996
+
+    def test_limit(self):
+        rel = pair_relation(limit=100)
+        assert len(rel) == 100
+
+    def test_ligand_major_order(self):
+        # "First 1,000 pairs" must cover 238 receptors x the first ligands.
+        rel = pair_relation(limit=952)
+        ligands = {t["ligand_id"] for t in rel}
+        assert ligands == set(TABLE3_LIGANDS)
+
+    def test_varies_receptor_per_ligand(self):
+        rel = pair_relation(receptors=["A1AA", "B2BB"], ligands=["042"])
+        assert [t["receptor_id"] for t in rel] == ["A1AA", "B2BB"]
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            pair_relation(receptors=[], ligands=["042"])
+
+    def test_schema(self):
+        rel = pair_relation(limit=1)
+        assert rel.schema == ("ligand_id", "receptor_id")

@@ -1,0 +1,70 @@
+"""Tests for the two-scenario experiment container."""
+
+import pytest
+
+from repro.core.datasets import pair_relation
+from repro.core.experiment import SciDockExperiment
+from repro.workflow.relation import Relation
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    pairs = pair_relation(
+        receptors=["2HHN", "1S4V", "1PIP"], ligands=["042", "0E6"]
+    )
+    exp = SciDockExperiment(pairs, workers=4, seed=6)
+    exp.run_both()
+    return exp
+
+
+class TestSciDockExperiment:
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            SciDockExperiment(Relation("empty"))
+
+    def test_both_scenarios_share_one_store(self, experiment):
+        ad4 = experiment.runs["ad4"]
+        vina = experiment.runs["vina"]
+        assert ad4.wkfid != vina.wkfid
+        assert experiment.store.workflow_row(ad4.wkfid)["tag"] == "SciDock"
+        assert experiment.store.workflow_row(vina.wkfid)["tag"] == "SciDock"
+
+    def test_outcomes_per_scenario(self, experiment):
+        assert all(o.engine == "autodock4" for o in experiment.runs["ad4"].outcomes)
+        assert all(o.engine == "vina" for o in experiment.runs["vina"].outcomes)
+        assert len(experiment.runs["ad4"].outcomes) == 6
+
+    def test_comparisons_require_both(self):
+        exp = SciDockExperiment(
+            pair_relation(receptors=["1PIP"], ligands=["042"]), workers=1
+        )
+        with pytest.raises(ValueError, match="not run yet"):
+            exp.table3()
+
+    def test_table3_covers_both_engines(self, experiment):
+        rows = experiment.table3()
+        engines = {r.engine for r in rows}
+        assert engines == {"autodock4", "vina"}
+
+    def test_favorable_counts(self, experiment):
+        fav = experiment.favorable_counts()
+        assert set(fav) == {"autodock4", "vina"}
+        assert all(v >= 0 for v in fav.values())
+
+    def test_agreement_computed(self, experiment):
+        agg = experiment.agreement()
+        assert agg.n_pairs == 6
+        assert -1.0 <= agg.pearson_r <= 1.0
+
+    def test_docking_time_ratio_positive(self, experiment):
+        assert experiment.docking_time_ratio() > 0
+
+    def test_total_activations(self, experiment):
+        # 6 pairs x 8 activities x 2 workflows, minus any Hg blocking,
+        # plus retries. Blocked pre-dispatch records also count rows.
+        assert experiment.total_activations() >= 90
+
+    def test_summary_mentions_key_numbers(self, experiment):
+        text = experiment.summary()
+        assert "2 workflows" in text
+        assert "FEB(-)" in text

@@ -1,0 +1,57 @@
+"""Unit tests for the campaign report generator."""
+
+import pytest
+
+from repro.core.datasets import pair_relation
+from repro.core.report import campaign_report
+from repro.core.scidock import SciDockConfig, run_scidock
+from repro.provenance.store import ProvenanceStore
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    pairs = pair_relation(receptors=["2HHN", "1PIP"], ligands=["042"])
+    return run_scidock(pairs, SciDockConfig(workers=2, seed=4))
+
+
+class TestCampaignReport:
+    def test_contains_all_sections(self, campaign):
+        report, store = campaign
+        text = campaign_report(store, report.wkfid)
+        for heading in (
+            "# SciDock campaign report",
+            "## Activity runtime statistics (Query 1)",
+            "## Docking artifacts (Query 2)",
+            "## Docking results",
+            "## Fault ledger",
+        ):
+            assert heading in text
+
+    def test_table3_rows_present(self, campaign):
+        report, store = campaign
+        text = campaign_report(store, report.wkfid)
+        assert "| 042 |" in text
+        assert "Total favorable interactions" in text
+
+    def test_shortlist_when_hits_exist(self, campaign):
+        report, store = campaign
+        text = campaign_report(store, report.wkfid)
+        if "## Shortlist" in text:
+            assert "kcal/mol" in text.split("## Shortlist")[1]
+
+    def test_custom_title(self, campaign):
+        report, store = campaign
+        text = campaign_report(store, report.wkfid, title="My screen")
+        assert text.startswith("# My screen")
+
+    def test_running_workflow_renders(self):
+        store = ProvenanceStore()
+        wkfid = store.begin_workflow("W", starttime=0.0)
+        text = campaign_report(store, wkfid)
+        assert "still running" in text
+
+    def test_tet_reported(self, campaign):
+        report, store = campaign
+        text = campaign_report(store, report.wkfid)
+        assert "Total execution time" in text
+        assert "s**" in text

@@ -1,0 +1,143 @@
+"""Unit tests for the visualization module and the engine-agreement analysis."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chem.atom import Atom
+from repro.chem.generate import generate_ligand, generate_receptor
+from repro.chem.molecule import Molecule
+from repro.core.analysis import engine_agreement, outcomes_from_json
+from repro.docking.box import GridBox
+from repro.viz.render import ascii_complex, project_orthographic, render_complex_svg
+
+
+def _outcome(receptor, ligand, engine, feb):
+    return json.dumps(
+        {
+            "receptor": receptor, "ligand": ligand, "engine": engine,
+            "feb": feb, "rmsd": 5.0, "in_pocket": True, "converged": feb < 0,
+        }
+    )
+
+
+class TestEngineAgreement:
+    def _correlated(self, noise=0.0, n=10):
+        rng = np.random.default_rng(0)
+        ad4, vina = [], []
+        for i in range(n):
+            base = -2.0 - i * 0.5
+            ad4.append(_outcome(f"R{i}", "L", "autodock4", base))
+            vina.append(
+                _outcome(f"R{i}", "L", "vina", base * 0.7 + rng.normal(scale=noise))
+            )
+        return outcomes_from_json(ad4), outcomes_from_json(vina)
+
+    def test_perfectly_correlated(self):
+        ad4, vina = self._correlated(noise=0.0)
+        agg = engine_agreement(ad4, vina)
+        assert agg.pearson_r == pytest.approx(1.0, abs=1e-9)
+        assert agg.spearman_rho == pytest.approx(1.0, abs=1e-9)
+        assert agg.n_pairs == 10
+
+    def test_noisy_correlation_still_positive(self):
+        ad4, vina = self._correlated(noise=0.5)
+        agg = engine_agreement(ad4, vina)
+        assert agg.pearson_r > 0.8
+
+    def test_mean_febs_reported(self):
+        ad4, vina = self._correlated()
+        agg = engine_agreement(ad4, vina)
+        assert agg.mean_feb_ad4 < 0
+        assert agg.mean_feb_vina < 0
+
+    def test_too_few_common_pairs_raises(self):
+        ad4 = outcomes_from_json([_outcome("R1", "L", "autodock4", -5)])
+        vina = outcomes_from_json([_outcome("R1", "L", "vina", -4)])
+        with pytest.raises(ValueError, match="common pairs"):
+            engine_agreement(ad4, vina)
+
+    def test_disjoint_pairs_raise(self):
+        ad4 = outcomes_from_json(
+            [_outcome(f"A{i}", "L", "autodock4", -5) for i in range(4)]
+        )
+        vina = outcomes_from_json(
+            [_outcome(f"B{i}", "L", "vina", -4) for i in range(4)]
+        )
+        with pytest.raises(ValueError):
+            engine_agreement(ad4, vina)
+
+
+class TestProjection:
+    def test_shapes(self):
+        coords = np.arange(12.0).reshape(4, 3)
+        xy, z = project_orthographic(coords, view_axis=2)
+        assert xy.shape == (4, 2)
+        assert np.allclose(z, coords[:, 2])
+
+    def test_axis_selection(self):
+        coords = np.arange(6.0).reshape(2, 3)
+        xy, z = project_orthographic(coords, view_axis=0)
+        assert np.allclose(z, coords[:, 0])
+        assert np.allclose(xy, coords[:, 1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_orthographic(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            project_orthographic(np.zeros((3, 3)), view_axis=5)
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def complex_pair(self):
+        rec = generate_receptor("2HHN")
+        lig = generate_ligand("0E6")
+        # Pose the ligand at the pocket for a meaningful picture.
+        center = np.array(rec.metadata["pocket_center"])
+        lig.set_coords(lig.coords - lig.centroid() + center)
+        box = GridBox.around_pocket(center, rec.metadata["pocket_radius"])
+        return rec, lig, box
+
+    def test_svg_structure(self, complex_pair):
+        rec, lig, box = complex_pair
+        svg = render_complex_svg(rec, lig, box, title="2HHN-0E6")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "2HHN-0E6" in svg
+        assert "stroke-dasharray" in svg  # the box
+        # Every ligand atom drawn on top.
+        assert svg.count('r="4"') == len(lig.atoms)
+
+    def test_svg_without_box(self, complex_pair):
+        rec, lig, _ = complex_pair
+        svg = render_complex_svg(rec, lig, None)
+        assert "stroke-dasharray" not in svg
+
+    def test_svg_empty_raises(self, complex_pair):
+        rec, lig, _ = complex_pair
+        with pytest.raises(ValueError):
+            render_complex_svg(Molecule(), lig)
+
+    def test_ascii_canvas(self, complex_pair):
+        rec, lig, _ = complex_pair
+        art = ascii_complex(rec, lig, width=60, height=20)
+        lines = art.rstrip("\n").split("\n")
+        assert len(lines) == 20
+        assert all(len(l) == 60 for l in lines)
+        assert "#" in art  # ligand visible
+        assert "." in art or ":" in art  # receptor visible
+
+    def test_ascii_validation(self, complex_pair):
+        rec, lig, _ = complex_pair
+        with pytest.raises(ValueError):
+            ascii_complex(rec, lig, width=3, height=2)
+
+    def test_single_atom_molecules(self):
+        rec = Molecule("R")
+        rec.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        lig = Molecule("L")
+        lig.add_atom(Atom(1, "O1", "O", [2, 2, 2]))
+        svg = render_complex_svg(rec, lig)
+        assert "<circle" in svg

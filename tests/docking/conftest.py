@@ -1,0 +1,49 @@
+"""Shared docking fixtures: a small prepared receptor-ligand pair.
+
+Session-scoped because receptor preparation and map generation dominate
+test runtime; every consumer treats these as read-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.generate import generate_ligand, generate_receptor
+from repro.docking.autogrid import AutoGrid
+from repro.docking.box import GridBox
+from repro.docking.prepare import prepare_ligand, prepare_receptor
+
+
+@pytest.fixture(scope="session")
+def receptor():
+    return generate_receptor("2HHN")
+
+
+@pytest.fixture(scope="session")
+def ligand():
+    return generate_ligand("0E6")
+
+
+@pytest.fixture(scope="session")
+def prepared_receptor(receptor):
+    return prepare_receptor(receptor)
+
+
+@pytest.fixture(scope="session")
+def prepared_ligand(ligand):
+    return prepare_ligand(ligand)
+
+
+@pytest.fixture(scope="session")
+def pocket_box(receptor):
+    return GridBox.around_pocket(
+        np.array(receptor.metadata["pocket_center"]),
+        receptor.metadata["pocket_radius"],
+        spacing=0.8,
+    )
+
+
+@pytest.fixture(scope="session")
+def grid_maps(prepared_receptor, prepared_ligand, pocket_box):
+    return AutoGrid().run(
+        prepared_receptor.molecule, pocket_box, prepared_ligand.atom_types
+    )

@@ -1,0 +1,170 @@
+"""Unit tests for AutoGrid map generation and interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Molecule
+from repro.docking.autogrid import (
+    AutoGrid,
+    GridError,
+    trilinear,
+    write_fld_file,
+    write_map_file,
+)
+from repro.docking.box import GridBox
+
+
+def single_atom_receptor(adtype="OA", charge=-0.5):
+    m = Molecule("R")
+    a = Atom(1, "O", "O", [0.0, 0.0, 0.0], charge=charge)
+    a.autodock_type = adtype
+    m.add_atom(a)
+    return m
+
+
+class TestAutoGridRun:
+    def test_map_shapes(self, grid_maps, pocket_box):
+        for g in grid_maps.affinity.values():
+            assert g.shape == pocket_box.shape
+        assert grid_maps.electrostatic.shape == pocket_box.shape
+        assert grid_maps.desolvation.shape == pocket_box.shape
+
+    def test_requested_types_present(self, grid_maps, prepared_ligand):
+        assert set(prepared_ligand.atom_types) <= set(grid_maps.atom_types)
+
+    def test_log_reports_completion(self, grid_maps):
+        assert "successful completion" in grid_maps.log
+
+    def test_no_types_raises(self, prepared_receptor, pocket_box):
+        with pytest.raises(GridError):
+            AutoGrid().run(prepared_receptor.molecule, pocket_box, ())
+
+    def test_untyped_receptor_raises(self, pocket_box):
+        m = Molecule("R")
+        m.add_atom(Atom(1, "C1", "C", pocket_box.center))
+        with pytest.raises(GridError, match="AutoDock type"):
+            AutoGrid().run(m, pocket_box, ("C",))
+
+    def test_bad_chunk_raises(self):
+        with pytest.raises(GridError):
+            AutoGrid(chunk_atoms=0)
+
+    def test_affinity_well_near_single_atom(self):
+        rec = single_atom_receptor(adtype="C", charge=0.0)
+        box = GridBox(center=[0, 0, 0], npts=(20, 20, 20), spacing=0.5)
+        maps = AutoGrid().run(rec, box, ("C",))
+        # Sample along +x: energy is repulsive at contact, minimal near
+        # req (4.0 A for C-C), near zero at the cutoff.
+        pts = np.array([[1.0, 0, 0], [4.0, 0, 0], [7.9, 0, 0]])
+        vals = maps.interpolate("C", pts)
+        assert vals[0] > 0
+        assert vals[1] < 0
+        assert abs(vals[2]) < 0.2
+
+    def test_electrostatic_sign_follows_charge(self):
+        rec = single_atom_receptor(adtype="OA", charge=-0.5)
+        box = GridBox(center=[0, 0, 0], npts=(16, 16, 16), spacing=0.5)
+        maps = AutoGrid().run(rec, box, ("C",))
+        v = maps.interpolate("e", np.array([[2.0, 0, 0]]))[0]
+        assert v < 0  # negative potential near a negative charge
+
+    def test_atoms_outside_cutoff_ignored(self):
+        rec = single_atom_receptor(adtype="C")
+        rec.atoms[0].coords = np.array([100.0, 100.0, 100.0])
+        box = GridBox(center=[0, 0, 0], npts=(8, 8, 8), spacing=0.5)
+        maps = AutoGrid().run(rec, box, ("C",))
+        assert np.allclose(maps.affinity["C"], 0.0)
+
+    def test_deterministic(self, prepared_receptor, pocket_box, prepared_ligand):
+        m1 = AutoGrid().run(prepared_receptor.molecule, pocket_box, ("C",))
+        m2 = AutoGrid().run(prepared_receptor.molecule, pocket_box, ("C",))
+        assert np.allclose(m1.affinity["C"], m2.affinity["C"])
+
+    def test_chunking_invariant(self):
+        rec = Molecule("R")
+        rng = np.random.default_rng(3)
+        for i in range(40):
+            a = Atom(i + 1, "C", "C", rng.normal(scale=3, size=3), charge=0.1)
+            a.autodock_type = "C"
+            rec.add_atom(a)
+        box = GridBox(center=[0, 0, 0], npts=(8, 8, 8), spacing=0.8)
+        m_small = AutoGrid(chunk_atoms=7).run(rec, box, ("C",))
+        m_big = AutoGrid(chunk_atoms=1000).run(rec, box, ("C",))
+        assert np.allclose(m_small.affinity["C"], m_big.affinity["C"])
+        assert np.allclose(m_small.electrostatic, m_big.electrostatic)
+
+
+class TestInterpolation:
+    def test_exact_at_grid_points(self):
+        box = GridBox(center=[0, 0, 0], npts=(4, 4, 4), spacing=1.0)
+        grid = np.arange(np.prod(box.shape), dtype=float).reshape(box.shape)
+        pts = box.points()
+        vals = trilinear(grid, box, pts)
+        assert np.allclose(vals, grid.ravel())
+
+    def test_linear_in_between(self):
+        box = GridBox(center=[0.5, 0.5, 0.5], npts=(1, 1, 1), spacing=1.0)
+        grid = np.zeros((2, 2, 2))
+        grid[1, :, :] = 1.0  # value = x
+        v = trilinear(grid, box, np.array([[0.25, 0.5, 0.5]]))[0]
+        assert v == pytest.approx(0.25)
+
+    def test_clamps_outside(self):
+        box = GridBox(center=[0, 0, 0], npts=(2, 2, 2), spacing=1.0)
+        grid = np.ones((3, 3, 3))
+        v = trilinear(grid, box, np.array([[50.0, 50.0, 50.0]]))[0]
+        assert v == pytest.approx(1.0)
+
+    def test_unknown_map_raises(self, grid_maps):
+        with pytest.raises(GridError, match="no affinity map"):
+            grid_maps.interpolate("Zz", np.zeros((1, 3)))
+
+    def test_outside_penalty_zero_inside(self, grid_maps, pocket_box):
+        assert grid_maps.outside_penalty(pocket_box.center[None, :])[0] == 0.0
+
+    def test_outside_penalty_grows_quadratically(self, grid_maps, pocket_box):
+        p1 = pocket_box.maximum + [1.0, 0, 0]
+        p2 = pocket_box.maximum + [2.0, 0, 0]
+        pen = grid_maps.outside_penalty(np.stack([p1, p2]))
+        assert pen[1] == pytest.approx(4 * pen[0])
+
+
+class TestMapFiles:
+    def test_map_file_header(self, grid_maps):
+        text = write_map_file(grid_maps, "e")
+        assert "SPACING" in text and "NELEMENTS" in text and "CENTER" in text
+        n_values = np.prod(grid_maps.box.shape)
+        assert len(text.splitlines()) == 6 + n_values
+
+    def test_fld_file_lists_all_maps(self, grid_maps):
+        text = write_fld_file(grid_maps)
+        for t in grid_maps.atom_types:
+            assert f".{t}.map" in text
+        assert ".e.map" in text and ".d.map" in text
+
+
+class TestMapRoundTrip:
+    def test_map_file_roundtrip(self, grid_maps):
+        from repro.docking.autogrid import parse_map_file
+
+        text = write_map_file(grid_maps, "e")
+        box, grid = parse_map_file(text)
+        assert box.npts == grid_maps.box.npts
+        assert box.spacing == pytest.approx(grid_maps.box.spacing, abs=1e-3)
+        assert np.allclose(box.center, grid_maps.box.center, atol=1e-3)
+        # Values survive the 3-decimal text format.
+        assert np.allclose(grid, grid_maps.electrostatic, atol=2e-3)
+
+    def test_parse_missing_header_raises(self):
+        from repro.docking.autogrid import parse_map_file
+
+        with pytest.raises(GridError, match="header"):
+            parse_map_file("1.0\n2.0\n")
+
+    def test_parse_wrong_count_raises(self):
+        from repro.docking.autogrid import parse_map_file
+
+        text = "SPACING 0.5\nNELEMENTS 2 2 2\nCENTER 0 0 0\n1.0\n2.0\n"
+        with pytest.raises(GridError, match="values"):
+            parse_map_file(text)

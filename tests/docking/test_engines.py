@@ -1,0 +1,184 @@
+"""Integration-level tests of the AD4 and Vina engines plus clustering/DLG."""
+
+import numpy as np
+import pytest
+
+from repro.docking.autodock import AD4Parameters, AutoDock4
+from repro.docking.clustering import cluster_poses
+from repro.docking.conformation import Conformation, Pose
+from repro.docking.dlg import parse_dlg, parse_vina_log, write_dlg, write_vina_log
+from repro.docking.ga import GAConfig
+from repro.docking.mc import ILSConfig
+from repro.docking.vina import Vina, VinaParameters
+
+FAST_AD4 = AD4Parameters(
+    ga_runs=2,
+    ga=GAConfig(population_size=14, generations=4, local_search_steps=10),
+    final_refine_steps=20,
+)
+FAST_VINA = VinaParameters(
+    exhaustiveness=1,
+    ils=ILSConfig(restarts=2, steps_per_restart=2, bfgs_iterations=6),
+)
+
+
+@pytest.fixture(scope="module")
+def ad4_result(grid_maps, prepared_ligand):
+    return AutoDock4(grid_maps, FAST_AD4).dock(prepared_ligand, seed=3)
+
+
+@pytest.fixture(scope="module")
+def vina_result(prepared_receptor, pocket_box, prepared_ligand):
+    engine = Vina(prepared_receptor, pocket_box, FAST_VINA)
+    return engine.dock(prepared_ligand, seed=3)
+
+
+class TestAutoDock4:
+    def test_produces_one_pose_per_run(self, ad4_result):
+        assert len(ad4_result.poses) == FAST_AD4.ga_runs
+
+    def test_poses_sorted_by_energy(self, ad4_result):
+        energies = [p.energy for p in ad4_result.poses]
+        assert energies == sorted(energies)
+
+    def test_deterministic(self, grid_maps, prepared_ligand):
+        a = AutoDock4(grid_maps, FAST_AD4).dock(prepared_ligand, seed=3)
+        b = AutoDock4(grid_maps, FAST_AD4).dock(prepared_ligand, seed=3)
+        assert a.best_energy == b.best_energy
+
+    def test_different_seed_differs(self, grid_maps, prepared_ligand, ad4_result):
+        other = AutoDock4(grid_maps, FAST_AD4).dock(prepared_ligand, seed=99)
+        assert other.best_energy != ad4_result.best_energy
+
+    def test_names_recorded(self, ad4_result, prepared_ligand, grid_maps):
+        assert ad4_result.ligand_name == prepared_ligand.molecule.name
+        assert ad4_result.receptor_name == grid_maps.receptor_name
+        assert ad4_result.engine == "autodock4"
+
+    def test_evaluations_counted(self, ad4_result):
+        assert ad4_result.evaluations > 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AD4Parameters(ga_runs=0)
+
+    def test_rmsd_reflects_crystal_frame_offset(self, ad4_result):
+        # The receptor pocket lives in its crystal frame, ~40-70 A from the
+        # ligand's input frame; docked poses inherit that offset.
+        assert ad4_result.best_rmsd > 20
+
+
+class TestVina:
+    def test_respects_num_modes(self, vina_result):
+        assert 1 <= len(vina_result.poses) <= FAST_VINA.num_modes
+
+    def test_modes_sorted_and_within_energy_range(self, vina_result):
+        energies = [p.energy for p in vina_result.poses]
+        assert energies == sorted(energies)
+        assert energies[-1] - energies[0] <= FAST_VINA.energy_range + 1e-9
+
+    def test_modes_rmsd_separated(self, vina_result):
+        from repro.chem.geometry import rmsd
+
+        for i, a in enumerate(vina_result.poses):
+            for b in vina_result.poses[i + 1 :]:
+                assert rmsd(a.coords, b.coords) >= FAST_VINA.rmsd_filter - 1e-9
+
+    def test_deterministic(self, prepared_receptor, pocket_box, prepared_ligand):
+        e = Vina(prepared_receptor, pocket_box, FAST_VINA)
+        a = e.dock(prepared_ligand, seed=3)
+        b = e.dock(prepared_ligand, seed=3)
+        assert a.best_energy == b.best_energy
+
+    def test_finds_negative_affinity(self, vina_result):
+        # The synthetic pocket accommodates this ligand; Vina should find
+        # at least a weakly favorable pose even with a tiny budget.
+        assert vina_result.best_energy < 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VinaParameters(exhaustiveness=0)
+        with pytest.raises(ValueError):
+            VinaParameters(num_modes=0)
+        with pytest.raises(ValueError):
+            VinaParameters(energy_range=-1)
+
+    def test_exact_mode_close_to_grid_mode(
+        self, prepared_receptor, pocket_box, prepared_ligand
+    ):
+        gridded = Vina(prepared_receptor, pocket_box, FAST_VINA).dock(
+            prepared_ligand, seed=3
+        )
+        exact = Vina(
+            prepared_receptor, pocket_box, FAST_VINA, use_grid=False
+        ).dock(prepared_ligand, seed=3)
+        assert exact.best_energy == pytest.approx(gridded.best_energy, abs=2.5)
+
+
+class TestClustering:
+    def _pose(self, energy, offset):
+        return Pose(
+            conformation=Conformation.identity(0),
+            coords=np.zeros((3, 3)) + offset,
+            energy=energy,
+        )
+
+    def test_empty(self):
+        assert cluster_poses([]) == []
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            cluster_poses([self._pose(0, 0)], tolerance=0)
+
+    def test_groups_nearby_poses(self):
+        poses = [self._pose(-5, 0.0), self._pose(-4, 0.5), self._pose(-1, 10.0)]
+        clusters = cluster_poses(poses, tolerance=2.0)
+        assert len(clusters) == 2
+        assert clusters[0].size == 2
+        assert clusters[0].best_energy == -5
+
+    def test_clusters_sorted_by_energy(self):
+        poses = [self._pose(-1, 0.0), self._pose(-9, 10.0)]
+        clusters = cluster_poses(poses, tolerance=2.0)
+        assert clusters[0].best_energy == -9
+        assert clusters[0].rank == 0
+
+    def test_pose_cluster_annotation(self):
+        poses = [self._pose(-1, 0.0), self._pose(-9, 10.0), self._pose(-8.5, 10.2)]
+        cluster_poses(poses, tolerance=2.0)
+        assert poses[1].cluster == 0 and poses[2].cluster == 0
+        assert poses[0].cluster == 1
+
+    def test_mean_energy(self):
+        poses = [self._pose(-4, 0.0), self._pose(-2, 0.1)]
+        clusters = cluster_poses(poses, tolerance=2.0)
+        assert clusters[0].mean_energy == pytest.approx(-3.0)
+
+
+class TestDockingLogs:
+    def test_dlg_roundtrip(self, ad4_result):
+        text = write_dlg(ad4_result)
+        parsed = parse_dlg(text)
+        assert parsed["best_feb"] == pytest.approx(ad4_result.best_energy, abs=0.01)
+        assert parsed["success"]
+        assert parsed["evaluations"] == ad4_result.evaluations
+        assert len(parsed["all_feb"]) == len(ad4_result.poses)
+
+    def test_dlg_contains_histogram(self, ad4_result):
+        text = write_dlg(ad4_result)
+        assert "CLUSTERING HISTOGRAM" in text
+
+    def test_vina_log_roundtrip(self, vina_result):
+        text = write_vina_log(vina_result)
+        parsed = parse_vina_log(text)
+        assert parsed["best_feb"] == pytest.approx(vina_result.best_energy, abs=0.1)
+        assert len(parsed["modes"]) == len(vina_result.poses)
+        assert parsed["success"]
+
+    def test_parse_dlg_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_dlg("no conformations here")
+
+    def test_parse_vina_log_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_vina_log("nothing")

@@ -1,0 +1,145 @@
+"""Unit tests for flexible receptor side-chain docking."""
+
+import numpy as np
+import pytest
+
+from repro.docking.box import GridBox
+from repro.docking.flex import (
+    FlexError,
+    FlexibleReceptor,
+    FlexibleVina,
+    select_flexible_residues,
+)
+from repro.docking.mc import ILSConfig
+
+
+@pytest.fixture(scope="module")
+def pocket_center(receptor):
+    return np.array(receptor.metadata["pocket_center"])
+
+
+@pytest.fixture(scope="module")
+def flex_residues(prepared_receptor, receptor, pocket_center):
+    return select_flexible_residues(
+        prepared_receptor.molecule,
+        pocket_center,
+        receptor.metadata["pocket_radius"] + 3.0,
+        max_residues=3,
+    )
+
+
+class TestSelection:
+    def test_finds_lining_residues(self, flex_residues):
+        assert 1 <= len(flex_residues) <= 3
+
+    def test_residues_have_valid_axes(self, flex_residues, prepared_receptor):
+        mol = prepared_receptor.molecule
+        for fr in flex_residues:
+            assert mol.atoms[fr.axis_from].name == "CA"
+            assert mol.atoms[fr.axis_to].name == "CB"
+            assert fr.moved.size >= 1
+            assert fr.axis_from not in fr.moved
+            assert fr.axis_to not in fr.moved
+
+    def test_max_residues_respected(self, prepared_receptor, receptor, pocket_center):
+        sel = select_flexible_residues(
+            prepared_receptor.molecule, pocket_center,
+            receptor.metadata["pocket_radius"] + 5.0, max_residues=2,
+        )
+        assert len(sel) <= 2
+
+    def test_far_center_finds_nothing(self, prepared_receptor):
+        sel = select_flexible_residues(
+            prepared_receptor.molecule, np.array([999.0, 999.0, 999.0]), 5.0
+        )
+        assert sel == []
+
+    def test_invalid_max_raises(self, prepared_receptor, pocket_center):
+        with pytest.raises(FlexError):
+            select_flexible_residues(
+                prepared_receptor.molecule, pocket_center, 5.0, max_residues=0
+            )
+
+
+class TestFlexibleReceptor:
+    def test_requires_flex(self, prepared_receptor):
+        with pytest.raises(FlexError):
+            FlexibleReceptor(prepared_receptor.molecule, [])
+
+    def test_zero_chi_is_identity(self, prepared_receptor, flex_residues):
+        fr = FlexibleReceptor(prepared_receptor.molecule, flex_residues)
+        coords = fr.pose(np.zeros(fr.n_torsions))
+        assert np.allclose(coords, fr.reference)
+
+    def test_rotation_moves_only_sidechain(self, prepared_receptor, flex_residues):
+        frec = FlexibleReceptor(prepared_receptor.molecule, flex_residues)
+        chi = np.zeros(frec.n_torsions)
+        chi[0] = np.pi / 2
+        coords = frec.pose(chi)
+        moved = flex_residues[0].moved
+        fixed = sorted(set(range(len(frec.reference))) - set(moved.tolist()))
+        assert np.allclose(coords[fixed], frec.reference[fixed])
+        assert not np.allclose(coords[moved], frec.reference[moved])
+
+    def test_full_turn_is_identity(self, prepared_receptor, flex_residues):
+        frec = FlexibleReceptor(prepared_receptor.molecule, flex_residues)
+        chi = np.full(frec.n_torsions, 2 * np.pi)
+        assert np.allclose(frec.pose(chi), frec.reference, atol=1e-8)
+
+    def test_bond_to_axis_preserved(self, prepared_receptor, flex_residues):
+        """Rotation preserves distances from moved atoms to the axis atoms."""
+        frec = FlexibleReceptor(prepared_receptor.molecule, flex_residues)
+        chi = np.zeros(frec.n_torsions)
+        chi[0] = 1.0
+        coords = frec.pose(chi)
+        fr = flex_residues[0]
+        for i in fr.moved.tolist():
+            before = np.linalg.norm(frec.reference[i] - frec.reference[fr.axis_to])
+            after = np.linalg.norm(coords[i] - coords[fr.axis_to])
+            assert after == pytest.approx(before, abs=1e-9)
+
+    def test_strain_zero_at_rotamer(self, prepared_receptor, flex_residues):
+        frec = FlexibleReceptor(prepared_receptor.molecule, flex_residues)
+        assert frec.strain(np.zeros(frec.n_torsions)) == 0.0
+        assert frec.strain(np.ones(frec.n_torsions)) > 0
+
+    def test_wrong_chi_shape_raises(self, prepared_receptor, flex_residues):
+        frec = FlexibleReceptor(prepared_receptor.molecule, flex_residues)
+        with pytest.raises(FlexError):
+            frec.pose(np.zeros(frec.n_torsions + 1))
+
+
+class TestFlexibleVina:
+    FAST = ILSConfig(restarts=1, steps_per_restart=2, bfgs_iterations=6)
+
+    def test_docks_with_flexibility(
+        self, prepared_receptor, prepared_ligand, pocket_box, flex_residues
+    ):
+        engine = FlexibleVina(
+            prepared_receptor, pocket_box, flex_residues, ils=self.FAST
+        )
+        result = engine.dock(prepared_ligand, seed=2)
+        assert result.engine == "vina-flex"
+        assert result.poses
+        assert result.evaluations > 50
+
+    def test_deterministic(
+        self, prepared_receptor, prepared_ligand, pocket_box, flex_residues
+    ):
+        engine = FlexibleVina(
+            prepared_receptor, pocket_box, flex_residues, ils=self.FAST
+        )
+        a = engine.dock(prepared_ligand, seed=2)
+        b = engine.dock(prepared_ligand, seed=2)
+        assert a.best_energy == b.best_energy
+
+    def test_auto_selection(self, prepared_receptor, prepared_ligand, pocket_box):
+        engine = FlexibleVina(
+            prepared_receptor, pocket_box, flex_radius=12.0, ils=self.FAST
+        )
+        assert engine.flexible.n_torsions >= 1
+
+    def test_no_residues_raises(self, prepared_receptor, prepared_ligand):
+        far_box = GridBox(center=[900.0, 900.0, 900.0], npts=(10, 10, 10))
+        with pytest.raises(FlexError, match="no flexible residues"):
+            FlexibleVina(prepared_receptor, far_box, flex_radius=2.0)

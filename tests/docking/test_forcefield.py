@@ -1,0 +1,142 @@
+"""Unit + property tests for the AD4 force-field tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.elements import AUTODOCK_TYPES
+from repro.docking import forcefield as ff
+
+ALL_TYPES = sorted(AUTODOCK_TYPES)
+
+
+class TestPairParams:
+    def test_symmetric(self):
+        a = ff.pair_params("C", "OA")
+        b = ff.pair_params("OA", "C")
+        assert a == b
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            ff.pair_params("C", "XX")
+
+    def test_hbond_pair_uses_12_10(self):
+        p = ff.pair_params("HD", "OA")
+        assert p.is_hbond and p.m == 12 and p.n == 10
+
+    def test_dispersion_pair_uses_12_6(self):
+        p = ff.pair_params("C", "C")
+        assert not p.is_hbond and p.n == 6
+
+    def test_equilibrium_distance_cc(self):
+        p = ff.pair_params("C", "C")
+        # rii for C is 4.0 => homopair equilibrium at 4.0 A.
+        assert p.req == pytest.approx(4.0, abs=1e-6)
+
+    def test_equilibrium_distance_hbond(self):
+        p = ff.pair_params("HD", "OA")
+        assert p.req == pytest.approx(1.9, abs=1e-6)
+
+    @given(st.sampled_from(ALL_TYPES), st.sampled_from(ALL_TYPES))
+    @settings(max_examples=40, deadline=None)
+    def test_property_minimum_at_req(self, ta, tb):
+        p = ff.pair_params(ta, tb)
+        e_req = ff.vdw_energy(np.array([p.req]), p, smooth_radius=0.0)[0]
+        for dr in (-0.2, 0.2):
+            e = ff.vdw_energy(np.array([p.req + dr]), p, smooth_radius=0.0)[0]
+            assert e >= e_req - 1e-9
+
+
+class TestVdwEnergy:
+    def test_repulsive_at_short_range(self):
+        p = ff.pair_params("C", "C")
+        assert ff.vdw_energy(np.array([1.0]), p)[0] > 0
+
+    def test_attractive_at_equilibrium(self):
+        p = ff.pair_params("C", "C")
+        assert ff.vdw_energy(np.array([p.req]), p)[0] < 0
+
+    def test_clamped(self):
+        p = ff.pair_params("C", "C")
+        assert ff.vdw_energy(np.array([0.01]), p)[0] <= ff.EINTCLAMP
+
+    def test_smoothing_widens_well(self):
+        p = ff.pair_params("C", "C")
+        r = np.array([p.req + 0.2])
+        smoothed = ff.vdw_energy(r, p)[0]
+        raw = ff.vdw_energy(r, p, smooth_radius=0.0)[0]
+        assert smoothed <= raw  # min-over-window can only lower energy
+
+    def test_smoothing_flat_inside_window(self):
+        p = ff.pair_params("C", "C")
+        e1 = ff.vdw_energy(np.array([p.req - 0.1]), p)[0]
+        e2 = ff.vdw_energy(np.array([p.req + 0.1]), p)[0]
+        assert e1 == pytest.approx(e2)
+
+    def test_vanishes_at_long_range(self):
+        p = ff.pair_params("C", "C")
+        assert abs(ff.vdw_energy(np.array([20.0]), p)[0]) < 1e-3
+
+
+class TestDielectric:
+    def test_large_r_approaches_water(self):
+        eps = ff.mehler_solmajer_dielectric(np.array([100.0]))[0]
+        assert 75 < eps < 80
+
+    def test_small_r_approaches_vacuum(self):
+        eps = ff.mehler_solmajer_dielectric(np.array([0.01]))[0]
+        assert 1.0 < eps < 2.0
+
+    def test_monotone_increasing(self):
+        r = np.linspace(0.1, 50, 100)
+        eps = ff.mehler_solmajer_dielectric(r)
+        assert np.all(np.diff(eps) > 0)
+
+
+class TestCoulomb:
+    def test_opposite_charges_attract(self):
+        e = ff.coulomb_energy(np.array([3.0]), 0.5, -0.5)[0]
+        assert e < 0
+
+    def test_like_charges_repel(self):
+        e = ff.coulomb_energy(np.array([3.0]), 0.5, 0.5)[0]
+        assert e > 0
+
+    def test_clamped_at_contact(self):
+        e = ff.coulomb_energy(np.array([0.001]), 1.0, -1.0)[0]
+        assert e == pytest.approx(-ff.ESTAT_CLAMP)
+
+    def test_decays_with_distance(self):
+        e1 = abs(ff.coulomb_energy(np.array([2.0]), 0.3, -0.3)[0])
+        e2 = abs(ff.coulomb_energy(np.array([6.0]), 0.3, -0.3)[0])
+        assert e1 > e2
+
+
+class TestDesolvation:
+    def test_positive_for_carbon_near_carbon(self):
+        # Carbon has negative solpar; pair term can be negative, but the
+        # envelope must decay with distance.
+        e1 = abs(ff.desolvation_energy(np.array([1.0]), "C", "C")[0])
+        e2 = abs(ff.desolvation_energy(np.array([7.0]), "C", "C")[0])
+        assert e1 > e2
+
+    def test_charge_increases_magnitude(self):
+        e0 = ff.desolvation_energy(np.array([2.0]), "C", "C", 0.0, 0.0)[0]
+        e1 = ff.desolvation_energy(np.array([2.0]), "C", "C", 1.0, 1.0)[0]
+        assert e1 > e0  # qsolpar adds a positive contribution
+
+
+class TestCoefficientMatrices:
+    def test_shapes_consistent(self):
+        cA, cB, n_exp, hb, m_exp = ff.coefficient_matrices()
+        T = len(ff.type_index())
+        assert cA.shape == (T, T) == cB.shape == hb.shape
+
+    def test_matrix_matches_pairwise(self):
+        idx = ff.type_index()
+        cA, cB, n_exp, hb, _ = ff.coefficient_matrices()
+        p = ff.pair_params("C", "OA")
+        i, j = idx["C"], idx["OA"]
+        assert cA[i, j] == pytest.approx(p.cA)
+        assert n_exp[i, j] == p.n

@@ -1,0 +1,138 @@
+"""Unit tests for the MGLTools-equivalent preparation scripts."""
+
+import numpy as np
+import pytest
+
+from repro.chem.atom import Atom
+from repro.chem.generate import generate_ligand, generate_receptor
+from repro.chem.molecule import Molecule
+from repro.docking.box import GridBox
+from repro.docking.prepare import (
+    PreparationError,
+    parse_vina_config,
+    prepare_dpf,
+    prepare_gpf,
+    prepare_ligand,
+    prepare_receptor,
+    prepare_vina_config,
+)
+
+
+class TestPrepareLigand:
+    def test_assigns_types_and_charges(self, prepared_ligand):
+        for a in prepared_ligand.molecule.atoms:
+            assert a.autodock_type is not None
+        assert any(a.charge != 0 for a in prepared_ligand.molecule.atoms)
+
+    def test_merges_nonpolar_hydrogens(self):
+        m = Molecule("M")
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        m.add_atom(Atom(2, "H1", "H", [1.1, 0, 0]))
+        m.add_atom(Atom(3, "O1", "O", [-1.4, 0, 0]))
+        m.add_atom(Atom(4, "H2", "H", [-2.0, 0.8, 0]))
+        m.add_bond(0, 1)
+        m.add_bond(0, 2)
+        m.add_bond(2, 3)
+        prep = prepare_ligand(m)
+        elements = [a.element for a in prep.molecule.atoms]
+        assert elements.count("H") == 1  # polar H kept, C-H merged
+        # Merged hydrogen's charge folded into carbon: totals conserved.
+        assert sum(a.charge for a in prep.molecule.atoms) == pytest.approx(0.0, abs=1e-6)
+
+    def test_polar_hydrogen_typed_hd(self):
+        lig = generate_ligand("074")
+        prep = prepare_ligand(lig)
+        h_types = {a.autodock_type for a in prep.molecule.atoms if a.element == "H"}
+        assert h_types <= {"HD"}
+
+    def test_pdbqt_contains_torsion_tree(self, prepared_ligand):
+        assert "ROOT" in prepared_ligand.pdbqt
+        assert f"TORSDOF {prepared_ligand.torsdof}" in prepared_ligand.pdbqt
+
+    def test_empty_raises(self):
+        with pytest.raises(PreparationError):
+            prepare_ligand(Molecule())
+
+    def test_disconnected_raises(self):
+        m = Molecule("X")
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        m.add_atom(Atom(2, "C2", "C", [30, 0, 0]))
+        with pytest.raises(PreparationError, match="disconnected"):
+            prepare_ligand(m)
+
+    def test_does_not_mutate_input(self):
+        lig = generate_ligand("042")
+        before = lig.coords
+        n_before = len(lig)
+        prepare_ligand(lig)
+        assert len(lig) == n_before
+        assert np.allclose(lig.coords, before)
+
+
+class TestPrepareReceptor:
+    def test_assigns_types(self, prepared_receptor):
+        for a in prepared_receptor.molecule.atoms:
+            assert a.autodock_type is not None
+
+    def test_strips_water(self):
+        rec = generate_receptor("1AEC")
+        rec.add_atom(Atom(9999, "O", "O", [99, 99, 99], residue_name="HOH"))
+        prep = prepare_receptor(rec)
+        assert all(a.residue_name != "HOH" for a in prep.molecule.atoms)
+
+    def test_rigid_pdbqt_has_no_tree(self, prepared_receptor):
+        assert "ROOT" not in prepared_receptor.pdbqt
+        assert "BRANCH" not in prepared_receptor.pdbqt
+
+    def test_unparameterized_metal_raises(self):
+        m = Molecule("X")
+        m.add_atom(Atom(1, "K", "K", [0, 0, 0]))
+        m.add_atom(Atom(2, "C1", "C", [2, 0, 0]))
+        with pytest.raises(PreparationError, match="K"):
+            prepare_receptor(m)
+
+    def test_mercury_is_parameterized(self):
+        m = Molecule("X")
+        m.add_atom(Atom(1, "HG", "HG", [0, 0, 0]))
+        m.add_atom(Atom(2, "C1", "C", [2.5, 0, 0]))
+        prep = prepare_receptor(m)
+        assert any(a.autodock_type == "Hg" for a in prep.molecule.atoms)
+
+    def test_empty_raises(self):
+        with pytest.raises(PreparationError):
+            prepare_receptor(Molecule())
+
+    def test_only_water_raises(self):
+        m = Molecule("W")
+        m.add_atom(Atom(1, "O", "O", [0, 0, 0], residue_name="HOH"))
+        with pytest.raises(PreparationError, match="water"):
+            prepare_receptor(m)
+
+
+class TestParameterFiles:
+    def test_gpf_mentions_all_maps(self, prepared_receptor, prepared_ligand, pocket_box):
+        gpf = prepare_gpf(prepared_receptor, prepared_ligand, pocket_box)
+        for t in prepared_ligand.atom_types:
+            assert f".{t}.map" in gpf
+        assert "gridcenter" in gpf
+        assert f"npts {pocket_box.npts[0]}" in gpf
+
+    def test_dpf_contains_ga_settings(self, prepared_receptor, prepared_ligand):
+        dpf = prepare_dpf(prepared_receptor, prepared_ligand, ga_runs=7, seed=42)
+        assert "ga_run 7" in dpf
+        assert "seed 42" in dpf
+        assert "ga_pop_size" in dpf
+
+    def test_vina_config_roundtrip(self, prepared_receptor, prepared_ligand, pocket_box):
+        text = prepare_vina_config(
+            prepared_receptor, prepared_ligand, pocket_box, exhaustiveness=5, seed=9
+        )
+        conf = parse_vina_config(text)
+        assert conf["exhaustiveness"] == 5
+        assert conf["seed"] == 9
+        assert conf["center_x"] == pytest.approx(pocket_box.center[0], abs=1e-3)
+        assert conf["size_x"] == pytest.approx(pocket_box.dimensions[0], abs=1e-3)
+
+    def test_vina_config_bad_line_raises(self):
+        with pytest.raises(PreparationError):
+            parse_vina_config("this is not a key value line")

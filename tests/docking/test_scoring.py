@@ -1,0 +1,198 @@
+"""Unit tests for AD4 and Vina scoring functions."""
+
+import numpy as np
+import pytest
+
+from repro.chem.atom import Atom
+from repro.chem.molecule import Molecule
+from repro.docking.box import GridBox
+from repro.docking.scoring_ad4 import AD4Scorer, ScoringError
+from repro.docking.scoring_vina import (
+    STANDARD_CLASSES,
+    VinaScorer,
+    VinaScoringError,
+    atom_class_for,
+    build_vina_maps,
+    pairwise_terms,
+    xs_radius,
+)
+
+
+class TestAD4Scorer:
+    def test_untyped_ligand_raises(self, grid_maps):
+        m = Molecule("L")
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        with pytest.raises(ScoringError, match="AutoDock type"):
+            AD4Scorer(grid_maps, m)
+
+    def test_missing_map_raises(self, grid_maps):
+        m = Molecule("L")
+        a = Atom(1, "I1", "I", [0, 0, 0])
+        a.autodock_type = "I"
+        m.add_atom(a)
+        if "I" not in grid_maps.affinity:
+            with pytest.raises(ScoringError, match="lack type"):
+                AD4Scorer(grid_maps, m)
+
+    def test_score_shape_check(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        with pytest.raises(ScoringError, match="shape"):
+            scorer.score(np.zeros((2, 3)))
+
+    def test_total_is_inter_plus_torsional(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        coords = prepared_ligand.molecule.coords
+        terms = scorer.score(coords)
+        assert terms.total == pytest.approx(terms.intermolecular + terms.torsional)
+
+    def test_docking_energy_adds_intra(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        coords = prepared_ligand.molecule.coords
+        terms = scorer.score(coords)
+        assert terms.docking_energy == pytest.approx(
+            terms.total + terms.intramolecular
+        )
+        assert scorer.docking_energy(coords) == pytest.approx(terms.docking_energy)
+
+    def test_intra_reference_is_zero_delta(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        assert scorer.intramolecular(prepared_ligand.molecule.coords) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_torsional_penalty_scales_with_torsdof(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        from repro.docking.forcefield import FE_COEFF_TORS
+
+        assert scorer.torsional() == pytest.approx(
+            FE_COEFF_TORS * prepared_ligand.torsdof
+        )
+
+    def test_outside_box_penalized(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        coords = prepared_ligand.molecule.coords
+        far = coords + (grid_maps.box.maximum - coords.mean(axis=0)) + 30.0
+        inter_far, _ = scorer.intermolecular(far)
+        # Far outside the box the wall dominates and is large positive.
+        assert inter_far > 100
+
+
+class TestVinaTerms:
+    def test_xs_radius_known_types(self):
+        assert xs_radius("C") == pytest.approx(1.9)
+        assert xs_radius("OA") == pytest.approx(1.7)
+        assert xs_radius("HD") == 0.0
+
+    def test_xs_radius_unknown_raises(self):
+        with pytest.raises(VinaScoringError):
+            xs_radius("QQ")
+
+    def test_gauss1_peak_at_contact(self):
+        e0 = pairwise_terms(np.array([0.0]), np.array([False]), np.array([False]))[0]
+        e1 = pairwise_terms(np.array([2.0]), np.array([False]), np.array([False]))[0]
+        assert e0 < e1  # contact is most favorable for plain gauss terms
+
+    def test_repulsion_only_when_overlapping(self):
+        e_neg = pairwise_terms(np.array([-0.5]), np.array([False]), np.array([False]))[0]
+        e_pos = pairwise_terms(np.array([0.5]), np.array([False]), np.array([False]))[0]
+        assert e_neg > e_pos  # repulsion kicks in for d < 0
+
+    def test_hydrophobic_bonus(self):
+        d = np.array([0.3])
+        base = pairwise_terms(d, np.array([False]), np.array([False]))[0]
+        hydro = pairwise_terms(d, np.array([True]), np.array([False]))[0]
+        assert hydro < base
+
+    def test_hbond_bonus(self):
+        d = np.array([-0.3])
+        base = pairwise_terms(d, np.array([False]), np.array([False]))[0]
+        hb = pairwise_terms(d, np.array([False]), np.array([True]))[0]
+        assert hb < base
+
+
+class TestVinaScorer:
+    def test_entropy_normalization(self, prepared_receptor, prepared_ligand, pocket_box):
+        scorer = VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, pocket_box
+        )
+        from repro.docking.scoring_vina import W_ROT
+
+        assert scorer._entropy_norm == pytest.approx(
+            1.0 + W_ROT * prepared_ligand.torsdof
+        )
+
+    def test_shape_check(self, prepared_receptor, prepared_ligand, pocket_box):
+        scorer = VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, pocket_box
+        )
+        with pytest.raises(VinaScoringError):
+            scorer.total(np.zeros((1, 3)))
+
+    def test_search_energy_adds_intra(self, prepared_receptor, prepared_ligand, pocket_box):
+        scorer = VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, pocket_box
+        )
+        coords = prepared_ligand.molecule.coords
+        assert scorer.search_energy(coords) == pytest.approx(
+            scorer.total(coords) + scorer.intramolecular(coords)
+        )
+
+    def test_grid_matches_exact_within_tolerance(
+        self, prepared_receptor, prepared_ligand, pocket_box
+    ):
+        # Use a fine grid for the accuracy check: interpolation error on
+        # the steep repulsion term shrinks with spacing.
+        fine_box = GridBox(
+            center=pocket_box.center, npts=(44, 44, 44), spacing=0.45
+        )
+        maps = build_vina_maps(prepared_receptor.molecule, fine_box)
+        exact = VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, fine_box
+        )
+        gridded = VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, fine_box, maps=maps
+        )
+        rng = np.random.default_rng(11)
+        base = prepared_ligand.molecule.coords
+        compared = 0
+        for _ in range(8):
+            coords = base - base.mean(axis=0) + fine_box.center
+            coords = coords + rng.normal(scale=0.5, size=3)
+            if not fine_box.contains(coords).all():
+                continue  # boundary clamping is only valid inside the box
+            e_exact = exact.intermolecular(coords)
+            e_grid = gridded.intermolecular(coords)
+            # Repulsion curvature near the receptor wall bounds trilinear
+            # accuracy to ~1 kcal/mol at this spacing (matches real Vina's
+            # grid-cache error scale).
+            assert abs(e_grid - e_exact) < max(1.0, 0.2 * abs(e_exact))
+            compared += 1
+        assert compared >= 3
+
+    def test_mismatched_maps_box_raises(
+        self, prepared_receptor, prepared_ligand, pocket_box
+    ):
+        other_box = GridBox(center=pocket_box.center + 5.0, npts=pocket_box.npts)
+        maps = build_vina_maps(prepared_receptor.molecule, other_box)
+        with pytest.raises(VinaScoringError, match="box"):
+            VinaScorer(
+                prepared_receptor.molecule,
+                prepared_ligand.molecule,
+                pocket_box,
+                maps=maps,
+            )
+
+    def test_standard_classes_cover_ligand(self, prepared_ligand):
+        classes = {atom_class_for(a.autodock_type) for a in prepared_ligand.molecule.atoms}
+        assert classes <= set(STANDARD_CLASSES)
+
+    def test_empty_neighborhood_scores_zero(self, prepared_ligand):
+        rec = Molecule("R")
+        a = Atom(1, "C1", "C", [500.0, 500.0, 500.0])
+        a.autodock_type = "C"
+        rec.add_atom(a)
+        box = GridBox(center=[0, 0, 0], npts=(8, 8, 8), spacing=0.5)
+        scorer = VinaScorer(rec, prepared_ligand.molecule, box)
+        coords = prepared_ligand.molecule.coords
+        coords = coords - coords.mean(axis=0)  # inside the box
+        assert scorer.intermolecular(coords) == 0.0

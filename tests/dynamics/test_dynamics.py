@@ -1,0 +1,179 @@
+"""Unit tests for the refinement substrate: intra FF, minimization, MD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.atom import Atom
+from repro.chem.generate import generate_ligand, generate_receptor
+from repro.chem.molecule import Molecule
+from repro.docking.box import GridBox
+from repro.docking.prepare import prepare_ligand, prepare_receptor
+from repro.docking.scoring_vina import VinaScorer
+from repro.dynamics.forcefield_intra import IntraFF
+from repro.dynamics.md import KB, MDConfig, run_md
+from repro.dynamics.minimize import minimize_pose
+from repro.dynamics.refine import redock, refine_pose
+
+
+@pytest.fixture(scope="module")
+def ligand():
+    lig = generate_ligand("0E6")
+    prep = prepare_ligand(lig)
+    return prep.molecule
+
+
+@pytest.fixture(scope="module")
+def scorer(ligand):
+    rec = generate_receptor("2HHN")
+    rp = prepare_receptor(rec)
+    box = GridBox.around_pocket(
+        np.array(rec.metadata["pocket_center"]),
+        rec.metadata["pocket_radius"],
+        spacing=0.8,
+    )
+    return VinaScorer(rp.molecule, ligand, box)
+
+
+class TestIntraFF:
+    def test_requires_bonds(self):
+        m = Molecule("M")
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        m.add_atom(Atom(2, "C2", "C", [9, 0, 0]))
+        with pytest.raises(ValueError, match="bonds"):
+            IntraFF.from_molecule(m)
+
+    def test_requires_two_atoms(self):
+        m = Molecule("M")
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        with pytest.raises(ValueError):
+            IntraFF.from_molecule(m)
+
+    def test_reference_bond_energy_zero(self, ligand):
+        ff = IntraFF.from_molecule(ligand)
+        coords = ligand.coords
+        bi, bj = ff.bonds[:, 0], ff.bonds[:, 1]
+        r = np.linalg.norm(coords[bi] - coords[bj], axis=1)
+        assert np.allclose(r, ff.bond_r0)
+
+    def test_stretching_costs_energy(self, ligand):
+        ff = IntraFF.from_molecule(ligand)
+        stretched = ligand.coords * 1.1
+        assert ff.energy(stretched) > ff.energy(ligand.coords)
+
+    def test_analytic_gradient_matches_fd(self, ligand):
+        ff = IntraFF.from_molecule(ligand)
+        rng = np.random.default_rng(1)
+        x = ligand.coords + rng.normal(scale=0.05, size=ligand.coords.shape)
+        _, grad = ff.energy_gradient(x)
+        h = 1e-5
+        for i, axis in [(0, 0), (3, 1), (7, 2)]:
+            xp, xm = x.copy(), x.copy()
+            xp[i, axis] += h
+            xm[i, axis] -= h
+            fd = (ff.energy(xp) - ff.energy(xm)) / (2 * h)
+            assert grad[i, axis] == pytest.approx(fd, rel=1e-4, abs=1e-5)
+
+    def test_gradient_shape(self, ligand):
+        ff = IntraFF.from_molecule(ligand)
+        e, g = ff.energy_gradient(ligand.coords)
+        assert g.shape == ligand.coords.shape
+        assert np.isfinite(e)
+
+
+class TestMinimize:
+    def test_lowers_energy_from_perturbed_state(self, ligand, scorer):
+        rng = np.random.default_rng(2)
+        start = ligand.coords + rng.normal(scale=0.15, size=ligand.coords.shape)
+        start = start - start.mean(axis=0) + scorer.box.center
+        res = minimize_pose(ligand, start, scorer, max_iterations=25)
+        assert res.final_energy <= res.initial_energy
+        assert res.energy_drop >= 0
+        assert res.coords.shape == start.shape
+
+    def test_shape_validation(self, ligand, scorer):
+        with pytest.raises(ValueError, match="shape"):
+            minimize_pose(ligand, np.zeros((2, 3)), scorer)
+
+    def test_preserves_bond_lengths_roughly(self, ligand, scorer):
+        start = ligand.coords - ligand.coords.mean(axis=0) + scorer.box.center
+        res = minimize_pose(ligand, start, scorer, max_iterations=25)
+        ff = IntraFF.from_molecule(ligand)
+        bi, bj = ff.bonds[:, 0], ff.bonds[:, 1]
+        r = np.linalg.norm(res.coords[bi] - res.coords[bj], axis=1)
+        assert np.all(np.abs(r - ff.bond_r0) < 0.3)
+
+
+class TestMD:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MDConfig(steps=0)
+        with pytest.raises(ValueError):
+            MDConfig(dt=-0.1)
+        with pytest.raises(ValueError):
+            MDConfig(temperature=-1)
+
+    def test_vacuum_md_runs_and_samples(self, ligand):
+        res = run_md(
+            ligand, ligand.coords, scorer=None,
+            config=MDConfig(steps=50, sample_every=10),
+            rng=np.random.default_rng(3),
+        )
+        assert len(res.potential_energies) >= 5
+        assert np.isfinite(res.coords).all()
+
+    def test_temperature_near_target(self, ligand):
+        cfg = MDConfig(steps=400, temperature=300.0, sample_every=40)
+        res = run_md(ligand, ligand.coords, None, cfg, np.random.default_rng(4))
+        # Loose band: small system, short trajectory.
+        tail = np.mean(res.temperatures[-5:])
+        assert 80.0 < tail < 900.0
+
+    def test_bonds_survive_dynamics(self, ligand):
+        res = run_md(
+            ligand, ligand.coords, None,
+            MDConfig(steps=150, sample_every=50),
+            np.random.default_rng(5),
+        )
+        ff = IntraFF.from_molecule(ligand)
+        bi, bj = ff.bonds[:, 0], ff.bonds[:, 1]
+        r = np.linalg.norm(res.coords[bi] - res.coords[bj], axis=1)
+        assert np.all(np.abs(r - ff.bond_r0) < 0.5)
+
+    def test_deterministic_given_rng(self, ligand):
+        cfg = MDConfig(steps=30)
+        a = run_md(ligand, ligand.coords, None, cfg, np.random.default_rng(6))
+        b = run_md(ligand, ligand.coords, None, cfg, np.random.default_rng(6))
+        assert np.allclose(a.coords, b.coords)
+
+    def test_shape_validation(self, ligand):
+        with pytest.raises(ValueError):
+            run_md(ligand, np.zeros((2, 3)))
+
+    @given(st.integers(200, 400))
+    @settings(max_examples=3, deadline=None)
+    def test_property_kb_temperature_positive(self, t):
+        assert KB * t > 0
+
+
+class TestRefine:
+    def test_redock_produces_negative_feb(self):
+        result, scorer, lp = redock("2HHN", "0E6", seeds=(0,))
+        assert result.best_energy < 0
+        assert scorer.total(result.best_pose.coords) == pytest.approx(
+            result.best_energy, abs=0.5
+        )
+
+    def test_alternative_conformation_differs(self):
+        a, _, _ = redock("1PIP", "042", seeds=(0,))
+        b, _, _ = redock("1PIP", "042", seeds=(0,), alternative_conformation=True)
+        assert a.best_energy != b.best_energy
+
+    def test_refine_pose_full_protocol(self):
+        res = refine_pose("2HHN", "0E6", screening_feb=-5.5, md_steps=20, seeds=(0,))
+        assert res.redock_feb < 0
+        assert np.isfinite(res.refined_feb)
+        assert res.pose_shift_rmsd >= 0
+        assert "2HHN-0E6" in res.summary()
+        assert ("REINFORCED" in res.summary()) or ("ARTIFACT" in res.summary())

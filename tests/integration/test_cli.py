@@ -1,0 +1,75 @@
+"""Integration tests for the ``scidock`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dock_defaults(self):
+        args = build_parser().parse_args(["dock"])
+        assert args.scenario == "adaptive"
+        assert args.workers == 4
+
+    def test_sweep_cores_list(self):
+        args = build_parser().parse_args(["sweep", "--cores", "2", "8"])
+        assert args.cores == [2, 8]
+
+
+class TestCommands:
+    def test_dataset(self, capsys):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "238 receptors" in out
+        assert "42 ligands" in out
+
+    def test_spec(self, capsys):
+        assert main(["spec"]) == 0
+        out = capsys.readouterr().out
+        assert "<SciCumulus>" in out
+        assert 'tag="SciDock"' in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--cores", "2", "8", "--pairs", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        lines = [l for l in out.splitlines() if l.strip().startswith(("2 ", "8 "))]
+        assert len(lines) == 2
+
+    def test_dock_small(self, capsys):
+        assert main([
+            "dock", "--receptors", "1PIP", "--ligands", "042", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "042-1PIP" in out
+        assert "FEB" in out
+
+
+class TestExtendedCommands:
+    def test_refine(self, capsys):
+        assert main(["refine", "1PIP", "042", "--md-steps", "10", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1PIP-042" in out
+        assert "redock" in out
+
+    def test_qsar(self, capsys):
+        assert main([
+            "qsar", "--n-receptors", "2", "--n-train-ligands", "6",
+            "--workers", "2", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "q2" in out
+        assert "predicted-best" in out
+
+    def test_report(self, capsys):
+        assert main([
+            "report", "--receptors", "1PIP", "--ligands", "042",
+            "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# SciDock campaign report" in out
+        assert "## Fault ledger" in out

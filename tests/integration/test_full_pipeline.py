@@ -1,0 +1,117 @@
+"""Cross-module integration tests: the whole system working together."""
+
+import numpy as np
+import pytest
+
+from repro.chem.formats.pdbqt import parse_pdbqt
+from repro.cloud.storage import S3ObjectStore, SharedFileSystem
+from repro.core.analysis import collect_outcomes, top_interactions
+from repro.core.datasets import pair_relation
+from repro.core.scidock import SciDockConfig, run_scidock
+from repro.docking.dlg import parse_dlg, parse_vina_log
+from repro.perf.calibrate import calibrate_cost_model
+from repro.perf.experiments import run_single_scale
+from repro.provenance.prov_model import export_prov_document, to_prov_n
+from repro.provenance.queries import (
+    query1_activity_statistics,
+    query2_files,
+    workflow_tet,
+)
+
+
+@pytest.fixture(scope="module")
+def run_with_fs():
+    """A real run writing all artifacts through the shared file system."""
+    fs = SharedFileSystem(S3ObjectStore(), root="/root/exp_SciDock")
+    pairs = pair_relation(receptors=["2HHN", "1PIP"], ligands=["0E6"])
+    config = SciDockConfig(workers=2, seed=2)
+    context_fs = config.context()
+    context_fs["fs"] = fs
+
+    from repro.provenance.store import ProvenanceStore
+    from repro.workflow.engine import LocalEngine
+    from repro.core.scidock import build_scidock_workflow
+
+    store = ProvenanceStore()
+    engine = LocalEngine(store, workers=2)
+    report = engine.run(build_scidock_workflow(config), pairs, context=context_fs)
+    return report, store, fs
+
+
+class TestArtifactsOnSharedFS:
+    def test_all_stage_artifacts_written(self, run_with_fs):
+        _, _, fs = run_with_fs
+        listing = fs.store.list("/root/exp_SciDock/")
+        kinds = {p.split("/")[3] for p in listing}
+        assert {"babel", "prepare_ligand", "prepare_receptor", "prepare_gpf",
+                "autogrid"} <= kinds
+
+    def test_ligand_pdbqt_parses_back(self, run_with_fs):
+        _, _, fs = run_with_fs
+        text = fs.read_text("prepare_ligand/0E6/0E6.pdbqt")
+        mol = parse_pdbqt(text)
+        assert len(mol) > 5
+        assert mol.metadata.get("torsdof", 0) >= 0
+
+    def test_docking_log_parses_back(self, run_with_fs):
+        report, store, fs = run_with_fs
+        dlgs = query2_files(store, report.wkfid, ".dlg")
+        logs = query2_files(store, report.wkfid, ".log")
+        assert dlgs or logs
+        for f in dlgs:
+            parsed = parse_dlg(fs.read_text(f"{f.fdir}{f.fname}"))
+            assert parsed["success"]
+        for f in logs:
+            parsed = parse_vina_log(fs.read_text(f"{f.fdir}{f.fname}"))
+            assert parsed["success"]
+
+    def test_file_sizes_match_provenance(self, run_with_fs):
+        report, store, fs = run_with_fs
+        for f in query2_files(store, report.wkfid, ".pdbqt"):
+            assert fs.file_size(f"{f.fdir}{f.fname}") == f.fsize
+
+
+class TestProvenanceIntegration:
+    def test_prov_export_of_real_run(self, run_with_fs):
+        report, store, _ = run_with_fs
+        doc = export_prov_document(store, report.wkfid)
+        assert doc["workflow"]["tag"] == "SciDock"
+        assert len(doc["entity"]) > 5
+        text = to_prov_n(doc)
+        assert "endDocument" in text
+
+    def test_tet_consistent_with_activations(self, run_with_fs):
+        report, store, _ = run_with_fs
+        tet = workflow_tet(store, report.wkfid)
+        assert tet == pytest.approx(report.tet_seconds, rel=0.01)
+        durations = [
+            s.sum for s in query1_activity_statistics(store, report.wkfid)
+        ]
+        # Total busy time can exceed TET (2 workers) but not 2x TET + eps.
+        assert sum(durations) <= 2 * tet + 1.0
+
+
+class TestCalibrationLoop:
+    def test_measured_costs_feed_simulation(self, run_with_fs):
+        report, store, _ = run_with_fs
+        measured = {
+            s.tag: s.avg for s in query1_activity_statistics(store, report.wkfid)
+        }
+        model = calibrate_cost_model(measured, target_total_per_pair=216.0)
+        res = run_single_scale(
+            8, scenario="ad4", n_pairs=50, cost_model=model, failure_rate=0.0
+        )
+        # ~216 core-seconds per pair across 50 pairs on 8 cores gives a
+        # TET in the right order of magnitude (pipelining + overheads).
+        assert 50 * 216 / 8 * 0.5 < res.tet_seconds < 50 * 216 / 8 * 3
+
+
+class TestBiologyPath:
+    def test_top_interaction_reporting(self):
+        pairs = pair_relation(receptors=["2HHN", "1S4V", "1HUC"], ligands=["0D6", "0E6"])
+        report, store = run_scidock(pairs, SciDockConfig(workers=4, seed=3))
+        outcomes = collect_outcomes(store, report.wkfid)
+        top = top_interactions(outcomes, n=3)
+        assert len(top) >= 1
+        assert all(o.feb < 0 and o.converged for o in top)
+        assert top == sorted(top, key=lambda o: o.feb)

@@ -1,0 +1,171 @@
+"""Unit tests for the cost model, metrics and calibration."""
+
+import pytest
+
+from repro.perf.calibrate import calibrate_cost_model
+from repro.perf.cost_model import PAPER_ACTIVITY_MEANS, ActivityCostModel
+from repro.perf.metrics import efficiency, improvement_percent, speedup
+
+TUP = {"receptor_id": "2HHN", "ligand_id": "0E6"}
+
+
+class TestCostModel:
+    def test_deterministic(self):
+        m = ActivityCostModel()
+        assert m.service_seconds("babel", TUP) == m.service_seconds("babel", TUP)
+
+    def test_different_tuples_differ(self):
+        m = ActivityCostModel()
+        other = {"receptor_id": "1HUC", "ligand_id": "042"}
+        assert m.service_seconds("docking", TUP) != m.service_seconds("docking", other)
+
+    def test_positive(self):
+        m = ActivityCostModel()
+        for tag in PAPER_ACTIVITY_MEANS:
+            if tag.startswith("docking_"):
+                continue
+            assert m.service_seconds(tag, TUP) > 0
+
+    def test_docking_engine_split(self):
+        m = ActivityCostModel()
+        ad4 = m.service_seconds("docking", {**TUP, "engine": "autodock4"})
+        vina = m.service_seconds("docking", {**TUP, "engine": "vina"})
+        assert ad4 != vina
+
+    def test_docking_dominates_on_average(self):
+        """Activity 8 is the most compute-intensive (paper Fig. 6)."""
+        m = ActivityCostModel()
+        pairs = [
+            {"receptor_id": f"R{i:03d}", "ligand_id": f"L{i:02d}", "engine": "autodock4"}
+            for i in range(200)
+        ]
+        mean = lambda tag: sum(m.service_seconds(tag, t) for t in pairs) / len(pairs)
+        dock = mean("docking")
+        for tag in ("babel", "prepare_gpf", "autogrid", "docking_filter"):
+            assert dock > mean(tag)
+
+    def test_scale(self):
+        base = ActivityCostModel()
+        double = ActivityCostModel(scale=2.0)
+        assert double.service_seconds("babel", TUP) == pytest.approx(
+            2 * base.service_seconds("babel", TUP)
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ActivityCostModel(scale=0)
+
+    def test_unknown_activity_raises(self):
+        with pytest.raises(KeyError, match="no cost entry"):
+            ActivityCostModel().service_seconds("nope", TUP)
+
+    def test_cost_fn_binding(self):
+        m = ActivityCostModel()
+        fn = m.cost_fn("babel")
+        assert fn(TUP) == m.service_seconds("babel", TUP)
+
+    def test_expected_total_engine_difference(self):
+        m = ActivityCostModel()
+        assert m.expected_total_per_pair("autodock4") > m.expected_total_per_pair("vina")
+
+    def test_size_factor_influences_cost(self):
+        m = ActivityCostModel()
+        # Averaged over many ligands, large receptors cost more.
+        from repro.chem.generate import receptor_size_class
+
+        recs = [f"Q{i:03d}" for i in range(100)]
+        larges = [r for r in recs if receptor_size_class(r) == "large"]
+        smalls = [r for r in recs if receptor_size_class(r) == "small"]
+        avg = lambda rs: sum(
+            m.service_seconds("autogrid", {"receptor_id": r, "ligand_id": "042"})
+            for r in rs
+        ) / len(rs)
+        assert avg(larges) > avg(smalls)
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+
+    def test_speedup_with_2core_baseline(self):
+        assert speedup(100.0, 25.0, baseline_cores=2) == 8.0
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0, 1)
+        with pytest.raises(ValueError):
+            speedup(1, 0)
+        with pytest.raises(ValueError):
+            speedup(1, 1, baseline_cores=0)
+
+    def test_efficiency(self):
+        assert efficiency(100.0, 25.0, 4) == 1.0
+        assert efficiency(100.0, 50.0, 4) == 0.5
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            efficiency(1, 1, 0)
+
+    def test_improvement(self):
+        assert improvement_percent(100.0, 4.6) == pytest.approx(95.4)
+        with pytest.raises(ValueError):
+            improvement_percent(0, 1)
+
+
+class TestCalibration:
+    def test_measured_means_adopted(self):
+        model = calibrate_cost_model({"babel": 0.5, "autogrid": 3.0})
+        assert model.means["babel"] == 0.5
+        assert model.means["autogrid"] == 3.0
+
+    def test_docking_split_preserves_ratio(self):
+        model = calibrate_cost_model({"docking": 10.0})
+        ratio = (
+            PAPER_ACTIVITY_MEANS["docking_ad4"] / PAPER_ACTIVITY_MEANS["docking_vina"]
+        )
+        assert model.means["docking_ad4"] / model.means["docking_vina"] == pytest.approx(ratio)
+        # Mean of the two engine means equals the measured docking mean.
+        assert (model.means["docking_ad4"] + model.means["docking_vina"]) / 2 == pytest.approx(10.0)
+
+    def test_target_total_rescaling(self):
+        model = calibrate_cost_model({"babel": 1.0}, target_total_per_pair=216.0)
+        assert model.expected_total_per_pair("autodock4") == pytest.approx(216.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_cost_model({})
+        with pytest.raises(ValueError):
+            calibrate_cost_model({"babel": 1.0}, target_total_per_pair=-5)
+
+    def test_nonpositive_measurements_ignored(self):
+        model = calibrate_cost_model({"babel": 0.0})
+        assert model.means["babel"] == PAPER_ACTIVITY_MEANS["babel"]
+
+
+class TestDataVolume:
+    def test_output_bytes_positive(self):
+        m = ActivityCostModel()
+        assert m.output_bytes("babel", TUP) > 0
+        assert m.output_bytes("autogrid", TUP) > m.output_bytes("babel", TUP)
+
+    def test_docking_engine_split(self):
+        m = ActivityCostModel()
+        ad4 = m.output_bytes("docking", {**TUP, "engine": "autodock4"})
+        vina = m.output_bytes("docking", {**TUP, "engine": "vina"})
+        assert ad4 > vina  # DLGs carry every conformation
+
+    def test_full_execution_volume_near_600gb(self):
+        """Paper: '600 gigabytes of data for each workflow execution'."""
+        from repro.perf.cost_model import PAPER_ACTIVITY_BYTES
+
+        per_pair = sum(
+            v for k, v in PAPER_ACTIVITY_BYTES.items() if k != "docking_vina"
+        )
+        total_gb = per_pair * 9996 / 1e9
+        assert 400 < total_gb < 800
+
+    def test_simulated_run_accumulates_bytes(self):
+        from repro.perf.experiments import run_single_scale
+
+        res = run_single_scale(8, scenario="ad4", n_pairs=50, failure_rate=0.0)
+        assert res.report.bytes_written > 1e9  # ~60 MB/pair x 50

@@ -1,0 +1,186 @@
+"""Unit tests for the provenance store and the paper's queries."""
+
+import pytest
+
+from repro.provenance.prov_model import export_prov_document, to_prov_n
+from repro.provenance.queries import (
+    activation_durations,
+    query1_activity_statistics,
+    query1_sql,
+    query2_files,
+    workflow_tet,
+)
+from repro.provenance.store import ActivationStatus, ProvenanceStore
+
+
+@pytest.fixture()
+def store():
+    with ProvenanceStore() as s:
+        yield s
+
+
+@pytest.fixture()
+def populated(store):
+    """A tiny SciDock-shaped run: 2 activities x 2 activations each."""
+    wkfid = store.begin_workflow(
+        "SciDock", "Docking", "scidock", "/root/scidock/", starttime=0.0
+    )
+    babel = store.register_activity(wkfid, "babel")
+    ad4 = store.register_activity(wkfid, "autodock4")
+    t = 0.0
+    for actid, durations in ((babel, [2.0, 3.0]), (ad4, [100.0, 140.0])):
+        for k, dur in enumerate(durations):
+            tid = store.begin_activation(
+                actid, f"pair-{k}", starttime=t, vm_id="i-1", core_index=0
+            )
+            store.end_activation(tid, endtime=t + dur)
+            if actid == ad4:
+                store.record_file(
+                    tid, f"LIG_{k}.dlg", 65740, f"/root/exp_SciDock/autodock4/{k}/"
+                )
+                store.record_extracts(tid, {"feb": -5.2 - k, "rmsd": 9.5})
+            t += dur
+    store.end_workflow(wkfid, endtime=t)
+    return wkfid
+
+
+class TestLifecycle:
+    def test_begin_end_workflow(self, store):
+        wkfid = store.begin_workflow("W", starttime=1.0)
+        store.end_workflow(wkfid, endtime=11.0)
+        assert workflow_tet(store, wkfid) == pytest.approx(10.0)
+
+    def test_unfinished_workflow_tet_raises(self, store):
+        wkfid = store.begin_workflow("W")
+        with pytest.raises(ValueError):
+            workflow_tet(store, wkfid)
+
+    def test_unknown_workflow_raises(self, store):
+        with pytest.raises(KeyError):
+            store.workflow_row(99)
+
+    def test_activation_statuses(self, store):
+        wkfid = store.begin_workflow("W")
+        act = store.register_activity(wkfid, "a")
+        ok = store.begin_activation(act, "t1", 0.0)
+        store.end_activation(ok, 1.0)
+        bad = store.begin_activation(act, "t2", 0.0)
+        store.end_activation(bad, 2.0, ActivationStatus.FAILED, 1, "boom")
+        counts = store.counts_by_status(wkfid)
+        assert counts == {"FINISHED": 1, "FAILED": 1}
+
+    def test_failed_activations_query(self, store):
+        wkfid = store.begin_workflow("W")
+        act = store.register_activity(wkfid, "a")
+        tid = store.begin_activation(act, "t1", 0.0)
+        store.end_activation(tid, 1.0, ActivationStatus.FAILED, 1, "err")
+        failed = store.failed_activations(wkfid)
+        assert len(failed) == 1
+        assert failed[0]["errormsg"] == "err"
+
+    def test_blocked_records(self, store):
+        wkfid = store.begin_workflow("W")
+        act = store.register_activity(wkfid, "prep")
+        store.record_blocked(act, "1CS8-042", 5.0, "Hg present in receptor")
+        counts = store.counts_by_status(wkfid)
+        assert counts == {"BLOCKED": 1}
+
+    def test_attempt_tracking(self, store):
+        wkfid = store.begin_workflow("W")
+        act = store.register_activity(wkfid, "a")
+        t1 = store.begin_activation(act, "k", 0.0, attempt=0)
+        store.end_activation(t1, 1.0, ActivationStatus.FAILED)
+        t2 = store.begin_activation(act, "k", 1.0, attempt=1)
+        store.end_activation(t2, 2.0)
+        rows = store.activations(wkfid)
+        assert [r["attempt"] for r in rows] == [0, 1]
+
+
+class TestQuery1:
+    def test_statistics_per_activity(self, store, populated):
+        stats = {s.tag: s for s in query1_activity_statistics(store, populated)}
+        assert stats["babel"].min == pytest.approx(2.0)
+        assert stats["babel"].max == pytest.approx(3.0)
+        assert stats["babel"].sum == pytest.approx(5.0)
+        assert stats["babel"].avg == pytest.approx(2.5)
+        assert stats["autodock4"].avg == pytest.approx(120.0)
+
+    def test_raw_sql_matches_helper(self, store, populated):
+        rows = store.sql(query1_sql(), (populated,))
+        helper = query1_activity_statistics(store, populated)
+        assert len(rows) == len(helper)
+        by_tag = {r["tag"]: r for r in rows}
+        for s in helper:
+            assert by_tag[s.tag]["avg"] == pytest.approx(s.avg)
+
+    def test_only_finished_counted(self, store):
+        wkfid = store.begin_workflow("W")
+        act = store.register_activity(wkfid, "a")
+        t1 = store.begin_activation(act, "x", 0.0)
+        store.end_activation(t1, 5.0)
+        t2 = store.begin_activation(act, "y", 0.0)
+        store.end_activation(t2, 500.0, ActivationStatus.FAILED)
+        stats = query1_activity_statistics(store, wkfid)
+        assert stats[0].count == 1
+
+
+class TestQuery2:
+    def test_finds_dlg_files(self, store, populated):
+        files = query2_files(store, populated, ".dlg")
+        assert len(files) == 2
+        assert files[0].workflow_tag == "SciDock"
+        assert files[0].activity_tag == "autodock4"
+        assert files[0].fname.endswith(".dlg")
+        assert files[0].fsize == 65740
+        assert "/root/exp_SciDock/autodock4/" in files[0].fdir
+
+    def test_extension_filter(self, store, populated):
+        assert query2_files(store, populated, ".pdbqt") == []
+
+
+class TestExtracts:
+    def test_extract_roundtrip(self, store, populated):
+        rows = store.extracts(populated, "feb")
+        values = sorted(float(r["value"]) for r in rows)
+        assert values == [-6.2, -5.2]
+
+    def test_single_extract(self, store):
+        wkfid = store.begin_workflow("W")
+        act = store.register_activity(wkfid, "a")
+        tid = store.begin_activation(act, "k", 0.0)
+        store.end_activation(tid, 1.0)
+        store.record_extract(tid, "energy", -7.25)
+        rows = store.extracts(wkfid, "energy")
+        assert float(rows[0]["value"]) == -7.25
+
+
+class TestDurations:
+    def test_histogram_data(self, store, populated):
+        durations = activation_durations(store, populated)
+        assert sorted(durations) == [2.0, 3.0, 100.0, 140.0]
+
+
+class TestProvExport:
+    def test_document_structure(self, store, populated):
+        doc = export_prov_document(store, populated)
+        assert doc["workflow"]["tag"] == "SciDock"
+        assert len(doc["activity"]) == 4
+        assert len(doc["entity"]) == 2
+        assert "vm:i-1" in doc["agent"]
+        assert len(doc["wasGeneratedBy"]) == 2
+        assert len(doc["wasAssociatedWith"]) == 4
+
+    def test_prov_n_rendering(self, store, populated):
+        text = to_prov_n(export_prov_document(store, populated))
+        assert text.startswith("document")
+        assert text.rstrip().endswith("endDocument")
+        assert "wasGeneratedBy(file:" in text
+        assert "agent(vm:i-1" in text
+
+    def test_file_backed_store(self, tmp_path):
+        path = tmp_path / "prov.db"
+        with ProvenanceStore(path) as s:
+            wkfid = s.begin_workflow("W", starttime=0.0)
+            s.end_workflow(wkfid, 5.0)
+        with ProvenanceStore(path) as s2:
+            assert s2.workflow_row(wkfid)["tag"] == "W"

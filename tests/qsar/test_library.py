@@ -1,0 +1,94 @@
+"""Unit tests for the ligand library (ZINC stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.qsar.library import LigandLibrary, enumerate_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return LigandLibrary.build(enumerate_library(30))
+
+
+class TestEnumerate:
+    def test_ids_deterministic_and_unique(self):
+        a = enumerate_library(10)
+        b = enumerate_library(10)
+        assert a == b
+        assert len(set(a)) == 10
+        assert a[0] == "ZINC00000001"
+
+    def test_prefix(self):
+        assert enumerate_library(1, prefix="LIB")[0] == "LIB00000001"
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            enumerate_library(0)
+
+
+class TestBuild:
+    def test_build_features_everything(self, library):
+        assert len(library) == 30
+        assert all(e.descriptors.shape == library.entries[0].descriptors.shape
+                   for e in library.entries)
+
+    def test_duplicates_removed(self):
+        lib = LigandLibrary.build(["042", "042", "074"])
+        assert len(lib) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LigandLibrary.build([])
+
+    def test_druglike_subset(self, library):
+        sub = library.druglike_subset()
+        assert 0 < len(sub) <= len(library)
+        assert all(e.druglike for e in sub.entries)
+
+
+class TestDiversity:
+    def test_select_diverse_size_and_uniqueness(self, library):
+        picks = library.select_diverse(8)
+        assert len(picks) == 8
+        assert len(set(picks)) == 8
+        assert set(picks) <= set(library.ids())
+
+    def test_bounds(self, library):
+        with pytest.raises(ValueError):
+            library.select_diverse(0)
+        with pytest.raises(ValueError):
+            library.select_diverse(len(library) + 1)
+        with pytest.raises(ValueError):
+            library.select_diverse(3, seed_index=99)
+
+    def test_diverse_beats_random_prefix_on_coverage(self, library):
+        """Max-min selection covers compound space better than the first-k."""
+        k = 6
+        diverse = library.select_diverse(k)
+        prefix = library.ids()[:k]
+        assert library.coverage_radius(diverse) <= library.coverage_radius(prefix)
+
+    def test_full_selection_has_zero_radius(self, library):
+        assert library.coverage_radius(library.ids()) == pytest.approx(0.0)
+
+    def test_deterministic(self, library):
+        assert library.select_diverse(5) == library.select_diverse(5)
+
+
+class TestNeighbors:
+    def test_nearest_neighbors_sorted(self, library):
+        target = library.ids()[0]
+        nn = library.nearest_neighbors(target, k=5)
+        assert len(nn) == 5
+        assert target not in [i for i, _ in nn]
+        dists = [d for _, d in nn]
+        assert dists == sorted(dists)
+
+    def test_unknown_ligand_raises(self, library):
+        with pytest.raises(KeyError):
+            library.nearest_neighbors("NOPE")
+
+    def test_coverage_requires_selection(self, library):
+        with pytest.raises(ValueError):
+            library.coverage_radius([])

@@ -1,0 +1,218 @@
+"""Unit + property tests for descriptors, Lipinski, QSAR models, screening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.atom import Atom
+from repro.chem.generate import generate_ligand
+from repro.chem.molecule import Molecule
+from repro.qsar.descriptors import (
+    DESCRIPTOR_NAMES,
+    compute_descriptors,
+)
+from repro.qsar.lipinski import lipinski_report, passes_rule_of_five
+from repro.qsar.model import QSARError, QSARModel, cross_validate
+from repro.qsar.screen import describe_model, qsar_screen
+
+
+def make_benzene() -> Molecule:
+    m = Molecule("BNZ")
+    for k in range(6):
+        theta = 2 * np.pi * k / 6
+        m.add_atom(
+            Atom(k + 1, f"C{k+1}", "C",
+                 [1.39 * np.cos(theta), 1.39 * np.sin(theta), 0.0],
+                 aromatic=True)
+        )
+    for k in range(6):
+        m.add_bond(k, (k + 1) % 6, aromatic=True)
+    return m
+
+
+class TestDescriptors:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compute_descriptors(Molecule())
+
+    def test_benzene(self):
+        d = compute_descriptors(make_benzene())
+        assert d.n_heavy_atoms == 6
+        assert d.n_aromatic_atoms == 6
+        assert d.n_rings == 1
+        assert d.n_rotatable_bonds == 0
+        assert d.h_bond_donors == 0
+        assert d.tpsa == 0.0
+        assert d.clogp == pytest.approx(6 * 0.29)
+
+    def test_vector_order_matches_names(self):
+        d = compute_descriptors(make_benzene())
+        v = d.vector()
+        assert len(v) == len(DESCRIPTOR_NAMES)
+        assert v[DESCRIPTOR_NAMES.index("n_heavy_atoms")] == 6
+
+    def test_donor_acceptor_counting(self):
+        m = Molecule("M")
+        m.add_atom(Atom(1, "C1", "C", [0, 0, 0]))
+        m.add_atom(Atom(2, "O1", "O", [1.4, 0, 0]))
+        m.add_atom(Atom(3, "H1", "H", [2.0, 0.8, 0]))
+        m.add_atom(Atom(4, "N1", "N", [-1.4, 0, 0]))
+        m.add_bond(0, 1)
+        m.add_bond(1, 2)
+        m.add_bond(0, 3)
+        d = compute_descriptors(m)
+        assert d.h_bond_acceptors == 2  # O and N
+        assert d.h_bond_donors == 1  # only O carries an H
+
+    def test_shape_descriptors(self):
+        # A linear chain is strongly aspherical; benzene is planar-disk.
+        chain = Molecule("CHN")
+        for i in range(6):
+            chain.add_atom(Atom(i + 1, f"C{i+1}", "C", [1.5 * i, 0, 0]))
+        for i in range(5):
+            chain.add_bond(i, i + 1)
+        d_chain = compute_descriptors(chain)
+        d_ring = compute_descriptors(make_benzene())
+        assert d_chain.asphericity > d_ring.asphericity
+        assert d_chain.radius_of_gyration > 0
+
+    def test_ring_count_fused(self):
+        m = make_benzene()
+        # Add a bridge to create a second ring.
+        m.add_atom(Atom(7, "C7", "C", [2.8, 1.0, 0.0]))
+        m.add_bond(0, 6)
+        m.add_bond(2, 6)
+        assert compute_descriptors(m).n_rings == 2
+
+    @given(st.sampled_from(["042", "074", "0D6", "0E6", "ACE", "93N", "X40"]))
+    @settings(max_examples=7, deadline=None)
+    def test_property_generated_ligands_have_sane_descriptors(self, lig_id):
+        d = compute_descriptors(generate_ligand(lig_id))
+        assert d.molecular_weight > 50
+        assert 0 <= d.n_rotatable_bonds <= 20
+        assert d.h_bond_acceptors >= 0
+        assert np.isfinite(d.vector()).all()
+
+
+class TestLipinski:
+    def test_small_molecule_passes(self):
+        assert passes_rule_of_five(make_benzene())
+
+    def test_violation_counting(self):
+        d = compute_descriptors(make_benzene())
+        d.molecular_weight = 900.0  # 1 violation: still passes
+        assert lipinski_report(d).passes
+        d.clogp = 9.0  # 2 violations: fails
+        report = lipinski_report(d)
+        assert report.violations == 2
+        assert not report.passes
+
+    def test_report_fields(self):
+        report = lipinski_report(make_benzene())
+        assert report.molecular_weight_ok
+        assert report.donors_ok and report.acceptors_ok
+
+
+class TestQSARModel:
+    def _linear_data(self, n=40, d=5, noise=0.01, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        w = np.arange(1, d + 1, dtype=float)
+        y = X @ w + 3.0 + rng.normal(scale=noise, size=n)
+        return X, y
+
+    def test_recovers_linear_relation(self):
+        X, y = self._linear_data()
+        model = QSARModel(alpha=1e-6).fit(X, y)
+        assert model.r_squared(X, y) > 0.999
+        assert model.predict(X[:1])[0] == pytest.approx(y[0], abs=0.1)
+
+    def test_validation_errors(self):
+        with pytest.raises(QSARError):
+            QSARModel(alpha=-1)
+        with pytest.raises(QSARError):
+            QSARModel().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(QSARError):
+            QSARModel().fit(np.zeros((1, 2)), np.zeros(1))
+        with pytest.raises(QSARError):
+            QSARModel().predict(np.zeros((1, 2)))
+
+    def test_constant_feature_handled(self):
+        X, y = self._linear_data()
+        X[:, 0] = 7.0  # zero variance
+        model = QSARModel().fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_regularization_shrinks_coefficients(self):
+        X, y = self._linear_data()
+        weak = QSARModel(alpha=1e-6).fit(X, y)
+        strong = QSARModel(alpha=1e3).fit(X, y)
+        assert np.abs(strong.coefficients).sum() < np.abs(weak.coefficients).sum()
+
+    def test_feature_importance(self):
+        X, y = self._linear_data()
+        model = QSARModel(alpha=1e-6).fit(X, y)
+        imp = model.feature_importance()
+        # Weights grow with index by construction.
+        assert imp[-1] > imp[0]
+
+    def test_r_squared_no_variance_raises(self):
+        X, _ = self._linear_data()
+        model = QSARModel().fit(X, np.linspace(0, 1, X.shape[0]))
+        with pytest.raises(QSARError):
+            model.r_squared(X, np.ones(X.shape[0]))
+
+    def test_cross_validation_good_on_linear(self):
+        X, y = self._linear_data(n=60)
+        cv = cross_validate(X, y, alpha=1e-4, k=5)
+        assert cv["q2"] > 0.99
+        assert len(cv["fold_rmse"]) == 5
+
+    def test_cross_validation_k_bounds(self):
+        X, y = self._linear_data(n=10)
+        with pytest.raises(QSARError):
+            cross_validate(X, y, k=1)
+        with pytest.raises(QSARError):
+            cross_validate(X, y, k=11)
+
+
+class TestScreening:
+    def _training(self):
+        # FEB loosely correlated with size: bigger ligands bind stronger
+        # in this synthetic training set.
+        ids = ["042", "074", "0D6", "0E6", "ACE", "ALD", "93N", "2CA"]
+        out = {}
+        for lig in ids:
+            d = compute_descriptors(generate_ligand(lig))
+            out[lig] = -0.3 * d.n_heavy_atoms + 0.5
+        return out
+
+    def test_ranking_covers_library(self):
+        library = ["042", "074", "0D6", "0E6", "X38", "X39", "X40"]
+        ranking = qsar_screen(self._training(), library)
+        assert len(ranking.ranked_ligands) == len(library)
+        febs = [f for _, f in ranking.ranked_ligands]
+        assert febs == sorted(febs)
+
+    def test_model_learns_size_relation(self):
+        ranking = qsar_screen(self._training(), ["042", "X38"])
+        # q2 should be strong: the relation is exactly linear in one
+        # descriptor.
+        assert ranking.q2 > 0.8
+
+    def test_top_with_druglike_filter(self):
+        ranking = qsar_screen(self._training(), ["042", "074", "X38", "X39"])
+        top = ranking.top(2)
+        assert len(top) == 2
+        druglike_top = ranking.top(2, druglike_only=True)
+        assert all(ranking.druglike[l] for l, _ in druglike_top)
+
+    def test_too_few_training_raises(self):
+        with pytest.raises(QSARError):
+            qsar_screen({"042": -5.0}, ["074"])
+
+    def test_describe_model(self):
+        ranking = qsar_screen(self._training(), ["042"])
+        text = describe_model(ranking.model)
+        assert "n_heavy_atoms" in text

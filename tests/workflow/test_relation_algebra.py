@@ -1,0 +1,196 @@
+"""Unit tests for relations and the workflow algebra."""
+
+import pytest
+
+from repro.workflow.activity import Activity, ActivityError, Operator, Workflow
+from repro.workflow.algebra import apply_multi, apply_operator, make_filter, make_map
+from repro.workflow.relation import Relation, RelationError, tuple_key
+
+
+class TestRelation:
+    def test_schema_inferred(self):
+        r = Relation("r", [{"a": 1, "b": 2}])
+        assert r.schema == ("a", "b")
+
+    def test_schema_enforced(self):
+        r = Relation("r", [{"a": 1}])
+        with pytest.raises(RelationError, match="schema"):
+            r.append({"b": 2})
+
+    def test_requires_name(self):
+        with pytest.raises(RelationError):
+            Relation("")
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(RelationError):
+            Relation("r", [[1, 2]])
+
+    def test_len_iter_getitem(self):
+        r = Relation("r", [{"a": 1}, {"a": 2}])
+        assert len(r) == 2
+        assert [t["a"] for t in r] == [1, 2]
+        assert r[1]["a"] == 2
+
+    def test_column(self):
+        r = Relation("r", [{"a": 1}, {"a": 2}])
+        assert r.column("a") == [1, 2]
+        with pytest.raises(RelationError):
+            r.column("z")
+
+    def test_project(self):
+        r = Relation("r", [{"a": 1, "b": 2}])
+        p = r.project(["a"])
+        assert p.schema == ("a",)
+        with pytest.raises(RelationError):
+            r.project(["zz"])
+
+    def test_copy_independent(self):
+        r = Relation("r", [{"a": 1}])
+        c = r.copy()
+        c[0]["a"] = 99
+        assert r[0]["a"] == 1
+
+    def test_empty_fields_raises(self):
+        with pytest.raises(RelationError):
+            Relation("r").fields()
+
+    def test_tuples_copied_on_append(self):
+        src = {"a": 1}
+        r = Relation("r", [src])
+        src["a"] = 42
+        assert r[0]["a"] == 1
+
+
+class TestTupleKey:
+    def test_explicit_key_field(self):
+        assert tuple_key({"key": "X"}, 0) == "X"
+
+    def test_scidock_convention(self):
+        assert tuple_key({"ligand_id": "0E6", "receptor_id": "2HHN"}) == "0E6_2HHN"
+
+    def test_positional_fallback(self):
+        assert tuple_key({"a": 1}, 7) == "tuple-7"
+
+    def test_content_fallback(self):
+        assert "a=1" in tuple_key({"a": 1})
+
+
+class TestActivity:
+    def test_requires_tag(self):
+        with pytest.raises(ActivityError):
+            Activity(tag="")
+
+    def test_map_must_emit_one(self):
+        a = Activity("m", Operator.MAP, fn=lambda t, c: [])
+        with pytest.raises(ActivityError, match="exactly 1"):
+            a.run({}, {})
+
+    def test_filter_must_emit_at_most_one(self):
+        a = Activity("f", Operator.FILTER, fn=lambda t, c: [{}, {}])
+        with pytest.raises(ActivityError, match="0 or 1"):
+            a.run({"x": 1}, {})
+
+    def test_missing_fn_raises(self):
+        with pytest.raises(ActivityError, match="callable"):
+            Activity("m").run({}, {})
+
+    def test_default_cost(self):
+        assert Activity("m").cost({}) == 1.0
+
+    def test_negative_cost_raises(self):
+        a = Activity("m", cost_fn=lambda t: -1)
+        with pytest.raises(ActivityError, match="negative"):
+            a.cost({})
+
+    def test_would_loop(self):
+        a = Activity("m", looping_predicate=lambda t: t.get("hg", False))
+        assert a.would_loop({"hg": True})
+        assert not a.would_loop({"hg": False})
+        assert not Activity("n").would_loop({"hg": True})
+
+
+class TestWorkflow:
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(ActivityError, match="duplicate"):
+            Workflow("w", [Activity("a"), Activity("a")])
+
+    def test_add_and_lookup(self):
+        w = Workflow("w").add(Activity("a")).add(Activity("b"))
+        assert len(w) == 2
+        assert w.activity("b").tag == "b"
+        with pytest.raises(KeyError):
+            w.activity("zz")
+
+    def test_add_duplicate_raises(self):
+        w = Workflow("w", [Activity("a")])
+        with pytest.raises(ActivityError):
+            w.add(Activity("a"))
+
+
+class TestAlgebra:
+    def test_map_operator(self):
+        act = make_map("double", lambda t: {"x": t["x"] * 2})
+        out = apply_operator(act, Relation("r", [{"x": 1}, {"x": 2}]))
+        assert out.column("x") == [2, 4]
+
+    def test_filter_operator(self):
+        act = make_filter("pos", lambda t: t["x"] > 0)
+        out = apply_operator(act, Relation("r", [{"x": -1}, {"x": 5}]))
+        assert out.column("x") == [5]
+
+    def test_split_map(self):
+        act = Activity(
+            "fan", Operator.SPLIT_MAP, fn=lambda t, c: [{"x": t["x"]}, {"x": -t["x"]}]
+        )
+        out = apply_operator(act, Relation("r", [{"x": 3}]))
+        assert out.column("x") == [3, -3]
+
+    def test_reduce(self):
+        act = Activity(
+            "sum",
+            Operator.REDUCE,
+            fn=lambda t, c: [{"total": sum(u["x"] for u in t["__tuples__"])}],
+        )
+        out = apply_operator(act, Relation("r", [{"x": 1}, {"x": 2}, {"x": 3}]))
+        assert out[0]["total"] == 6
+
+    def test_reduce_without_fn_raises(self):
+        with pytest.raises(ActivityError):
+            apply_operator(Activity("r", Operator.REDUCE), Relation("x", [{"a": 1}]))
+
+    def test_sr_query(self):
+        act = Activity(
+            "top",
+            Operator.SR_QUERY,
+            fn=lambda t, c: sorted(t["__relation__"], key=lambda u: -u["x"])[:1],
+        )
+        out = apply_operator(act, Relation("r", [{"x": 1}, {"x": 9}, {"x": 5}]))
+        assert out[0]["x"] == 9
+
+    def test_mr_query(self):
+        act = Activity(
+            "join",
+            Operator.MR_QUERY,
+            fn=lambda t, c: [
+                {"pair": f"{a['id']}-{b['id']}"}
+                for a in t["__relations__"]["left"]
+                for b in t["__relations__"]["right"]
+            ],
+        )
+        out = apply_multi(
+            act,
+            {
+                "left": Relation("l", [{"id": "A"}]),
+                "right": Relation("r", [{"id": "X"}, {"id": "Y"}]),
+            },
+        )
+        assert out.column("pair") == ["A-X", "A-Y"]
+
+    def test_mr_query_wrong_operator(self):
+        with pytest.raises(ActivityError):
+            apply_multi(Activity("m", Operator.MAP, fn=lambda t, c: []), {})
+
+    def test_mr_query_on_apply_operator_raises(self):
+        act = Activity("m", Operator.MR_QUERY, fn=lambda t, c: [])
+        with pytest.raises(ActivityError, match="apply_multi"):
+            apply_operator(act, Relation("r", [{"x": 1}]))

@@ -1,0 +1,111 @@
+"""Unit tests for schedulers, elasticity policies and fault primitives."""
+
+import pytest
+
+from repro.cloud.cluster import CoreHandle
+from repro.workflow.adaptive import AdaptiveElasticityPolicy, StaticPolicy
+from repro.workflow.fault import RetryPolicy, Watchdog
+from repro.workflow.scheduler import (
+    GreedyCostScheduler,
+    PendingActivation,
+    RoundRobinScheduler,
+)
+
+
+def core(speed=1.0, vm="i-1", idx=0, itype="m3.xlarge"):
+    return CoreHandle(vm_id=vm, core_index=idx, speed=speed, instance_type=itype)
+
+
+class TestGreedyCostScheduler:
+    def test_longest_job_to_fastest_core(self):
+        sched = GreedyCostScheduler()
+        jobs = [
+            PendingActivation("short", 1.0, 0),
+            PendingActivation("long", 100.0, 1),
+        ]
+        cores = [core(speed=1.0, idx=0), core(speed=2.0, idx=1)]
+        pairs = sched.assign(jobs, cores)
+        assert pairs[0][0].key == "long"
+        assert pairs[0][1].speed == 2.0
+
+    def test_assign_limited_by_cores(self):
+        sched = GreedyCostScheduler()
+        jobs = [PendingActivation(f"j{i}", float(i), i) for i in range(5)]
+        pairs = sched.assign(jobs, [core()])
+        assert len(pairs) == 1
+        assert pairs[0][0].key == "j4"
+
+    def test_overhead_grows_with_load(self):
+        sched = GreedyCostScheduler()
+        small = sched.overhead_seconds(10, 8)
+        large = sched.overhead_seconds(10_000, 128)
+        assert large > small
+
+    def test_priorities(self):
+        sched = GreedyCostScheduler()
+        assert sched.job_priority(PendingActivation("a", 9.0)) == 9.0
+        assert sched.core_priority(core(speed=1.5)) == 1.5
+
+
+class TestRoundRobinScheduler:
+    def test_fifo_order(self):
+        sched = RoundRobinScheduler()
+        jobs = [
+            PendingActivation("second", 100.0, arrival=2),
+            PendingActivation("first", 1.0, arrival=1),
+        ]
+        pairs = sched.assign(jobs, [core()])
+        assert pairs[0][0].key == "first"
+
+    def test_constant_overhead(self):
+        sched = RoundRobinScheduler()
+        assert sched.overhead_seconds(10, 8) == sched.overhead_seconds(10_000, 128)
+
+
+class TestElasticity:
+    def test_static(self):
+        assert StaticPolicy(16).target_cores(1000, 50, 100.0) == 16
+
+    def test_adaptive_bounds(self):
+        p = AdaptiveElasticityPolicy(min_cores=2, max_cores=32)
+        assert p.target_cores(0, 0, 0.0) == 2
+        assert p.target_cores(10_000, 100, 3600.0) == 32
+
+    def test_adaptive_scales_with_backlog(self):
+        p = AdaptiveElasticityPolicy(min_cores=2, max_cores=128)
+        low = p.target_cores(4, 0, 60.0)
+        high = p.target_cores(1000, 0, 60.0)
+        assert high > low
+
+    def test_adaptive_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveElasticityPolicy(min_cores=0)
+        with pytest.raises(ValueError):
+            AdaptiveElasticityPolicy(min_cores=8, max_cores=4)
+        with pytest.raises(ValueError):
+            AdaptiveElasticityPolicy(drain_horizon=0)
+
+
+class TestFaultPrimitives:
+    def test_retry_policy(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.should_retry(0)
+        assert p.should_retry(1)
+        assert not p.should_retry(2)
+
+    def test_retry_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_delay=-1)
+
+    def test_watchdog_deadline(self):
+        w = Watchdog(timeout=600, multiplier=10)
+        assert w.deadline(10.0) == 600.0  # floor
+        assert w.deadline(100.0) == 1000.0  # multiplier
+
+    def test_watchdog_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(timeout=0)
+        with pytest.raises(ValueError):
+            Watchdog(multiplier=1.0)

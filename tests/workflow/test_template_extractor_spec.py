@@ -1,0 +1,172 @@
+"""Unit tests for templates, extractors and the XML specification."""
+
+import pytest
+
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.extractor import (
+    CallableExtractor,
+    ExtractorError,
+    JsonExtractor,
+    RegexExtractor,
+    run_extractors,
+)
+from repro.workflow.spec import (
+    DatabaseConfig,
+    SpecError,
+    parse_workflow_xml,
+    workflow_to_xml,
+)
+from repro.workflow.template import ActivityTemplate, TemplateError
+
+PAPER_XML = """
+<SciCumulus>
+  <database name="scicumulus" port="5432" server="ec2-50-17-107-164.compute-1.amazonaws.com"/>
+  <SciCumulusWorkflow tag="SciDock" description="Docking" exectag="scidock" expdir="/root/scidock/">
+    <SciCumulusActivity tag="babel" templatedir="/root/scidock/template_babel/" activation="./experiment.cmd">
+      <Relation reltype="Input" name="rel_in_1" filename="input_1.txt"/>
+      <Relation reltype="Output" name="rel_out1" filename="output_1.txt"/>
+      <File instrumented="true" filename="experiment.cmd"/>
+    </SciCumulusActivity>
+    <SciCumulusActivity tag="autodock4" operator="MAP" activation="autodock4 -p %=DPF%"/>
+  </SciCumulusWorkflow>
+</SciCumulus>
+"""
+
+
+class TestTemplate:
+    def test_tags_listed_in_order(self):
+        t = ActivityTemplate(command="babel -i %=IN% -o %=OUT% --seed %=IN%")
+        assert t.tags() == ["IN", "OUT"]
+
+    def test_instantiate(self):
+        t = ActivityTemplate(command="babel -isdf %=LIG%.sdf -omol2 %=LIG%.mol2")
+        cmd = t.instantiate({"LIG": "0E6"})
+        assert cmd == "babel -isdf 0E6.sdf -omol2 0E6.mol2"
+
+    def test_missing_tag_raises(self):
+        t = ActivityTemplate(command="run %=X%")
+        with pytest.raises(TemplateError, match="X"):
+            t.instantiate({"Y": 1})
+
+    def test_validate_against(self):
+        t = ActivityTemplate(command="run %=A% %=B%")
+        assert t.validate_against(("A",)) == ["B"]
+        assert t.validate_against(("A", "B")) == []
+
+    def test_no_tags(self):
+        t = ActivityTemplate(command="ls -la")
+        assert t.tags() == []
+        assert t.instantiate({}) == "ls -la"
+
+    def test_numeric_values_stringified(self):
+        t = ActivityTemplate(command="run --seed %=SEED%")
+        assert t.instantiate({"SEED": 42}) == "run --seed 42"
+
+
+class TestExtractors:
+    def test_regex_extractor(self):
+        ex = RegexExtractor({"feb": r"FEB\s*=\s*([-\d.]+)"})
+        assert ex.extract("... FEB = -7.25 kcal/mol") == {"feb": -7.25}
+
+    def test_regex_required_missing_raises(self):
+        ex = RegexExtractor({"feb": r"FEB=(\d+)"}, required=("feb",))
+        with pytest.raises(ExtractorError, match="feb"):
+            ex.extract("nothing here")
+
+    def test_regex_optional_missing_skipped(self):
+        ex = RegexExtractor({"feb": r"FEB=([-\d.]+)", "rmsd": r"RMSD=([-\d.]+)"})
+        assert ex.extract("FEB=-5.0") == {"feb": -5.0}
+
+    def test_regex_uncastable_kept_raw(self):
+        ex = RegexExtractor({"name": r"name=(\w+)"})
+        assert ex.extract("name=abc") == {"name": "abc"}
+
+    def test_json_extractor(self):
+        ex = JsonExtractor(keys=("feb", "rmsd"), prefix="dock_")
+        out = ex.extract('{"feb": -5.5, "rmsd": 9.1, "noise": 1}')
+        assert out == {"dock_feb": -5.5, "dock_rmsd": 9.1}
+
+    def test_json_all_keys_by_default(self):
+        out = JsonExtractor().extract('{"a": 1, "b": 2}')
+        assert out == {"a": 1, "b": 2}
+
+    def test_json_invalid_raises(self):
+        with pytest.raises(ExtractorError):
+            JsonExtractor().extract("not json")
+        with pytest.raises(ExtractorError):
+            JsonExtractor().extract("[1,2]")
+
+    def test_callable_extractor(self):
+        ex = CallableExtractor(lambda p: {"n": len(p)})
+        assert ex.extract("abc") == {"n": 3}
+
+    def test_callable_bad_return_raises(self):
+        ex = CallableExtractor(lambda p: 42, name="bad")
+        with pytest.raises(ExtractorError, match="bad"):
+            ex.extract("x")
+
+    def test_run_extractors_merges(self):
+        out = run_extractors(
+            [JsonExtractor(keys=("a",)), JsonExtractor(keys=("b",))],
+            '{"a": 1, "b": 2}',
+        )
+        assert out == {"a": 1, "b": 2}
+
+
+class TestSpec:
+    def test_parse_paper_excerpt(self):
+        wf, db = parse_workflow_xml(PAPER_XML)
+        assert wf.tag == "SciDock"
+        assert wf.exectag == "scidock"
+        assert wf.expdir == "/root/scidock/"
+        assert [a.tag for a in wf.activities] == ["babel", "autodock4"]
+        assert db.server.startswith("ec2-50-17-107-164")
+        assert db.port == 5432
+
+    def test_template_wiring(self):
+        wf, _ = parse_workflow_xml(PAPER_XML)
+        babel = wf.activity("babel")
+        assert babel.template.templatedir == "/root/scidock/template_babel/"
+        assert babel.template.input_relation == "input_1.txt"
+        assert babel.template.output_relation == "output_1.txt"
+
+    def test_template_tags_parsed(self):
+        wf, _ = parse_workflow_xml(PAPER_XML)
+        assert wf.activity("autodock4").template.tags() == ["DPF"]
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(SpecError, match="invalid XML"):
+            parse_workflow_xml("<oops")
+
+    def test_wrong_root_raises(self):
+        with pytest.raises(SpecError, match="SciCumulus"):
+            parse_workflow_xml("<Other/>")
+
+    def test_missing_workflow_raises(self):
+        with pytest.raises(SpecError, match="SciCumulusWorkflow"):
+            parse_workflow_xml("<SciCumulus/>")
+
+    def test_unknown_operator_raises(self):
+        bad = PAPER_XML.replace('operator="MAP"', 'operator="WIBBLE"')
+        with pytest.raises(SpecError, match="WIBBLE"):
+            parse_workflow_xml(bad)
+
+    def test_bad_reltype_raises(self):
+        bad = PAPER_XML.replace('reltype="Input"', 'reltype="Sideways"')
+        with pytest.raises(SpecError, match="reltype"):
+            parse_workflow_xml(bad)
+
+    def test_roundtrip(self):
+        wf, db = parse_workflow_xml(PAPER_XML)
+        text = workflow_to_xml(wf, db)
+        wf2, db2 = parse_workflow_xml(text)
+        assert [a.tag for a in wf2.activities] == [a.tag for a in wf.activities]
+        assert db2.server == db.server
+        assert wf2.activity("babel").template.input_relation == "input_1.txt"
+
+    def test_serialize_minimal_workflow(self):
+        wf = Workflow("W", [Activity("a", Operator.MAP)])
+        text = workflow_to_xml(wf)
+        wf2, db = parse_workflow_xml(text)
+        assert wf2.tag == "W"
+        assert isinstance(db, DatabaseConfig)
