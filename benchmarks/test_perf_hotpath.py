@@ -1,0 +1,160 @@
+"""Hot-path micro-benchmarks: batched scoring and executor backends.
+
+Two measurements start the repo's performance trajectory:
+
+* scalar-vs-batched population scoring — the GA generation loop's inner
+  cost, a population of genotypes scored one-by-one versus through the
+  vectorized objective (`evaluate_batch` -> `coords_batch` -> grid
+  gather), and
+* thread-vs-process engine throughput — the same small pair sweep run
+  through ``LocalEngine`` on both executor backends.
+
+Results land in ``BENCH_hotpath.json`` at the repo root so successive
+PRs can be compared machine-readably.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SMOKE=1`` — check-only mode for CI: tiny workloads, the
+  numbers are recorded but the speedup assertions are skipped (shared CI
+  runners make timing assertions flaky).
+
+The process-beats-threads assertion additionally requires >= 2 cores
+(the acceptance criterion's own precondition): on a single core the
+process backend only adds spawn and pickling overhead.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import TABLE3_RECEPTORS  # noqa: F401  (path side effect)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+RESULTS_PATH = Path(__file__).parent.parent / "BENCH_hotpath.json"
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_hotpath.json (read-modify-write)."""
+    results = {}
+    if RESULTS_PATH.exists():
+        results = json.loads(RESULTS_PATH.read_text())
+    results[section] = payload
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batched_population_scoring():
+    """Scoring a GA population through evaluate_batch vs a scalar loop."""
+    from repro.chem.generate import generate_ligand, generate_receptor
+    from repro.docking.autogrid import AutoGrid
+    from repro.docking.box import GridBox
+    from repro.docking.conformation import Conformation
+    from repro.docking.objective import PoseEnergyObjective
+    from repro.docking.prepare import prepare_ligand, prepare_receptor
+    from repro.docking.scoring_ad4 import AD4Scorer
+
+    receptor = generate_receptor("2HHN")
+    lig = prepare_ligand(generate_ligand("0E6"))  # 25 atoms, 12 torsions
+    box = GridBox.around_pocket(
+        np.array(receptor.metadata["pocket_center"]),
+        receptor.metadata["pocket_radius"],
+        spacing=0.8,
+    )
+    maps = AutoGrid().run(
+        prepare_receptor(receptor).molecule, box, lig.atom_types
+    )
+    scorer = AD4Scorer(maps, lig.molecule)
+    objective = PoseEnergyObjective(lig.tree, scorer.docking_energy_batch)
+
+    population = 16 if SMOKE else 64
+    rng = np.random.default_rng(0)
+    genotypes = np.stack([
+        Conformation.random(
+            lig.tree.n_torsions, rng, center=box.center
+        ).vector
+        for _ in range(population)
+    ])
+
+    def scalar_loop():
+        return np.array([objective(g) for g in genotypes])
+
+    def batched():
+        return objective.evaluate_batch(genotypes)
+
+    assert np.array_equal(scalar_loop(), batched())  # parity before timing
+    scalar_s = _best_of(scalar_loop)
+    batched_s = _best_of(batched)
+    speedup = scalar_s / batched_s
+
+    payload = {
+        "population": population,
+        "ligand_atoms": len(lig.molecule.atoms),
+        "torsions": lig.tree.n_torsions,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": round(speedup, 2),
+        "asserted": not SMOKE,
+    }
+    _record("population_scoring", payload)
+    print(
+        f"\npopulation scoring: scalar {scalar_s * 1e3:.1f} ms, "
+        f"batched {batched_s * 1e3:.1f} ms -> {speedup:.1f}x"
+    )
+    if not SMOKE:
+        assert population >= 50 and len(lig.molecule.atoms) >= 20
+        assert speedup >= 3.0, f"batched path only {speedup:.2f}x faster"
+
+
+def test_engine_backend_throughput():
+    """LocalEngine thread vs process backend on a small pair sweep."""
+    from repro.core.datasets import CL0125_RECEPTORS, TABLE3_LIGANDS, pair_relation
+    from repro.core.scidock import SciDockConfig, run_scidock
+
+    receptors = list(CL0125_RECEPTORS[:1 if SMOKE else 2])
+    ligands = list(TABLE3_LIGANDS[:2 if SMOKE else 4])
+    cpu = os.cpu_count() or 1
+    workers = max(2, min(4, cpu))
+
+    tets = {}
+    for backend in ("threads", "processes"):
+        pairs = pair_relation(receptors=receptors, ligands=ligands)
+        report, store = run_scidock(
+            pairs,
+            SciDockConfig(scenario="adaptive", workers=workers, backend=backend),
+        )
+        store.close()
+        assert report.counts.get("FINISHED", 0) > 0
+        tets[backend] = report.tet_seconds
+
+    speedup = tets["threads"] / tets["processes"]
+    multicore = cpu >= 2
+    payload = {
+        "pairs": len(receptors) * len(ligands),
+        "workers": workers,
+        "cpu_count": cpu,
+        "threads_tet_s": tets["threads"],
+        "processes_tet_s": tets["processes"],
+        "process_speedup": round(speedup, 2),
+        "asserted": multicore and not SMOKE,
+    }
+    _record("engine_backends", payload)
+    print(
+        f"\nengine backends ({payload['pairs']} pairs, {workers} workers, "
+        f"{cpu} cores): threads {tets['threads']:.1f} s, "
+        f"processes {tets['processes']:.1f} s"
+    )
+    if multicore and not SMOKE:
+        assert tets["processes"] < tets["threads"], (
+            f"process backend slower on {cpu} cores: {tets}"
+        )

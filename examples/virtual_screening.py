@@ -7,9 +7,10 @@ medicinal chemist would run to shortlist protease drug-target candidates
 for neglected tropical diseases.
 
 Run:  python examples/virtual_screening.py [n_receptors]
+      python examples/virtual_screening.py --workers 8 --backend processes
 """
 
-import sys
+import argparse
 
 from repro.core.analysis import (
     collect_outcomes,
@@ -23,15 +24,20 @@ from repro.core.scidock import SciDockConfig, run_scidock
 from repro.provenance.queries import query1_activity_statistics, query2_files
 
 
-def main(n_receptors: int = 5) -> None:
+def main(
+    n_receptors: int = 5, workers: int = 4, backend: str = "threads"
+) -> None:
     receptors = list(CL0125_RECEPTORS[:n_receptors])
     ligands = list(TABLE3_LIGANDS)
     pairs = pair_relation(receptors=receptors, ligands=ligands)
     print(f"screening {len(pairs)} receptor-ligand pairs "
           f"({n_receptors} receptors x {len(ligands)} ligands), "
-          "adaptive AD4/Vina routing\n")
+          f"adaptive AD4/Vina routing, {workers} {backend} workers\n")
 
-    report, store = run_scidock(pairs, SciDockConfig(scenario="adaptive", workers=4))
+    report, store = run_scidock(
+        pairs,
+        SciDockConfig(scenario="adaptive", workers=workers, backend=backend),
+    )
     print(f"workflow finished in {report.tet_seconds:.1f} s; "
           f"{report.counts}; {report.blocked} Hg receptors blocked\n")
 
@@ -63,4 +69,14 @@ def main(n_receptors: int = 5) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)
+    # The __main__ guard matters: the processes backend spawns workers
+    # that re-import this module.
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("n_receptors", nargs="?", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads",
+        help="activation executor: GIL-sharing threads or worker processes",
+    )
+    cli = parser.parse_args()
+    main(cli.n_receptors, workers=cli.workers, backend=cli.backend)

@@ -39,6 +39,33 @@ def rotation_about_axis(axis: np.ndarray, angle: float) -> np.ndarray:
     )
 
 
+def rotation_about_axis_batch(axes: np.ndarray, angles: np.ndarray) -> np.ndarray:
+    """Rodrigues rotation matrices for ``(K, 3)`` axes / ``(K,)`` angles.
+
+    Per-row arithmetic matches :func:`rotation_about_axis` exactly, so a
+    batched pose evaluation reproduces the scalar one bit-for-bit.
+    """
+    axes = np.asarray(axes, dtype=np.float64)
+    angles = np.asarray(angles, dtype=np.float64)
+    norms = np.sqrt((axes * axes).sum(axis=1))
+    if np.any(norms < 1e-12):
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = (axes / norms[:, None]).T
+    c, s = np.cos(angles), np.sin(angles)
+    C = 1.0 - c
+    R = np.empty((axes.shape[0], 3, 3))
+    R[:, 0, 0] = x * x * C + c
+    R[:, 0, 1] = x * y * C - z * s
+    R[:, 0, 2] = x * z * C + y * s
+    R[:, 1, 0] = y * x * C + z * s
+    R[:, 1, 1] = y * y * C + c
+    R[:, 1, 2] = y * z * C - x * s
+    R[:, 2, 0] = z * x * C - y * s
+    R[:, 2, 1] = z * y * C + x * s
+    R[:, 2, 2] = z * z * C + c
+    return R
+
+
 def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
     """Unit quaternion (w, x, y, z) to a 3x3 rotation matrix."""
     q = np.asarray(q, dtype=np.float64)
@@ -55,6 +82,32 @@ def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
             [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
         ]
     )
+
+
+def quaternion_to_matrix_batch(q: np.ndarray) -> np.ndarray:
+    """Unit quaternions ``(K, 4)`` to rotation matrices ``(K, 3, 3)``.
+
+    Same arithmetic as :func:`quaternion_to_matrix`, vectorized over the
+    leading axis.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    if q.ndim != 2 or q.shape[1] != 4:
+        raise ValueError("quaternion batch must have shape (K, 4)")
+    n = np.sqrt((q * q).sum(axis=1))
+    if np.any(n < 1e-12):
+        raise ValueError("zero quaternion has no orientation")
+    w, x, y, z = (q / n[:, None]).T
+    R = np.empty((q.shape[0], 3, 3))
+    R[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    R[:, 0, 1] = 2 * (x * y - w * z)
+    R[:, 0, 2] = 2 * (x * z + w * y)
+    R[:, 1, 0] = 2 * (x * y + w * z)
+    R[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    R[:, 1, 2] = 2 * (y * z - w * x)
+    R[:, 2, 0] = 2 * (x * z - w * y)
+    R[:, 2, 1] = 2 * (y * z + w * x)
+    R[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return R
 
 
 def random_rotation_matrix(rng: np.random.Generator) -> np.ndarray:

@@ -30,7 +30,10 @@ def _cmd_dock(args: argparse.Namespace) -> int:
     receptors = args.receptors or list(CL0125_RECEPTORS[: args.n_receptors])
     ligands = args.ligands or list(TABLE3_LIGANDS[: args.n_ligands])
     pairs = pair_relation(receptors=receptors, ligands=ligands)
-    config = SciDockConfig(scenario=args.scenario, workers=args.workers, seed=args.seed)
+    config = SciDockConfig(
+        scenario=args.scenario, workers=args.workers,
+        backend=args.backend, seed=args.seed,
+    )
     print(f"docking {len(pairs)} pairs (scenario={args.scenario}) ...")
     report, store = run_scidock(pairs, config)
     outcomes = collect_outcomes(store, report.wkfid)
@@ -70,7 +73,11 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         pairs = pair_relation(receptors=receptors, ligands=list(TABLE3_LIGANDS))
         print(f"running {len(pairs)} pairs with {scenario} ...", file=sys.stderr)
         report, store = run_scidock(
-            pairs, SciDockConfig(scenario=scenario, workers=args.workers, seed=args.seed)
+            pairs,
+            SciDockConfig(
+                scenario=scenario, workers=args.workers,
+                backend=args.backend, seed=args.seed,
+            ),
         )
         outcomes = collect_outcomes(store, report.wkfid)
         rows_all.extend(compute_table3(outcomes, ligands=TABLE3_LIGANDS))
@@ -105,7 +112,11 @@ def _cmd_qsar(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     report, store = run_scidock(
-        pairs, SciDockConfig(scenario="vina", workers=args.workers, seed=args.seed)
+        pairs,
+        SciDockConfig(
+            scenario="vina", workers=args.workers,
+            backend=args.backend, seed=args.seed,
+        ),
     )
     training: dict[str, float] = {}
     for o in collect_outcomes(store, report.wkfid):
@@ -129,7 +140,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     pairs = pair_relation(receptors=receptors, ligands=ligands)
     print(f"running {len(pairs)} pairs ...", file=sys.stderr)
     report, store = run_scidock(
-        pairs, SciDockConfig(scenario=args.scenario, workers=args.workers, seed=args.seed)
+        pairs,
+        SciDockConfig(
+            scenario=args.scenario, workers=args.workers,
+            backend=args.backend, seed=args.seed,
+        ),
     )
     print(campaign_report(store, report.wkfid), end="")
     return 0
@@ -162,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
     dock.add_argument("--n-ligands", type=int, default=2)
     dock.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="adaptive")
     dock.add_argument("--workers", type=int, default=4)
+    dock.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads",
+        help="activation executor: GIL-sharing threads or worker processes",
+    )
     dock.add_argument("--seed", type=int, default=0)
     dock.set_defaults(fn=_cmd_dock)
 
@@ -176,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     table3 = sub.add_parser("table3", help="reproduce Table 3 on a subset")
     table3.add_argument("--n-receptors", type=int, default=20)
     table3.add_argument("--workers", type=int, default=4)
+    table3.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads",
+        help="activation executor: GIL-sharing threads or worker processes",
+    )
     table3.add_argument("--seed", type=int, default=0)
     table3.set_defaults(fn=_cmd_table3)
 
@@ -186,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--n-ligands", type=int, default=2)
     rep.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="adaptive")
     rep.add_argument("--workers", type=int, default=4)
+    rep.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads",
+        help="activation executor: GIL-sharing threads or worker processes",
+    )
     rep.add_argument("--seed", type=int, default=0)
     rep.set_defaults(fn=_cmd_report)
 
@@ -200,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     qsar.add_argument("--n-receptors", type=int, default=3)
     qsar.add_argument("--n-train-ligands", type=int, default=8)
     qsar.add_argument("--workers", type=int, default=4)
+    qsar.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads",
+        help="activation executor: GIL-sharing threads or worker processes",
+    )
     qsar.add_argument("--seed", type=int, default=0)
     qsar.add_argument("--top", type=int, default=5)
     qsar.set_defaults(fn=_cmd_qsar)

@@ -76,17 +76,35 @@ class KeyedCache:
             return self._data[key]
 
 
+def _new_caches() -> dict:
+    return {
+        "ligand": KeyedCache(),
+        "ligand_prep": KeyedCache(),
+        "receptor_prep": KeyedCache(),
+        "maps": KeyedCache(),
+        "vina_maps": KeyedCache(),
+    }
+
+
+#: Per-process artifact caches, keyed by the engine run's cache token.
+#: Process-backend workers receive a fresh context dict per activation,
+#: so ``context.setdefault`` cannot carry artifacts across activations —
+#: this registry does, once per (worker process, engine run). Tokens are
+#: unique per run, so runs with different grid spacing or preparation
+#: settings never see each other's receptors or maps.
+_PROCESS_CACHES: dict = {}
+_PROCESS_CACHES_GUARD = threading.Lock()
+
+
 def _caches(context: dict) -> dict:
-    return context.setdefault(
-        "caches",
-        {
-            "ligand": KeyedCache(),
-            "ligand_prep": KeyedCache(),
-            "receptor_prep": KeyedCache(),
-            "maps": KeyedCache(),
-            "vina_maps": KeyedCache(),
-        },
-    )
+    token = context.get("cache_token")
+    if token is not None:
+        with _PROCESS_CACHES_GUARD:
+            caches = _PROCESS_CACHES.get(token)
+            if caches is None:
+                caches = _PROCESS_CACHES[token] = _new_caches()
+        return caches
+    return context.setdefault("caches", _new_caches())
 
 
 def _fs_write(context: dict, path: str, text: str) -> tuple[str, int, str]:

@@ -57,6 +57,7 @@ class SciDockConfig:
     seed: int = 0
     grid_spacing: float = 0.6
     workers: int = 4
+    backend: str = "threads"  # "threads" | "processes"
     expdir: str = "/root/exp_SciDock"
     ad4_params: AD4Parameters = field(default_factory=lambda: FAST_AD4)
     vina_params: VinaParameters = field(default_factory=lambda: FAST_VINA)
@@ -65,6 +66,8 @@ class SciDockConfig:
     def __post_init__(self) -> None:
         if self.scenario not in ("adaptive", "ad4", "vina"):
             raise ValueError(f"unknown scenario {self.scenario!r}")
+        if self.backend not in ("threads", "processes"):
+            raise ValueError(f"unknown backend {self.backend!r}")
 
     def context(self) -> dict:
         return {
@@ -203,12 +206,17 @@ def run_scidock(
     config: SciDockConfig | None = None,
     store: ProvenanceStore | None = None,
 ) -> tuple[ExecutionReport, ProvenanceStore]:
-    """Execute SciDock for real on a thread pool; returns (report, store)."""
+    """Execute SciDock for real on the configured executor backend
+    (``config.backend``); returns (report, store)."""
     config = config or SciDockConfig()
-    store = store or ProvenanceStore()
+    # Batched provenance writes: per-tuple records flush as executemany
+    # groups; steering queries (store.sql) still see every record because
+    # reads flush first.
+    store = store or ProvenanceStore(buffer_size=128, flush_interval=1.0)
     engine = LocalEngine(
         store,
         workers=config.workers,
+        backend=config.backend,
         block_known_loopers=config.block_known_loopers,
     )
     workflow = build_scidock_workflow(config)

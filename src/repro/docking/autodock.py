@@ -18,6 +18,7 @@ from repro.docking.clustering import DEFAULT_TOLERANCE, cluster_poses
 from repro.docking.conformation import Conformation, DockingResult, Pose
 from repro.docking.ga import GAConfig, LamarckianGA
 from repro.docking.local_search import solis_wets
+from repro.docking.objective import PoseEnergyObjective
 from repro.docking.prepare import LigandPreparation
 from repro.docking.scoring_ad4 import AD4Scorer
 
@@ -56,9 +57,10 @@ class AutoDock4:
         tree = ligand.tree
         reference = tree.reference
 
-        def objective(vector: np.ndarray) -> float:
-            coords = Conformation(vector).coords(tree)
-            return scorer.docking_energy(coords)
+        # Vectorized objective: the GA scores each generation (and
+        # Solis-Wets its probe pairs) through one batched pose + grid
+        # gather instead of per-individual Python round trips.
+        objective = PoseEnergyObjective(tree, scorer.docking_energy_batch)
 
         # The GA searches translations around the box center relative to
         # the ligand's root reference position.

@@ -52,9 +52,11 @@ class GridMaps:
     def interpolate(self, map_name: str, coords: np.ndarray) -> np.ndarray:
         """Trilinear interpolation of one map at arbitrary coordinates.
 
-        Coordinates outside the box are clamped to the boundary and
-        additionally charged a steep quadratic wall penalty by callers
-        (see the engines) — here we only interpolate.
+        ``coords`` may be a single point ``(3,)``, a pose ``(N, 3)`` or a
+        pose batch ``(P, N, 3)`` — any leading shape is preserved in the
+        returned value array. Coordinates outside the box are clamped to
+        the boundary and additionally charged a steep quadratic wall
+        penalty by callers (see the engines) — here we only interpolate.
         """
         if map_name == "e":
             grid = self.electrostatic
@@ -70,17 +72,31 @@ class GridMaps:
         return trilinear(grid, self.box, coords)
 
     def outside_penalty(self, coords: np.ndarray, weight: float = 10.0) -> np.ndarray:
-        """Quadratic wall penalty (kcal/mol) for atoms leaving the box."""
+        """Quadratic wall penalty (kcal/mol) for atoms leaving the box.
+
+        Accepts any ``(..., 3)`` coordinate array; the per-atom penalty
+        keeps the leading shape, so a ``(P, N, 3)`` pose batch yields a
+        ``(P, N)`` penalty array.
+        """
         coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
         lo, hi = self.box.minimum, self.box.maximum
         under = np.clip(lo - coords, 0.0, None)
         over = np.clip(coords - hi, 0.0, None)
-        return weight * ((under**2).sum(axis=1) + (over**2).sum(axis=1))
+        return weight * ((under**2).sum(axis=-1) + (over**2).sum(axis=-1))
 
 
 def trilinear(grid: np.ndarray, box: GridBox, coords: np.ndarray) -> np.ndarray:
-    """Vectorized trilinear interpolation with boundary clamping."""
+    """Vectorized trilinear interpolation with boundary clamping.
+
+    ``coords`` may carry any leading shape ``(..., 3)`` — e.g. a
+    ``(P, N, 3)`` batch of P poses of an N-atom ligand — and the values
+    come back with that leading shape ``(...)``. The flattened evaluation
+    is element-for-element identical to interpolating each pose
+    separately.
+    """
     coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+    lead_shape = coords.shape[:-1]
+    coords = coords.reshape(-1, 3)
     f = box.fractional_index(coords)
     shape = np.array(box.shape)
     f = np.clip(f, 0.0, shape - 1.000001)
@@ -104,7 +120,7 @@ def trilinear(grid: np.ndarray, box: GridBox, coords: np.ndarray) -> np.ndarray:
     c11 = c011 * (1 - tx) + c111 * tx
     c0 = c00 * (1 - ty) + c10 * ty
     c1 = c01 * (1 - ty) + c11 * ty
-    return c0 * (1 - tz) + c1 * tz
+    return (c0 * (1 - tz) + c1 * tz).reshape(lead_shape)
 
 
 class AutoGrid:

@@ -48,14 +48,7 @@ class Conformation:
 
     def normalized(self) -> "Conformation":
         """Copy with a unit quaternion and torsions wrapped to (-pi, pi]."""
-        v = self.vector.copy()
-        qn = np.linalg.norm(v[3:7])
-        if qn < 1e-12:
-            v[3:7] = (1.0, 0.0, 0.0, 0.0)
-        else:
-            v[3:7] /= qn
-        v[7:] = np.mod(v[7:] + np.pi, 2 * np.pi) - np.pi
-        return Conformation(v)
+        return Conformation(normalize_vectors(self.vector[None])[0])
 
     def coords(self, tree: TorsionTree) -> np.ndarray:
         """Phenotype coordinates for this genotype."""
@@ -84,6 +77,39 @@ class Conformation:
         v[3:7] = q / np.linalg.norm(q)
         v[7:] = rng.uniform(-np.pi, np.pi, n_torsions)
         return cls(v)
+
+
+def normalize_vectors(vectors: np.ndarray) -> np.ndarray:
+    """Batched :meth:`Conformation.normalized`: ``(P, 7+T) -> (P, 7+T)``.
+
+    Quaternion blocks are scaled to unit norm (zero quaternions become
+    the identity) and torsions wrapped to (-pi, pi]. The scalar
+    ``normalized()`` is a batch of one, so both paths agree exactly.
+    """
+    V = np.array(vectors, dtype=np.float64)
+    if V.ndim != 2 or V.shape[1] < 7:
+        raise ValueError(
+            "conformation batch must be (P, >=7): 3 translation + 4 quaternion"
+        )
+    q = V[:, 3:7]
+    qn = np.sqrt((q * q).sum(axis=1))
+    degenerate = qn < 1e-12
+    qn[degenerate] = 1.0
+    q /= qn[:, None]
+    q[degenerate] = (1.0, 0.0, 0.0, 0.0)
+    V[:, 7:] = np.mod(V[:, 7:] + np.pi, 2 * np.pi) - np.pi
+    return V
+
+
+def coords_batch(vectors: np.ndarray, tree: TorsionTree) -> np.ndarray:
+    """Phenotype coordinates for a genotype batch: ``(P, D) -> (P, N, 3)``.
+
+    The batched twin of :meth:`Conformation.coords`: vectors are
+    normalized, then posed through :meth:`TorsionTree.pose_batch` in one
+    vectorized pass.
+    """
+    V = normalize_vectors(vectors)
+    return tree.pose_batch(V[:, :3], V[:, 3:7], V[:, 7:])
 
 
 #: Gas constant in kcal/mol/K and AutoDock's reporting temperature.

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.docking.conformation import Conformation
 from repro.docking.local_search import solis_wets
+from repro.docking.objective import VectorizedObjective, as_batch_objective
 
 Objective = Callable[[np.ndarray], float]
 
@@ -60,18 +61,37 @@ class GAResult:
 
 
 class LamarckianGA:
-    """The search loop. ``run`` is deterministic given the Generator."""
+    """The search loop. ``run`` is deterministic given the Generator.
 
-    def __init__(self, objective: Objective, n_torsions: int, config: GAConfig | None = None):
+    The objective may be a plain scalar callable or implement the
+    vectorized protocol (:mod:`repro.docking.objective`); either way the
+    whole population is scored through one ``evaluate_batch`` call per
+    generation, so a vectorized objective turns the fitness sweep into a
+    handful of numpy calls instead of ``population_size`` Python round
+    trips. Scalar objectives are wrapped in a loop-based adapter, which
+    performs the exact per-individual calls the old loop made — the GA
+    trajectory is identical for both forms given the same seed.
+    """
+
+    def __init__(
+        self,
+        objective: Objective | VectorizedObjective,
+        n_torsions: int,
+        config: GAConfig | None = None,
+    ):
         self.objective = objective
+        self._batch = as_batch_objective(objective)
         self.n_torsions = n_torsions
         self.config = config or GAConfig()
         self._evals = 0
 
     # -- operators --------------------------------------------------------
-    def _eval(self, vec: np.ndarray) -> float:
-        self._evals += 1
-        return float(self.objective(vec))
+    def _eval_population(self, vectors: list[np.ndarray]) -> np.ndarray:
+        """Fitness of a whole generation in one batched objective call."""
+        self._evals += len(vectors)
+        return np.asarray(
+            self._batch.evaluate_batch(np.stack(vectors)), dtype=np.float64
+        )
 
     def _select(self, fitness: np.ndarray, rng: np.random.Generator) -> int:
         """Linear-rank proportional selection (robust to energy scale)."""
@@ -120,7 +140,7 @@ class LamarckianGA:
             for _ in range(cfg.population_size)
         ]
         vectors = [c.vector for c in pop]
-        fitness = np.array([self._eval(v) for v in vectors])
+        fitness = self._eval_population(vectors)
         history = [float(fitness.min())]
 
         for _gen in range(cfg.generations):
@@ -140,7 +160,7 @@ class LamarckianGA:
                 child = self._mutate(child, rng)
                 new_vectors.append(Conformation(child).normalized().vector)
             vectors = new_vectors
-            fitness = np.array([self._eval(v) for v in vectors])
+            fitness = self._eval_population(vectors)
 
             # Lamarckian step: local search writes back into the genotype.
             n_ls = max(1, int(cfg.local_search_rate * cfg.population_size))

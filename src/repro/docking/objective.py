@@ -1,0 +1,103 @@
+"""Vectorized-objective protocol for the docking searches.
+
+The GA and Solis-Wets hot loops spend almost all their time evaluating
+conformation vectors one at a time: pose the ligand, gather the grids,
+sum the pair tables — each a handful of tiny numpy calls dominated by
+Python dispatch. The batched scorer entry points
+(:meth:`AD4Scorer.docking_energy_batch`,
+:meth:`VinaScorer.search_energy_batch`) remove that overhead, but the
+searches need a uniform way to ask "score this whole population" while
+still accepting plain scalar callables.
+
+That contract is the *vectorized objective*: any callable that also
+exposes ``evaluate_batch(vectors) -> energies`` where ``vectors`` is a
+``(P, D)`` batch of conformation genotypes and the result is a ``(P,)``
+float array. Scalar semantics are preserved — ``obj(v)`` must equal
+``obj.evaluate_batch(v[None])[0]`` bit-for-bit — so a search can switch
+freely between the two forms without changing its trajectory.
+
+Plain functions keep working everywhere: :func:`as_batch_objective`
+wraps them in a loop-based adapter whose batch evaluation performs the
+exact per-vector calls the search would have made itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.chem.torsions import TorsionTree
+from repro.docking.conformation import coords_batch
+
+#: The legacy scalar form: one genotype in, one energy out.
+Objective = Callable[[np.ndarray], float]
+
+
+@runtime_checkable
+class VectorizedObjective(Protocol):
+    """An objective that can score a whole genotype batch at once."""
+
+    def __call__(self, vector: np.ndarray) -> float:
+        """Energy of a single ``(D,)`` conformation vector."""
+
+    def evaluate_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Energies of a ``(P, D)`` genotype batch as a ``(P,)`` array."""
+
+
+def supports_batch(objective: object) -> bool:
+    """True when ``objective`` implements the vectorized protocol."""
+    return callable(getattr(objective, "evaluate_batch", None))
+
+
+class ScalarBatchAdapter:
+    """Loop-based ``evaluate_batch`` over a plain scalar objective.
+
+    The adapter performs exactly the per-vector calls a sequential
+    search would have made, in the same order, so wrapping a scalar
+    objective never changes results — it only normalizes the interface.
+    """
+
+    def __init__(self, fn: Objective) -> None:
+        self.fn = fn
+
+    def __call__(self, vector: np.ndarray) -> float:
+        return float(self.fn(vector))
+
+    def evaluate_batch(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        return np.array([float(self.fn(v)) for v in vectors])
+
+
+def as_batch_objective(objective: Objective | VectorizedObjective) -> VectorizedObjective:
+    """Coerce any objective to the vectorized protocol."""
+    if supports_batch(objective):
+        return objective  # type: ignore[return-value]
+    return ScalarBatchAdapter(objective)
+
+
+class PoseEnergyObjective:
+    """Genotype batch -> pose batch -> energy batch, fully vectorized.
+
+    Binds a ligand :class:`TorsionTree` to a batched energy function
+    (e.g. ``AD4Scorer.docking_energy_batch`` or
+    ``VinaScorer.search_energy_batch``). The scalar call is a batch of
+    one, which keeps per-individual and population-at-once evaluation
+    bit-for-bit identical — the property the golden-parity tests pin.
+    """
+
+    def __init__(
+        self,
+        tree: TorsionTree,
+        energy_batch: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
+        self.tree = tree
+        self.energy_batch = energy_batch
+
+    def __call__(self, vector: np.ndarray) -> float:
+        vector = np.asarray(vector, dtype=np.float64)
+        return float(self.evaluate_batch(vector[None])[0])
+
+    def evaluate_batch(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        return np.asarray(self.energy_batch(coords_batch(vectors, self.tree)))

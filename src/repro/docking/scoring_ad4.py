@@ -149,21 +149,29 @@ class AD4Scorer:
     # -- grid gather -----------------------------------------------------------
     def _gather(self, stack: np.ndarray, coords: np.ndarray) -> float:
         """Trilinear interpolation of per-atom maps, summed over atoms."""
+        return float(self._gather_batch(stack, coords[None])[0])
+
+    def _gather_batch(self, stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Batched gather: ``(P, n_atoms, 3) -> (P,)`` summed map values.
+
+        The scalar :meth:`_gather` is a batch of one, so per-pose and
+        population evaluation agree bit-for-bit.
+        """
         f = (coords - self.maps.box.minimum) / self.maps.box.spacing
         f = np.clip(f, 0.0, self._shape - 1.000001)
         i0 = f.astype(np.intp)
         t = f - i0
-        x0, y0, z0 = i0[:, 0], i0[:, 1], i0[:, 2]
+        x0, y0, z0 = i0[..., 0], i0[..., 1], i0[..., 2]
         x1, y1, z1 = x0 + 1, y0 + 1, z0 + 1
-        tx, ty, tz = t[:, 0], t[:, 1], t[:, 2]
-        n = np.arange(stack.shape[0])
+        tx, ty, tz = t[..., 0], t[..., 1], t[..., 2]
+        n = np.arange(stack.shape[0])[None, :]
         c00 = stack[n, x0, y0, z0] * (1 - tx) + stack[n, x1, y0, z0] * tx
         c10 = stack[n, x0, y1, z0] * (1 - tx) + stack[n, x1, y1, z0] * tx
         c01 = stack[n, x0, y0, z1] * (1 - tx) + stack[n, x1, y0, z1] * tx
         c11 = stack[n, x0, y1, z1] * (1 - tx) + stack[n, x1, y1, z1] * tx
         c0 = c00 * (1 - ty) + c10 * ty
         c1 = c01 * (1 - ty) + c11 * ty
-        return float((c0 * (1 - tz) + c1 * tz).sum())
+        return (c0 * (1 - tz) + c1 * tz).sum(axis=1)
 
     # -- term evaluation ------------------------------------------------------
     def intermolecular(self, coords: np.ndarray) -> tuple[float, float]:
@@ -178,12 +186,25 @@ class AD4Scorer:
         """Internal energy change relative to the unbound input geometry."""
         return self._intra_raw(coords) - self._intra_reference
 
+    def intramolecular_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched internal-energy change: ``(P, n_atoms, 3) -> (P,)``."""
+        return self._intra_raw_batch(coords) - self._intra_reference
+
     def _intra_raw(self, coords: np.ndarray) -> float:
         """Softened internal energy over 1-4+ pairs (absolute)."""
+        return float(self._intra_raw_batch(coords[None])[0])
+
+    def _intra_raw_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched absolute internal energy over the flat pair table."""
         if self._pair_i.size == 0:
-            return 0.0
-        diff = coords[self._pair_i] - coords[self._pair_j]
-        r = np.maximum(np.sqrt((diff * diff).sum(axis=1)), 0.01)
+            return np.zeros(coords.shape[0])
+        # Fancy indexing on axis 1 yields a transposed-layout array; force
+        # C order so reduction order (and hence the float result) does not
+        # depend on the batch size.
+        diff = np.ascontiguousarray(
+            coords[:, self._pair_i] - coords[:, self._pair_j]
+        )
+        r = np.maximum(np.sqrt((diff * diff).sum(axis=-1)), 0.01)
         # AutoGrid-style potential smoothing (see forcefield.vdw_energy).
         s = ff.SMOOTH_RADIUS
         req = self._pair_req
@@ -197,7 +218,7 @@ class AD4Scorer:
         coul = np.clip(
             332.06363 * self._pair_qq / (eps * r), -ff.ESTAT_CLAMP, ff.ESTAT_CLAMP
         )
-        return float((lj * self._pair_w).sum() + ff.FE_COEFF_ESTAT * coul.sum())
+        return (lj * self._pair_w).sum(axis=1) + ff.FE_COEFF_ESTAT * coul.sum(axis=1)
 
     def torsional(self) -> float:
         return ff.FE_COEFF_TORS * self.torsdof
@@ -232,3 +253,59 @@ class AD4Scorer:
         elec = self._gather(self._stack_elec, coords)
         wall = float(self.maps.outside_penalty(coords).sum())
         return affinity + elec + wall + self.intramolecular(coords) + self.torsional()
+
+    # -- batched evaluation ----------------------------------------------------
+    def _coerce_batch(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords, dtype=np.float64)
+        n = len(self.ligand.atoms)
+        if coords.ndim != 3 or coords.shape[1:] != (n, 3):
+            raise ScoringError(
+                f"expected coords batch of shape (P, {n}, 3), got {coords.shape}"
+            )
+        return coords
+
+    def intermolecular_batch(
+        self, coords: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched grid terms: ``(vdw+hb+desolv (P,), electrostatic (P,))``."""
+        coords = self._coerce_batch(coords)
+        affinity = self._gather_batch(self._stack_affinity, coords)
+        elec = self._gather_batch(self._stack_elec, coords)
+        wall = self.maps.outside_penalty(coords).sum(axis=1)
+        return affinity + wall, elec
+
+    def docking_energy_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched search objective: ``(P, n_atoms, 3) -> (P,)`` energies.
+
+        Evaluates a whole GA population / probe set in a handful of numpy
+        calls; each pose's value matches :meth:`docking_energy` exactly.
+        """
+        coords = self._coerce_batch(coords)
+        affinity = self._gather_batch(self._stack_affinity, coords)
+        elec = self._gather_batch(self._stack_elec, coords)
+        wall = self.maps.outside_penalty(coords).sum(axis=1)
+        return (
+            affinity + elec + wall + self.intramolecular_batch(coords)
+            + self.torsional()
+        )
+
+    def total_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched reported FEB: intermolecular + torsional, ``(P,)``."""
+        vdw, elec = self.intermolecular_batch(coords)
+        return vdw + elec + self.torsional()
+
+    def score_batch(self, coords: np.ndarray) -> list[AD4Terms]:
+        """Full term breakdown for a pose batch (one AD4Terms per pose)."""
+        coords = self._coerce_batch(coords)
+        vdw, elec = self.intermolecular_batch(coords)
+        intra = self.intramolecular_batch(coords)
+        tors = self.torsional()
+        return [
+            AD4Terms(
+                vdw_hb_desolv=float(v),
+                electrostatic=float(e),
+                intramolecular=float(i),
+                torsional=tors,
+            )
+            for v, e, i in zip(vdw, elec, intra)
+        ]

@@ -304,56 +304,107 @@ class VinaScorer:
         return np.stack([ii[mask], jj[mask]], axis=1)
 
     # -- scoring ---------------------------------------------------------------
-    def intermolecular(self, coords: np.ndarray) -> float:
-        """Ligand-receptor energy (pre-normalization)."""
+    def _coerce_batch(self, coords: np.ndarray) -> np.ndarray:
         coords = np.asarray(coords, dtype=np.float64)
+        n = len(self.ligand.atoms)
+        if coords.ndim != 3 or coords.shape[1:] != (n, 3):
+            raise VinaScoringError(
+                f"expected coords batch of shape (P, {n}, 3), got {coords.shape}"
+            )
+        return coords
+
+    def intermolecular(self, coords: np.ndarray) -> float:
+        """Ligand-receptor energy (pre-normalization).
+
+        A batch of one: the single implementation is
+        :meth:`intermolecular_batch`, keeping per-pose and population
+        evaluation bit-for-bit identical.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        return float(self.intermolecular_batch(coords[None])[0])
+
+    def intermolecular_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched ligand-receptor energy: ``(P, n_atoms, 3) -> (P,)``.
+
+        With a :class:`VinaMaps` cache this is one trilinear gather over
+        the whole pose batch. The exact pairwise fallback is chunked over
+        poses so the ``(chunk, L, R)`` distance tensor stays within a
+        bounded working set.
+        """
+        coords = self._coerce_batch(coords)
         if self._stack is not None:
-            return self._gather(coords)
-        if self.rec_coords.shape[0] == 0:
-            return 0.0
-        diff = coords[:, None, :] - self.rec_coords[None, :, :]
-        r = np.sqrt(np.einsum("lrx,lrx->lr", diff, diff))
-        within = r <= CUTOFF
-        d = r - self._inter_rsum
-        e = pairwise_terms(d, self._inter_hydro, self._inter_hbond)
-        return float(np.where(within, e, 0.0).sum())
+            return self._gather_batch(coords)
+        P = coords.shape[0]
+        R = self.rec_coords.shape[0]
+        if R == 0:
+            return np.zeros(P)
+        out = np.empty(P)
+        L = coords.shape[1]
+        chunk = max(1, 2_000_000 // max(1, L * R))
+        for start in range(0, P, chunk):
+            block = coords[start : start + chunk]
+            diff = block[:, :, None, :] - self.rec_coords[None, None, :, :]
+            r = np.sqrt((diff * diff).sum(axis=-1))
+            within = r <= CUTOFF
+            d = r - self._inter_rsum
+            e = pairwise_terms(d, self._inter_hydro, self._inter_hbond)
+            out[start : start + chunk] = np.where(within, e, 0.0).sum(axis=(1, 2))
+        return out
 
     def _gather(self, coords: np.ndarray) -> float:
         """Trilinear interpolation over the per-atom grid stack."""
+        return float(self._gather_batch(coords[None])[0])
+
+    def _gather_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched stack gather: ``(P, n_atoms, 3) -> (P,)`` summed values."""
         box = self.box
         f = (coords - box.minimum) / box.spacing
         f = np.clip(f, 0.0, self._shape - 1.000001)
         i0 = f.astype(np.intp)
         t = f - i0
-        x0, y0, z0 = i0[:, 0], i0[:, 1], i0[:, 2]
+        x0, y0, z0 = i0[..., 0], i0[..., 1], i0[..., 2]
         x1, y1, z1 = x0 + 1, y0 + 1, z0 + 1
-        tx, ty, tz = t[:, 0], t[:, 1], t[:, 2]
+        tx, ty, tz = t[..., 0], t[..., 1], t[..., 2]
         s = self._stack
-        n = np.arange(s.shape[0])
+        n = np.arange(s.shape[0])[None, :]
         c00 = s[n, x0, y0, z0] * (1 - tx) + s[n, x1, y0, z0] * tx
         c10 = s[n, x0, y1, z0] * (1 - tx) + s[n, x1, y1, z0] * tx
         c01 = s[n, x0, y0, z1] * (1 - tx) + s[n, x1, y0, z1] * tx
         c11 = s[n, x0, y1, z1] * (1 - tx) + s[n, x1, y1, z1] * tx
         c0 = c00 * (1 - ty) + c10 * ty
         c1 = c01 * (1 - ty) + c11 * ty
-        return float((c0 * (1 - tz) + c1 * tz).sum())
+        return (c0 * (1 - tz) + c1 * tz).sum(axis=1)
 
     def intramolecular(self, coords: np.ndarray) -> float:
+        coords = np.asarray(coords, dtype=np.float64)
+        return float(self.intramolecular_batch(coords[None])[0])
+
+    def intramolecular_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched ligand internal energy: ``(P, n_atoms, 3) -> (P,)``."""
+        coords = self._coerce_batch(coords)
         if self._intra_pairs.size == 0:
-            return 0.0
+            return np.zeros(coords.shape[0])
         ii, jj = self._intra_pairs[:, 0], self._intra_pairs[:, 1]
-        diff = coords[ii] - coords[jj]
-        r = np.sqrt((diff * diff).sum(axis=1))
+        # C order keeps reduction order independent of the batch size (the
+        # axis-1 fancy index yields a transposed-layout array).
+        diff = np.ascontiguousarray(coords[:, ii] - coords[:, jj])
+        r = np.sqrt((diff * diff).sum(axis=-1))
         d = r - self._intra_rsum
         e = pairwise_terms(d, self._intra_hydro, self._intra_hbond)
-        return float(np.where(r <= CUTOFF, e, 0.0).sum())
+        return np.where(r <= CUTOFF, e, 0.0).sum(axis=1)
 
     def outside_penalty(self, coords: np.ndarray) -> float:
         coords = np.atleast_2d(coords)
+        return float(self.outside_penalty_batch(coords[None])[0])
+
+    def outside_penalty_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched box-wall penalty: ``(P, n_atoms, 3) -> (P,)``."""
         lo, hi = self.box.minimum, self.box.maximum
         under = np.clip(lo - coords, 0.0, None)
         over = np.clip(coords - hi, 0.0, None)
-        return 10.0 * float((under**2).sum() + (over**2).sum())
+        return 10.0 * (
+            (under**2).sum(axis=(1, 2)) + (over**2).sum(axis=(1, 2))
+        )
 
     def total(self, coords: np.ndarray) -> float:
         """Vina's reported binding affinity estimate (kcal/mol)."""
@@ -368,6 +419,30 @@ class VinaScorer:
         # Vina reports inter / (1 + w N_rot); intra only steers the search.
         return (inter + penalty) / self._entropy_norm
 
+    def total_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched reported affinity: ``(P, n_atoms, 3) -> (P,)``."""
+        coords = self._coerce_batch(coords)
+        inter = self.intermolecular_batch(coords)
+        penalty = self.outside_penalty_batch(coords)
+        return (inter + penalty) / self._entropy_norm
+
+    def score_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched scoring entry point (alias of :meth:`total_batch`).
+
+        Mirrors ``AD4Scorer.score_batch``: one reported affinity per pose,
+        bit-identical to calling :meth:`total` pose by pose.
+        """
+        return self.total_batch(coords)
+
     def search_energy(self, coords: np.ndarray) -> float:
         """Objective used during optimization (adds intramolecular)."""
         return self.total(coords) + self.intramolecular(coords)
+
+    def search_energy_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Batched search objective: ``(P, n_atoms, 3) -> (P,)``.
+
+        Per-pose values match :meth:`search_energy` exactly (the scalar
+        path is a batch of one).
+        """
+        coords = self._coerce_batch(coords)
+        return self.total_batch(coords) + self.intramolecular_batch(coords)

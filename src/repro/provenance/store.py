@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from enum import Enum
 from pathlib import Path
 
@@ -26,36 +27,161 @@ class ActivationStatus(str, Enum):
     BLOCKED = "BLOCKED"  # aborted pre-dispatch (e.g. Hg routine)
 
 
-class ProvenanceStore:
-    """SQLite-backed PROV-Wf repository."""
+#: Column order of the batched hactivation INSERT.
+_ACTIVATION_COLS = (
+    "taskid", "actid", "tuple_key", "starttime", "endtime", "status",
+    "exitstatus", "errormsg", "vm_id", "core_index", "workdir", "attempt",
+)
 
-    def __init__(self, path: str | Path | None = None) -> None:
-        # The LocalEngine records provenance from worker threads; SQLite
-        # allows that with check_same_thread=False as long as calls are
-        # serialized, which _execute's lock guarantees.
+
+class ProvenanceStore:
+    """SQLite-backed PROV-Wf repository.
+
+    Locking contract: a single :class:`threading.Lock` serializes every
+    database touch *and* every write-buffer mutation. The connection is
+    opened with ``check_same_thread=False`` so the engine's bookkeeping
+    threads may call in concurrently; any new method must take
+    ``self._lock`` around its SQLite and buffer access (or route through
+    the ``_execute``/``_buffered_*``/``sql`` helpers, which do).
+
+    Write batching: per-activation records (activation begin/end, file
+    and extract rows) dominate write volume at thousands of pairs. With
+    ``buffer_size > 1`` those records accumulate in memory and land in
+    SQLite as ``executemany`` batches under a single commit — either
+    when ``buffer_size`` records are pending, when ``flush_interval``
+    seconds have passed since the last flush, on any read
+    (:meth:`sql` flushes first, so runtime steering queries always see
+    current state), on explicit :meth:`flush`, or on :meth:`close`.
+    Row ids are pre-assigned from per-table counters so
+    :meth:`begin_activation` can hand out task ids without touching the
+    database. The default ``buffer_size=1`` keeps the historical
+    write-through behavior.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        buffer_size: int = 1,
+        flush_interval: float | None = None,
+    ) -> None:
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        if flush_interval is not None and flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
         self._conn = sqlite3.connect(
             str(path) if path else ":memory:", check_same_thread=False
         )
         self._conn.row_factory = sqlite3.Row
         self._lock = threading.Lock()
+        self.buffer_size = buffer_size
+        self.flush_interval = flush_interval
+        #: RUNNING rows not yet flushed, by taskid — end_activation
+        #: mutates these in place so begin+end usually costs one INSERT.
+        self._pending_activations: dict[int, dict] = {}
+        #: Ordered taskids of _pending_activations (insertion order).
+        self._pending_order: list[int] = []
+        #: UPDATE tuples for activations that were already flushed.
+        self._pending_ends: list[tuple] = []
+        self._pending_files: list[tuple] = []
+        self._pending_extracts: list[tuple] = []
+        self._last_flush = time.monotonic()
         with self._lock:
             self._conn.executescript(SCHEMA_DDL)
+            if path is not None:
+                # File-backed stores take the WAL path the paper's MySQL
+                # instance effectively had (group commit): readers don't
+                # block the writer and fsync happens per batch, not per row.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.commit()
+            self._next_taskid = self._max_id_locked("hactivation", "taskid") + 1
+            self._next_fileid = self._max_id_locked("hfile", "fileid") + 1
+            self._next_extractid = self._max_id_locked("hextract", "extractid") + 1
 
+    def _max_id_locked(self, table: str, col: str) -> int:
+        row = self._conn.execute(f"SELECT COALESCE(MAX({col}), 0) FROM {table}")
+        return int(row.fetchone()[0])
 
+    # -- write plumbing ------------------------------------------------------
     def _execute(self, query: str, params: tuple = ()) -> sqlite3.Cursor:
-        """Serialized write/read entry point (thread-safe)."""
+        """Serialized write-through entry point (thread-safe)."""
         with self._lock:
             cur = self._conn.execute(query, params)
             self._conn.commit()
             return cur
 
-    def _executemany(self, query: str, rows: list[tuple]) -> None:
-        with self._lock:
-            self._conn.executemany(query, rows)
+    @property
+    def _pending_count(self) -> int:
+        return (
+            len(self._pending_order)
+            + len(self._pending_ends)
+            + len(self._pending_files)
+            + len(self._pending_extracts)
+        )
+
+    def _maybe_flush_locked(self) -> None:
+        if self._pending_count >= self.buffer_size:
+            self._flush_locked()
+        elif (
+            self.flush_interval is not None
+            and time.monotonic() - self._last_flush >= self.flush_interval
+        ):
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        """Drain every buffer as executemany batches under one commit."""
+        dirty = False
+        if self._pending_order:
+            rows = [
+                tuple(self._pending_activations[tid][c] for c in _ACTIVATION_COLS)
+                for tid in self._pending_order
+            ]
+            self._conn.executemany(
+                "INSERT INTO hactivation"
+                f" ({', '.join(_ACTIVATION_COLS)})"
+                f" VALUES ({', '.join('?' * len(_ACTIVATION_COLS))})",
+                rows,
+            )
+            self._pending_activations.clear()
+            self._pending_order.clear()
+            dirty = True
+        if self._pending_ends:
+            self._conn.executemany(
+                "UPDATE hactivation SET endtime = ?, status = ?, exitstatus = ?,"
+                " errormsg = ? WHERE taskid = ?",
+                self._pending_ends,
+            )
+            self._pending_ends.clear()
+            dirty = True
+        if self._pending_files:
+            self._conn.executemany(
+                "INSERT INTO hfile (fileid, taskid, fname, fsize, fdir,"
+                " direction) VALUES (?, ?, ?, ?, ?, ?)",
+                self._pending_files,
+            )
+            self._pending_files.clear()
+            dirty = True
+        if self._pending_extracts:
+            self._conn.executemany(
+                "INSERT INTO hextract (extractid, taskid, key, value)"
+                " VALUES (?, ?, ?, ?)",
+                self._pending_extracts,
+            )
+            self._pending_extracts.clear()
+            dirty = True
+        if dirty:
             self._conn.commit()
+        self._last_flush = time.monotonic()
+
+    def flush(self) -> None:
+        """Push every buffered provenance record into SQLite and commit."""
+        with self._lock:
+            self._flush_locked()
 
     def close(self) -> None:
+        with self._lock:
+            self._flush_locked()
         self._conn.close()
 
     def __enter__(self) -> "ProvenanceStore":
@@ -102,6 +228,15 @@ class ProvenanceStore:
         return int(cur.lastrowid)
 
     # -- activation lifecycle -------------------------------------------------
+    def _buffer_activation_locked(self, row: dict) -> int:
+        taskid = self._next_taskid
+        self._next_taskid += 1
+        row["taskid"] = taskid
+        self._pending_activations[taskid] = row
+        self._pending_order.append(taskid)
+        self._maybe_flush_locked()
+        return taskid
+
     def begin_activation(
         self,
         actid: int,
@@ -112,13 +247,20 @@ class ProvenanceStore:
         workdir: str = "",
         attempt: int = 0,
     ) -> int:
-        cur = self._execute(
-            "INSERT INTO hactivation (actid, tuple_key, starttime, status,"
-            " vm_id, core_index, workdir, attempt)"
-            " VALUES (?, ?, ?, 'RUNNING', ?, ?, ?, ?)",
-            (actid, tuple_key, starttime, vm_id, core_index, workdir, attempt),
-        )
-        return int(cur.lastrowid)
+        with self._lock:
+            return self._buffer_activation_locked({
+                "actid": actid,
+                "tuple_key": tuple_key,
+                "starttime": starttime,
+                "endtime": None,
+                "status": ActivationStatus.RUNNING.value,
+                "exitstatus": 0,
+                "errormsg": "",
+                "vm_id": vm_id,
+                "core_index": core_index,
+                "workdir": workdir,
+                "attempt": attempt,
+            })
 
     def end_activation(
         self,
@@ -128,22 +270,41 @@ class ProvenanceStore:
         exitstatus: int = 0,
         errormsg: str = "",
     ) -> None:
-        self._execute(
-            "UPDATE hactivation SET endtime = ?, status = ?, exitstatus = ?,"
-            " errormsg = ? WHERE taskid = ?",
-            (endtime, status.value, exitstatus, errormsg, taskid),
-        )
+        with self._lock:
+            pending = self._pending_activations.get(taskid)
+            if pending is not None:
+                # Row never hit the database: complete it in place so the
+                # whole lifecycle costs a single batched INSERT.
+                pending.update(
+                    endtime=endtime,
+                    status=status.value,
+                    exitstatus=exitstatus,
+                    errormsg=errormsg,
+                )
+            else:
+                self._pending_ends.append(
+                    (endtime, status.value, exitstatus, errormsg, taskid)
+                )
+            self._maybe_flush_locked()
 
     def record_blocked(
         self, actid: int, tuple_key: str, when: float, reason: str
     ) -> int:
         """An activation aborted before dispatch (paper's Hg routine)."""
-        cur = self._execute(
-            "INSERT INTO hactivation (actid, tuple_key, starttime, endtime,"
-            " status, errormsg) VALUES (?, ?, ?, ?, 'BLOCKED', ?)",
-            (actid, tuple_key, when, when, reason),
-        )
-        return int(cur.lastrowid)
+        with self._lock:
+            return self._buffer_activation_locked({
+                "actid": actid,
+                "tuple_key": tuple_key,
+                "starttime": when,
+                "endtime": when,
+                "status": ActivationStatus.BLOCKED.value,
+                "exitstatus": 0,
+                "errormsg": reason,
+                "vm_id": "",
+                "core_index": -1,
+                "workdir": "",
+                "attempt": 0,
+            })
 
     # -- artifacts -------------------------------------------------------------
     def record_file(
@@ -154,31 +315,41 @@ class ProvenanceStore:
         fdir: str,
         direction: str = "OUTPUT",
     ) -> int:
-        cur = self._execute(
-            "INSERT INTO hfile (taskid, fname, fsize, fdir, direction)"
-            " VALUES (?, ?, ?, ?, ?)",
-            (taskid, fname, fsize, fdir, direction),
-        )
-        return int(cur.lastrowid)
+        with self._lock:
+            fileid = self._next_fileid
+            self._next_fileid += 1
+            self._pending_files.append(
+                (fileid, taskid, fname, fsize, fdir, direction)
+            )
+            self._maybe_flush_locked()
+            return fileid
 
     def record_extract(self, taskid: int, key: str, value: object) -> int:
         """Domain data pulled out of produced files by extractor components."""
-        cur = self._execute(
-            "INSERT INTO hextract (taskid, key, value) VALUES (?, ?, ?)",
-            (taskid, key, str(value)),
-        )
-        return int(cur.lastrowid)
+        with self._lock:
+            extractid = self._next_extractid
+            self._next_extractid += 1
+            self._pending_extracts.append((extractid, taskid, key, str(value)))
+            self._maybe_flush_locked()
+            return extractid
 
     def record_extracts(self, taskid: int, items: dict) -> None:
-        self._executemany(
-            "INSERT INTO hextract (taskid, key, value) VALUES (?, ?, ?)",
-            [(taskid, k, str(v)) for k, v in items.items()],
-        )
+        with self._lock:
+            for k, v in items.items():
+                extractid = self._next_extractid
+                self._next_extractid += 1
+                self._pending_extracts.append((extractid, taskid, k, str(v)))
+            self._maybe_flush_locked()
 
     # -- reads -------------------------------------------------------------------
     def sql(self, query: str, params: tuple = ()) -> list[sqlite3.Row]:
-        """Run an arbitrary analytical query (read-only by convention)."""
+        """Run an arbitrary analytical query (read-only by convention).
+
+        Flushes the write buffer first so runtime steering queries always
+        observe every record handed to the store so far.
+        """
         with self._lock:
+            self._flush_locked()
             return self._conn.execute(query, params).fetchall()
 
     def workflow_row(self, wkfid: int) -> sqlite3.Row:

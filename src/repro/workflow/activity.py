@@ -39,6 +39,36 @@ class ActivityError(ValueError):
     """Raised for ill-formed activity definitions."""
 
 
+def run_activation(
+    fn: ActivationFn | None,
+    operator: Operator,
+    tag: str,
+    tup: dict,
+    context: dict,
+) -> list[dict]:
+    """Execute one activation and validate its output cardinality.
+
+    Module-level (rather than a method) so the process-backend engine can
+    ship ``(fn, operator, tag)`` to a worker by reference and run the
+    activation there with identical semantics; :meth:`Activity.run` is
+    the in-process wrapper over the same code.
+    """
+    if fn is None:
+        raise ActivityError(f"activity {tag!r} has no callable")
+    out = fn(tup, context)
+    if out is None:
+        out = []
+    if operator is Operator.MAP and len(out) != 1:
+        raise ActivityError(
+            f"MAP activity {tag!r} must emit exactly 1 tuple, got {len(out)}"
+        )
+    if operator is Operator.FILTER and len(out) > 1:
+        raise ActivityError(
+            f"FILTER activity {tag!r} must emit 0 or 1 tuples, got {len(out)}"
+        )
+    return out
+
+
 @dataclass
 class Activity:
     """One step of the workflow."""
@@ -60,20 +90,7 @@ class Activity:
 
     def run(self, tup: dict, context: dict) -> list[dict]:
         """Execute one activation in real mode."""
-        if self.fn is None:
-            raise ActivityError(f"activity {self.tag!r} has no callable")
-        out = self.fn(tup, context)
-        if out is None:
-            out = []
-        if self.operator is Operator.MAP and len(out) != 1:
-            raise ActivityError(
-                f"MAP activity {self.tag!r} must emit exactly 1 tuple, got {len(out)}"
-            )
-        if self.operator is Operator.FILTER and len(out) > 1:
-            raise ActivityError(
-                f"FILTER activity {self.tag!r} must emit 0 or 1 tuples, got {len(out)}"
-            )
-        return out
+        return run_activation(self.fn, self.operator, self.tag, tup, context)
 
     def cost(self, tup: dict) -> float:
         """Expected service seconds (simulated mode)."""

@@ -25,15 +25,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import multiprocessing
 import time
-from concurrent.futures import ThreadPoolExecutor
+import uuid
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cloud.cluster import CoreHandle, VirtualCluster
 from repro.cloud.failures import ActivityFailureModel
 from repro.cloud.provider import VMState
 from repro.provenance.store import ActivationStatus, ProvenanceStore
-from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.activity import Activity, Operator, Workflow, run_activation
 from repro.workflow.extractor import run_extractors
 from repro.workflow.fault import RetryPolicy, Watchdog
 from repro.workflow.relation import Relation, tuple_key
@@ -77,8 +79,33 @@ def _strip_reserved(tup: dict) -> tuple[dict, list, str | None]:
     return tup, files, payload
 
 
+#: Executor backends LocalEngine can run activations on.
+BACKENDS = ("threads", "processes")
+
+#: Context entries that never cross a process boundary: live caches
+#: (rebuilt per worker via the cache token), the in-memory shared FS and
+#: the steering controller (both hold parent-side state/locks).
+_PARENT_ONLY_CONTEXT_KEYS = ("caches", "fs", "steering")
+
+
 class LocalEngine:
-    """Real execution on a thread pool."""
+    """Real execution on a pluggable executor backend.
+
+    ``backend="threads"`` (default) runs activation callables on a
+    thread pool — fine for activations that release the GIL or are
+    I/O-bound, and required when the run context carries non-picklable
+    state (an in-memory shared FS, a steering controller).
+
+    ``backend="processes"`` executes activations in a spawn-context
+    process pool, sidestepping the GIL for CPU-bound activations (the
+    docking hot path). Bookkeeping threads still drive provenance —
+    begin/end activation, file and extractor records all happen in the
+    parent, so the provenance store never crosses a process boundary.
+    Activation callables and their tuples/context must be picklable; the
+    engine ships a sanitized context (parent-only entries stripped) plus
+    a per-run ``cache_token`` that workers use to build and reuse
+    receptor/ligand artifacts once per process.
+    """
 
     def __init__(
         self,
@@ -87,15 +114,23 @@ class LocalEngine:
         retry: RetryPolicy | None = None,
         watchdog: Watchdog | None = None,
         *,
+        backend: str = "threads",
         block_known_loopers: bool = True,
     ) -> None:
         if workers < 1:
             raise EngineError("need at least one worker")
+        if backend not in BACKENDS:
+            raise EngineError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.store = store
         self.workers = workers
+        self.backend = backend
         self.retry = retry or RetryPolicy()
         self.watchdog = watchdog or Watchdog()
         self.block_known_loopers = block_known_loopers
+        self._proc_pool: ProcessPoolExecutor | None = None
+        self._shipped_context: dict | None = None
 
     def run(
         self,
@@ -129,67 +164,95 @@ class LocalEngine:
         current = [(dict(t), tuple_key(t, i)) for i, t in enumerate(relation)]
         final = Relation(f"{workflow.tag}:output")
 
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            for idx, activity in enumerate(workflow.activities):
-                actid = actids[activity.tag]
-                if activity.operator is Operator.REDUCE:
-                    tuples = [t for t, _ in current]
-                    out = self._run_one(
-                        pool, activity, actid,
-                        {"__tuples__": tuples}, f"reduce-{activity.tag}",
-                        context, t0,
-                    )
-                    next_tuples = [(t, tuple_key(t, k)) for k, t in enumerate(out)]
-                    total += 1
-                else:
-                    steering = context.get("steering")
-                    futures = []
-                    next_tuples = []
-                    for tup, key in current:
+        if self.backend == "processes":
+            # Spawn (not fork): the parent runs bookkeeping threads and an
+            # open SQLite handle, neither of which survives a fork safely.
+            self._proc_pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            shipped = {
+                k: v
+                for k, v in context.items()
+                if k not in _PARENT_ONLY_CONTEXT_KEYS
+            }
+            # Workers key their build-once artifact caches on this token,
+            # so one engine run never reuses another run's receptors/maps
+            # (grid spacing or preparation settings may differ).
+            shipped["cache_token"] = uuid.uuid4().hex
+            self._shipped_context = shipped
+        try:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                for idx, activity in enumerate(workflow.activities):
+                    actid = actids[activity.tag]
+                    if activity.operator is Operator.REDUCE:
+                        tuples = [t for t, _ in current]
+                        out = self._run_one(
+                            pool, activity, actid,
+                            {"__tuples__": tuples}, f"reduce-{activity.tag}",
+                            context, t0,
+                        )
+                        next_tuples = [(t, tuple_key(t, k)) for k, t in enumerate(out)]
                         total += 1
-                        if steering is not None and steering.should_abort(
-                            activity.tag, key
-                        ):
-                            self.store.record_blocked(
-                                actid, key, time.perf_counter() - t0,
-                                "aborted by user steering",
-                            )
-                            blocked += 1
-                            continue
-                        if activity.would_loop(tup):
-                            if self.block_known_loopers:
+                    else:
+                        steering = context.get("steering")
+                        futures = []
+                        next_tuples = []
+                        for tup, key in current:
+                            total += 1
+                            if steering is not None and steering.should_abort(
+                                activity.tag, key
+                            ):
                                 self.store.record_blocked(
                                     actid, key, time.perf_counter() - t0,
-                                    "known looping input (Hg routine)",
+                                    "aborted by user steering",
                                 )
                                 blocked += 1
-                            else:
-                                # Watchdog kill: the activation consumed its
-                                # full deadline before being aborted.
-                                start = time.perf_counter() - t0
-                                tid = self.store.begin_activation(
-                                    actid, key, start, workdir=context.get("workdir", "")
+                                continue
+                            if activity.would_loop(tup):
+                                if self.block_known_loopers:
+                                    self.store.record_blocked(
+                                        actid, key, time.perf_counter() - t0,
+                                        "known looping input (Hg routine)",
+                                    )
+                                    blocked += 1
+                                else:
+                                    # Watchdog kill: the activation consumed
+                                    # its full deadline before being aborted.
+                                    start = time.perf_counter() - t0
+                                    tid = self.store.begin_activation(
+                                        actid, key, start,
+                                        workdir=context.get("workdir", ""),
+                                    )
+                                    deadline = self.watchdog.deadline(
+                                        activity.cost(tup)
+                                    )
+                                    self.store.end_activation(
+                                        tid, start + deadline,
+                                        ActivationStatus.ABORTED, 137,
+                                        "looping state killed by watchdog",
+                                    )
+                                    aborted += 1
+                                continue
+                            futures.append(
+                                pool.submit(
+                                    self._run_with_retry, activity, actid, tup,
+                                    key, context, t0,
                                 )
-                                deadline = self.watchdog.deadline(activity.cost(tup))
-                                self.store.end_activation(
-                                    tid, start + deadline,
-                                    ActivationStatus.ABORTED, 137,
-                                    "looping state killed by watchdog",
-                                )
-                                aborted += 1
-                            continue
-                        futures.append(
-                            pool.submit(
-                                self._run_with_retry, activity, actid, tup, key,
-                                context, t0,
                             )
-                        )
-                    for fut in futures:
-                        outs, n_retries = fut.result()
-                        retried += n_retries
-                        for out_tup in outs:
-                            next_tuples.append((out_tup, tuple_key(out_tup, len(next_tuples))))
-                current = next_tuples
+                        for fut in futures:
+                            outs, n_retries = fut.result()
+                            retried += n_retries
+                            for out_tup in outs:
+                                next_tuples.append(
+                                    (out_tup, tuple_key(out_tup, len(next_tuples)))
+                                )
+                    current = next_tuples
+        finally:
+            if self._proc_pool is not None:
+                self._proc_pool.shutdown()
+                self._proc_pool = None
+                self._shipped_context = None
         for tup, _ in current:
             final.append(tup)
         tet = time.perf_counter() - t0
@@ -212,6 +275,28 @@ class LocalEngine:
         outs, _ = self._run_with_retry(activity, actid, tup, key, context, t0)
         return outs
 
+    def _execute_activation(
+        self, activity: Activity, tup: dict, context: dict
+    ) -> list[dict]:
+        """Run one activation on the configured backend.
+
+        Threads backend: call straight into the activity. Processes
+        backend: ship ``(fn, operator, tag, tuple, sanitized context)``
+        to a pool worker; the calling bookkeeping thread blocks on the
+        result so the retry/provenance flow above is backend-agnostic.
+        """
+        if self._proc_pool is None:
+            return activity.run(tup, context)
+        future = self._proc_pool.submit(
+            run_activation,
+            activity.fn,
+            activity.operator,
+            activity.tag,
+            tup,
+            self._shipped_context,
+        )
+        return future.result()
+
     def _run_with_retry(
         self,
         activity: Activity,
@@ -228,7 +313,7 @@ class LocalEngine:
                 actid, key, start, workdir=context.get("workdir", ""), attempt=attempt
             )
             try:
-                raw = activity.run(tup, context)
+                raw = self._execute_activation(activity, tup, context)
             except Exception as exc:  # noqa: BLE001 - activation errors are data
                 self.store.end_activation(
                     tid,

@@ -1,0 +1,187 @@
+"""Golden-parity tests for the batched scoring path.
+
+The batched entry points are not allowed to drift from per-pose scoring
+by even one ulp: the scalar methods are implemented as batches of one,
+and these tests pin the stronger property that a pose scored inside a
+large batch equals the same pose scored alone, bit for bit. The GA test
+pins the other half of the contract — swapping a scalar objective for
+its vectorized twin must not change the search trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.docking.conformation import Conformation
+from repro.docking.ga import GAConfig, LamarckianGA
+from repro.docking.objective import (
+    PoseEnergyObjective,
+    ScalarBatchAdapter,
+    as_batch_objective,
+    supports_batch,
+)
+from repro.docking.scoring_ad4 import AD4Scorer
+from repro.docking.scoring_vina import VinaScorer, build_vina_maps
+
+
+def _pose_batch(coords: np.ndarray, rng: np.random.Generator, p: int = 16) -> np.ndarray:
+    """P poses around the reference: jittered atoms plus rigid shifts.
+
+    Mixes small and large displacements so the batch exercises both the
+    in-box grid gather and the out-of-box wall penalty.
+    """
+    base = np.repeat(coords[None], p, axis=0)
+    jitter = rng.normal(scale=0.3, size=base.shape)
+    shift = rng.normal(scale=2.5, size=(p, 1, 3))
+    return base + jitter + shift
+
+
+class TestAD4BatchParity:
+    def test_score_batch_bit_for_bit(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        batch = _pose_batch(
+            prepared_ligand.molecule.coords, np.random.default_rng(11), p=24
+        )
+        terms = scorer.score_batch(batch)
+        assert len(terms) == 24
+        for pose, t in zip(batch, terms):
+            ref = scorer.score(pose)
+            assert t.vdw_hb_desolv == ref.vdw_hb_desolv
+            assert t.electrostatic == ref.electrostatic
+            assert t.torsional == ref.torsional
+            assert t.intramolecular == ref.intramolecular
+            assert t.total == ref.total
+            assert t.docking_energy == ref.docking_energy
+
+    def test_docking_energy_batch_bit_for_bit(self, grid_maps, prepared_ligand):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        batch = _pose_batch(
+            prepared_ligand.molecule.coords, np.random.default_rng(12), p=32
+        )
+        energies = scorer.docking_energy_batch(batch)
+        scalar = np.array([scorer.docking_energy(p) for p in batch])
+        assert np.array_equal(energies, scalar)
+
+    def test_batch_size_invariance(self, grid_maps, prepared_ligand):
+        # A pose's energy must not depend on which batch it rides in.
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        batch = _pose_batch(
+            prepared_ligand.molecule.coords, np.random.default_rng(13), p=8
+        )
+        whole = scorer.docking_energy_batch(batch)
+        ones = np.array(
+            [scorer.docking_energy_batch(p[None])[0] for p in batch]
+        )
+        assert np.array_equal(whole, ones)
+
+
+class TestVinaBatchParity:
+    @pytest.fixture(scope="class")
+    def exact_scorer(self, prepared_receptor, prepared_ligand, pocket_box):
+        return VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, pocket_box
+        )
+
+    @pytest.fixture(scope="class")
+    def maps_scorer(self, prepared_receptor, prepared_ligand, pocket_box):
+        maps = build_vina_maps(prepared_receptor.molecule, pocket_box)
+        return VinaScorer(
+            prepared_receptor.molecule,
+            prepared_ligand.molecule,
+            pocket_box,
+            maps=maps,
+        )
+
+    def _batch(self, prepared_ligand, seed: int, p: int = 20) -> np.ndarray:
+        return _pose_batch(
+            prepared_ligand.molecule.coords, np.random.default_rng(seed), p=p
+        )
+
+    def test_exact_path_bit_for_bit(self, exact_scorer, prepared_ligand):
+        batch = self._batch(prepared_ligand, 21)
+        totals = exact_scorer.total_batch(batch)
+        search = exact_scorer.search_energy_batch(batch)
+        for i, pose in enumerate(batch):
+            assert totals[i] == exact_scorer.total(pose)
+            assert search[i] == exact_scorer.search_energy(pose)
+
+    def test_maps_path_bit_for_bit(self, maps_scorer, prepared_ligand):
+        batch = self._batch(prepared_ligand, 22)
+        totals = maps_scorer.total_batch(batch)
+        search = maps_scorer.search_energy_batch(batch)
+        for i, pose in enumerate(batch):
+            assert totals[i] == maps_scorer.total(pose)
+            assert search[i] == maps_scorer.search_energy(pose)
+
+    def test_score_batch_alias(self, exact_scorer, prepared_ligand):
+        batch = self._batch(prepared_ligand, 23, p=6)
+        assert np.array_equal(
+            exact_scorer.score_batch(batch), exact_scorer.total_batch(batch)
+        )
+
+    def test_batch_size_invariance(self, maps_scorer, prepared_ligand):
+        batch = self._batch(prepared_ligand, 24, p=10)
+        whole = maps_scorer.search_energy_batch(batch)
+        ones = np.array(
+            [maps_scorer.search_energy_batch(p[None])[0] for p in batch]
+        )
+        assert np.array_equal(whole, ones)
+
+
+class TestObjectiveProtocol:
+    def test_supports_batch_detection(self):
+        assert not supports_batch(lambda v: 0.0)
+        assert supports_batch(ScalarBatchAdapter(lambda v: 0.0))
+
+    def test_adapter_matches_scalar_calls(self):
+        calls = []
+
+        def fn(v):
+            calls.append(v.copy())
+            return float((v * v).sum())
+
+        adapter = as_batch_objective(fn)
+        vecs = np.arange(12.0).reshape(3, 4)
+        out = adapter.evaluate_batch(vecs)
+        assert out.shape == (3,)
+        assert [float((v * v).sum()) for v in vecs] == list(out)
+        assert len(calls) == 3  # exact per-vector calls, in order
+
+    def test_pose_objective_scalar_is_batch_of_one(
+        self, grid_maps, prepared_ligand
+    ):
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        obj = PoseEnergyObjective(
+            prepared_ligand.tree, scorer.docking_energy_batch
+        )
+        rng = np.random.default_rng(31)
+        vecs = np.stack([
+            Conformation.random(prepared_ligand.tree.n_torsions, rng).vector
+            for _ in range(8)
+        ])
+        batch = obj.evaluate_batch(vecs)
+        for v, e in zip(vecs, batch):
+            assert obj(v) == e
+
+
+class TestGATrajectoryParity:
+    def test_vectorized_matches_scalar_trajectory(
+        self, grid_maps, prepared_ligand
+    ):
+        """Same seed, scalar vs vectorized objective: identical search."""
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        tree = prepared_ligand.tree
+        vec_obj = PoseEnergyObjective(tree, scorer.docking_energy_batch)
+
+        def scalar_obj(v: np.ndarray) -> float:
+            return scorer.docking_energy(Conformation(v).coords(tree))
+
+        cfg = GAConfig(population_size=16, generations=5, local_search_steps=5)
+        results = []
+        for objective in (scalar_obj, vec_obj):
+            ga = LamarckianGA(objective, tree.n_torsions, cfg)
+            results.append(ga.run(np.random.default_rng(42)))
+        scalar_res, vec_res = results
+        assert scalar_res.best_energy == vec_res.best_energy
+        assert np.array_equal(scalar_res.best.vector, vec_res.best.vector)
+        assert scalar_res.history == vec_res.history
+        assert scalar_res.evaluations == vec_res.evaluations

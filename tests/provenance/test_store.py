@@ -184,3 +184,116 @@ class TestProvExport:
             s.end_workflow(wkfid, 5.0)
         with ProvenanceStore(path) as s2:
             assert s2.workflow_row(wkfid)["tag"] == "W"
+
+
+class TestWriteBatching:
+    def test_buffered_records_visible_through_sql(self):
+        s = ProvenanceStore(buffer_size=1000)
+        wkfid = s.begin_workflow("W", starttime=0.0)
+        actid = s.register_activity(wkfid, "dock")
+        tids = [s.begin_activation(actid, f"k{i}", float(i)) for i in range(10)]
+        for t in tids:
+            s.end_activation(t, 99.0)
+        s.record_file(tids[0], "out.dlg", 128, "/tmp")
+        s.record_extracts(tids[0], {"feb": -7.5, "rmsd": 0.9})
+        # Nothing has been committed yet...
+        assert s._pending_count > 0
+        # ...but steering queries flush first and see everything.
+        assert s.counts_by_status(wkfid) == {"FINISHED": 10}
+        assert s._pending_count == 0
+        assert len(s.extracts(wkfid, "feb")) == 1
+        s.close()
+
+    def test_end_after_flush_queues_update(self):
+        s = ProvenanceStore(buffer_size=1000)
+        wkfid = s.begin_workflow("W", starttime=0.0)
+        actid = s.register_activity(wkfid, "dock")
+        tid = s.begin_activation(actid, "k", 1.0)
+        s.flush()
+        s.end_activation(tid, 2.0, ActivationStatus.FAILED, 1, "boom")
+        rows = s.activations(wkfid, ActivationStatus.FAILED)
+        assert len(rows) == 1
+        assert rows[0]["errormsg"] == "boom"
+        s.close()
+
+    def test_flush_threshold_triggers_commit(self):
+        s = ProvenanceStore(buffer_size=3)
+        wkfid = s.begin_workflow("W", starttime=0.0)
+        actid = s.register_activity(wkfid, "dock")
+        for i in range(3):
+            s.begin_activation(actid, f"k{i}", float(i))
+        # Third write crossed the threshold and drained the buffer.
+        assert s._pending_count == 0
+        s.close()
+
+    def test_close_flushes(self, tmp_path):
+        path = tmp_path / "prov.db"
+        with ProvenanceStore(path, buffer_size=1000) as s:
+            wkfid = s.begin_workflow("W", starttime=0.0)
+            actid = s.register_activity(wkfid, "dock")
+            tid = s.begin_activation(actid, "k", 1.0)
+            s.end_activation(tid, 2.0)
+        with ProvenanceStore(path) as s2:
+            assert s2.counts_by_status(wkfid) == {"FINISHED": 1}
+
+    def test_taskids_resume_across_reopen(self, tmp_path):
+        path = tmp_path / "prov.db"
+        with ProvenanceStore(path, buffer_size=8) as s:
+            wkfid = s.begin_workflow("W", starttime=0.0)
+            actid = s.register_activity(wkfid, "dock")
+            first = [s.begin_activation(actid, f"k{i}", 0.0) for i in range(4)]
+        with ProvenanceStore(path, buffer_size=8) as s2:
+            nxt = s2.begin_activation(actid, "k-new", 0.0)
+        assert nxt == max(first) + 1
+
+    def test_file_backed_uses_wal(self, tmp_path):
+        with ProvenanceStore(tmp_path / "prov.db") as s:
+            assert s.sql("PRAGMA journal_mode")[0][0] == "wal"
+
+    def test_invalid_buffer_params(self):
+        with pytest.raises(ValueError):
+            ProvenanceStore(buffer_size=0)
+        with pytest.raises(ValueError):
+            ProvenanceStore(flush_interval=0.0)
+
+    def test_concurrent_writers_stress(self):
+        """Many threads hammering one buffered store: no lost records.
+
+        Exercises the documented locking contract: a single lock
+        serializes buffer mutations and SQLite access, so concurrent
+        begin/end/extract traffic (with reads mixed in, forcing flushes
+        mid-stream) must never drop or duplicate a record.
+        """
+        import threading
+
+        s = ProvenanceStore(buffer_size=17)
+        wkfid = s.begin_workflow("W", starttime=0.0)
+        actid = s.register_activity(wkfid, "dock")
+        n_threads, per_thread = 8, 50
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                for i in range(per_thread):
+                    tid = s.begin_activation(actid, f"w{worker}-{i}", float(i))
+                    s.record_extract(tid, "worker", worker)
+                    s.end_activation(tid, float(i) + 1.0)
+                    if i % 10 == 0:  # steering read mid-stream
+                        s.counts_by_status(wkfid)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = n_threads * per_thread
+        assert s.counts_by_status(wkfid) == {"FINISHED": total}
+        rows = s.sql("SELECT COUNT(DISTINCT taskid) AS n FROM hactivation")
+        assert rows[0]["n"] == total
+        assert len(s.sql("SELECT * FROM hextract")) == total
+        s.close()

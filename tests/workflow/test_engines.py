@@ -319,3 +319,44 @@ class TestSimulatedEngine:
         # As the backlog drained, idle VMs were terminated.
         assert cluster.total_cores < 32
         assert len(report.output) == 48
+
+
+class TestBufferedProvenanceParity:
+    """The buffered provenance path must change nothing observable."""
+
+    def test_buffered_store_matches_write_through(self):
+        from repro.provenance.queries import query2_files
+
+        outputs, tables, q1, q2 = {}, {}, {}, {}
+        for name, store in (
+            ("direct", ProvenanceStore()),  # buffer_size=1: legacy behavior
+            ("buffered", ProvenanceStore(buffer_size=512, flush_interval=60.0)),
+        ):
+            report = LocalEngine(store, workers=2).run(
+                pipeline_workflow(), INPUT.copy()
+            )
+            # Identical synthetic artifact on each run's first activation
+            # so Query 2 has something to compare.
+            tid = store.sql("SELECT MIN(taskid) AS t FROM hactivation")[0]["t"]
+            store.record_file(tid, "042_1AEC.dlg", 64, "/exp/")
+            store.flush()
+            outputs[name] = report.output[0]
+            tables[name] = {
+                table: store.sql(f"SELECT COUNT(*) AS n FROM {table}")[0]["n"]
+                for table in ("hworkflow", "hactivity", "hactivation", "hfile")
+            }
+            q1[name] = {
+                s.tag: s.count
+                for s in query1_activity_statistics(store, report.wkfid)
+            }
+            q2[name] = [
+                (f.activity_tag, f.fname, f.fsize, f.fdir)
+                for f in query2_files(store, report.wkfid, ".dlg")
+            ]
+            store.close()
+
+        assert outputs["buffered"] == outputs["direct"]
+        assert tables["buffered"] == tables["direct"]
+        assert q1["buffered"] == q1["direct"]
+        assert q2["buffered"] == q2["direct"]
+        assert q2["direct"]  # the comparison was not vacuous
