@@ -158,3 +158,64 @@ def test_engine_backend_throughput():
         assert tets["processes"] < tets["threads"], (
             f"process backend slower on {cpu} cores: {tets}"
         )
+
+
+def test_artifact_plane_build_accounting(tmp_path):
+    """Map builds and cache hits across the shared artifact plane.
+
+    Two measurements, both deterministic (asserted even in smoke mode):
+
+    * a process-backend screen must build each receptor's map bundle at
+      most once across every worker (`builds_by_artifact` <= 1), and
+    * a second screen against the same ``--map-cache`` directory must
+      serve every bundle from disk — zero AutoGrid reruns.
+    """
+    from repro.core.datasets import CL0125_RECEPTORS, TABLE3_LIGANDS, pair_relation
+    from repro.core.scidock import SciDockConfig, run_scidock
+
+    receptors = list(CL0125_RECEPTORS[:2])
+    ligands = list(TABLE3_LIGANDS[:2 if SMOKE else 3])
+    cache_dir = str(tmp_path / "mapcache")
+
+    def screen():
+        pairs = pair_relation(receptors=receptors, ligands=ligands)
+        report, store = run_scidock(
+            pairs,
+            SciDockConfig(
+                scenario="adaptive",
+                workers=2,
+                backend="processes",
+                map_cache=cache_dir,
+            ),
+        )
+        store.close()
+        assert report.succeeded
+        return report
+
+    cold = screen().artifact_stats
+    warm = screen().artifact_stats
+
+    assert cold["builds_by_artifact"]
+    assert max(cold["builds_by_artifact"].values()) == 1
+    assert cold["builds"] >= len(receptors)
+    assert warm["builds"] == 0 and warm["disk_hits"] > 0
+
+    payload = {
+        "receptors": len(receptors),
+        "ligands": len(ligands),
+        "cold_builds": cold["builds"],
+        "cold_shm_hits": cold["shm_hits"],
+        "cold_hit_rate": cold["hit_rate"],
+        "warm_builds": warm["builds"],
+        "warm_disk_hits": warm["disk_hits"],
+        "warm_hit_rate": warm["hit_rate"],
+        "max_builds_per_artifact": max(cold["builds_by_artifact"].values()),
+        "asserted": True,
+    }
+    _record("artifact_plane", payload)
+    print(
+        f"\nartifact plane ({len(receptors)}x{len(ligands)} pairs): "
+        f"cold {cold['builds']} builds / {cold['shm_hits']} shm hits "
+        f"(hit rate {cold['hit_rate']:.2f}), "
+        f"warm {warm['builds']} builds / {warm['disk_hits']} disk hits"
+    )

@@ -26,14 +26,22 @@ from repro.core.spec import scidock_xml
 from repro.perf.experiments import run_core_sweep
 
 
+def _exec_kwargs(args: argparse.Namespace) -> dict:
+    """SciDockConfig execution settings shared by every docking command."""
+    return {
+        "workers": args.workers,
+        "backend": args.backend,
+        "seed": args.seed,
+        "shared_maps": args.shared_maps,
+        "map_cache": args.map_cache,
+    }
+
+
 def _cmd_dock(args: argparse.Namespace) -> int:
     receptors = args.receptors or list(CL0125_RECEPTORS[: args.n_receptors])
     ligands = args.ligands or list(TABLE3_LIGANDS[: args.n_ligands])
     pairs = pair_relation(receptors=receptors, ligands=ligands)
-    config = SciDockConfig(
-        scenario=args.scenario, workers=args.workers,
-        backend=args.backend, seed=args.seed,
-    )
+    config = SciDockConfig(scenario=args.scenario, **_exec_kwargs(args))
     print(f"docking {len(pairs)} pairs (scenario={args.scenario}) ...")
     report, store = run_scidock(pairs, config)
     outcomes = collect_outcomes(store, report.wkfid)
@@ -73,11 +81,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         pairs = pair_relation(receptors=receptors, ligands=list(TABLE3_LIGANDS))
         print(f"running {len(pairs)} pairs with {scenario} ...", file=sys.stderr)
         report, store = run_scidock(
-            pairs,
-            SciDockConfig(
-                scenario=scenario, workers=args.workers,
-                backend=args.backend, seed=args.seed,
-            ),
+            pairs, SciDockConfig(scenario=scenario, **_exec_kwargs(args))
         )
         outcomes = collect_outcomes(store, report.wkfid)
         rows_all.extend(compute_table3(outcomes, ligands=TABLE3_LIGANDS))
@@ -112,11 +116,7 @@ def _cmd_qsar(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     report, store = run_scidock(
-        pairs,
-        SciDockConfig(
-            scenario="vina", workers=args.workers,
-            backend=args.backend, seed=args.seed,
-        ),
+        pairs, SciDockConfig(scenario="vina", **_exec_kwargs(args))
     )
     training: dict[str, float] = {}
     for o in collect_outcomes(store, report.wkfid):
@@ -140,11 +140,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     pairs = pair_relation(receptors=receptors, ligands=ligands)
     print(f"running {len(pairs)} pairs ...", file=sys.stderr)
     report, store = run_scidock(
-        pairs,
-        SciDockConfig(
-            scenario=args.scenario, workers=args.workers,
-            backend=args.backend, seed=args.seed,
-        ),
+        pairs, SciDockConfig(scenario=args.scenario, **_exec_kwargs(args))
     )
     print(campaign_report(store, report.wkfid), end="")
     return 0
@@ -163,6 +159,30 @@ def _cmd_dataset(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    """Execution flags shared by every real-docking subcommand."""
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads",
+        help="activation executor: GIL-sharing threads or worker processes",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shared-maps", dest="shared_maps", action="store_true", default=None,
+        help="publish receptor grid maps into a shared-memory artifact "
+        "plane (default: auto, on for --backend processes)",
+    )
+    parser.add_argument(
+        "--no-shared-maps", dest="shared_maps", action="store_false",
+        help="disable the shared-memory artifact plane",
+    )
+    parser.add_argument(
+        "--map-cache", metavar="DIR", default=None,
+        help="persistent content-addressed map cache directory; repeated "
+        "runs reuse maps instead of re-running AutoGrid",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scidock",
@@ -176,12 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     dock.add_argument("--n-receptors", type=int, default=3)
     dock.add_argument("--n-ligands", type=int, default=2)
     dock.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="adaptive")
-    dock.add_argument("--workers", type=int, default=4)
-    dock.add_argument(
-        "--backend", choices=("threads", "processes"), default="threads",
-        help="activation executor: GIL-sharing threads or worker processes",
-    )
-    dock.add_argument("--seed", type=int, default=0)
+    _add_exec_args(dock)
     dock.set_defaults(fn=_cmd_dock)
 
     sweep = sub.add_parser("sweep", help="simulated core-count sweep (Figs 7-9)")
@@ -194,12 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     table3 = sub.add_parser("table3", help="reproduce Table 3 on a subset")
     table3.add_argument("--n-receptors", type=int, default=20)
-    table3.add_argument("--workers", type=int, default=4)
-    table3.add_argument(
-        "--backend", choices=("threads", "processes"), default="threads",
-        help="activation executor: GIL-sharing threads or worker processes",
-    )
-    table3.add_argument("--seed", type=int, default=0)
+    _add_exec_args(table3)
     table3.set_defaults(fn=_cmd_table3)
 
     rep = sub.add_parser("report", help="run a campaign and print a markdown report")
@@ -208,12 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--n-receptors", type=int, default=3)
     rep.add_argument("--n-ligands", type=int, default=2)
     rep.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="adaptive")
-    rep.add_argument("--workers", type=int, default=4)
-    rep.add_argument(
-        "--backend", choices=("threads", "processes"), default="threads",
-        help="activation executor: GIL-sharing threads or worker processes",
-    )
-    rep.add_argument("--seed", type=int, default=0)
+    _add_exec_args(rep)
     rep.set_defaults(fn=_cmd_report)
 
     refine = sub.add_parser("refine", help="redock + minimize + MD one pair")
@@ -226,12 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     qsar = sub.add_parser("qsar", help="ligand-based QSAR screening")
     qsar.add_argument("--n-receptors", type=int, default=3)
     qsar.add_argument("--n-train-ligands", type=int, default=8)
-    qsar.add_argument("--workers", type=int, default=4)
-    qsar.add_argument(
-        "--backend", choices=("threads", "processes"), default="threads",
-        help="activation executor: GIL-sharing threads or worker processes",
-    )
-    qsar.add_argument("--seed", type=int, default=0)
+    _add_exec_args(qsar)
     qsar.add_argument("--top", type=int, default=5)
     qsar.set_defaults(fn=_cmd_qsar)
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from collections import Counter
 from typing import Callable
 
 import numpy as np
@@ -41,8 +42,14 @@ from repro.chem.generate import (
 )
 from repro.chem.geometry import rmsd
 from repro.docking.autodock import AutoDock4
-from repro.docking.autogrid import AutoGrid, write_fld_file
+from repro.docking.autogrid import (
+    AutoGrid,
+    grid_maps_from_arrays,
+    grid_maps_to_arrays,
+    write_fld_file,
+)
 from repro.docking.box import GridBox
+from repro.docking.forcefield import FF_VERSION
 from repro.docking.dlg import write_dlg, write_vina_log
 from repro.docking.prepare import (
     prepare_dpf,
@@ -51,8 +58,15 @@ from repro.docking.prepare import (
     prepare_receptor as do_prepare_receptor,
     prepare_vina_config,
 )
-from repro.docking.scoring_vina import build_vina_maps
+from repro.docking.scoring_vina import (
+    STANDARD_CLASSES,
+    VINA_FF_VERSION,
+    build_vina_maps,
+    vina_maps_from_arrays,
+    vina_maps_to_arrays,
+)
 from repro.docking.vina import Vina
+from repro.workflow.artifacts import DiskMapCache, attach_cached, run_state
 
 #: Map atom types SciDock requests from AutoGrid: the union every
 #: generated ligand can need, so maps are computed once per receptor.
@@ -81,30 +95,92 @@ def _new_caches() -> dict:
         "ligand": KeyedCache(),
         "ligand_prep": KeyedCache(),
         "receptor_prep": KeyedCache(),
+        "receptor_meta": KeyedCache(),
         "maps": KeyedCache(),
         "vina_maps": KeyedCache(),
     }
 
 
-#: Per-process artifact caches, keyed by the engine run's cache token.
-#: Process-backend workers receive a fresh context dict per activation,
-#: so ``context.setdefault`` cannot carry artifacts across activations —
-#: this registry does, once per (worker process, engine run). Tokens are
-#: unique per run, so runs with different grid spacing or preparation
-#: settings never see each other's receptors or maps.
-_PROCESS_CACHES: dict = {}
-_PROCESS_CACHES_GUARD = threading.Lock()
-
-
 def _caches(context: dict) -> dict:
+    """Resolve this activation's artifact caches.
+
+    Engine-backend workers receive a fresh context dict per activation,
+    so ``context.setdefault`` cannot carry artifacts across activations.
+    The per-run ``cache_token`` instead keys worker-side state held in
+    :mod:`repro.workflow.artifacts` — which the engine explicitly drops
+    at run end, so long-lived worker pools never accumulate dead runs'
+    receptors and maps (tokens are unique per run, so runs with
+    different grid spacing or preparation settings stay isolated).
+    """
     token = context.get("cache_token")
     if token is not None:
-        with _PROCESS_CACHES_GUARD:
-            caches = _PROCESS_CACHES.get(token)
-            if caches is None:
-                caches = _PROCESS_CACHES[token] = _new_caches()
+        state = run_state(token)
+        caches = state.get("caches")
+        if caches is None:
+            # dict.setdefault is atomic under the GIL; losers adopt the
+            # winner's cache dict.
+            caches = state.setdefault("caches", _new_caches())
         return caches
     return context.setdefault("caches", _new_caches())
+
+
+# -- map-build accounting ----------------------------------------------------
+
+#: Per-process map-build counters: ``f"{kind}:{receptor}" -> builds``.
+#: The cross-process source of truth for a shared run is the artifact
+#: plane's event log (``ExecutionReport.artifact_stats``); these counters
+#: cover the threads backend and single-process benchmarks.
+MAP_BUILDS: Counter = Counter()
+#: Per-process cache-hit counters by source: ``shm`` / ``disk`` / ``memo``.
+MAP_CACHE_HITS: Counter = Counter()
+_MAP_STATS_GUARD = threading.Lock()
+
+
+def reset_map_counters() -> None:
+    with _MAP_STATS_GUARD:
+        MAP_BUILDS.clear()
+        MAP_CACHE_HITS.clear()
+
+
+def _note_map_event(kind: str, rec_id: str, source: str) -> None:
+    with _MAP_STATS_GUARD:
+        if source == "built":
+            MAP_BUILDS[f"{kind}:{rec_id}"] += 1
+        else:
+            MAP_CACHE_HITS[source] += 1
+
+
+def _map_store(context: dict):
+    """The cross-process/persistent map store for this run, if any.
+
+    An attached :class:`~repro.workflow.artifacts.ArtifactPlane` when the
+    engine shipped a plane handle (its disk tier rides inside), else a
+    bare :class:`DiskMapCache` when only ``--map-cache`` was given, else
+    ``None`` (per-process memoization only).
+    """
+    handle = context.get("artifact_plane")
+    if handle is not None:
+        return attach_cached(handle)
+    cache_dir = context.get("map_cache_dir")
+    if cache_dir:
+        return DiskMapCache(cache_dir)
+    return None
+
+
+def _bundle_key(pdbqt: str, box: GridBox, terms: tuple[str, ...], version: str) -> str:
+    """Content address of a map bundle.
+
+    Hashes the prepared receptor text (coordinates, types, charges), the
+    exact grid geometry, the map-type/probe-class roster, and the
+    force-field fingerprint — any input that changes the numbers in the
+    maps changes the key.
+    """
+    h = hashlib.sha256()
+    h.update(pdbqt.encode())
+    h.update(json.dumps(box.to_dict(), sort_keys=True).encode())
+    h.update("|".join(terms).encode())
+    h.update(version.encode())
+    return h.hexdigest()[:32]
 
 
 def _fs_write(context: dict, path: str, text: str) -> tuple[str, int, str]:
@@ -166,9 +242,7 @@ def prepare_ligand(tup: dict, context: dict) -> list[dict]:
 def prepare_receptor(tup: dict, context: dict) -> list[dict]:
     caches = _caches(context)
     rec_id = tup["receptor_id"]
-    prep = caches["receptor_prep"].get_or_build(
-        rec_id, lambda: do_prepare_receptor(generate_receptor(rec_id))
-    )
+    prep = _receptor_prep(rec_id, caches)
     base = f"{_expdir(context)}/prepare_receptor/{rec_id}"
     files = [_fs_write(context, f"{base}/{rec_id}.pdbqt", prep.pdbqt)]
     out = dict(tup)
@@ -189,13 +263,9 @@ def receptor_would_loop(tup: dict) -> bool:
 def prepare_gpf_activity(tup: dict, context: dict) -> list[dict]:
     caches = _caches(context)
     rec_id, lig_id = tup["receptor_id"], tup["ligand_id"]
-    rec_prep = caches["receptor_prep"].get_or_build(
-        rec_id, lambda: do_prepare_receptor(generate_receptor(rec_id))
-    )
-    lig_prep = caches["ligand_prep"].get_or_build(
-        lig_id, lambda: do_prepare_ligand(generate_ligand(lig_id))
-    )
-    box = _box_for(rec_id, context)
+    rec_prep = _receptor_prep(rec_id, caches)
+    lig_prep = _ligand_prep(lig_id, caches)
+    box = _box_for(rec_id, context, caches)
     gpf = make_gpf(rec_prep, lig_prep, box)
     base = f"{_expdir(context)}/prepare_gpf/{rec_id}"
     files = [_fs_write(context, f"{base}/{lig_id}_{rec_id}.gpf", gpf)]
@@ -205,14 +275,93 @@ def prepare_gpf_activity(tup: dict, context: dict) -> list[dict]:
     return [out]
 
 
-def _box_for(rec_id: str, context: dict) -> GridBox:
-    receptor = generate_receptor(rec_id)
-    spacing = context.get("grid_spacing", 0.6)
-    return GridBox.around_pocket(
-        np.array(receptor.metadata["pocket_center"]),
-        receptor.metadata["pocket_radius"],
-        spacing=spacing,
+def _receptor_prep(rec_id: str, caches: dict):
+    return caches["receptor_prep"].get_or_build(
+        rec_id, lambda: do_prepare_receptor(generate_receptor(rec_id))
     )
+
+
+def _ligand_prep(lig_id: str, caches: dict):
+    return caches["ligand_prep"].get_or_build(
+        lig_id, lambda: do_prepare_ligand(generate_ligand(lig_id))
+    )
+
+
+def _pocket_for(rec_id: str, caches: dict) -> tuple[np.ndarray, float]:
+    """Memoized ``(pocket_center, pocket_radius)`` of one receptor.
+
+    Regenerating the whole receptor structure just to read two metadata
+    fields dominated `_box_for`/`docking` per-activation cost; the pocket
+    tuple is tiny and immutable, so it lives in the run caches.
+    """
+
+    def load() -> tuple[np.ndarray, float]:
+        meta = generate_receptor(rec_id).metadata
+        return np.array(meta["pocket_center"]), float(meta["pocket_radius"])
+
+    return caches["receptor_meta"].get_or_build(rec_id, load)
+
+
+def _box_for(rec_id: str, context: dict, caches: dict) -> GridBox:
+    center, radius = _pocket_for(rec_id, caches)
+    spacing = context.get("grid_spacing", 0.6)
+    return GridBox.around_pocket(center, radius, spacing=spacing)
+
+
+def _grid_maps_for(rec_id: str, context: dict, caches: dict):
+    """Per-receptor AutoGrid maps via memo -> plane/shm -> disk -> build."""
+
+    def assemble():
+        rec_prep = _receptor_prep(rec_id, caches)
+        box = _box_for(rec_id, context, caches)
+        store = _map_store(context)
+        if store is None:
+            _note_map_event("ad4", rec_id, "built")
+            return AutoGrid().run(rec_prep.molecule, box, STANDARD_MAP_TYPES)
+
+        def build_bundle():
+            maps = AutoGrid().run(rec_prep.molecule, box, STANDARD_MAP_TYPES)
+            return grid_maps_to_arrays(maps)
+
+        key = _bundle_key(
+            rec_prep.pdbqt, box, ("ad4",) + STANDARD_MAP_TYPES, FF_VERSION
+        )
+        meta, arrays, source = store.get_or_build(
+            "ad4maps", key, build_bundle, label=rec_id
+        )
+        _note_map_event("ad4", rec_id, source)
+        return grid_maps_from_arrays(meta, arrays)
+
+    return caches["maps"].get_or_build(rec_id, assemble)
+
+
+def _vina_maps_for(rec_id: str, context: dict, caches: dict):
+    """Per-receptor Vina grids via memo -> plane/shm -> disk -> build."""
+
+    def assemble():
+        rec_prep = _receptor_prep(rec_id, caches)
+        box = _box_for(rec_id, context, caches)
+        store = _map_store(context)
+        if store is None:
+            _note_map_event("vina", rec_id, "built")
+            return build_vina_maps(rec_prep.molecule, box)
+
+        def build_bundle():
+            vmaps = build_vina_maps(rec_prep.molecule, box)
+            return vina_maps_to_arrays(vmaps)
+
+        classes = tuple(
+            f"{c.radius}:{int(c.hydrophobic)}{int(c.donor)}{int(c.acceptor)}"
+            for c in STANDARD_CLASSES
+        )
+        key = _bundle_key(rec_prep.pdbqt, box, ("vina",) + classes, VINA_FF_VERSION)
+        meta, arrays, source = store.get_or_build(
+            "vinamaps", key, build_bundle, label=rec_id
+        )
+        _note_map_event("vina", rec_id, source)
+        return vina_maps_from_arrays(meta, arrays)
+
+    return caches["vina_maps"].get_or_build(rec_id, assemble)
 
 
 # --------------------------------------------------------------------------
@@ -221,19 +370,13 @@ def _box_for(rec_id: str, context: dict) -> GridBox:
 def autogrid_activity(tup: dict, context: dict) -> list[dict]:
     caches = _caches(context)
     rec_id = tup["receptor_id"]
-
-    def build():
-        rec_prep = caches["receptor_prep"].get_or_build(
-            rec_id, lambda: do_prepare_receptor(generate_receptor(rec_id))
-        )
-        box = _box_for(rec_id, context)
-        return AutoGrid().run(rec_prep.molecule, box, STANDARD_MAP_TYPES)
-
-    maps = caches["maps"].get_or_build(rec_id, build)
+    maps = _grid_maps_for(rec_id, context, caches)
+    # Cache-restored bundles drop the build log; note the provenance.
+    glg = maps.log or f"autogrid4: maps for {rec_id} restored from artifact cache"
     base = f"{_expdir(context)}/autogrid/{rec_id}"
     files = [
         _fs_write(context, f"{base}/{rec_id}.maps.fld", write_fld_file(maps)),
-        _fs_write(context, f"{base}/{rec_id}.glg", maps.log),
+        _fs_write(context, f"{base}/{rec_id}.glg", glg),
     ]
     out = dict(tup)
     out["maps_fld"] = f"{base}/{rec_id}.maps.fld"
@@ -272,12 +415,8 @@ def docking_filter(tup: dict, context: dict) -> list[dict]:
 def prepare_docking(tup: dict, context: dict) -> list[dict]:
     caches = _caches(context)
     rec_id, lig_id = tup["receptor_id"], tup["ligand_id"]
-    rec_prep = caches["receptor_prep"].get_or_build(
-        rec_id, lambda: do_prepare_receptor(generate_receptor(rec_id))
-    )
-    lig_prep = caches["ligand_prep"].get_or_build(
-        lig_id, lambda: do_prepare_ligand(generate_ligand(lig_id))
-    )
+    rec_prep = _receptor_prep(rec_id, caches)
+    lig_prep = _ligand_prep(lig_id, caches)
     seed = int(context.get("seed", 0))
     out = dict(tup)
     if tup["engine"] == "autodock4":
@@ -286,7 +425,7 @@ def prepare_docking(tup: dict, context: dict) -> list[dict]:
         path = f"{base}/{lig_id}_{rec_id}.dpf"
         out["docking_params"] = path
     else:
-        box = _box_for(rec_id, context)
+        box = _box_for(rec_id, context, caches)
         text = prepare_vina_config(rec_prep, lig_prep, box, seed=seed)
         base = f"{_expdir(context)}/prepare_conf/{rec_id}"
         path = f"{base}/{lig_id}_{rec_id}.conf"
@@ -302,35 +441,22 @@ def docking(tup: dict, context: dict) -> list[dict]:
     caches = _caches(context)
     rec_id, lig_id = tup["receptor_id"], tup["ligand_id"]
     engine_name = tup["engine"]
-    rec_prep = caches["receptor_prep"].get_or_build(
-        rec_id, lambda: do_prepare_receptor(generate_receptor(rec_id))
-    )
-    lig_prep = caches["ligand_prep"].get_or_build(
-        lig_id, lambda: do_prepare_ligand(generate_ligand(lig_id))
-    )
+    rec_prep = _receptor_prep(rec_id, caches)
+    lig_prep = _ligand_prep(lig_id, caches)
     # Stable per-pair seed offset (Python's hash() is salted per process).
     pair_digest = hashlib.sha256(f"{rec_id}|{lig_id}".encode()).digest()
     seed = int(context.get("seed", 0)) + int.from_bytes(pair_digest[:3], "little")
-    receptor_meta = generate_receptor(rec_id).metadata
-    pocket_center = np.array(receptor_meta["pocket_center"])
-    pocket_radius = float(receptor_meta["pocket_radius"])
+    pocket_center, pocket_radius = _pocket_for(rec_id, caches)
 
     if engine_name == "autodock4":
-        maps = caches["maps"].get_or_build(
-            rec_id,
-            lambda: AutoGrid().run(
-                rec_prep.molecule, _box_for(rec_id, context), STANDARD_MAP_TYPES
-            ),
-        )
+        maps = _grid_maps_for(rec_id, context, caches)
         engine = AutoDock4(maps, context.get("ad4_params"))
         result = engine.dock(lig_prep, seed=seed)
         log_text = write_dlg(result)
         log_name = f"{lig_id}_{rec_id}.dlg"
     elif engine_name == "vina":
-        box = _box_for(rec_id, context)
-        vmaps = caches["vina_maps"].get_or_build(
-            rec_id, lambda: build_vina_maps(rec_prep.molecule, box)
-        )
+        box = _box_for(rec_id, context, caches)
+        vmaps = _vina_maps_for(rec_id, context, caches)
         engine = Vina(rec_prep, box, context.get("vina_params"), maps=vmaps)
         result = engine.dock(lig_prep, seed=seed)
         log_text = write_vina_log(result)

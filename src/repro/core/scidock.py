@@ -62,6 +62,12 @@ class SciDockConfig:
     ad4_params: AD4Parameters = field(default_factory=lambda: FAST_AD4)
     vina_params: VinaParameters = field(default_factory=lambda: FAST_VINA)
     block_known_loopers: bool = True
+    #: Tristate artifact-plane switch: None = auto (on for the processes
+    #: backend), True/False force it on or off for any backend.
+    shared_maps: bool | None = None
+    #: Directory of the persistent content-addressed map cache; None
+    #: disables cross-run map reuse.
+    map_cache: str | None = None
 
     def __post_init__(self) -> None:
         if self.scenario not in ("adaptive", "ad4", "vina"):
@@ -77,6 +83,8 @@ class SciDockConfig:
             "expdir": self.expdir,
             "ad4_params": self.ad4_params,
             "vina_params": self.vina_params,
+            "shared_maps": self.shared_maps,
+            "map_cache": self.map_cache,
         }
 
 

@@ -8,7 +8,7 @@ clustered by RMSD and written to a DLG log.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -67,14 +67,17 @@ class AutoDock4:
         center_offset = self.maps.box.center - reference[tree.root]
         extent = float(min(self.maps.box.dimensions) / 2.0)
 
+        # Initialize inside the pocket half of the box: AD4 samples the
+        # whole box, but most of it is the repulsive receptor wall. Copy
+        # the config: self.params.ga may be shared across concurrently
+        # docking receptors, whose boxes differ.
+        ga_config = replace(self.params.ga, translation_extent=max(1.0, extent * 0.5))
+
         poses: list[Pose] = []
         total_evals = 0
         for run in range(self.params.ga_runs):
             rng = np.random.default_rng((seed, run))
-            ga = LamarckianGA(objective, tree.n_torsions, self.params.ga)
-            # Initialize inside the pocket half of the box: AD4 samples the
-            # whole box, but most of it is the repulsive receptor wall.
-            ga.config.translation_extent = max(1.0, extent * 0.5)
+            ga = LamarckianGA(objective, tree.n_torsions, ga_config)
             result = ga.run(rng, center=center_offset)
             total_evals += result.evaluations
             # Final deep local search on the run's champion (AD4 refines

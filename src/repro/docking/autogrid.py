@@ -255,6 +255,39 @@ class AutoGrid:
         )
 
 
+def grid_maps_to_arrays(maps: GridMaps) -> tuple[dict, dict[str, np.ndarray]]:
+    """Flatten a :class:`GridMaps` into a (meta, named-arrays) bundle.
+
+    The artifact plane ships bundles of this shape through shared memory
+    and the on-disk cache; :func:`grid_maps_from_arrays` restores the
+    dataclass (the run log is not carried — it documents the build, not
+    the artifact).
+    """
+    meta = {
+        "box": maps.box.to_dict(),
+        "receptor_name": maps.receptor_name,
+        "atom_types": list(maps.atom_types),
+    }
+    arrays: dict[str, np.ndarray] = {
+        f"affinity/{t}": maps.affinity[t] for t in maps.atom_types
+    }
+    arrays["electrostatic"] = maps.electrostatic
+    arrays["desolvation"] = maps.desolvation
+    return meta, arrays
+
+
+def grid_maps_from_arrays(meta: dict, arrays: dict[str, np.ndarray]) -> GridMaps:
+    """Rebuild a :class:`GridMaps` from a plane bundle (views kept as-is)."""
+    return GridMaps(
+        box=GridBox.from_dict(meta["box"]),
+        affinity={t: arrays[f"affinity/{t}"] for t in meta["atom_types"]},
+        electrostatic=arrays["electrostatic"],
+        desolvation=arrays["desolvation"],
+        receptor_name=meta.get("receptor_name", ""),
+        log="",
+    )
+
+
 def write_map_file(maps: GridMaps, map_name: str) -> str:
     """Serialize one map in AutoGrid's .map text format."""
     if map_name == "e":

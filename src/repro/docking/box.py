@@ -74,6 +74,22 @@ class GridBox:
         coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
         return (coords - self.minimum) / self.spacing
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (exact float round-trip via repr)."""
+        return {
+            "center": [float(c) for c in self.center],
+            "npts": list(self.npts),
+            "spacing": float(self.spacing),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "GridBox":
+        return cls(
+            center=np.asarray(doc["center"], dtype=np.float64),
+            npts=tuple(int(n) for n in doc["npts"]),
+            spacing=float(doc["spacing"]),
+        )
+
     @classmethod
     def around_pocket(
         cls,

@@ -26,6 +26,13 @@ FE_COEFF_TORS = 0.2983
 #: Nonbonded interaction cutoff in Angstrom (AutoGrid's NBC).
 NB_CUTOFF = 8.0
 
+#: Force-field fingerprint for content-addressed map caches: any change
+#: to the free-energy weights or cutoff must invalidate persisted maps.
+FF_VERSION = (
+    f"ad4.1/vdw={FE_COEFF_VDW}/hb={FE_COEFF_HBOND}/es={FE_COEFF_ESTAT}"
+    f"/ds={FE_COEFF_DESOLV}/tors={FE_COEFF_TORS}/cut={NB_CUTOFF}"
+)
+
 #: Solvation sigma for the Gaussian desolvation envelope.
 DESOLV_SIGMA = 3.6
 

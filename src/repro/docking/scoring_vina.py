@@ -147,6 +147,14 @@ STANDARD_CLASSES: tuple[VinaAtomClass, ...] = tuple(
 )
 
 
+#: Scoring-function fingerprint for content-addressed map caches: any
+#: change to the weights or cutoff must invalidate persisted Vina maps.
+VINA_FF_VERSION = (
+    f"vina-1.1.2/g1={W_GAUSS1}/g2={W_GAUSS2}/rep={W_REPULSION}"
+    f"/hyd={W_HYDROPHOBIC}/hb={W_HBOND}/rot={W_ROT}/cut={CUTOFF}"
+)
+
+
 @dataclass
 class VinaMaps:
     """Precomputed Vina interaction grids (Vina's internal grid cache).
@@ -159,6 +167,51 @@ class VinaMaps:
     box: GridBox
     grids: dict[VinaAtomClass, np.ndarray]
     receptor_name: str = ""
+
+
+def _class_key(cls: VinaAtomClass) -> str:
+    return (
+        f"r{cls.radius}_h{int(cls.hydrophobic)}"
+        f"_d{int(cls.donor)}_a{int(cls.acceptor)}"
+    )
+
+
+def vina_maps_to_arrays(maps: VinaMaps) -> tuple[dict, dict[str, np.ndarray]]:
+    """Flatten a :class:`VinaMaps` into a (meta, named-arrays) bundle."""
+    classes = sorted(maps.grids, key=_class_key)
+    meta = {
+        "box": maps.box.to_dict(),
+        "receptor_name": maps.receptor_name,
+        "classes": [
+            {
+                "radius": cls.radius,
+                "hydrophobic": cls.hydrophobic,
+                "donor": cls.donor,
+                "acceptor": cls.acceptor,
+            }
+            for cls in classes
+        ],
+    }
+    arrays = {f"grid/{_class_key(cls)}": maps.grids[cls] for cls in classes}
+    return meta, arrays
+
+
+def vina_maps_from_arrays(meta: dict, arrays: dict[str, np.ndarray]) -> VinaMaps:
+    """Rebuild a :class:`VinaMaps` from a plane bundle (views kept as-is)."""
+    grids: dict[VinaAtomClass, np.ndarray] = {}
+    for doc in meta["classes"]:
+        cls = VinaAtomClass(
+            radius=float(doc["radius"]),
+            hydrophobic=bool(doc["hydrophobic"]),
+            donor=bool(doc["donor"]),
+            acceptor=bool(doc["acceptor"]),
+        )
+        grids[cls] = arrays[f"grid/{_class_key(cls)}"]
+    return VinaMaps(
+        box=GridBox.from_dict(meta["box"]),
+        grids=grids,
+        receptor_name=meta.get("receptor_name", ""),
+    )
 
 
 def build_vina_maps(

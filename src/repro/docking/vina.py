@@ -8,7 +8,7 @@ set reported, and the output is the ranked mode table.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -83,12 +83,17 @@ class Vina:
         center_offset = self.box.center - reference[tree.root]
         extent = float(min(self.box.dimensions) / 2.0)
 
+        # Copy the config: self.params.ils may be shared across
+        # concurrently docking receptors, whose boxes differ.
+        ils_config = replace(
+            self.params.ils, translation_extent=max(1.0, extent * 0.8)
+        )
+
         candidates: list[tuple[Conformation, float]] = []
         total_evals = 0
         for run in range(self.params.exhaustiveness):
             rng = np.random.default_rng((seed, run, 7919))
-            ils = IteratedLocalSearch(objective, tree.n_torsions, self.params.ils)
-            ils.config.translation_extent = max(1.0, extent * 0.8)
+            ils = IteratedLocalSearch(objective, tree.n_torsions, ils_config)
             result = ils.run(rng, center=center_offset)
             total_evals += result.evaluations
             candidates.extend(result.minima)

@@ -1,0 +1,210 @@
+"""Receptor-affinity routing for the process backend.
+
+SciCumulus places activations on VMs so that tasks sharing input data
+land together; our equivalent is routing every activation for a given
+receptor to the same worker process, so that worker's per-run caches
+(receptor prep, attached grid-map segments) hit instead of rebuild.
+
+A single ``ProcessPoolExecutor`` offers no placement control, so the
+router keeps N *single-worker* pools — task-to-process placement is then
+exact — fed by parent-side deques and one dispatcher thread per worker.
+Routing is hash-affinity: ``stable_hash(key) % workers``. When a
+worker's own queue runs dry its dispatcher steals from the longest
+queue, trading a cache miss for idle time; the stolen task still
+attaches the shared artifact plane, so the miss costs an attach, not a
+rebuild.
+
+A worker that dies (``BrokenProcessPool``) is replaced with a fresh
+single-worker pool and the in-flight task fails over to the engine's
+retry policy, which resubmits onto the healed worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable
+
+
+class RouterError(RuntimeError):
+    """Raised for tasks rejected or orphaned by router shutdown."""
+
+
+def stable_hash(key: str) -> int:
+    """Process-stable hash (builtin ``hash`` is salted per process)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def probe_worker(*_args: Any) -> int:
+    """Identity probe: returns the executing worker's pid."""
+    return os.getpid()
+
+
+def sleepy_probe(seconds: float, *_args: Any) -> int:
+    """Slow identity probe, for exercising work-stealing in tests."""
+    time.sleep(seconds)
+    return os.getpid()
+
+
+class _Task:
+    __slots__ = ("fn", "args", "future", "home")
+
+    def __init__(self, fn: Callable, args: tuple, home: int) -> None:
+        self.fn = fn
+        self.args = args
+        self.home = home
+        self.future: Future = Future()
+
+
+class AffinityRouter:
+    """Sticky-by-key task routing over N single-process pools."""
+
+    def __init__(self, workers: int, mp_context: Any, initializer: Callable | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._mp_context = mp_context
+        self._initializer = initializer
+        self._pools: list[ProcessPoolExecutor] = [
+            self._new_pool() for _ in range(workers)
+        ]
+        self._queues: list[deque[_Task]] = [deque() for _ in range(workers)]
+        self._busy: list[bool] = [False] * workers
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._shutdown = False
+        self.routed = 0
+        self.steals = 0
+        self._dispatchers = [
+            threading.Thread(target=self._dispatch, args=(i,), daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._mp_context,
+            initializer=self._initializer,
+        )
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, affinity_key: str | None, fn: Callable, *args: Any) -> Future:
+        """Queue a task for the key's home worker (least-loaded if keyless)."""
+        with self._lock:
+            if self._shutdown:
+                raise RouterError("router is shut down")
+            if affinity_key is None:
+                home = min(range(self.workers), key=lambda i: len(self._queues[i]))
+            else:
+                home = stable_hash(affinity_key) % self.workers
+            task = _Task(fn, args, home)
+            self._queues[home].append(task)
+            self.routed += 1
+            self._work_ready.notify_all()
+        return task.future
+
+    def broadcast(self, fn: Callable, *args: Any) -> list[Any]:
+        """Run ``fn`` once on every worker, returning per-worker results.
+
+        Bypasses the queues (each pool has exactly one process, so
+        pool-level submission already pins placement). Worker failures
+        surface as exception objects in the result list rather than
+        raising, so end-of-run cleanup can't be derailed by one dead
+        worker.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise RouterError("router is shut down")
+            pools = list(self._pools)
+        results: list[Any] = []
+        for pool in pools:
+            try:
+                results.append(pool.submit(fn, *args).result())
+            except Exception as exc:  # noqa: BLE001 - cleanup is best-effort
+                results.append(exc)
+        return results
+
+    # -- dispatch ------------------------------------------------------------
+    def _take_task(self, worker: int) -> _Task | None:
+        """Own queue first; when dry, steal the longest *busy* backlog.
+
+        Stealing is restricted to queues whose home worker is currently
+        executing — an idle home worker is about to drain its own queue,
+        and grabbing its task would break stickiness for nothing.
+        """
+        own = self._queues[worker]
+        if own:
+            return own.popleft()
+        victims = [
+            i
+            for i in range(self.workers)
+            if i != worker and self._busy[i] and self._queues[i]
+        ]
+        if victims:
+            victim = max(victims, key=lambda i: len(self._queues[i]))
+            self.steals += 1
+            return self._queues[victim].popleft()
+        return None
+
+    def _dispatch(self, worker: int) -> None:
+        while True:
+            with self._lock:
+                task = self._take_task(worker)
+                while task is None and not self._shutdown:
+                    self._work_ready.wait()
+                    task = self._take_task(worker)
+                if task is None:
+                    return
+                self._busy[worker] = True
+                pool = self._pools[worker]
+            error: BaseException | None = None
+            result = None
+            try:
+                result = pool.submit(task.fn, *task.args).result()
+            except BrokenProcessPool as exc:
+                self._heal(worker, pool)
+                error = exc
+            except BaseException as exc:  # noqa: BLE001 - relay to waiter
+                error = exc
+            # Go idle *before* unblocking the submitter: a follow-up
+            # submission must see this worker as a sticky home again,
+            # not as a steal victim.
+            with self._lock:
+                self._busy[worker] = False
+                self._work_ready.notify_all()
+            if error is not None:
+                task.future.set_exception(error)
+            else:
+                task.future.set_result(result)
+
+    def _heal(self, worker: int, dead: ProcessPoolExecutor) -> None:
+        """Replace a broken pool so retries land on a live process."""
+        dead.shutdown(wait=False)
+        with self._lock:
+            if not self._shutdown and self._pools[worker] is dead:
+                self._pools[worker] = self._new_pool()
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            pending = [task for queue in self._queues for task in queue]
+            for queue in self._queues:
+                queue.clear()
+            self._work_ready.notify_all()
+        for task in pending:
+            task.future.set_exception(RouterError("router shut down with task queued"))
+        for thread in self._dispatchers:
+            thread.join()
+        for pool in self._pools:
+            pool.shutdown(wait=True)

@@ -28,7 +28,7 @@ import itertools
 import multiprocessing
 import time
 import uuid
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cloud.cluster import CoreHandle, VirtualCluster
@@ -36,6 +36,8 @@ from repro.cloud.failures import ActivityFailureModel
 from repro.cloud.provider import VMState
 from repro.provenance.store import ActivationStatus, ProvenanceStore
 from repro.workflow.activity import Activity, Operator, Workflow, run_activation
+from repro.workflow.affinity import AffinityRouter, RouterError
+from repro.workflow.artifacts import ArtifactPlane, drop_run_state, release_cached
 from repro.workflow.extractor import run_extractors
 from repro.workflow.fault import RetryPolicy, Watchdog
 from repro.workflow.relation import Relation, tuple_key
@@ -66,6 +68,11 @@ class ExecutionReport:
     cost_usd: float = 0.0
     peak_cores: int = 0
     bytes_written: float = 0.0
+    #: Artifact-plane accounting for the run (builds / shm hits / disk
+    #: hits / builds-per-artifact), empty when no plane was active.
+    artifact_stats: dict = field(default_factory=dict)
+    #: Activations the affinity router handed to a non-home worker.
+    steals: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -96,8 +103,8 @@ class LocalEngine:
     I/O-bound, and required when the run context carries non-picklable
     state (an in-memory shared FS, a steering controller).
 
-    ``backend="processes"`` executes activations in a spawn-context
-    process pool, sidestepping the GIL for CPU-bound activations (the
+    ``backend="processes"`` executes activations in spawn-context worker
+    processes, sidestepping the GIL for CPU-bound activations (the
     docking hot path). Bookkeeping threads still drive provenance —
     begin/end activation, file and extractor records all happen in the
     parent, so the provenance store never crosses a process boundary.
@@ -105,6 +112,15 @@ class LocalEngine:
     engine ships a sanitized context (parent-only entries stripped) plus
     a per-run ``cache_token`` that workers use to build and reuse
     receptor/ligand artifacts once per process.
+
+    The processes backend routes activations through an
+    :class:`~repro.workflow.affinity.AffinityRouter` — sticky-by-receptor
+    placement with work stealing — and (unless ``shared_maps`` is
+    disabled in the context) publishes receptor grid maps into a shared
+    :class:`~repro.workflow.artifacts.ArtifactPlane` so each receptor's
+    maps are built once per run, not once per worker. The engine owns
+    plane lifecycle: segments are unlinked and worker-side run caches
+    dropped when the run ends, even after a worker crash.
     """
 
     def __init__(
@@ -129,8 +145,11 @@ class LocalEngine:
         self.retry = retry or RetryPolicy()
         self.watchdog = watchdog or Watchdog()
         self.block_known_loopers = block_known_loopers
-        self._proc_pool: ProcessPoolExecutor | None = None
+        self._router: AffinityRouter | None = None
         self._shipped_context: dict | None = None
+        #: Per-worker results of the end-of-run cache-cleanup broadcast
+        #: (True where a worker dropped a run-state entry); for tests.
+        self.last_cache_cleanup: list = []
 
     def run(
         self,
@@ -164,12 +183,29 @@ class LocalEngine:
         current = [(dict(t), tuple_key(t, i)) for i, t in enumerate(relation)]
         final = Relation(f"{workflow.tag}:output")
 
+        # Artifact-plane policy: ``shared_maps`` tristate (None = auto,
+        # on for the processes backend where workers cannot see each
+        # other's in-process caches); ``map_cache`` names a persistent
+        # content-addressed map directory shared across runs.
+        shared_maps = context.pop("shared_maps", None)
+        map_cache = context.pop("map_cache", None)
+        use_plane = (
+            shared_maps if shared_maps is not None else self.backend == "processes"
+        )
+        plane: ArtifactPlane | None = None
+        artifact_stats: dict = {}
+        steals = 0
+        if use_plane:
+            plane = ArtifactPlane.create(map_cache_dir=map_cache)
+            context["artifact_plane"] = plane.handle
+        elif map_cache:
+            context["map_cache_dir"] = map_cache
+
         if self.backend == "processes":
             # Spawn (not fork): the parent runs bookkeeping threads and an
             # open SQLite handle, neither of which survives a fork safely.
-            self._proc_pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("spawn"),
+            self._router = AffinityRouter(
+                self.workers, multiprocessing.get_context("spawn")
             )
             shipped = {
                 k: v
@@ -249,10 +285,28 @@ class LocalEngine:
                                 )
                     current = next_tuples
         finally:
-            if self._proc_pool is not None:
-                self._proc_pool.shutdown()
-                self._proc_pool = None
+            if self._router is not None:
+                steals = self._router.steals
+                # Broadcast end-of-run cleanup: every worker drops the
+                # run's cache-token state and plane attachment, so a
+                # long-lived pool never accumulates dead runs' artifacts.
+                token = (self._shipped_context or {}).get("cache_token")
+                scratch = plane.handle.scratch_dir if plane is not None else None
+                try:
+                    self.last_cache_cleanup = self._router.broadcast(
+                        drop_run_state, token, scratch
+                    )
+                except RouterError:  # pragma: no cover - already shut down
+                    self.last_cache_cleanup = []
+                self._router.shutdown()
+                self._router = None
                 self._shipped_context = None
+            if plane is not None:
+                context.pop("artifact_plane", None)
+                # The parent itself attaches in threads mode (or when a
+                # REDUCE ran inline); drop that before unlinking.
+                release_cached(plane.handle.scratch_dir)
+                artifact_stats = plane.destroy()
         for tup, _ in current:
             final.append(tup)
         tet = time.perf_counter() - t0
@@ -268,6 +322,8 @@ class LocalEngine:
             blocked=blocked,
             aborted=aborted,
             peak_cores=self.workers,
+            artifact_stats=artifact_stats,
+            steals=steals,
         )
 
     # -- helpers -------------------------------------------------------------
@@ -281,13 +337,17 @@ class LocalEngine:
         """Run one activation on the configured backend.
 
         Threads backend: call straight into the activity. Processes
-        backend: ship ``(fn, operator, tag, tuple, sanitized context)``
-        to a pool worker; the calling bookkeeping thread blocks on the
-        result so the retry/provenance flow above is backend-agnostic.
+        backend: route ``(fn, operator, tag, tuple, sanitized context)``
+        through the affinity router — sticky by ``receptor_id`` so each
+        receptor's activations revisit the worker holding its artifacts;
+        the calling bookkeeping thread blocks on the result so the
+        retry/provenance flow above is backend-agnostic.
         """
-        if self._proc_pool is None:
+        if self._router is None:
             return activity.run(tup, context)
-        future = self._proc_pool.submit(
+        affinity = tup.get("receptor_id") if isinstance(tup, dict) else None
+        future = self._router.submit(
+            str(affinity) if affinity is not None else None,
             run_activation,
             activity.fn,
             activity.operator,

@@ -13,7 +13,19 @@ Two mechanisms from the paper:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+
+
+def crash_activation(tup: dict, context: dict) -> list[dict]:
+    """Fault-injection activity: kills its worker process outright.
+
+    ``os._exit`` skips interpreter teardown, so nothing the worker owns
+    (shared-memory handles, cache registries) is released — the worst
+    crash the engine's cleanup paths must survive. Used by tests; the
+    simulated ~10 % failure injection lives in the engines.
+    """
+    os._exit(17)
 
 
 @dataclass

@@ -164,3 +164,39 @@ class TestDockingFilterScenarios:
     def test_default_scenario_is_adaptive(self):
         [out] = docking_filter(dict(PAIR), {})
         assert out["engine"] in ("autodock4", "vina")
+
+
+class TestReceptorMetadataMemoization:
+    def test_pocket_reads_do_not_regenerate_receptor(self, monkeypatch):
+        import repro.core.activities as acts
+
+        calls = []
+        real = acts.generate_receptor
+
+        def counting(rec_id):
+            calls.append(rec_id)
+            return real(rec_id)
+
+        monkeypatch.setattr(acts, "generate_receptor", counting)
+        context = ctx()
+        # One receptor, several box/pocket consumers across activations:
+        # prepare_receptor builds the prep (one generate), the box/pocket
+        # helpers hit the memoized metadata (one more), and every later
+        # activation reuses both.
+        prepare_receptor(dict(PAIR), context)
+        prepare_gpf_activity(dict(PAIR, torsdof=4), context)
+        for engine in ("autodock4", "vina"):
+            docking(dict(PAIR, engine=engine), context)
+            docking(dict(PAIR, engine=engine), context)
+        assert len(calls) <= 2
+
+    def test_shared_search_params_not_mutated_by_dock(self):
+        # The engines derive a per-receptor translation extent; they must
+        # copy the shared config rather than write through it (two worker
+        # threads docking different receptors race on that field).
+        ad4_before = FAST_AD4.ga.translation_extent
+        vina_before = FAST_VINA.ils.translation_extent
+        docking(dict(PAIR, engine="autodock4"), ctx())
+        docking(dict(PAIR, engine="vina"), ctx())
+        assert FAST_AD4.ga.translation_extent == ad4_before
+        assert FAST_VINA.ils.translation_extent == vina_before

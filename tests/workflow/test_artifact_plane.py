@@ -1,0 +1,243 @@
+"""Artifact plane: shared-memory publish/attach, disk cache, lifecycle."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.docking.autogrid import (
+    AutoGrid,
+    grid_maps_from_arrays,
+    grid_maps_to_arrays,
+)
+from repro.docking.box import GridBox
+from repro.docking.scoring_vina import (
+    build_vina_maps,
+    vina_maps_from_arrays,
+    vina_maps_to_arrays,
+)
+from repro.chem.generate import generate_receptor
+from repro.docking.prepare import prepare_receptor as do_prepare_receptor
+from repro.workflow.artifacts import (
+    ArtifactPlane,
+    ArtifactPlaneError,
+    DiskMapCache,
+    attach_cached,
+    drop_run_state,
+    release_cached,
+    run_state,
+)
+
+
+def _bundle(n: int = 4) -> tuple[dict, dict[str, np.ndarray]]:
+    rng = np.random.default_rng(7)
+    return (
+        {"tag": "test", "n": n},
+        {
+            "alpha": rng.normal(size=(n, n, n)),
+            "beta": rng.normal(size=(n + 1, n)),
+        },
+    )
+
+
+def _leaked_segments(run_id: str) -> list[str]:
+    return glob.glob(f"/dev/shm/rp{run_id[:8]}*")
+
+
+class TestPlanePublishAttach:
+    def test_built_then_shared(self, tmp_path):
+        plane = ArtifactPlane.create(scratch_root=str(tmp_path))
+        meta, arrays = _bundle()
+        m1, a1, src1 = plane.get_or_build("kind", "k1", lambda: (meta, arrays))
+        assert src1 == "built"
+        assert m1 == meta
+        for name in arrays:
+            np.testing.assert_array_equal(a1[name], arrays[name])
+            assert not a1[name].flags.writeable  # zero-copy read-only view
+
+        calls = []
+        m2, a2, src2 = plane.get_or_build(
+            "kind", "k1", lambda: calls.append(1) or (meta, arrays)
+        )
+        assert src2 == "shm" and not calls
+        np.testing.assert_array_equal(a2["alpha"], arrays["alpha"])
+        plane.destroy()
+        assert not _leaked_segments(plane.handle.run_id)
+
+    def test_distinct_keys_distinct_segments(self, tmp_path):
+        plane = ArtifactPlane.create(scratch_root=str(tmp_path))
+        meta, arrays = _bundle()
+        plane.get_or_build("kind", "k1", lambda: (meta, arrays))
+        plane.get_or_build("kind", "k2", lambda: (meta, arrays))
+        assert len(plane.segment_names()) == 2
+        stats = plane.destroy()
+        assert stats["builds"] == 2
+
+    def test_concurrent_builders_build_once(self, tmp_path):
+        plane = ArtifactPlane.create(scratch_root=str(tmp_path))
+        meta, arrays = _bundle()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return meta, arrays
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    plane.get_or_build("kind", "same", build)
+                )
+            )
+            for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert len(results) == 6
+        for _, got, _ in results:
+            np.testing.assert_array_equal(got["alpha"], arrays["alpha"])
+        plane.destroy()
+
+    def test_stats_aggregate_events(self, tmp_path):
+        plane = ArtifactPlane.create(scratch_root=str(tmp_path))
+        meta, arrays = _bundle()
+        plane.get_or_build("kind", "k", lambda: (meta, arrays), label="2HHN")
+        plane.get_or_build("kind", "k", lambda: (meta, arrays), label="2HHN")
+        plane.get_or_build("kind", "k", lambda: (meta, arrays), label="2HHN")
+        stats = plane.destroy()
+        assert stats["builds"] == 1
+        assert stats["shm_hits"] == 2
+        assert stats["builds_by_artifact"] == {"kind:2HHN": 1}
+        assert stats["hit_rate"] == pytest.approx(2 / 3, abs=1e-3)
+
+    def test_only_owner_destroys(self, tmp_path):
+        plane = ArtifactPlane.create(scratch_root=str(tmp_path))
+        attached = ArtifactPlane.attach(plane.handle)
+        with pytest.raises(ArtifactPlaneError):
+            attached.destroy()
+        plane.destroy()
+
+    def test_destroy_survives_preregistered_missing_segment(self, tmp_path):
+        # A worker that crashed between registering the name and creating
+        # the segment leaves a registry entry with no segment behind.
+        plane = ArtifactPlane.create(scratch_root=str(tmp_path))
+        plane._record_segment(plane._segment_name("kind", "neverbuilt"))
+        meta, arrays = _bundle()
+        plane.get_or_build("kind", "real", lambda: (meta, arrays))
+        plane.destroy()
+        assert not _leaked_segments(plane.handle.run_id)
+
+    def test_attach_cached_reuses_and_releases(self, tmp_path):
+        plane = ArtifactPlane.create(scratch_root=str(tmp_path))
+        a = attach_cached(plane.handle)
+        b = attach_cached(plane.handle)
+        assert a is b
+        assert release_cached(plane.handle.scratch_dir)
+        assert not release_cached(plane.handle.scratch_dir)
+        plane.destroy()
+
+
+class TestDiskMapCache:
+    def test_roundtrip_and_hit(self, tmp_path):
+        cache = DiskMapCache(str(tmp_path / "maps"))
+        meta, arrays = _bundle()
+        m1, a1, src1 = cache.get_or_build("ad4", "key", lambda: (meta, arrays))
+        assert src1 == "built"
+        m2, a2, src2 = cache.get_or_build(
+            "ad4", "key", lambda: pytest.fail("must not rebuild")
+        )
+        assert src2 == "disk"
+        assert m2 == meta
+        for name in arrays:
+            np.testing.assert_array_equal(a2[name], arrays[name])
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskMapCache(str(tmp_path))
+        meta, arrays = _bundle()
+        cache.save("ad4", "key", meta, arrays)
+        with open(cache._path("ad4", "key"), "wb") as fh:
+            fh.write(b"not an npz file")
+        assert cache.load("ad4", "key") is None
+        _, _, src = cache.get_or_build("ad4", "key", lambda: (meta, arrays))
+        assert src == "built"
+
+    def test_plane_promotes_disk_hit_to_shm(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        meta, arrays = _bundle()
+        DiskMapCache(cache_dir).save("kind", "k", meta, arrays)
+        plane = ArtifactPlane.create(
+            scratch_root=str(tmp_path), map_cache_dir=cache_dir
+        )
+        _, got, src = plane.get_or_build(
+            "kind", "k", lambda: pytest.fail("disk entry must satisfy this")
+        )
+        assert src == "disk"
+        np.testing.assert_array_equal(got["alpha"], arrays["alpha"])
+        # Now it is published: the next reader hits shared memory.
+        _, _, src2 = plane.get_or_build("kind", "k", lambda: None)
+        assert src2 == "shm"
+        stats = plane.destroy()
+        assert stats["disk_hits"] == 1 and stats["builds"] == 0
+
+
+class TestMapBundleRoundtrips:
+    @pytest.fixture(scope="class")
+    def receptor_prep(self):
+        return do_prepare_receptor(generate_receptor("2HHN"))
+
+    def test_grid_maps_roundtrip(self, receptor_prep):
+        box = GridBox.around_pocket(
+            np.array(generate_receptor("2HHN").metadata["pocket_center"]),
+            generate_receptor("2HHN").metadata["pocket_radius"],
+            spacing=1.2,
+        )
+        maps = AutoGrid().run(receptor_prep.molecule, box, ("C", "OA", "HD"))
+        meta, arrays = grid_maps_to_arrays(maps)
+        restored = grid_maps_from_arrays(
+            json.loads(json.dumps(meta)), arrays
+        )
+        assert restored.atom_types == maps.atom_types
+        assert restored.box.npts == maps.box.npts
+        np.testing.assert_array_equal(restored.box.center, maps.box.center)
+        np.testing.assert_array_equal(
+            restored.electrostatic, maps.electrostatic
+        )
+        np.testing.assert_array_equal(restored.desolvation, maps.desolvation)
+        for t in maps.atom_types:
+            np.testing.assert_array_equal(restored.affinity[t], maps.affinity[t])
+
+    def test_vina_maps_roundtrip(self, receptor_prep):
+        box = GridBox.around_pocket(
+            np.array(generate_receptor("2HHN").metadata["pocket_center"]),
+            generate_receptor("2HHN").metadata["pocket_radius"],
+            spacing=1.2,
+        )
+        vmaps = build_vina_maps(receptor_prep.molecule, box)
+        meta, arrays = vina_maps_to_arrays(vmaps)
+        restored = vina_maps_from_arrays(json.loads(json.dumps(meta)), arrays)
+        assert set(restored.grids) == set(vmaps.grids)
+        for cls, grid in vmaps.grids.items():
+            np.testing.assert_array_equal(restored.grids[cls], grid)
+
+
+class TestRunState:
+    def test_state_persists_until_dropped(self):
+        token = "tok-artifact-plane-test"
+        state = run_state(token)
+        state["caches"] = {"x": 1}
+        assert run_state(token)["caches"] == {"x": 1}
+        assert drop_run_state(token)
+        assert "caches" not in run_state(token)
+        drop_run_state(token)
+
+    def test_drop_missing_token_is_false(self):
+        assert not drop_run_state("never-created-token")
+        assert not drop_run_state(None)
