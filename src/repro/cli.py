@@ -34,6 +34,10 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
         "seed": args.seed,
         "shared_maps": args.shared_maps,
         "map_cache": args.map_cache,
+        "watchdog_timeout": args.watchdog_timeout,
+        "retry_max_attempts": args.retry_max_attempts,
+        "retry_base_delay": args.retry_base_delay,
+        "inject_failure_rate": args.inject_failure_rate,
     }
 
 
@@ -180,6 +184,27 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "--map-cache", metavar="DIR", default=None,
         help="persistent content-addressed map cache directory; repeated "
         "runs reuse maps instead of re-running AutoGrid",
+    )
+    parser.add_argument(
+        "--watchdog-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog floor per activation (default 600); the "
+        "deadline is max(floor, 10 x expected cost) and a hung activation "
+        "is killed (processes) or cancelled/abandoned (threads)",
+    )
+    parser.add_argument(
+        "--retry-max-attempts", type=int, default=3, metavar="N",
+        help="activation attempt budget before a failure is terminal "
+        "(1 = no retries)",
+    )
+    parser.add_argument(
+        "--retry-base-delay", type=float, default=1.0, metavar="SECONDS",
+        help="base retry backoff delay; doubles each retry up to the "
+        "policy maximum",
+    )
+    parser.add_argument(
+        "--inject-failure-rate", type=float, default=0.0, metavar="P",
+        help="chaos testing: Bernoulli per-try activation failure "
+        "probability injected into the real engine (0 disables)",
     )
 
 

@@ -16,8 +16,10 @@ from repro.docking.ga import GAConfig
 from repro.docking.mc import ILSConfig
 from repro.docking.vina import VinaParameters
 from repro.provenance.store import ProvenanceStore
+from repro.cloud.failures import ActivityFailureModel
 from repro.workflow.activity import Activity, Operator, Workflow
 from repro.workflow.engine import ExecutionReport, LocalEngine
+from repro.workflow.fault import FaultInjector, RetryPolicy, Watchdog
 from repro.workflow.extractor import JsonExtractor
 from repro.workflow.relation import Relation
 from repro.workflow.template import ActivityTemplate
@@ -68,12 +70,44 @@ class SciDockConfig:
     #: Directory of the persistent content-addressed map cache; None
     #: disables cross-run map reuse.
     map_cache: str | None = None
+    #: Wall-clock watchdog floor in seconds; None keeps the engine
+    #: default (600 s). Every activation's deadline is
+    #: ``max(watchdog_timeout, 10 x expected cost)``.
+    watchdog_timeout: float | None = None
+    #: Activation-failure attempt budget (1 = no retries).
+    retry_max_attempts: int = 3
+    #: Base backoff delay in seconds; doubles per retry up to the
+    #: policy's max.
+    retry_base_delay: float = 1.0
+    #: Bernoulli per-try activation-failure injection rate (chaos runs);
+    #: 0 disables the fault injector entirely.
+    inject_failure_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.scenario not in ("adaptive", "ad4", "vina"):
             raise ValueError(f"unknown scenario {self.scenario!r}")
         if self.backend not in ("threads", "processes"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive")
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if self.retry_base_delay < 0:
+            raise ValueError("retry_base_delay cannot be negative")
+        if not 0.0 <= self.inject_failure_rate <= 1.0:
+            raise ValueError("inject_failure_rate must be in [0, 1]")
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            base_delay=self.retry_base_delay,
+            seed=self.seed,
+        )
+
+    def watchdog(self) -> Watchdog:
+        if self.watchdog_timeout is None:
+            return Watchdog()
+        return Watchdog(timeout=self.watchdog_timeout)
 
     def context(self) -> dict:
         return {
@@ -226,7 +260,17 @@ def run_scidock(
         workers=config.workers,
         backend=config.backend,
         block_known_loopers=config.block_known_loopers,
+        retry=config.retry_policy(),
+        watchdog=config.watchdog(),
     )
     workflow = build_scidock_workflow(config)
-    report = engine.run(workflow, pairs, context=config.context())
+    context = config.context()
+    if config.inject_failure_rate > 0:
+        context["fault_injector"] = FaultInjector(
+            failure_model=ActivityFailureModel(
+                rate=config.inject_failure_rate, seed=config.seed
+            ),
+            seed=config.seed,
+        )
+    report = engine.run(workflow, pairs, context=context)
     return report, store

@@ -31,7 +31,16 @@ from repro.workflow.scheduler import (
     Scheduler,
 )
 from repro.workflow.adaptive import AdaptiveElasticityPolicy, StaticPolicy
-from repro.workflow.fault import RetryPolicy, Watchdog
+from repro.workflow.fault import (
+    ActivationCancelled,
+    CancellationToken,
+    FaultInjector,
+    InjectedFailure,
+    InjectedWorkerCrash,
+    RetryPolicy,
+    Watchdog,
+    WatchdogTimeout,
+)
 from repro.workflow.engine import (
     EngineError,
     ExecutionReport,
@@ -59,6 +68,12 @@ __all__ = [
     "StaticPolicy",
     "RetryPolicy",
     "Watchdog",
+    "WatchdogTimeout",
+    "CancellationToken",
+    "ActivationCancelled",
+    "FaultInjector",
+    "InjectedFailure",
+    "InjectedWorkerCrash",
     "LocalEngine",
     "SimulatedEngine",
     "EngineError",

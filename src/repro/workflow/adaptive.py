@@ -9,7 +9,7 @@ docking) dominate the queue, release them as the tail drains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -18,7 +18,13 @@ class StaticPolicy:
 
     cores: int
 
-    def target_cores(self, n_ready: int, n_running: int, mean_cost: float) -> int:
+    def target_cores(
+        self,
+        n_ready: int,
+        n_running: int,
+        mean_cost: float,
+        utilization: float | None = None,
+    ) -> int:
         return self.cores
 
 
@@ -29,27 +35,52 @@ class AdaptiveElasticityPolicy:
     Target = enough cores to drain the current backlog within
     ``drain_horizon`` seconds, assuming the observed mean activation
     cost; clamped to bounds and quantized up to whole instances by the
-    cluster's mix planner. Scale-down happens only when utilization
-    drops below ``scale_down_threshold`` to avoid thrash (hourly billing
-    makes eager release wasteful).
+    cluster's mix planner. Scale-down is gated by hysteresis: the
+    policy only shrinks below its previous target while cluster
+    utilization sits below ``scale_down_threshold`` — a busy cluster
+    with a momentarily short queue holds its cores (hourly billing
+    makes eager release wasteful, and re-acquiring a VM pays the boot
+    latency again).
     """
 
     min_cores: int = 2
     max_cores: int = 128
     drain_horizon: float = 3600.0
     scale_down_threshold: float = 0.5
+    #: Last target handed out — the hysteresis reference point.
+    _last_target: int | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.min_cores < 1 or self.max_cores < self.min_cores:
             raise ValueError("need 1 <= min_cores <= max_cores")
         if self.drain_horizon <= 0:
             raise ValueError("drain_horizon must be positive")
+        if not 0.0 <= self.scale_down_threshold <= 1.0:
+            raise ValueError("scale_down_threshold must be in [0, 1]")
 
-    def target_cores(self, n_ready: int, n_running: int, mean_cost: float) -> int:
+    def target_cores(
+        self,
+        n_ready: int,
+        n_running: int,
+        mean_cost: float,
+        utilization: float | None = None,
+    ) -> int:
         demand_seconds = max(0.0, mean_cost) * (n_ready + n_running)
         needed = int(demand_seconds / self.drain_horizon) + 1
         current_demand = n_ready + n_running
         if current_demand == 0:
-            return self.min_cores
-        target = max(needed, min(current_demand, self.max_cores))
-        return max(self.min_cores, min(self.max_cores, target))
+            desired = self.min_cores
+        else:
+            desired = max(needed, min(current_demand, self.max_cores))
+            desired = max(self.min_cores, min(self.max_cores, desired))
+        if (
+            self._last_target is not None
+            and desired < self._last_target
+            and utilization is not None
+            and utilization >= self.scale_down_threshold
+        ):
+            # Hysteresis: the queue shrank but the cores are still busy.
+            # Hold the previous target until utilization actually drops.
+            desired = self._last_target
+        self._last_target = desired
+        return desired

@@ -14,15 +14,28 @@ queue, trading a cache miss for idle time; the stolen task still
 attaches the shared artifact plane, so the miss costs an attach, not a
 rebuild.
 
-A worker that dies (``BrokenProcessPool``) is replaced with a fresh
-single-worker pool and the in-flight task fails over to the engine's
-retry policy, which resubmits onto the healed worker.
+Fault machinery (driven by the engine's watchdog and retry policy):
+
+* A worker that dies (``BrokenProcessPool``) is replaced with a fresh
+  single-worker pool and the in-flight task fails over to the engine's
+  retry policy, which resubmits onto the healed worker.
+* :meth:`AffinityRouter.abort` lets the engine enforce a wall-clock
+  deadline: a still-queued task is dequeued; a running task's worker is
+  killed with SIGKILL (the only way to stop a hung activation) and the
+  healing path replaces it. Deliberate watchdog kills do not count
+  against the worker's health.
+* A slot that accumulates ``quarantine_after`` *consecutive* unexpected
+  deaths is quarantined instead of endlessly healed: its backlog is
+  redistributed, new submissions re-hash over the surviving slots, and
+  the run degrades gracefully on fewer workers. The last live slot is
+  never quarantined.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import threading
 import time
 from collections import deque
@@ -65,22 +78,46 @@ class _Task:
 class AffinityRouter:
     """Sticky-by-key task routing over N single-process pools."""
 
-    def __init__(self, workers: int, mp_context: Any, initializer: Callable | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        mp_context: Any,
+        initializer: Callable | None = None,
+        *,
+        quarantine_after: int = 3,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
         self.workers = workers
+        self.quarantine_after = quarantine_after
         self._mp_context = mp_context
         self._initializer = initializer
-        self._pools: list[ProcessPoolExecutor] = [
-            self._new_pool() for _ in range(workers)
-        ]
+        self._pools: list[ProcessPoolExecutor] = []
+        #: Pid of each slot's worker process, resolved from an eager
+        #: probe submitted at pool creation (single-worker pools execute
+        #: FIFO, so the probe resolves before any real task runs).
+        self._pid_futures: list[Future] = []
+        for _ in range(workers):
+            pool, pid_future = self._new_pool()
+            self._pools.append(pool)
+            self._pid_futures.append(pid_future)
         self._queues: list[deque[_Task]] = [deque() for _ in range(workers)]
         self._busy: list[bool] = [False] * workers
+        #: Task currently executing on each slot (for abort targeting).
+        self._running: list[_Task | None] = [None] * workers
+        #: Slots the engine's watchdog killed on purpose — their next
+        #: BrokenProcessPool is expected and not a health strike.
+        self._expected_kills: set[int] = set()
+        self._consecutive_failures: list[int] = [0] * workers
+        self._quarantined: list[bool] = [False] * workers
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._shutdown = False
         self.routed = 0
         self.steals = 0
+        self.quarantined_workers = 0
         self._dispatchers = [
             threading.Thread(target=self._dispatch, args=(i,), daemon=True)
             for i in range(workers)
@@ -88,23 +125,35 @@ class AffinityRouter:
         for thread in self._dispatchers:
             thread.start()
 
-    def _new_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
+    def _new_pool(self) -> tuple[ProcessPoolExecutor, Future]:
+        pool = ProcessPoolExecutor(
             max_workers=1,
             mp_context=self._mp_context,
             initializer=self._initializer,
         )
+        return pool, pool.submit(probe_worker)
+
+    def _live_slots(self) -> list[int]:
+        return [i for i in range(self.workers) if not self._quarantined[i]]
 
     # -- submission ----------------------------------------------------------
     def submit(self, affinity_key: str | None, fn: Callable, *args: Any) -> Future:
-        """Queue a task for the key's home worker (least-loaded if keyless)."""
+        """Queue a task for the key's home worker (least-loaded if keyless).
+
+        Quarantined slots are skipped: keyed tasks re-hash over the live
+        slots (still deterministic per key), keyless tasks consider only
+        live queues.
+        """
         with self._lock:
             if self._shutdown:
                 raise RouterError("router is shut down")
+            live = self._live_slots()
             if affinity_key is None:
-                home = min(range(self.workers), key=lambda i: len(self._queues[i]))
+                home = min(live, key=lambda i: len(self._queues[i]))
             else:
                 home = stable_hash(affinity_key) % self.workers
+                if self._quarantined[home]:
+                    home = live[stable_hash(affinity_key) % len(live)]
             task = _Task(fn, args, home)
             self._queues[home].append(task)
             self.routed += 1
@@ -112,18 +161,18 @@ class AffinityRouter:
         return task.future
 
     def broadcast(self, fn: Callable, *args: Any) -> list[Any]:
-        """Run ``fn`` once on every worker, returning per-worker results.
+        """Run ``fn`` once on every live worker, returning per-worker results.
 
         Bypasses the queues (each pool has exactly one process, so
         pool-level submission already pins placement). Worker failures
         surface as exception objects in the result list rather than
         raising, so end-of-run cleanup can't be derailed by one dead
-        worker.
+        worker. Quarantined slots are skipped — their processes are gone.
         """
         with self._lock:
             if self._shutdown:
                 raise RouterError("router is shut down")
-            pools = list(self._pools)
+            pools = [self._pools[i] for i in self._live_slots()]
         results: list[Any] = []
         for pool in pools:
             try:
@@ -132,6 +181,49 @@ class AffinityRouter:
                 results.append(exc)
         return results
 
+    # -- watchdog abort ------------------------------------------------------
+    def abort(self, future: Future) -> str:
+        """Abort a submitted task whose deadline expired.
+
+        Returns how the abort landed: ``"dequeued"`` (never started —
+        removed from its queue, :class:`RouterError` set), ``"killed"``
+        (running — its worker process got SIGKILL; the dispatcher's
+        healing path replaces the pool and fails the future), or
+        ``"finished"`` (completed in the race window; the result is
+        still on the future). Deliberate kills are flagged so they do
+        not count toward quarantine.
+        """
+        with self._lock:
+            for queue in self._queues:
+                for task in queue:
+                    if task.future is future:
+                        queue.remove(task)
+                        future.set_exception(
+                            RouterError("aborted by watchdog while queued")
+                        )
+                        return "dequeued"
+            worker = next(
+                (
+                    i
+                    for i, task in enumerate(self._running)
+                    if task is not None and task.future is future
+                ),
+                None,
+            )
+            if worker is None:
+                return "finished"
+            self._expected_kills.add(worker)
+            pid_future = self._pid_futures[worker]
+            # Kill under the lock: the dispatcher cannot swap in another
+            # task on this slot until the lock is released, so the
+            # SIGKILL cannot hit an innocent successor task.
+            try:
+                pid = pid_future.result(timeout=5.0)
+                os.kill(pid, signal.SIGKILL)
+            except Exception:  # noqa: BLE001 - worker already dead
+                pass
+            return "killed"
+
     # -- dispatch ------------------------------------------------------------
     def _take_task(self, worker: int) -> _Task | None:
         """Own queue first; when dry, steal the longest *busy* backlog.
@@ -139,14 +231,21 @@ class AffinityRouter:
         Stealing is restricted to queues whose home worker is currently
         executing — an idle home worker is about to drain its own queue,
         and grabbing its task would break stickiness for nothing.
+        Quarantined slots neither execute nor get stolen from (their
+        queues were redistributed at quarantine time).
         """
+        if self._quarantined[worker]:
+            return None
         own = self._queues[worker]
         if own:
             return own.popleft()
         victims = [
             i
             for i in range(self.workers)
-            if i != worker and self._busy[i] and self._queues[i]
+            if i != worker
+            and self._busy[i]
+            and self._queues[i]
+            and not self._quarantined[i]
         ]
         if victims:
             victim = max(victims, key=lambda i: len(self._queues[i]))
@@ -164,6 +263,7 @@ class AffinityRouter:
                 if task is None:
                     return
                 self._busy[worker] = True
+                self._running[worker] = task
                 pool = self._pools[worker]
             error: BaseException | None = None
             result = None
@@ -179,18 +279,52 @@ class AffinityRouter:
             # not as a steal victim.
             with self._lock:
                 self._busy[worker] = False
+                self._running[worker] = None
+                if error is None:
+                    self._consecutive_failures[worker] = 0
                 self._work_ready.notify_all()
             if error is not None:
-                task.future.set_exception(error)
-            else:
+                if not task.future.done():
+                    task.future.set_exception(error)
+            elif not task.future.done():
                 task.future.set_result(result)
 
     def _heal(self, worker: int, dead: ProcessPoolExecutor) -> None:
-        """Replace a broken pool so retries land on a live process."""
+        """Replace a broken pool so retries land on a live process.
+
+        An *unexpected* death (not a watchdog kill) is a health strike;
+        ``quarantine_after`` consecutive strikes quarantine the slot
+        instead — unless it is the last one standing.
+        """
         dead.shutdown(wait=False)
         with self._lock:
-            if not self._shutdown and self._pools[worker] is dead:
-                self._pools[worker] = self._new_pool()
+            if self._shutdown or self._pools[worker] is not dead:
+                return
+            expected = worker in self._expected_kills
+            self._expected_kills.discard(worker)
+            if expected:
+                self._consecutive_failures[worker] = 0
+            else:
+                self._consecutive_failures[worker] += 1
+                if (
+                    self._consecutive_failures[worker] >= self.quarantine_after
+                    and len(self._live_slots()) > 1
+                ):
+                    self._quarantine_locked(worker)
+                    return
+            self._pools[worker], self._pid_futures[worker] = self._new_pool()
+
+    def _quarantine_locked(self, worker: int) -> None:
+        """Retire a chronically dying slot; redistribute its backlog."""
+        self._quarantined[worker] = True
+        self.quarantined_workers += 1
+        backlog = list(self._queues[worker])
+        self._queues[worker].clear()
+        live = self._live_slots()
+        for task in backlog:
+            target = min(live, key=lambda i: len(self._queues[i]))
+            self._queues[target].append(task)
+        self._work_ready.notify_all()
 
     # -- lifecycle -----------------------------------------------------------
     def shutdown(self) -> None:
@@ -203,7 +337,10 @@ class AffinityRouter:
                 queue.clear()
             self._work_ready.notify_all()
         for task in pending:
-            task.future.set_exception(RouterError("router shut down with task queued"))
+            if not task.future.done():
+                task.future.set_exception(
+                    RouterError("router shut down with task queued")
+                )
         for thread in self._dispatchers:
             thread.join()
         for pool in self._pools:

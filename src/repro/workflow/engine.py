@@ -26,9 +26,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing
+import threading
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.cloud.cluster import CoreHandle, VirtualCluster
@@ -39,7 +42,16 @@ from repro.workflow.activity import Activity, Operator, Workflow, run_activation
 from repro.workflow.affinity import AffinityRouter, RouterError
 from repro.workflow.artifacts import ArtifactPlane, drop_run_state, release_cached
 from repro.workflow.extractor import run_extractors
-from repro.workflow.fault import RetryPolicy, Watchdog
+from repro.workflow.fault import (
+    CancellationToken,
+    CancelTokenHandle,
+    FaultInjector,
+    InjectedWorkerCrash,
+    RetryPolicy,
+    Watchdog,
+    WatchdogTimeout,
+    run_activation_with_faults,
+)
 from repro.workflow.relation import Relation, tuple_key
 from repro.workflow.scheduler import (
     GreedyCostScheduler,
@@ -73,6 +85,16 @@ class ExecutionReport:
     artifact_stats: dict = field(default_factory=dict)
     #: Activations the affinity router handed to a non-home worker.
     steals: int = 0
+    #: Activations aborted by the wall-clock watchdog (real timeouts;
+    #: a subset of ``aborted``, which also counts predicate-blocked
+    #: looping kills).
+    timeouts: int = 0
+    #: Re-dispatches caused by infrastructure failures (worker death,
+    #: router errors) — these never consume an activation's attempt
+    #: budget, unlike ``retried``.
+    infra_retries: int = 0
+    #: Worker slots the router quarantined after repeated deaths.
+    quarantined_workers: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -91,8 +113,23 @@ BACKENDS = ("threads", "processes")
 
 #: Context entries that never cross a process boundary: live caches
 #: (rebuilt per worker via the cache token), the in-memory shared FS and
-#: the steering controller (both hold parent-side state/locks).
-_PARENT_ONLY_CONTEXT_KEYS = ("caches", "fs", "steering")
+#: the steering controller (both hold parent-side state/locks), and the
+#: thread-backend cancellation handle (thread-local, meaningless in a
+#: worker process — hung workers are killed, not cancelled).
+_PARENT_ONLY_CONTEXT_KEYS = ("caches", "fs", "steering", "cancel_token")
+
+#: Exceptions that mean the *infrastructure* failed, not the activation:
+#: they retry on a separate budget without consuming activation attempts.
+_INFRA_ERRORS = (BrokenProcessPool, RouterError, InjectedWorkerCrash)
+
+
+@dataclass
+class _AttemptOutcome:
+    """Per-activation retry/abort accounting returned by ``_run_with_retry``."""
+
+    retried: int = 0
+    infra_retries: int = 0
+    timed_out: bool = False
 
 
 class LocalEngine:
@@ -121,6 +158,16 @@ class LocalEngine:
     maps are built once per run, not once per worker. The engine owns
     plane lifecycle: segments are unlinked and worker-side run caches
     dropped when the run ends, even after a worker crash.
+
+    Fault tolerance is *enforced*, not simulated: every activation runs
+    under a wall-clock :class:`~repro.workflow.fault.Watchdog` deadline
+    (hung workers are SIGKILLed and their pool healed; hung threads are
+    cancelled cooperatively or abandoned), failed activations retry
+    with exponential backoff, infrastructure failures retry on a
+    separate budget, and chronically dying worker slots are
+    quarantined. A ``fault_injector`` context entry
+    (:class:`~repro.workflow.fault.FaultInjector`) forces these paths
+    deterministically for chaos tests.
     """
 
     def __init__(
@@ -147,6 +194,8 @@ class LocalEngine:
         self.block_known_loopers = block_known_loopers
         self._router: AffinityRouter | None = None
         self._shipped_context: dict | None = None
+        self._fault_injector: FaultInjector | None = None
+        self._cancel_handle: CancelTokenHandle | None = None
         #: Per-worker results of the end-of-run cache-cleanup broadcast
         #: (True where a worker dropped a run-state entry); for tests.
         self.last_cache_cleanup: list = []
@@ -180,8 +229,22 @@ class LocalEngine:
         context["wkfid"] = wkfid
 
         retried = blocked = aborted = total = 0
+        timeouts = infra_retries = quarantined = 0
         current = [(dict(t), tuple_key(t, i)) for i, t in enumerate(relation)]
         final = Relation(f"{workflow.tag}:output")
+
+        # Fault injection: chaos tests force crashes/hangs/failures via
+        # this context entry; it ships to workers so faults fire where
+        # real ones would. Never visible to activations.
+        self._fault_injector: FaultInjector | None = context.pop(
+            "fault_injector", None
+        )
+        # Cooperative cancellation for the threads backend: one handle
+        # per run in the *shared* context (activations setdefault caches
+        # there, so no per-activation copies); each activation-runner
+        # thread binds its private token into the handle.
+        self._cancel_handle = CancelTokenHandle()
+        context["cancel_token"] = self._cancel_handle
 
         # Artifact-plane policy: ``shared_maps`` tristate (None = auto,
         # on for the processes backend where workers cannot see each
@@ -205,7 +268,9 @@ class LocalEngine:
             # Spawn (not fork): the parent runs bookkeeping threads and an
             # open SQLite handle, neither of which survives a fork safely.
             self._router = AffinityRouter(
-                self.workers, multiprocessing.get_context("spawn")
+                self.workers,
+                multiprocessing.get_context("spawn"),
+                quarantine_after=self.retry.quarantine_after,
             )
             shipped = {
                 k: v
@@ -216,6 +281,8 @@ class LocalEngine:
             # so one engine run never reuses another run's receptors/maps
             # (grid spacing or preparation settings may differ).
             shipped["cache_token"] = uuid.uuid4().hex
+            # Lets injected crashes know there is a real process to kill.
+            shipped["worker_process"] = True
             self._shipped_context = shipped
         try:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -223,11 +290,16 @@ class LocalEngine:
                     actid = actids[activity.tag]
                     if activity.operator is Operator.REDUCE:
                         tuples = [t for t, _ in current]
-                        out = self._run_one(
+                        out, outcome = self._run_one(
                             pool, activity, actid,
                             {"__tuples__": tuples}, f"reduce-{activity.tag}",
                             context, t0,
                         )
+                        retried += outcome.retried
+                        infra_retries += outcome.infra_retries
+                        if outcome.timed_out:
+                            aborted += 1
+                            timeouts += 1
                         next_tuples = [(t, tuple_key(t, k)) for k, t in enumerate(out)]
                         total += 1
                     else:
@@ -253,8 +325,15 @@ class LocalEngine:
                                     )
                                     blocked += 1
                                 else:
-                                    # Watchdog kill: the activation consumed
-                                    # its full deadline before being aborted.
+                                    # Predicate-known looper with the Hg
+                                    # routine disabled: abort at decision
+                                    # time rather than burning the real
+                                    # deadline. End time is the actual
+                                    # wall clock of the decision — a
+                                    # fabricated ``start + deadline``
+                                    # would skew per-activity duration
+                                    # queries; the deadline it *would*
+                                    # have received is kept in errormsg.
                                     start = time.perf_counter() - t0
                                     tid = self.store.begin_activation(
                                         actid, key, start,
@@ -264,9 +343,10 @@ class LocalEngine:
                                         activity.cost(tup)
                                     )
                                     self.store.end_activation(
-                                        tid, start + deadline,
+                                        tid, time.perf_counter() - t0,
                                         ActivationStatus.ABORTED, 137,
-                                        "looping state killed by watchdog",
+                                        "looping state killed by watchdog "
+                                        f"(deadline {deadline:.3f}s)",
                                     )
                                     aborted += 1
                                 continue
@@ -277,8 +357,12 @@ class LocalEngine:
                                 )
                             )
                         for fut in futures:
-                            outs, n_retries = fut.result()
-                            retried += n_retries
+                            outs, outcome = fut.result()
+                            retried += outcome.retried
+                            infra_retries += outcome.infra_retries
+                            if outcome.timed_out:
+                                aborted += 1
+                                timeouts += 1
                             for out_tup in outs:
                                 next_tuples.append(
                                     (out_tup, tuple_key(out_tup, len(next_tuples)))
@@ -287,6 +371,7 @@ class LocalEngine:
         finally:
             if self._router is not None:
                 steals = self._router.steals
+                quarantined = self._router.quarantined_workers
                 # Broadcast end-of-run cleanup: every worker drops the
                 # run's cache-token state and plane attachment, so a
                 # long-lived pool never accumulates dead runs' artifacts.
@@ -307,6 +392,9 @@ class LocalEngine:
                 # REDUCE ran inline); drop that before unlinking.
                 release_cached(plane.handle.scratch_dir)
                 artifact_stats = plane.destroy()
+            context.pop("cancel_token", None)
+            self._fault_injector = None
+            self._cancel_handle = None
         for tup, _ in current:
             final.append(tup)
         tet = time.perf_counter() - t0
@@ -324,38 +412,125 @@ class LocalEngine:
             peak_cores=self.workers,
             artifact_stats=artifact_stats,
             steals=steals,
+            timeouts=timeouts,
+            infra_retries=infra_retries,
+            quarantined_workers=quarantined,
         )
 
     # -- helpers -------------------------------------------------------------
     def _run_one(self, pool, activity, actid, tup, key, context, t0):
-        outs, _ = self._run_with_retry(activity, actid, tup, key, context, t0)
-        return outs
+        """Run a single (REDUCE) activation through the bookkeeping pool.
 
-    def _execute_activation(
-        self, activity: Activity, tup: dict, context: dict
-    ) -> list[dict]:
-        """Run one activation on the configured backend.
-
-        Threads backend: call straight into the activity. Processes
-        backend: route ``(fn, operator, tag, tuple, sanitized context)``
-        through the affinity router — sticky by ``receptor_id`` so each
-        receptor's activations revisit the worker holding its artifacts;
-        the calling bookkeeping thread blocks on the result so the
-        retry/provenance flow above is backend-agnostic.
+        Submitting instead of calling inline keeps the coordinator
+        thread free for bookkeeping and gives the activation the same
+        watchdog/retry treatment as every other one.
         """
-        if self._router is None:
-            return activity.run(tup, context)
-        affinity = tup.get("receptor_id") if isinstance(tup, dict) else None
-        future = self._router.submit(
-            str(affinity) if affinity is not None else None,
-            run_activation,
-            activity.fn,
-            activity.operator,
-            activity.tag,
-            tup,
-            self._shipped_context,
+        future = pool.submit(
+            self._run_with_retry, activity, actid, tup, key, context, t0
         )
         return future.result()
+
+    def _call_with_watchdog(self, call, deadline: float, key: str):
+        """Threads backend: run ``call(token)`` under a wall-clock deadline.
+
+        The activation runs on a dedicated daemon thread while this
+        bookkeeping thread does a timed wait. At the deadline the
+        cooperative token is cancelled and the activation gets
+        ``watchdog.grace`` seconds to notice; threads cannot be killed,
+        so a non-cooperative activation is then *abandoned* — its
+        provenance says ABORTED and the run moves on, but the thread
+        itself survives until its code returns (document long hangs to
+        chaos tests; the daemon flag keeps them from pinning exit).
+        """
+        token = CancellationToken()
+        done = threading.Event()
+        box: dict = {}
+
+        def runner() -> None:
+            if self._cancel_handle is not None:
+                self._cancel_handle.bind(token)
+            try:
+                box["result"] = call(token)
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=runner, name=f"activation-{key}", daemon=True
+        )
+        thread.start()
+        finished = done.wait(deadline)
+        if not finished:
+            token.cancel()
+            cooperative = done.wait(self.watchdog.grace)
+            detail = (
+                "cancelled cooperatively"
+                if cooperative
+                else "non-cooperative activation abandoned"
+            )
+            raise WatchdogTimeout(deadline, detail)
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _execute_activation(
+        self,
+        activity: Activity,
+        tup: dict,
+        key: str,
+        tries: int,
+        context: dict,
+        deadline: float,
+    ) -> list[dict]:
+        """Run one activation on the configured backend, under a deadline.
+
+        Threads backend: run the activity on a watchdog-supervised
+        thread (cooperative cancellation; see ``_call_with_watchdog``).
+        Processes backend: route ``(fn, operator, tag, tuple, sanitized
+        context)`` through the affinity router — sticky by
+        ``receptor_id`` so each receptor's activations revisit the
+        worker holding its artifacts — with a timed wait on the result;
+        a deadline miss SIGKILLs the worker (``router.abort``) and the
+        router heals the slot. Raises :class:`WatchdogTimeout` either
+        way, so the retry/provenance flow above is backend-agnostic.
+        """
+        injector = self._fault_injector
+        if self._router is None:
+
+            def call(token: CancellationToken) -> list[dict]:
+                if injector is not None:
+                    return run_activation_with_faults(
+                        injector, key, tries, activity.fn, activity.operator,
+                        activity.tag, tup, context,
+                    )
+                return activity.run(tup, context)
+
+            return self._call_with_watchdog(call, deadline, key)
+        affinity = tup.get("receptor_id") if isinstance(tup, dict) else None
+        affinity_key = str(affinity) if affinity is not None else None
+        if injector is not None:
+            future = self._router.submit(
+                affinity_key, run_activation_with_faults,
+                injector, key, tries, activity.fn, activity.operator,
+                activity.tag, tup, self._shipped_context,
+            )
+        else:
+            future = self._router.submit(
+                affinity_key, run_activation,
+                activity.fn, activity.operator, activity.tag, tup,
+                self._shipped_context,
+            )
+        try:
+            return future.result(timeout=deadline)
+        except FuturesTimeout:
+            outcome = self._router.abort(future)
+            if outcome == "finished":
+                # Completed in the race window between the timed wait
+                # expiring and the abort landing; the deadline was still
+                # missed, so it is a timeout either way.
+                pass
+            raise WatchdogTimeout(deadline, f"worker {outcome}") from None
 
     def _run_with_retry(
         self,
@@ -365,15 +540,59 @@ class LocalEngine:
         key: str,
         context: dict,
         t0: float,
-    ) -> tuple[list[dict], int]:
+    ) -> tuple[list[dict], _AttemptOutcome]:
+        """Execute one activation with watchdog, retries and backoff.
+
+        Three failure classes, three budgets:
+
+        * **Activation failures** (the callable raised): retried up to
+          ``retry.max_attempts`` with exponential backoff, each attempt
+          recorded as a FAILED activation.
+        * **Infrastructure failures** (worker death, router errors):
+          retried up to ``retry.max_infra_retries`` *without* consuming
+          the activation's attempt budget — the input wasn't at fault.
+        * **Watchdog timeouts**: terminal. A hung activation is aborted
+          at its wall-clock deadline (worker killed on the processes
+          backend, thread cancelled/abandoned on threads) and recorded
+          ABORTED with the real abort timestamp; retrying a looping
+          input would loop again.
+        """
         attempt = 0
+        infra_failures = 0
+        tries = 0  # total dispatches; fault injection re-rolls per try
+        outcome = _AttemptOutcome()
         while True:
             start = time.perf_counter() - t0
             tid = self.store.begin_activation(
                 actid, key, start, workdir=context.get("workdir", ""), attempt=attempt
             )
+            deadline = self.watchdog.deadline(activity.cost(tup))
             try:
-                raw = self._execute_activation(activity, tup, context)
+                raw = self._execute_activation(
+                    activity, tup, key, tries, context, deadline
+                )
+            except WatchdogTimeout as exc:
+                now = time.perf_counter() - t0
+                self.store.end_activation(
+                    tid, now, ActivationStatus.ABORTED, 137,
+                    f"watchdog timeout after {now - start:.3f}s "
+                    f"(deadline {deadline:.3f}s; {exc.detail})",
+                )
+                outcome.timed_out = True
+                return [], outcome
+            except _INFRA_ERRORS as exc:
+                now = time.perf_counter() - t0
+                self.store.end_activation(
+                    tid, now, ActivationStatus.FAILED, 137,
+                    f"infrastructure failure: {type(exc).__name__}: {exc}",
+                )
+                infra_failures += 1
+                tries += 1
+                if infra_failures > self.retry.max_infra_retries:
+                    return [], outcome
+                outcome.infra_retries += 1
+                time.sleep(self.retry.delay(infra_failures - 1, key))
+                continue
             except Exception as exc:  # noqa: BLE001 - activation errors are data
                 self.store.end_activation(
                     tid,
@@ -383,9 +602,12 @@ class LocalEngine:
                     f"{type(exc).__name__}: {exc}",
                 )
                 if self.retry.should_retry(attempt):
+                    time.sleep(self.retry.delay(attempt, key))
                     attempt += 1
+                    tries += 1
+                    outcome.retried += 1
                     continue
-                return [], attempt
+                return [], outcome
             outs = []
             for out in raw:
                 clean, files, payload = _strip_reserved(dict(out))
@@ -397,7 +619,7 @@ class LocalEngine:
                     )
                 outs.append(clean)
             self.store.end_activation(tid, time.perf_counter() - t0)
-            return outs, attempt
+            return outs, outcome
 
 
 @dataclass
@@ -592,8 +814,13 @@ class SimulatedEngine:
                     ) / len(ready_heap)
                 else:
                     mean_cost = 0.0
+                cap = self.cluster.total_cores
+                if self.core_limit is not None:
+                    cap = min(cap, self.core_limit)
+                utilization = len(busy_cores) / cap if cap else 0.0
                 target = self.elasticity.target_cores(
-                    len(ready_heap), len(running), mean_cost
+                    len(ready_heap), len(running), mean_cost,
+                    utilization=utilization,
                 )
                 if target > self.cluster.total_cores:
                     clock.advance_to(max(clock.now, now))
@@ -697,7 +924,7 @@ class SimulatedEngine:
                         job.tup,
                         job.key,
                         attempt=job.attempt + 1,
-                        ready_at=finish + self.retry.retry_delay,
+                        ready_at=finish + self.retry.delay(job.attempt, job.key),
                     )
                     enqueue(retry_job, now)
             else:
@@ -733,6 +960,7 @@ class SimulatedEngine:
             retried=retired_counts["retried"],
             blocked=retired_counts["blocked"],
             aborted=retired_counts["aborted"],
+            timeouts=retired_counts["aborted"],
             cost_usd=self.cluster.cost(),
             peak_cores=peak_cores,
             bytes_written=bytes_written,

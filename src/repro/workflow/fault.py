@@ -1,20 +1,66 @@
-"""Fault tolerance: re-execution and the looping-state watchdog.
+"""Fault tolerance: re-execution, backoff, and the looping-state watchdog.
 
-Two mechanisms from the paper:
+Mechanisms from the paper, made real for :class:`LocalEngine`:
 
 * ~10 % of activation executions fail; SciCumulus re-submits *only the
   failed activations* (the provenance repository knows exactly which),
-  never the whole workflow.
+  never the whole workflow. :class:`RetryPolicy` adds exponential
+  backoff with deterministic seeded jitter, and distinguishes
+  *activation* failures (the activation raised — consumes the attempt
+  budget) from *infrastructure* failures (the worker died, the router
+  broke — retried on a separate budget).
 * Some activations enter a *looping state* — no error, no progress
-  (receptors containing Hg). A watchdog kills them after a timeout;
-  once the Hg routine is enabled, such activations are blocked before
-  dispatch instead.
+  (receptors containing Hg). A :class:`Watchdog` deadline bounds every
+  real activation: on the processes backend the offending worker is
+  killed and replaced; on the threads backend a cooperative
+  :class:`CancellationToken` is offered and, failing that, the
+  activation thread is abandoned (threads cannot be killed).
+* :class:`FaultInjector` wires the cloud failure models
+  (:class:`~repro.cloud.failures.ActivityFailureModel`,
+  :class:`~repro.cloud.failures.LoopingStateModel`) into the real
+  engine so chaos tests can force crashes, hangs and Bernoulli
+  failures deterministically.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from dataclasses import dataclass
+
+from repro.cloud.failures import ActivityFailureModel, LoopingStateModel, _unit_hash
+from repro.workflow.activity import ActivationFn, Operator, run_activation
+
+
+class WatchdogTimeout(RuntimeError):
+    """An activation exceeded its wall-clock deadline and was aborted."""
+
+    def __init__(self, deadline: float, detail: str = "") -> None:
+        self.deadline = deadline
+        self.detail = detail
+        msg = f"activation exceeded its {deadline:.3f}s deadline"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class ActivationCancelled(RuntimeError):
+    """Raised inside a cooperative activation once its token is cancelled."""
+
+
+class InjectedFailure(RuntimeError):
+    """A failure forced by the fault-injection harness."""
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Stand-in for a worker crash on backends with no process to kill.
+
+    On the processes backend an injected crash really is ``os._exit`` in
+    the worker; on the threads backend there is no worker process, so
+    the injector raises this instead and the engine accounts for it as
+    an infrastructure failure.
+    """
 
 
 def crash_activation(tup: dict, context: dict) -> list[dict]:
@@ -28,41 +74,257 @@ def crash_activation(tup: dict, context: dict) -> list[dict]:
     os._exit(17)
 
 
+class CancellationToken:
+    """Cooperative cancellation for thread-backend activations.
+
+    Threads cannot be killed, so the watchdog *asks*: it cancels the
+    token at the deadline and gives the activation a short grace period
+    to notice. Long-running cooperative activations should call
+    :meth:`check` inside loops or replace ``time.sleep`` with
+    :meth:`sleep`; both raise :class:`ActivationCancelled` once the
+    watchdog fires. Non-cooperative activations are abandoned on a
+    daemon thread instead — aborted in provenance, but still burning
+    their thread until they return on their own.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        """Raise :class:`ActivationCancelled` if the watchdog fired."""
+        if self._event.is_set():
+            raise ActivationCancelled("activation cancelled by watchdog")
+
+    def sleep(self, seconds: float) -> None:
+        """Cancellation-aware ``time.sleep`` replacement."""
+        if self._event.wait(seconds):
+            raise ActivationCancelled("activation cancelled by watchdog")
+
+
+class _NullToken(CancellationToken):
+    """Token handed to activations running outside any watchdog scope."""
+
+
+class CancelTokenHandle:
+    """Per-run context entry resolving to the *current* activation's token.
+
+    The threads backend shares one context dict across concurrent
+    activations (artifact caches live there), so the engine cannot put a
+    per-activation token under a plain key. Instead it installs one
+    handle per run; each activation-runner thread binds its own token
+    before invoking the activation, and the handle delegates to the
+    binding of whichever thread is asking. Activations just use
+    ``context["cancel_token"]`` as if it were their private token.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def bind(self, token: CancellationToken) -> None:
+        self._local.token = token
+
+    def _token(self) -> CancellationToken:
+        return getattr(self._local, "token", None) or _NullToken()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._token().cancelled
+
+    def check(self) -> None:
+        self._token().check()
+
+    def sleep(self, seconds: float) -> None:
+        self._token().sleep(seconds)
+
+
 @dataclass
 class RetryPolicy:
-    """How failed activations are re-executed."""
+    """How failed activations are re-executed.
+
+    The delay before attempt ``n``'s retry follows a deterministic
+    exponential schedule::
+
+        delay(n) = min(max_delay, base_delay * backoff_factor ** n)
+
+    optionally perturbed by seeded jitter (a multiplicative factor in
+    ``[1 - jitter, 1 + jitter)`` hashed from ``(seed, key, attempt)``,
+    so two runs with the same seed observe identical schedules).
+    Infrastructure failures — the worker process died, the router broke
+    — retry on their own ``max_infra_retries`` budget without consuming
+    the activation's ``max_attempts``; a worker slot that accumulates
+    ``quarantine_after`` consecutive infrastructure failures is
+    quarantined (graceful degradation) rather than endlessly healed.
+    """
 
     max_attempts: int = 3
-    #: Delay before a retry is eligible (simulated seconds).
+    #: Base delay before the first retry (seconds; simulated seconds in
+    #: the simulated engine). ``base_delay`` is an alias kept separate
+    #: so existing ``retry_delay`` call sites keep meaning "the base".
     retry_delay: float = 1.0
+    base_delay: float | None = None
+    backoff_factor: float = 2.0
+    max_delay: float = 60.0
+    #: Jitter fraction in [0, 1): 0 disables, 0.2 perturbs each delay by
+    #: up to ±20 %, deterministically from (seed, key, attempt).
+    jitter: float = 0.0
+    seed: int = 0
+    #: Infrastructure-failure budget per activation (worker death,
+    #: router errors); separate from ``max_attempts``.
+    max_infra_retries: int = 5
+    #: Consecutive infrastructure failures before a worker slot is
+    #: quarantined instead of healed.
+    quarantine_after: int = 3
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.retry_delay < 0:
             raise ValueError("retry_delay cannot be negative")
+        if self.base_delay is not None and self.base_delay < 0:
+            raise ValueError("base_delay cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay cannot be negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_infra_retries < 0:
+            raise ValueError("max_infra_retries cannot be negative")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
 
     def should_retry(self, attempt: int) -> bool:
         """``attempt`` is 0-based; attempt 0 failing leaves max-1 retries."""
         return attempt + 1 < self.max_attempts
 
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff delay after 0-based ``attempt`` failed, for ``key``."""
+        base = self.retry_delay if self.base_delay is None else self.base_delay
+        d = min(self.max_delay, base * self.backoff_factor ** max(0, attempt))
+        if self.jitter:
+            u = _unit_hash("backoff", self.seed, key, attempt)
+            d *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return min(self.max_delay, max(0.0, d))
+
+    def schedule(self, attempts: int, key: str = "") -> list[float]:
+        """The first ``attempts`` delays — for tests and documentation."""
+        return [self.delay(n, key) for n in range(attempts)]
+
 
 @dataclass
 class Watchdog:
-    """Kills looping activations after ``timeout`` service seconds.
+    """Kills activations exceeding their wall-clock deadline.
 
     ``multiplier`` expresses the adaptive variant: an activation is
     declared looping when it exceeds ``multiplier`` x the activity's
-    expected cost, bounded below by ``timeout``.
+    expected cost, bounded below by ``timeout``. ``grace`` is the extra
+    window a thread-backend activation gets to observe its cancellation
+    token before being abandoned.
     """
 
     timeout: float = 600.0
     multiplier: float = 10.0
+    grace: float = 0.5
 
     def __post_init__(self) -> None:
         if self.timeout <= 0 or self.multiplier <= 1:
             raise ValueError("timeout must be positive and multiplier > 1")
+        if self.grace < 0:
+            raise ValueError("grace cannot be negative")
 
     def deadline(self, expected_cost: float) -> float:
         """Seconds after which a running activation is killed."""
         return max(self.timeout, self.multiplier * max(0.0, expected_cost))
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic chaos: forces the paper's two pathologies for real.
+
+    Handed to :class:`LocalEngine` as the ``fault_injector`` context
+    entry; picklable, so the processes backend ships it into workers
+    where crashes and hangs actually happen.
+
+    * ``failure_model`` — Bernoulli activation failures per
+      ``(key, try)``; retries re-roll, reproducing the paper's ~10 %
+      transient failure rate (consumes the attempt budget).
+    * ``looping_model`` — activation keys that *hang* without erroring
+      (the Hg pathology, minus the predicate): the activation sleeps
+      ``hang_seconds`` and only the watchdog stops it.
+    * ``crash_keys`` — activations whose first try kills the worker
+      process outright (``os._exit``); the infrastructure retry path
+      must replace the worker and resubmit.
+    * ``crash_rate`` — Bernoulli worker crashes per ``(key, try)``, for
+      sustained-crash quarantine tests.
+
+    Deterministic key sets trigger on try 0 only, so a retried
+    activation recovers; Bernoulli models re-roll on every try.
+    """
+
+    failure_model: ActivityFailureModel | None = None
+    looping_model: LoopingStateModel | None = None
+    crash_keys: frozenset[str] = frozenset()
+    crash_rate: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 3600.0
+
+    def plan(self, key: str, tries: int) -> str:
+        """Fate of try ``tries`` for activation ``key``:
+        ``"ok" | "fail" | "crash" | "hang"``."""
+        if self.looping_model is not None and self.looping_model.would_loop(key):
+            return "hang"
+        if key in self.crash_keys and tries == 0:
+            return "crash"
+        if self.crash_rate and _unit_hash("crash", self.seed, key, tries) < self.crash_rate:
+            return "crash"
+        if self.failure_model is not None and self.failure_model.fails(key, tries):
+            return "fail"
+        return "ok"
+
+
+def apply_fault(injector: FaultInjector, key: str, tries: int, context: dict) -> None:
+    """Enact the injector's plan for this try, inside the executing worker."""
+    action = injector.plan(key, tries)
+    if action == "ok":
+        return
+    if action == "crash":
+        if context.get("worker_process"):
+            os._exit(17)  # a real worker death, not an exception
+        raise InjectedWorkerCrash(f"injected worker crash for {key} (try {tries})")
+    if action == "fail":
+        raise InjectedFailure(f"injected failure for {key} (try {tries})")
+    # "hang": sleep far past any sane deadline. Thread-backend runs get
+    # the cooperative token (so the abandoned thread dies at cancel +
+    # hang_seconds at worst); worker processes sleep until killed.
+    token = context.get("cancel_token")
+    if token is not None:
+        token.sleep(injector.hang_seconds)
+    else:
+        time.sleep(injector.hang_seconds)
+
+
+def run_activation_with_faults(
+    injector: FaultInjector,
+    key: str,
+    tries: int,
+    fn: ActivationFn | None,
+    operator: Operator,
+    tag: str,
+    tup: dict,
+    context: dict,
+) -> list[dict]:
+    """Fault-wrapped twin of :func:`~repro.workflow.activity.run_activation`.
+
+    Module-level so the processes backend can ship it by reference; the
+    injected fault fires *inside* the worker, making crashes and hangs
+    indistinguishable from the production pathologies they model.
+    """
+    apply_fault(injector, f"{tag}:{key}", tries, context)
+    return run_activation(fn, operator, tag, tup, context)

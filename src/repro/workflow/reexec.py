@@ -13,12 +13,18 @@ exhaustion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.provenance.store import ProvenanceStore
 from repro.workflow.activity import Workflow
 from repro.workflow.engine import ExecutionReport, LocalEngine
 from repro.workflow.relation import Relation, tuple_key
+
+#: Prefix the real engine writes on watchdog-timeout ABORTED records —
+#: the marker that distinguishes "ran out of wall-clock" (transient,
+#: worth re-running) from "known-bad input" (Hg looping state, not).
+WATCHDOG_ERRMSG_PREFIX = "watchdog timeout"
 
 
 @dataclass
@@ -31,18 +37,26 @@ class RecoveryPlan:
     aborted_keys: set[str]
     blocked_keys: set[str]
     missing_keys: set[str]
+    #: ABORTED by the wall-clock watchdog (errormsg says so) rather than
+    #: by the looping-state predicate. A timeout may be transient — a
+    #: slow VM, a tight deadline — so these are rerunnable, unlike
+    #: predicate aborts which re-abort deterministically.
+    timeout_keys: set[str] = field(default_factory=set)
 
     @property
     def keys_to_rerun(self) -> set[str]:
-        """Failed or never-started tuples; aborted/blocked stay excluded
-        (they are known-bad inputs, e.g. Hg receptors)."""
-        return self.failed_keys | self.missing_keys
+        """Failed, never-started, or watchdog-timed-out tuples;
+        predicate aborts and blocked keys stay excluded (they are
+        known-bad inputs, e.g. Hg receptors)."""
+        return self.failed_keys | self.missing_keys | self.timeout_keys
 
     def summary(self) -> str:
         return (
             f"workflow {self.wkfid}: {len(self.completed_keys)} complete, "
             f"{len(self.failed_keys)} failed, {len(self.missing_keys)} missing, "
-            f"{len(self.aborted_keys)} aborted, {len(self.blocked_keys)} blocked"
+            f"{len(self.aborted_keys)} aborted "
+            f"({len(self.timeout_keys)} watchdog timeouts), "
+            f"{len(self.blocked_keys)} blocked"
             f" -> re-running {len(self.keys_to_rerun)}"
         )
 
@@ -64,12 +78,16 @@ def analyze_run(
     activation for its key; *failed* when some activation for its key
     ended FAILED without a later FINISHED of the same activity;
     *aborted*/*blocked* when the looping machinery stopped it; *missing*
-    when no terminal record exists at all (crash mid-run).
+    when no terminal record exists at all (crash mid-run). ABORTED rows
+    whose error message marks a wall-clock watchdog timeout are split
+    out as *timeout* keys: real timeouts can happen to any activity on a
+    bad day and are worth one more try, whereas predicate aborts
+    (looping-state inputs) would just abort again.
     """
     last_tag = workflow.activities[-1].tag
     rows = store.sql(
         """
-        SELECT a.tag, t.tuple_key, t.status, t.attempt
+        SELECT a.tag, t.tuple_key, t.status, t.attempt, t.errormsg
         FROM hactivation t JOIN hactivity a ON t.actid = a.actid
         WHERE a.wkfid = ?
         ORDER BY t.taskid
@@ -79,9 +97,16 @@ def analyze_run(
     finished_last: set[str] = set()
     # (tag, key) -> last seen status wins (retries overwrite failures).
     final_status: dict[tuple[str, str], str] = {}
+    timeout_marked: set[str] = set()
     for r in rows:
         key = _root_key(r["tuple_key"])
         final_status[(r["tag"], key)] = r["status"]
+        if r["status"] == "ABORTED":
+            errormsg = r["errormsg"] or ""
+            if errormsg.startswith(WATCHDOG_ERRMSG_PREFIX):
+                timeout_marked.add(key)
+            else:
+                timeout_marked.discard(key)
         if r["tag"] == last_tag and r["status"] == "FINISHED":
             finished_last.add(key)
 
@@ -104,6 +129,7 @@ def analyze_run(
     # A key can appear in several sets (e.g. failed early, finished after
     # retry); completion wins, then abort/block, then failure.
     failed -= completed | aborted | blocked
+    timeouts = (timeout_marked & aborted) - completed - blocked
     return RecoveryPlan(
         wkfid=wkfid,
         completed_keys=completed,
@@ -111,6 +137,7 @@ def analyze_run(
         aborted_keys=aborted,
         blocked_keys=blocked,
         missing_keys=missing,
+        timeout_keys=timeouts,
     )
 
 
@@ -121,13 +148,23 @@ def resume_failed(
     relation: Relation,
     engine: LocalEngine | None = None,
     context: dict | None = None,
+    *,
+    engine_factory: Callable[[ProvenanceStore], LocalEngine] | None = None,
 ) -> tuple[ExecutionReport | None, RecoveryPlan]:
     """Re-run only the tuples a prior run left unfinished.
 
     Returns ``(report, plan)``; ``report`` is ``None`` when nothing
     needed re-execution. The resumed work runs as a new workflow
     execution in the same store, so provenance keeps the full history.
+
+    Pass the original run's ``engine``, or an ``engine_factory`` that
+    rebuilds one (backend, worker count, retry/watchdog policies) from
+    the store — a resume that silently downgrades to a default engine
+    re-runs recovered work under different fault-tolerance semantics
+    than the run that produced the failures.
     """
+    if engine is not None and engine_factory is not None:
+        raise ValueError("pass engine or engine_factory, not both")
     plan = analyze_run(store, wkfid, workflow, relation)
     if not plan.keys_to_rerun:
         return None, plan
@@ -135,6 +172,7 @@ def resume_failed(
     for i, tup in enumerate(relation):
         if tuple_key(tup, i) in plan.keys_to_rerun:
             rerun.append(dict(tup))
-    engine = engine or LocalEngine(store)
+    if engine is None:
+        engine = engine_factory(store) if engine_factory else LocalEngine(store)
     report = engine.run(workflow, rerun, context=context)
     return report, plan

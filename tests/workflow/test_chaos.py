@@ -1,0 +1,342 @@
+"""Chaos suite: injected crashes, hangs and failures against the REAL engine.
+
+Every test here exercises enforcement, not simulation — worker processes
+actually die (``os._exit``), activations actually hang, and the engine
+must kill, heal, quarantine or back off for the run to complete. The
+hang tests in particular would deadlock a pre-watchdog engine, which is
+why CI runs this file under a hard timeout.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cloud.failures import ActivityFailureModel, LoopingStateModel
+from repro.provenance.store import ActivationStatus, ProvenanceStore
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.engine import LocalEngine
+from repro.workflow.fault import FaultInjector, RetryPolicy, Watchdog
+from repro.workflow.relation import Relation
+
+#: Chaos-friendly policy: near-zero backoff so worker respawns, not
+#: sleeps, dominate each test's runtime.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01)
+
+
+def identity(tup, context):
+    return [dict(tup)]
+
+
+def cooperative_hang(tup, context):
+    # Hangs forever, but politely: the run-context token turns the
+    # watchdog's cancel into ActivationCancelled.
+    context["cancel_token"].sleep(3600.0)
+    return [dict(tup)]
+
+
+def stubborn_sleep(tup, context):
+    # Ignores the cancellation token — the watchdog can only abandon it.
+    time.sleep(1.5)
+    return [dict(tup)]
+
+
+def always_raises(tup, context):
+    raise RuntimeError("persistent activation failure")
+
+
+def relation_of(*keys: str) -> Relation:
+    return Relation("in", [{"key": k, "x": i} for i, k in enumerate(keys)])
+
+
+class TestProcessCrashRecovery:
+    def test_crash_is_infra_failure_not_attempt(self):
+        # A worker death must not consume the activation's attempt
+        # budget: even max_attempts=1 completes after the crash, on the
+        # healed worker, via the separate infrastructure budget.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="processes",
+            retry=RetryPolicy(max_attempts=1, base_delay=0.01),
+        )
+        wf = Workflow("W", [Activity("work", Operator.MAP, fn=identity)])
+        context = {
+            "shared_maps": False,
+            "fault_injector": FaultInjector(crash_keys=frozenset({"work:b"})),
+        }
+        report = engine.run(wf, relation_of("a", "b", "c"), context=context)
+        assert sorted(t["key"] for t in report.output) == ["a", "b", "c"]
+        assert report.infra_retries == 1
+        assert report.retried == 0
+        rows = [
+            r
+            for r in store.activations(report.wkfid)
+            if r["tuple_key"] == "b"
+        ]
+        assert [r["status"] for r in rows] == ["FAILED", "FINISHED"]
+        assert rows[0]["errormsg"].startswith("infrastructure failure:")
+        # Attempt number unchanged across the infra redispatch.
+        assert [r["attempt"] for r in rows] == [0, 0]
+
+    def test_sustained_crashes_quarantine_a_slot(self):
+        # Every dispatch of every try crashes its worker: the router
+        # must give up on (quarantine) a chronically dying slot instead
+        # of healing forever — but never the last one.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="processes",
+            retry=RetryPolicy(
+                max_attempts=1,
+                base_delay=0.01,
+                max_infra_retries=2,
+                quarantine_after=2,
+            ),
+        )
+        wf = Workflow("W", [Activity("work", Operator.MAP, fn=identity)])
+        context = {
+            "shared_maps": False,
+            "fault_injector": FaultInjector(crash_rate=1.0),
+        }
+        report = engine.run(wf, relation_of("a", "b"), context=context)
+        assert len(report.output) == 0
+        assert not report.succeeded
+        assert report.quarantined_workers == 1
+        assert report.infra_retries > 0
+
+
+class TestWatchdogProcesses:
+    def test_hung_worker_killed_within_deadline_and_run_completes(self):
+        # The acceptance case: an injected hang NOT matched by any
+        # looping predicate. A pre-watchdog engine deadlocks here in
+        # future.result(); the real watchdog must SIGKILL the worker at
+        # the deadline, heal the pool, and finish the healthy tuples.
+        store = ProvenanceStore()
+        watchdog = Watchdog(timeout=2.0, multiplier=1.5, grace=0.2)
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="processes",
+            retry=FAST_RETRY,
+            watchdog=watchdog,
+        )
+        wf = Workflow("W", [Activity("work", Operator.MAP, fn=identity)])
+        context = {
+            "shared_maps": False,
+            "fault_injector": FaultInjector(
+                looping_model=LoopingStateModel(
+                    hg_loops=False, extra_looping_keys={"work:hang"}
+                ),
+            ),
+        }
+        t0 = time.perf_counter()
+        report = engine.run(wf, relation_of("a", "hang", "b"), context=context)
+        elapsed = time.perf_counter() - t0
+        assert sorted(t["key"] for t in report.output) == ["a", "b"]
+        assert report.timeouts == 1
+        assert report.aborted == 1
+        # The run ended shortly after the 2 s deadline, not after the
+        # injector's 1-hour hang.
+        assert elapsed < 15.0
+        rows = store.activations(report.wkfid, ActivationStatus.ABORTED)
+        assert len(rows) == 1
+        assert rows[0]["tuple_key"] == "hang"
+        assert rows[0]["errormsg"].startswith("watchdog timeout")
+        assert "worker killed" in rows[0]["errormsg"]
+        duration = rows[0]["endtime"] - rows[0]["starttime"]
+        # Aborted at the deadline (plus kill/bookkeeping slack), and the
+        # record carries the real abort clock, not start + deadline.
+        assert 2.0 <= duration < 10.0
+
+    def test_pool_replaced_after_watchdog_kill(self):
+        # After the kill, the same engine run keeps executing on the
+        # healed slot: submit more work for the *same affinity key* so
+        # it must land where the hang was killed.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=1,
+            backend="processes",
+            retry=FAST_RETRY,
+            watchdog=Watchdog(timeout=1.5, multiplier=1.5, grace=0.2),
+        )
+        wf = Workflow(
+            "W",
+            [
+                Activity("first", Operator.MAP, fn=identity),
+                Activity("second", Operator.MAP, fn=identity),
+            ],
+        )
+        context = {
+            "shared_maps": False,
+            "fault_injector": FaultInjector(
+                looping_model=LoopingStateModel(
+                    hg_loops=False, extra_looping_keys={"first:hang"}
+                ),
+            ),
+        }
+        report = engine.run(wf, relation_of("hang", "ok"), context=context)
+        # The hung tuple died in activity "first"; the survivor made it
+        # through both activities on the single (healed) worker.
+        assert [t["key"] for t in report.output] == ["ok"]
+        assert report.timeouts == 1
+
+
+class TestWatchdogThreads:
+    def test_cooperative_activation_cancelled(self):
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="threads",
+            retry=FAST_RETRY,
+            watchdog=Watchdog(timeout=0.5, multiplier=1.5, grace=0.5),
+        )
+        wf = Workflow(
+            "W",
+            [
+                Activity(
+                    "coop", Operator.MAP, fn=cooperative_hang,
+                    cost_fn=lambda t: 0.0,
+                )
+            ],
+        )
+        t0 = time.perf_counter()
+        report = engine.run(wf, relation_of("a"))
+        assert time.perf_counter() - t0 < 5.0
+        assert report.timeouts == 1
+        rows = store.activations(report.wkfid, ActivationStatus.ABORTED)
+        assert "cancelled cooperatively" in rows[0]["errormsg"]
+
+    def test_non_cooperative_activation_abandoned(self):
+        # time.sleep ignores the token: the watchdog cannot kill a
+        # thread, so after the grace window the activation is abandoned
+        # and recorded ABORTED while its thread runs out on its own.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="threads",
+            retry=FAST_RETRY,
+            watchdog=Watchdog(timeout=0.3, multiplier=1.5, grace=0.1),
+        )
+        wf = Workflow(
+            "W",
+            [
+                Activity(
+                    "stub", Operator.MAP, fn=stubborn_sleep,
+                    cost_fn=lambda t: 0.0,
+                )
+            ],
+        )
+        t0 = time.perf_counter()
+        report = engine.run(wf, relation_of("a", "b"))
+        # Both tuples abandoned well before their 1.5 s sleeps return.
+        assert time.perf_counter() - t0 < 1.4
+        assert report.timeouts == 2
+        rows = store.activations(report.wkfid, ActivationStatus.ABORTED)
+        assert all(
+            "non-cooperative activation abandoned" in r["errormsg"] for r in rows
+        )
+
+    def test_injected_hang_on_threads_backend(self):
+        # The injector's hang path uses the cooperative token, so a
+        # thread-backend hang is cancelled, not abandoned.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="threads",
+            retry=FAST_RETRY,
+            watchdog=Watchdog(timeout=0.5, multiplier=1.5, grace=0.5),
+        )
+        wf = Workflow(
+            "W",
+            [
+                Activity(
+                    "work", Operator.MAP, fn=identity, cost_fn=lambda t: 0.0
+                )
+            ],
+        )
+        context = {
+            "fault_injector": FaultInjector(
+                looping_model=LoopingStateModel(
+                    hg_loops=False, extra_looping_keys={"work:hang"}
+                ),
+            ),
+        }
+        report = engine.run(wf, relation_of("hang", "ok"), context=context)
+        assert [t["key"] for t in report.output] == ["ok"]
+        assert report.timeouts == 1
+
+
+class TestRetryBackoff:
+    def test_backoff_schedule_observed_in_attempt_timestamps(self):
+        base, factor = 0.15, 2.0
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=1,
+            backend="threads",
+            retry=RetryPolicy(
+                max_attempts=3, base_delay=base, backoff_factor=factor, jitter=0.0
+            ),
+        )
+        wf = Workflow("W", [Activity("bad", Operator.MAP, fn=always_raises)])
+        report = engine.run(wf, relation_of("a"))
+        assert not report.succeeded
+        assert report.retried == 2
+        rows = sorted(
+            store.activations(report.wkfid, ActivationStatus.FAILED),
+            key=lambda r: r["attempt"],
+        )
+        assert [r["attempt"] for r in rows] == [0, 1, 2]
+        gap1 = rows[1]["starttime"] - rows[0]["endtime"]
+        gap2 = rows[2]["starttime"] - rows[1]["endtime"]
+        # Gaps follow base * factor**n (lower-bounded; scheduling adds
+        # slack upward but sleep never returns early).
+        assert gap1 >= base * 0.95
+        assert gap2 >= base * factor * 0.95
+        assert gap2 > gap1
+
+    def test_bernoulli_injection_recovers_via_retries(self):
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="threads",
+            retry=RetryPolicy(max_attempts=6, base_delay=0.01),
+        )
+        wf = Workflow("W", [Activity("work", Operator.MAP, fn=identity)])
+        context = {
+            "fault_injector": FaultInjector(
+                failure_model=ActivityFailureModel(rate=0.5, seed=7),
+            ),
+        }
+        keys = [f"k{i}" for i in range(8)]
+        report = engine.run(wf, relation_of(*keys), context=context)
+        # Retries re-roll the Bernoulli, so everything lands eventually.
+        assert sorted(t["key"] for t in report.output) == sorted(keys)
+        assert report.counts.get("FINISHED", 0) == len(keys)
+        assert report.retried > 0
+        failed = store.activations(report.wkfid, ActivationStatus.FAILED)
+        assert all("injected failure" in r["errormsg"] for r in failed)
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_fates(self):
+        inj = FaultInjector(
+            failure_model=ActivityFailureModel(rate=0.3, seed=3), seed=3
+        )
+        fates = [inj.plan(f"work:k{i}", 0) for i in range(32)]
+        again = [inj.plan(f"work:k{i}", 0) for i in range(32)]
+        assert fates == again
+        assert "fail" in fates and "ok" in fates
+
+    def test_crash_keys_fire_on_first_try_only(self):
+        inj = FaultInjector(crash_keys=frozenset({"work:a"}))
+        assert inj.plan("work:a", 0) == "crash"
+        assert inj.plan("work:a", 1) == "ok"
+        assert inj.plan("work:b", 0) == "ok"

@@ -145,7 +145,13 @@ class TestLocalEngine:
         report = engine.run(wf, Relation("in", [{"hg": True}]))
         assert report.aborted == 1
         rows = store.activations(report.wkfid, ActivationStatus.ABORTED)
-        assert rows[0]["endtime"] - rows[0]["starttime"] >= 50
+        # Predicate-known loopers are aborted at decision time — the
+        # record carries the real wall clock, not a fabricated
+        # start + deadline; the unspent deadline lives in errormsg.
+        assert rows[0]["endtime"] - rows[0]["starttime"] < 50
+        assert "deadline 100.000s" in rows[0]["errormsg"]
+        # A predicate abort is not a wall-clock timeout.
+        assert report.timeouts == 0
 
     def test_files_and_extracts_recorded(self):
         def fn(t, c):

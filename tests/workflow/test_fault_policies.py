@@ -1,0 +1,150 @@
+"""Unit tests for the fault-policy primitives: backoff schedules,
+jitter determinism, watchdog deadlines, cancellation tokens and the
+fault injector's planning."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cloud.failures import ActivityFailureModel, LoopingStateModel
+from repro.workflow.fault import (
+    ActivationCancelled,
+    CancellationToken,
+    CancelTokenHandle,
+    FaultInjector,
+    RetryPolicy,
+    Watchdog,
+)
+
+
+class TestRetryPolicyBackoff:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(base_delay=0.5, backoff_factor=2.0, max_delay=60.0)
+        assert policy.schedule(4) == [0.5, 1.0, 2.0, 4.0]
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(base_delay=1.0, backoff_factor=10.0, max_delay=5.0)
+        assert policy.schedule(3) == [1.0, 5.0, 5.0]
+
+    def test_base_delay_defaults_to_retry_delay(self):
+        # Legacy call sites configure retry_delay only; it is the base.
+        policy = RetryPolicy(retry_delay=0.25, backoff_factor=2.0)
+        assert policy.delay(0) == 0.25
+        assert policy.delay(1) == 0.5
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, backoff_factor=1.0, jitter=0.2, seed=5)
+        d1 = policy.delay(0, "lig_rec")
+        d2 = policy.delay(0, "lig_rec")
+        assert d1 == d2
+        assert 0.8 <= d1 <= 1.2
+        assert d1 != policy.delay(0, "other_key")
+        # A different seed perturbs differently.
+        assert d1 != RetryPolicy(
+            base_delay=1.0, backoff_factor=1.0, jitter=0.2, seed=6
+        ).delay(0, "lig_rec")
+
+    def test_zero_jitter_ignores_key(self):
+        policy = RetryPolicy(base_delay=1.0)
+        assert policy.delay(1, "a") == policy.delay(1, "b") == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"retry_delay": -1.0},
+            {"base_delay": -0.1},
+            {"backoff_factor": 0.5},
+            {"max_delay": -1.0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"max_infra_retries": -1},
+            {"quarantine_after": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestWatchdogDeadline:
+    def test_deadline_floor_and_multiplier(self):
+        wd = Watchdog(timeout=10.0, multiplier=5.0)
+        assert wd.deadline(1.0) == 10.0  # floored
+        assert wd.deadline(4.0) == 20.0  # multiplier wins
+        assert wd.deadline(-3.0) == 10.0  # negative cost clamped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(timeout=0.0)
+        with pytest.raises(ValueError):
+            Watchdog(multiplier=1.0)
+        with pytest.raises(ValueError):
+            Watchdog(grace=-0.1)
+
+
+class TestCancellationToken:
+    def test_check_raises_only_after_cancel(self):
+        token = CancellationToken()
+        token.check()  # no-op while live
+        token.cancel()
+        assert token.cancelled
+        with pytest.raises(ActivationCancelled):
+            token.check()
+
+    def test_sleep_interrupted_by_cancel(self):
+        token = CancellationToken()
+        timer = threading.Timer(0.05, token.cancel)
+        timer.start()
+        with pytest.raises(ActivationCancelled):
+            token.sleep(30.0)
+        timer.cancel()
+
+    def test_handle_delegates_per_thread(self):
+        handle = CancelTokenHandle()
+        # Unbound threads see a null token: never cancelled.
+        handle.check()
+        assert not handle.cancelled
+        mine = CancellationToken()
+        handle.bind(mine)
+        seen = {}
+
+        def other_thread():
+            # A different thread's view is not affected by this
+            # thread's binding.
+            seen["cancelled"] = handle.cancelled
+
+        mine.cancel()
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+        assert handle.cancelled
+        assert seen["cancelled"] is False
+
+
+class TestFaultInjectorPlan:
+    def test_hang_takes_precedence(self):
+        inj = FaultInjector(
+            looping_model=LoopingStateModel(
+                hg_loops=False, extra_looping_keys={"dock:a"}
+            ),
+            crash_keys=frozenset({"dock:a"}),
+        )
+        assert inj.plan("dock:a", 0) == "hang"
+
+    def test_bernoulli_rerolls_per_try(self):
+        inj = FaultInjector(failure_model=ActivityFailureModel(rate=0.5, seed=1))
+        fates = {inj.plan("dock:k", t) for t in range(16)}
+        assert fates == {"ok", "fail"}
+
+    def test_crash_rate_deterministic(self):
+        inj = FaultInjector(crash_rate=0.5, seed=9)
+        first = [inj.plan(f"dock:k{i}", 0) for i in range(16)]
+        assert first == [inj.plan(f"dock:k{i}", 0) for i in range(16)]
+        assert "crash" in first and "ok" in first
+
+    def test_default_injector_is_inert(self):
+        inj = FaultInjector()
+        assert all(inj.plan(f"t:k{i}", j) == "ok" for i in range(4) for j in range(3))

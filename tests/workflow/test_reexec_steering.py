@@ -1,11 +1,13 @@
 """Unit tests for re-execution recovery and runtime steering."""
 
+import time
+
 import pytest
 
 from repro.provenance.store import ActivationStatus, ProvenanceStore
 from repro.workflow.activity import Activity, Operator, Workflow
 from repro.workflow.engine import LocalEngine
-from repro.workflow.fault import RetryPolicy
+from repro.workflow.fault import RetryPolicy, Watchdog
 from repro.workflow.reexec import analyze_run, resume_failed
 from repro.workflow.relation import Relation
 from repro.workflow.steering import SteeringControl, SteeringMonitor
@@ -84,6 +86,52 @@ class TestAnalyzeRun:
         assert plan.blocked_keys == {"c"}
         assert "c" not in plan.keys_to_rerun
 
+    def test_watchdog_timeouts_are_rerunnable(self):
+        # A real wall-clock timeout (engine watchdog abort) may be
+        # transient, so analyze_run must classify it rerunnable —
+        # unlike predicate aborts.
+        store = ProvenanceStore()
+
+        def maybe_hang(t, c):
+            if t["key"] == "b":
+                time.sleep(1.0)
+            return [dict(t)]
+
+        wf = Workflow(
+            "W",
+            [
+                Activity(
+                    "work", Operator.MAP, fn=maybe_hang, cost_fn=lambda t: 0.0
+                )
+            ],
+        )
+        engine = LocalEngine(
+            store,
+            workers=1,
+            watchdog=Watchdog(timeout=0.2, multiplier=1.5, grace=0.05),
+        )
+        report = engine.run(wf, REL.copy())
+        assert report.timeouts == 1
+        plan = analyze_run(store, report.wkfid, wf, REL.copy())
+        assert plan.timeout_keys == {"b"}
+        assert plan.aborted_keys == {"b"}
+        assert "b" in plan.keys_to_rerun
+        assert "1 watchdog timeouts" in plan.summary()
+
+    def test_predicate_aborts_stay_excluded(self):
+        # An ABORTED row from the looping predicate (Hg routine off) is
+        # a known-bad input: not a timeout, never re-run.
+        store = ProvenanceStore()
+        wf = two_stage_workflow()
+        wf.activities[0].looping_predicate = lambda t: t["key"] == "c"
+        engine = LocalEngine(store, workers=1, block_known_loopers=False)
+        report = engine.run(wf, REL.copy())
+        assert report.aborted == 1
+        plan = analyze_run(store, report.wkfid, wf, REL.copy())
+        assert plan.aborted_keys == {"c"}
+        assert plan.timeout_keys == set()
+        assert "c" not in plan.keys_to_rerun
+
 
 class TestResumeFailed:
     def test_resume_reruns_only_failures(self):
@@ -121,6 +169,44 @@ class TestResumeFailed:
         # Both runs visible in the store.
         assert store.workflow_row(report1.wkfid)["tag"] == "W"
         assert store.workflow_row(report2.wkfid)["tag"] == "W"
+
+    def test_engine_factory_rebuilds_original_config(self):
+        # Without an engine, the resume must not silently fall back to
+        # a default engine: the factory rebuilds the original run's
+        # backend/workers/policies against the same store.
+        store = ProvenanceStore()
+        wf_fail = two_stage_workflow(fail_keys=("b",))
+        original = LocalEngine(
+            store, workers=2, retry=RetryPolicy(max_attempts=1, base_delay=0.01)
+        )
+        report1 = original.run(wf_fail, REL.copy())
+        built = []
+
+        def factory(s):
+            engine = LocalEngine(
+                s, workers=2, retry=RetryPolicy(max_attempts=1, base_delay=0.01)
+            )
+            built.append(engine)
+            return engine
+
+        report2, plan = resume_failed(
+            store, report1.wkfid, two_stage_workflow(), REL.copy(),
+            engine_factory=factory,
+        )
+        assert plan.keys_to_rerun == {"b"}
+        assert built and built[0].store is store
+        assert report2 is not None and len(report2.output) == 1
+
+    def test_engine_and_factory_are_exclusive(self):
+        store = ProvenanceStore()
+        wf = two_stage_workflow()
+        engine = LocalEngine(store, workers=1)
+        report = engine.run(wf, REL.copy())
+        with pytest.raises(ValueError):
+            resume_failed(
+                store, report.wkfid, wf, REL.copy(), engine,
+                engine_factory=lambda s: engine,
+            )
 
 
 class TestSteeringControl:

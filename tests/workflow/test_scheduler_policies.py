@@ -84,6 +84,50 @@ class TestElasticity:
             AdaptiveElasticityPolicy(min_cores=8, max_cores=4)
         with pytest.raises(ValueError):
             AdaptiveElasticityPolicy(drain_horizon=0)
+        with pytest.raises(ValueError):
+            AdaptiveElasticityPolicy(scale_down_threshold=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveElasticityPolicy(scale_down_threshold=-0.1)
+
+    def test_scale_down_gated_by_utilization(self):
+        # The queue shrank, but the cluster is still busy: hysteresis
+        # holds the previous target until utilization actually drops
+        # below scale_down_threshold.
+        p = AdaptiveElasticityPolicy(
+            min_cores=2, max_cores=128, scale_down_threshold=0.5
+        )
+        high = p.target_cores(64, 0, 60.0, utilization=1.0)
+        held = p.target_cores(4, 0, 60.0, utilization=0.9)
+        assert held == high
+        released = p.target_cores(4, 0, 60.0, utilization=0.2)
+        assert released < high
+
+    def test_scale_up_never_gated(self):
+        p = AdaptiveElasticityPolicy(
+            min_cores=2, max_cores=128, scale_down_threshold=0.5
+        )
+        small = p.target_cores(4, 0, 60.0, utilization=1.0)
+        grown = p.target_cores(64, 0, 60.0, utilization=1.0)
+        assert grown > small
+
+    def test_no_thrash_on_oscillating_queue(self):
+        # Alternating long/short queue snapshots at high utilization
+        # must not bounce the target down and back up each round.
+        p = AdaptiveElasticityPolicy(
+            min_cores=2, max_cores=128, scale_down_threshold=0.5
+        )
+        targets = []
+        for n_ready in (64, 4, 64, 4, 64):
+            targets.append(p.target_cores(n_ready, 0, 60.0, utilization=0.95))
+        assert len(set(targets)) == 1
+
+    def test_without_utilization_signal_behaves_greedily(self):
+        # Callers that cannot measure utilization (e.g. legacy sweeps)
+        # get the ungated queue-pressure policy.
+        p = AdaptiveElasticityPolicy(min_cores=2, max_cores=128)
+        high = p.target_cores(64, 0, 60.0)
+        low = p.target_cores(4, 0, 60.0)
+        assert low < high
 
 
 class TestFaultPrimitives:
