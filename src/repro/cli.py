@@ -38,6 +38,8 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
         "retry_max_attempts": args.retry_max_attempts,
         "retry_base_delay": args.retry_base_delay,
         "inject_failure_rate": args.inject_failure_rate,
+        "pipeline": args.pipeline,
+        "scheduler": args.scheduler,
     }
 
 
@@ -205,6 +207,22 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "--inject-failure-rate", type=float, default=0.0, metavar="P",
         help="chaos testing: Bernoulli per-try activation failure "
         "probability injected into the real engine (0 disables)",
+    )
+    parser.add_argument(
+        "--pipeline", dest="pipeline", action="store_true", default=True,
+        help="per-tuple pipelined dataflow: each output tuple flows to "
+        "the next activity immediately, barriers only at REDUCE "
+        "(default)",
+    )
+    parser.add_argument(
+        "--no-pipeline", dest="pipeline", action="store_false",
+        help="restore per-activity barriers: every activity completes "
+        "on all tuples before the next starts",
+    )
+    parser.add_argument(
+        "--scheduler", choices=("fifo", "greedy"), default="fifo",
+        help="dispatch-order policy: fifo (arrival order) or greedy "
+        "(longest expected activation first)",
     )
 
 

@@ -21,6 +21,7 @@ from repro.workflow.activity import Activity, Operator, Workflow
 from repro.workflow.engine import ExecutionReport, LocalEngine
 from repro.workflow.fault import FaultInjector, RetryPolicy, Watchdog
 from repro.workflow.extractor import JsonExtractor
+from repro.workflow.scheduler import GreedyCostScheduler
 from repro.workflow.relation import Relation
 from repro.workflow.template import ActivityTemplate
 
@@ -82,12 +83,20 @@ class SciDockConfig:
     #: Bernoulli per-try activation-failure injection rate (chaos runs);
     #: 0 disables the fault injector entirely.
     inject_failure_rate: float = 0.0
+    #: Per-tuple pipelined dataflow (barriers only at REDUCE); False
+    #: restores the historical per-activity barriers.
+    pipeline: bool = True
+    #: Dispatch-order policy: "fifo" (arrival order) or "greedy"
+    #: (longest expected activation first — SciCumulus' native policy).
+    scheduler: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.scenario not in ("adaptive", "ad4", "vina"):
             raise ValueError(f"unknown scenario {self.scenario!r}")
         if self.backend not in ("threads", "processes"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.scheduler not in ("fifo", "greedy"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
             raise ValueError("watchdog_timeout must be positive")
         if self.retry_max_attempts < 1:
@@ -108,6 +117,12 @@ class SciDockConfig:
         if self.watchdog_timeout is None:
             return Watchdog()
         return Watchdog(timeout=self.watchdog_timeout)
+
+    def scheduler_policy(self) -> GreedyCostScheduler | None:
+        """Dispatch-order policy for the engine (None = FIFO arrival)."""
+        if self.scheduler == "greedy":
+            return GreedyCostScheduler()
+        return None
 
     def context(self) -> dict:
         return {
@@ -262,6 +277,8 @@ def run_scidock(
         block_known_loopers=config.block_known_loopers,
         retry=config.retry_policy(),
         watchdog=config.watchdog(),
+        scheduler=config.scheduler_policy(),
+        pipeline=config.pipeline,
     )
     workflow = build_scidock_workflow(config)
     context = config.context()

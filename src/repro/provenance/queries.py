@@ -131,6 +131,84 @@ def query2_files(
     ]
 
 
+@dataclass
+class LineageStep:
+    """One activation along a tuple's lineage chain."""
+
+    tag: str
+    tuple_key: str
+    status: str
+    attempt: int
+    starttime: float | None
+    endtime: float | None
+
+
+def lineage_chain(
+    store: ProvenanceStore, wkfid: int, key: str
+) -> list[LineageStep]:
+    """Reconstruct the full activation chain behind an output tuple.
+
+    Walks the ``hdependency`` edges the dataflow core records at spawn
+    time from the given tuple key back to the workflow's input tuples,
+    returning every activation along the way in stage order (root
+    first). A REDUCE node fans the walk out to every contributing
+    parent, so the chain of a post-REDUCE tuple covers all its inputs.
+
+    Falls back to the key's own activations when the run predates the
+    dependency table (or the workflow has a single activity, which
+    spawns no edges).
+    """
+    row = store.sql(
+        "SELECT MAX(child_actid) AS leaf FROM hdependency"
+        " WHERE wkfid = ? AND child_key = ?",
+        (wkfid, key),
+    )[0]
+    if row["leaf"] is None:
+        rows = store.sql(
+            """
+            SELECT a.tag, t.tuple_key, t.status, t.attempt,
+                   t.starttime, t.endtime
+            FROM hactivation t JOIN hactivity a ON t.actid = a.actid
+            WHERE a.wkfid = ? AND t.tuple_key = ?
+            ORDER BY t.actid, t.attempt
+            """,
+            (wkfid, key),
+        )
+    else:
+        rows = store.sql(
+            """
+            WITH RECURSIVE chain(k, actid) AS (
+                VALUES (?, ?)
+              UNION
+                SELECT d.parent_key, d.parent_actid
+                FROM hdependency d
+                JOIN chain c
+                  ON d.child_key = c.k AND d.child_actid = c.actid
+                WHERE d.wkfid = ?
+            )
+            SELECT a.tag, c.k AS tuple_key, t.status, t.attempt,
+                   t.starttime, t.endtime
+            FROM chain c
+            JOIN hactivity a ON a.actid = c.actid
+            LEFT JOIN hactivation t
+              ON t.actid = c.actid AND t.tuple_key = c.k
+            ORDER BY c.actid, t.attempt
+            """,
+            (key, row["leaf"], wkfid),
+        )
+    return [
+        LineageStep(
+            tag=r["tag"],
+            tuple_key=r["tuple_key"],
+            status=r["status"] or "",
+            attempt=r["attempt"] if r["attempt"] is not None else 0,
+            starttime=r["starttime"],
+            endtime=r["endtime"],
+        )
+        for r in rows
+    ]
+
+
 def activation_durations(store: ProvenanceStore, wkfid: int) -> list[float]:
     """All finished activation durations (the paper's Fig. 5 histogram)."""
     rows = store.sql(

@@ -60,10 +60,26 @@ CREATE TABLE IF NOT EXISTS hextract (
     value       TEXT
 );
 
+-- Activation-dependency edges: which (parent activity, parent tuple)
+-- spawned which (child activity, child tuple). Written by the dataflow
+-- core at spawn time, so PROV-Wf lineage survives pipelined execution
+-- where stages no longer run in lockstep; a REDUCE child carries one
+-- edge per contributing parent tuple.
+CREATE TABLE IF NOT EXISTS hdependency (
+    depid        INTEGER PRIMARY KEY AUTOINCREMENT,
+    wkfid        INTEGER NOT NULL REFERENCES hworkflow(wkfid),
+    child_key    TEXT NOT NULL,
+    child_actid  INTEGER NOT NULL REFERENCES hactivity(actid),
+    parent_key   TEXT NOT NULL,
+    parent_actid INTEGER NOT NULL REFERENCES hactivity(actid)
+);
+
 CREATE INDEX IF NOT EXISTS idx_hactivity_wkfid ON hactivity(wkfid);
 CREATE INDEX IF NOT EXISTS idx_hactivation_actid ON hactivation(actid);
 CREATE INDEX IF NOT EXISTS idx_hactivation_status ON hactivation(status);
 CREATE INDEX IF NOT EXISTS idx_hfile_taskid ON hfile(taskid);
 CREATE INDEX IF NOT EXISTS idx_hextract_taskid ON hextract(taskid);
 CREATE INDEX IF NOT EXISTS idx_hextract_key ON hextract(key);
+CREATE INDEX IF NOT EXISTS idx_hdependency_wkfid ON hdependency(wkfid);
+CREATE INDEX IF NOT EXISTS idx_hdependency_child ON hdependency(child_key, child_actid);
 """

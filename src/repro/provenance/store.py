@@ -85,6 +85,7 @@ class ProvenanceStore:
         self._pending_ends: list[tuple] = []
         self._pending_files: list[tuple] = []
         self._pending_extracts: list[tuple] = []
+        self._pending_deps: list[tuple] = []
         self._last_flush = time.monotonic()
         with self._lock:
             self._conn.executescript(SCHEMA_DDL)
@@ -98,6 +99,7 @@ class ProvenanceStore:
             self._next_taskid = self._max_id_locked("hactivation", "taskid") + 1
             self._next_fileid = self._max_id_locked("hfile", "fileid") + 1
             self._next_extractid = self._max_id_locked("hextract", "extractid") + 1
+            self._next_depid = self._max_id_locked("hdependency", "depid") + 1
 
     def _max_id_locked(self, table: str, col: str) -> int:
         row = self._conn.execute(f"SELECT COALESCE(MAX({col}), 0) FROM {table}")
@@ -118,6 +120,7 @@ class ProvenanceStore:
             + len(self._pending_ends)
             + len(self._pending_files)
             + len(self._pending_extracts)
+            + len(self._pending_deps)
         )
 
     def _maybe_flush_locked(self) -> None:
@@ -169,6 +172,15 @@ class ProvenanceStore:
                 self._pending_extracts,
             )
             self._pending_extracts.clear()
+            dirty = True
+        if self._pending_deps:
+            self._conn.executemany(
+                "INSERT INTO hdependency (depid, wkfid, child_key,"
+                " child_actid, parent_key, parent_actid)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                self._pending_deps,
+            )
+            self._pending_deps.clear()
             dirty = True
         if dirty:
             self._conn.commit()
@@ -332,6 +344,29 @@ class ProvenanceStore:
             self._pending_extracts.append((extractid, taskid, key, str(value)))
             self._maybe_flush_locked()
             return extractid
+
+    def record_dependency(
+        self,
+        wkfid: int,
+        child_key: str,
+        child_actid: int,
+        parent_key: str,
+        parent_actid: int,
+    ) -> int:
+        """One activation-dependency edge: parent tuple spawned child tuple.
+
+        Recorded by the dataflow core at spawn time so lineage queries
+        can reconstruct each output tuple's full activation chain even
+        under pipelined (non-lockstep) execution.
+        """
+        with self._lock:
+            depid = self._next_depid
+            self._next_depid += 1
+            self._pending_deps.append(
+                (depid, wkfid, child_key, child_actid, parent_key, parent_actid)
+            )
+            self._maybe_flush_locked()
+            return depid
 
     def record_extracts(self, taskid: int, items: dict) -> None:
         with self._lock:

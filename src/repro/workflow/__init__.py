@@ -16,7 +16,11 @@ Implements the engine features the paper leans on:
   watchdog — :mod:`repro.workflow.fault`;
 * two execution engines — a real thread-pool engine and a discrete-event
   simulated engine for the 2..128-core sweeps —
-  :mod:`repro.workflow.engine`.
+  :mod:`repro.workflow.engine` — both built on the shared dataflow
+  dispatch core (:mod:`repro.workflow.dataflow`,
+  :mod:`repro.workflow.dispatch`): an event-driven ready queue over the
+  activation DAG with lineage-stable tuple keys and barriers only at
+  REDUCE.
 """
 
 from repro.workflow.relation import Relation
@@ -41,6 +45,13 @@ from repro.workflow.fault import (
     Watchdog,
     WatchdogTimeout,
 )
+from repro.workflow.dataflow import (
+    DataflowState,
+    ReadyQueue,
+    WorkItem,
+    lineage_key,
+)
+from repro.workflow.dispatch import AttemptOutcome, AttemptRunner
 from repro.workflow.engine import (
     EngineError,
     ExecutionReport,
@@ -74,6 +85,12 @@ __all__ = [
     "FaultInjector",
     "InjectedFailure",
     "InjectedWorkerCrash",
+    "DataflowState",
+    "ReadyQueue",
+    "WorkItem",
+    "lineage_key",
+    "AttemptRunner",
+    "AttemptOutcome",
     "LocalEngine",
     "SimulatedEngine",
     "EngineError",

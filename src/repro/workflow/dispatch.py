@@ -1,0 +1,282 @@
+"""Attempt lifecycle for real execution: watchdog, retries, budgets.
+
+Extracted from the LocalEngine monolith so the engine proper is only a
+dataflow coordinator (see :mod:`repro.workflow.dataflow`) and the
+per-activation machinery — wall-clock watchdog enforcement on both
+backends, exponential-backoff retries, the infrastructure-failure
+budget, reserved-field stripping and provenance bookkeeping — lives in
+one place with no knowledge of dispatch order or barriers.
+
+An :class:`AttemptRunner` is constructed once per engine run (it closes
+over the run's router, shipped context, fault injector and cancellation
+handle) and is safe to call from many bookkeeping threads concurrently:
+every method touches only per-call state plus thread-safe collaborators
+(the provenance store serializes internally, the affinity router locks
+its own slots).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.provenance.store import ActivationStatus, ProvenanceStore
+from repro.workflow.activity import Activity, run_activation
+from repro.workflow.affinity import AffinityRouter, RouterError
+from repro.workflow.extractor import run_extractors
+from repro.workflow.fault import (
+    CancellationToken,
+    CancelTokenHandle,
+    FaultInjector,
+    InjectedWorkerCrash,
+    RetryPolicy,
+    Watchdog,
+    WatchdogTimeout,
+    run_activation_with_faults,
+)
+
+#: Context entries that never cross a process boundary: live caches
+#: (rebuilt per worker via the cache token), the in-memory shared FS and
+#: the steering controller (both hold parent-side state/locks), and the
+#: thread-backend cancellation handle (thread-local, meaningless in a
+#: worker process — hung workers are killed, not cancelled).
+PARENT_ONLY_CONTEXT_KEYS = ("caches", "fs", "steering", "cancel_token")
+
+#: Exceptions that mean the *infrastructure* failed, not the activation:
+#: they retry on a separate budget without consuming activation attempts.
+INFRA_ERRORS = (BrokenProcessPool, RouterError, InjectedWorkerCrash)
+
+
+def strip_reserved(tup: dict) -> tuple[dict, list, str | None]:
+    """Pop the engine-reserved fields off an output tuple."""
+    files = tup.pop("_files", [])
+    payload = tup.pop("_extract_payload", None)
+    return tup, files, payload
+
+
+@dataclass
+class AttemptOutcome:
+    """Per-activation retry/abort accounting returned by ``run_with_retry``."""
+
+    retried: int = 0
+    infra_retries: int = 0
+    timed_out: bool = False
+
+
+class AttemptRunner:
+    """Drives one activation from first attempt to terminal outcome."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        retry: RetryPolicy,
+        watchdog: Watchdog,
+        *,
+        router: AffinityRouter | None = None,
+        shipped_context: dict | None = None,
+        fault_injector: FaultInjector | None = None,
+        cancel_handle: CancelTokenHandle | None = None,
+    ) -> None:
+        self.store = store
+        self.retry = retry
+        self.watchdog = watchdog
+        self.router = router
+        self.shipped_context = shipped_context
+        self.fault_injector = fault_injector
+        self.cancel_handle = cancel_handle
+
+    # -- execution ----------------------------------------------------------
+    def _call_with_watchdog(self, call, deadline: float, key: str):
+        """Threads backend: run ``call(token)`` under a wall-clock deadline.
+
+        The activation runs on a dedicated daemon thread while this
+        bookkeeping thread does a timed wait. At the deadline the
+        cooperative token is cancelled and the activation gets
+        ``watchdog.grace`` seconds to notice; threads cannot be killed,
+        so a non-cooperative activation is then *abandoned* — its
+        provenance says ABORTED and the run moves on, but the thread
+        itself survives until its code returns (document long hangs to
+        chaos tests; the daemon flag keeps them from pinning exit).
+        """
+        token = CancellationToken()
+        done = threading.Event()
+        box: dict = {}
+
+        def runner() -> None:
+            if self.cancel_handle is not None:
+                self.cancel_handle.bind(token)
+            try:
+                box["result"] = call(token)
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=runner, name=f"activation-{key}", daemon=True
+        )
+        thread.start()
+        finished = done.wait(deadline)
+        if not finished:
+            token.cancel()
+            cooperative = done.wait(self.watchdog.grace)
+            detail = (
+                "cancelled cooperatively"
+                if cooperative
+                else "non-cooperative activation abandoned"
+            )
+            raise WatchdogTimeout(deadline, detail)
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _execute_activation(
+        self,
+        activity: Activity,
+        tup: dict,
+        key: str,
+        tries: int,
+        context: dict,
+        deadline: float,
+    ) -> list[dict]:
+        """Run one activation on the configured backend, under a deadline.
+
+        Threads backend (no router): run the activity on a
+        watchdog-supervised thread (cooperative cancellation; see
+        ``_call_with_watchdog``). Processes backend: route ``(fn,
+        operator, tag, tuple, sanitized context)`` through the affinity
+        router — sticky by ``receptor_id`` so each receptor's
+        activations revisit the worker holding its artifacts — with a
+        timed wait on the result; a deadline miss SIGKILLs the worker
+        (``router.abort``) and the router heals the slot. Raises
+        :class:`WatchdogTimeout` either way, so the retry/provenance
+        flow above is backend-agnostic.
+        """
+        injector = self.fault_injector
+        if self.router is None:
+
+            def call(token: CancellationToken) -> list[dict]:
+                if injector is not None:
+                    return run_activation_with_faults(
+                        injector, key, tries, activity.fn, activity.operator,
+                        activity.tag, tup, context,
+                    )
+                return activity.run(tup, context)
+
+            return self._call_with_watchdog(call, deadline, key)
+        affinity = tup.get("receptor_id") if isinstance(tup, dict) else None
+        affinity_key = str(affinity) if affinity is not None else None
+        if injector is not None:
+            future = self.router.submit(
+                affinity_key, run_activation_with_faults,
+                injector, key, tries, activity.fn, activity.operator,
+                activity.tag, tup, self.shipped_context,
+            )
+        else:
+            future = self.router.submit(
+                affinity_key, run_activation,
+                activity.fn, activity.operator, activity.tag, tup,
+                self.shipped_context,
+            )
+        try:
+            return future.result(timeout=deadline)
+        except FuturesTimeout:
+            outcome = self.router.abort(future)
+            if outcome == "finished":
+                # Completed in the race window between the timed wait
+                # expiring and the abort landing; the deadline was still
+                # missed, so it is a timeout either way.
+                pass
+            raise WatchdogTimeout(deadline, f"worker {outcome}") from None
+
+    def run_with_retry(
+        self,
+        activity: Activity,
+        actid: int,
+        tup: dict,
+        key: str,
+        context: dict,
+        t0: float,
+    ) -> tuple[list[dict], AttemptOutcome]:
+        """Execute one activation with watchdog, retries and backoff.
+
+        Three failure classes, three budgets:
+
+        * **Activation failures** (the callable raised): retried up to
+          ``retry.max_attempts`` with exponential backoff, each attempt
+          recorded as a FAILED activation.
+        * **Infrastructure failures** (worker death, router errors):
+          retried up to ``retry.max_infra_retries`` *without* consuming
+          the activation's attempt budget — the input wasn't at fault.
+        * **Watchdog timeouts**: terminal. A hung activation is aborted
+          at its wall-clock deadline (worker killed on the processes
+          backend, thread cancelled/abandoned on threads) and recorded
+          ABORTED with the real abort timestamp; retrying a looping
+          input would loop again.
+        """
+        attempt = 0
+        infra_failures = 0
+        tries = 0  # total dispatches; fault injection re-rolls per try
+        outcome = AttemptOutcome()
+        while True:
+            start = time.perf_counter() - t0
+            tid = self.store.begin_activation(
+                actid, key, start, workdir=context.get("workdir", ""), attempt=attempt
+            )
+            deadline = self.watchdog.deadline(activity.cost(tup))
+            try:
+                raw = self._execute_activation(
+                    activity, tup, key, tries, context, deadline
+                )
+            except WatchdogTimeout as exc:
+                now = time.perf_counter() - t0
+                self.store.end_activation(
+                    tid, now, ActivationStatus.ABORTED, 137,
+                    f"watchdog timeout after {now - start:.3f}s "
+                    f"(deadline {deadline:.3f}s; {exc.detail})",
+                )
+                outcome.timed_out = True
+                return [], outcome
+            except INFRA_ERRORS as exc:
+                now = time.perf_counter() - t0
+                self.store.end_activation(
+                    tid, now, ActivationStatus.FAILED, 137,
+                    f"infrastructure failure: {type(exc).__name__}: {exc}",
+                )
+                infra_failures += 1
+                tries += 1
+                if infra_failures > self.retry.max_infra_retries:
+                    return [], outcome
+                outcome.infra_retries += 1
+                time.sleep(self.retry.delay(infra_failures - 1, key))
+                continue
+            except Exception as exc:  # noqa: BLE001 - activation errors are data
+                self.store.end_activation(
+                    tid,
+                    time.perf_counter() - t0,
+                    ActivationStatus.FAILED,
+                    1,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                if self.retry.should_retry(attempt):
+                    time.sleep(self.retry.delay(attempt, key))
+                    attempt += 1
+                    tries += 1
+                    outcome.retried += 1
+                    continue
+                return [], outcome
+            outs = []
+            for out in raw:
+                clean, files, payload = strip_reserved(dict(out))
+                for fname, fsize, fdir in files:
+                    self.store.record_file(tid, fname, int(fsize), fdir)
+                if payload is not None and activity.extractors:
+                    self.store.record_extracts(
+                        tid, run_extractors(activity.extractors, payload)
+                    )
+                outs.append(clean)
+            self.store.end_activation(tid, time.perf_counter() - t0)
+            return outs, outcome

@@ -1,19 +1,32 @@
 """Execution engines: real (thread pool) and simulated (discrete event).
 
 Both engines run the same :class:`~repro.workflow.activity.Workflow`
-against an input :class:`~repro.workflow.relation.Relation`, record full
-PROV-Wf provenance, re-execute failed activations, and handle
-looping-state activations (pre-dispatch blocking when the Hg routine is
-enabled, watchdog aborts otherwise).
+against an input :class:`~repro.workflow.relation.Relation` through the
+shared dataflow dispatch core (:mod:`repro.workflow.dataflow`): an
+event-driven ready queue over the activation DAG, where every
+MAP/FILTER/SPLIT_MAP output tuple immediately spawns its downstream
+activation and barriers exist only at REDUCE (or at every stage with
+``pipeline=False``, the historical activity-by-activity mode). Both
+record full PROV-Wf provenance — including activation-dependency edges
+for lineage queries — re-execute failed activations, and handle
+looping-state activations (dispatch-time blocking when the Hg routine
+is enabled, watchdog aborts otherwise).
 
 * :class:`LocalEngine` actually executes the activation callables on a
-  thread pool — used for the biology-side results (Table 3) and the
-  provenance queries (Figs 10-12).
+  pluggable executor backend — used for the biology-side results
+  (Table 3) and the provenance queries (Figs 10-12). The per-activation
+  watchdog/retry machinery lives in :mod:`repro.workflow.dispatch`.
 * :class:`SimulatedEngine` replaces execution with a calibrated service
   -time model and schedules activations onto simulated VM cores through
   a pluggable :class:`~repro.workflow.scheduler.Scheduler` — used for
   the 2..128-core sweeps (Figs 5-9), which would take CPU-days to run
   for real.
+
+Scheduling vs placement: a :class:`~repro.workflow.scheduler.Scheduler`
+orders *dispatch* (which ready activation runs next) in both engines;
+receptor-affinity routing (:mod:`repro.workflow.affinity`) remains the
+*placement* layer beneath it, deciding which worker process a dispatched
+activation lands on.
 
 Activation functions may attach two reserved fields to their output
 tuples: ``_files`` (list of ``(fname, fsize, fdir)`` records) and
@@ -26,38 +39,35 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing
-import threading
+import queue
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.cloud.cluster import CoreHandle, VirtualCluster
 from repro.cloud.failures import ActivityFailureModel
 from repro.cloud.provider import VMState
 from repro.provenance.store import ActivationStatus, ProvenanceStore
-from repro.workflow.activity import Activity, Operator, Workflow, run_activation
+from repro.workflow.activity import Activity, Operator, Workflow
 from repro.workflow.affinity import AffinityRouter, RouterError
 from repro.workflow.artifacts import ArtifactPlane, drop_run_state, release_cached
+from repro.workflow.dataflow import DataflowState, ReadyQueue, WorkItem
+from repro.workflow.dispatch import (
+    AttemptOutcome,
+    AttemptRunner,
+    PARENT_ONLY_CONTEXT_KEYS,
+    strip_reserved,
+)
 from repro.workflow.extractor import run_extractors
 from repro.workflow.fault import (
-    CancellationToken,
     CancelTokenHandle,
     FaultInjector,
-    InjectedWorkerCrash,
     RetryPolicy,
     Watchdog,
-    WatchdogTimeout,
-    run_activation_with_faults,
 )
-from repro.workflow.relation import Relation, tuple_key
-from repro.workflow.scheduler import (
-    GreedyCostScheduler,
-    PendingActivation,
-    Scheduler,
-)
+from repro.workflow.relation import Relation
+from repro.workflow.scheduler import GreedyCostScheduler, Scheduler
 
 
 class EngineError(RuntimeError):
@@ -78,6 +88,10 @@ class ExecutionReport:
     blocked: int = 0
     aborted: int = 0
     cost_usd: float = 0.0
+    #: Peak concurrency actually observed: the maximum number of
+    #: simultaneously in-flight activations (LocalEngine) or the peak
+    #: usable core count after elasticity and ``core_limit`` clamping
+    #: (SimulatedEngine) — not the configured worker count.
     peak_cores: int = 0
     bytes_written: float = 0.0
     #: Artifact-plane accounting for the run (builds / shm hits / disk
@@ -101,39 +115,22 @@ class ExecutionReport:
         return self.counts.get("FAILED", 0) == 0
 
 
-def _strip_reserved(tup: dict) -> tuple[dict, list, str | None]:
-    """Pop the engine-reserved fields off an output tuple."""
-    files = tup.pop("_files", [])
-    payload = tup.pop("_extract_payload", None)
-    return tup, files, payload
-
-
 #: Executor backends LocalEngine can run activations on.
 BACKENDS = ("threads", "processes")
-
-#: Context entries that never cross a process boundary: live caches
-#: (rebuilt per worker via the cache token), the in-memory shared FS and
-#: the steering controller (both hold parent-side state/locks), and the
-#: thread-backend cancellation handle (thread-local, meaningless in a
-#: worker process — hung workers are killed, not cancelled).
-_PARENT_ONLY_CONTEXT_KEYS = ("caches", "fs", "steering", "cancel_token")
-
-#: Exceptions that mean the *infrastructure* failed, not the activation:
-#: they retry on a separate budget without consuming activation attempts.
-_INFRA_ERRORS = (BrokenProcessPool, RouterError, InjectedWorkerCrash)
-
-
-@dataclass
-class _AttemptOutcome:
-    """Per-activation retry/abort accounting returned by ``_run_with_retry``."""
-
-    retried: int = 0
-    infra_retries: int = 0
-    timed_out: bool = False
 
 
 class LocalEngine:
     """Real execution on a pluggable executor backend.
+
+    The run loop is an event-driven dataflow coordinator: work items pop
+    off a scheduler-ordered :class:`~repro.workflow.dataflow.ReadyQueue`
+    and are submitted to bookkeeping threads the moment a worker slot is
+    free; each completion immediately spawns the tuple's downstream
+    activation (no cohort barrier except at REDUCE). ``pipeline=False``
+    restores the historical activity-by-activity barriers for A/B runs.
+    Steering aborts and looping-predicate checks happen at *dispatch*
+    time, so a rule installed mid-run stops tuples that were already
+    enumerated but not yet dispatched.
 
     ``backend="threads"`` (default) runs activation callables on a
     thread pool — fine for activations that release the GIL or are
@@ -159,12 +156,13 @@ class LocalEngine:
     plane lifecycle: segments are unlinked and worker-side run caches
     dropped when the run ends, even after a worker crash.
 
-    Fault tolerance is *enforced*, not simulated: every activation runs
-    under a wall-clock :class:`~repro.workflow.fault.Watchdog` deadline
-    (hung workers are SIGKILLed and their pool healed; hung threads are
-    cancelled cooperatively or abandoned), failed activations retry
-    with exponential backoff, infrastructure failures retry on a
-    separate budget, and chronically dying worker slots are
+    Fault tolerance is *enforced*, not simulated (see
+    :class:`~repro.workflow.dispatch.AttemptRunner`): every activation
+    runs under a wall-clock :class:`~repro.workflow.fault.Watchdog`
+    deadline (hung workers are SIGKILLed and their pool healed; hung
+    threads are cancelled cooperatively or abandoned), failed
+    activations retry with exponential backoff, infrastructure failures
+    retry on a separate budget, and chronically dying worker slots are
     quarantined. A ``fault_injector`` context entry
     (:class:`~repro.workflow.fault.FaultInjector`) forces these paths
     deterministically for chaos tests.
@@ -179,6 +177,8 @@ class LocalEngine:
         *,
         backend: str = "threads",
         block_known_loopers: bool = True,
+        scheduler: Scheduler | None = None,
+        pipeline: bool = True,
     ) -> None:
         if workers < 1:
             raise EngineError("need at least one worker")
@@ -192,10 +192,13 @@ class LocalEngine:
         self.retry = retry or RetryPolicy()
         self.watchdog = watchdog or Watchdog()
         self.block_known_loopers = block_known_loopers
+        #: Dispatch-order policy; ``None`` = FIFO arrival order.
+        self.scheduler = scheduler
+        #: Per-tuple pipelining (barriers only at REDUCE) vs historical
+        #: full per-activity barriers.
+        self.pipeline = pipeline
         self._router: AffinityRouter | None = None
         self._shipped_context: dict | None = None
-        self._fault_injector: FaultInjector | None = None
-        self._cancel_handle: CancelTokenHandle | None = None
         #: Per-worker results of the end-of-run cache-cleanup broadcast
         #: (True where a worker dropped a run-state entry); for tests.
         self.last_cache_cleanup: list = []
@@ -228,23 +231,22 @@ class LocalEngine:
         }
         context["wkfid"] = wkfid
 
-        retried = blocked = aborted = total = 0
+        retried = blocked = aborted = 0
         timeouts = infra_retries = quarantined = 0
-        current = [(dict(t), tuple_key(t, i)) for i, t in enumerate(relation)]
         final = Relation(f"{workflow.tag}:output")
 
         # Fault injection: chaos tests force crashes/hangs/failures via
         # this context entry; it ships to workers so faults fire where
         # real ones would. Never visible to activations.
-        self._fault_injector: FaultInjector | None = context.pop(
+        fault_injector: FaultInjector | None = context.pop(
             "fault_injector", None
         )
         # Cooperative cancellation for the threads backend: one handle
         # per run in the *shared* context (activations setdefault caches
         # there, so no per-activation copies); each activation-runner
         # thread binds its private token into the handle.
-        self._cancel_handle = CancelTokenHandle()
-        context["cancel_token"] = self._cancel_handle
+        cancel_handle = CancelTokenHandle()
+        context["cancel_token"] = cancel_handle
 
         # Artifact-plane policy: ``shared_maps`` tristate (None = auto,
         # on for the processes backend where workers cannot see each
@@ -275,7 +277,7 @@ class LocalEngine:
             shipped = {
                 k: v
                 for k, v in context.items()
-                if k not in _PARENT_ONLY_CONTEXT_KEYS
+                if k not in PARENT_ONLY_CONTEXT_KEYS
             }
             # Workers key their build-once artifact caches on this token,
             # so one engine run never reuses another run's receptors/maps
@@ -284,43 +286,72 @@ class LocalEngine:
             # Lets injected crashes know there is a real process to kill.
             shipped["worker_process"] = True
             self._shipped_context = shipped
+
+        runner = AttemptRunner(
+            self.store,
+            self.retry,
+            self.watchdog,
+            router=self._router,
+            shipped_context=self._shipped_context,
+            fault_injector=fault_injector,
+            cancel_handle=cancel_handle,
+        )
+        state = DataflowState(
+            workflow,
+            pipeline=self.pipeline,
+            store=self.store,
+            wkfid=wkfid,
+            actids=actids,
+        )
+        ready = ReadyQueue(self.scheduler)
+        completions: queue.Queue = queue.Queue()
+        steering = context.get("steering")
+        inflight = 0
+        peak_inflight = 0
+
+        def enqueue(items: list[WorkItem]) -> None:
+            for item in items:
+                ready.push(
+                    item, workflow.activities[item.stage].cost(item.tup)
+                )
+
+        def task(item: WorkItem, activity: Activity, actid: int) -> None:
+            try:
+                outs, outcome = runner.run_with_retry(
+                    activity, actid, item.tup, item.key, context, t0
+                )
+                completions.put((item, outs, outcome, None))
+            except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
+                completions.put((item, [], AttemptOutcome(), exc))
+
+        enqueue(state.seed(relation))
         try:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for idx, activity in enumerate(workflow.activities):
-                    actid = actids[activity.tag]
-                    if activity.operator is Operator.REDUCE:
-                        tuples = [t for t, _ in current]
-                        out, outcome = self._run_one(
-                            pool, activity, actid,
-                            {"__tuples__": tuples}, f"reduce-{activity.tag}",
-                            context, t0,
-                        )
-                        retried += outcome.retried
-                        infra_retries += outcome.infra_retries
-                        if outcome.timed_out:
-                            aborted += 1
-                            timeouts += 1
-                        next_tuples = [(t, tuple_key(t, k)) for k, t in enumerate(out)]
-                        total += 1
-                    else:
-                        steering = context.get("steering")
-                        futures = []
-                        next_tuples = []
-                        for tup, key in current:
-                            total += 1
+                while True:
+                    # Fill free worker slots from the ready queue; keeping
+                    # the backlog here (instead of pre-submitting every
+                    # future) is what lets the scheduler order dispatch
+                    # and steering cancel still-queued work.
+                    while ready and inflight < self.workers:
+                        item = ready.pop()
+                        activity = workflow.activities[item.stage]
+                        actid = actids[activity.tag]
+                        if activity.operator is not Operator.REDUCE:
                             if steering is not None and steering.should_abort(
-                                activity.tag, key
+                                activity.tag, item.key
                             ):
                                 self.store.record_blocked(
-                                    actid, key, time.perf_counter() - t0,
+                                    actid, item.key, time.perf_counter() - t0,
                                     "aborted by user steering",
                                 )
                                 blocked += 1
+                                enqueue(state.retire(item))
                                 continue
-                            if activity.would_loop(tup):
+                            if activity.would_loop(item.tup):
                                 if self.block_known_loopers:
                                     self.store.record_blocked(
-                                        actid, key, time.perf_counter() - t0,
+                                        actid, item.key,
+                                        time.perf_counter() - t0,
                                         "known looping input (Hg routine)",
                                     )
                                     blocked += 1
@@ -336,11 +367,11 @@ class LocalEngine:
                                     # have received is kept in errormsg.
                                     start = time.perf_counter() - t0
                                     tid = self.store.begin_activation(
-                                        actid, key, start,
+                                        actid, item.key, start,
                                         workdir=context.get("workdir", ""),
                                     )
                                     deadline = self.watchdog.deadline(
-                                        activity.cost(tup)
+                                        activity.cost(item.tup)
                                     )
                                     self.store.end_activation(
                                         tid, time.perf_counter() - t0,
@@ -349,25 +380,23 @@ class LocalEngine:
                                         f"(deadline {deadline:.3f}s)",
                                     )
                                     aborted += 1
+                                enqueue(state.retire(item))
                                 continue
-                            futures.append(
-                                pool.submit(
-                                    self._run_with_retry, activity, actid, tup,
-                                    key, context, t0,
-                                )
-                            )
-                        for fut in futures:
-                            outs, outcome = fut.result()
-                            retried += outcome.retried
-                            infra_retries += outcome.infra_retries
-                            if outcome.timed_out:
-                                aborted += 1
-                                timeouts += 1
-                            for out_tup in outs:
-                                next_tuples.append(
-                                    (out_tup, tuple_key(out_tup, len(next_tuples)))
-                                )
-                    current = next_tuples
+                        inflight += 1
+                        peak_inflight = max(peak_inflight, inflight)
+                        pool.submit(task, item, activity, actid)
+                    if inflight == 0:
+                        break
+                    item, outs, outcome, exc = completions.get()
+                    inflight -= 1
+                    if exc is not None:
+                        raise exc
+                    retried += outcome.retried
+                    infra_retries += outcome.infra_retries
+                    if outcome.timed_out:
+                        aborted += 1
+                        timeouts += 1
+                    enqueue(state.complete(item, outs))
         finally:
             if self._router is not None:
                 steals = self._router.steals
@@ -393,9 +422,7 @@ class LocalEngine:
                 release_cached(plane.handle.scratch_dir)
                 artifact_stats = plane.destroy()
             context.pop("cancel_token", None)
-            self._fault_injector = None
-            self._cancel_handle = None
-        for tup, _ in current:
+        for tup in state.final:
             final.append(tup)
         tet = time.perf_counter() - t0
         self.store.end_workflow(wkfid, tet)
@@ -405,232 +432,17 @@ class LocalEngine:
             tet_seconds=tet,
             output=final,
             counts=self.store.counts_by_status(wkfid),
-            total_activations=total,
+            total_activations=state.spawned,
             retried=retried,
             blocked=blocked,
             aborted=aborted,
-            peak_cores=self.workers,
+            peak_cores=peak_inflight,
             artifact_stats=artifact_stats,
             steals=steals,
             timeouts=timeouts,
             infra_retries=infra_retries,
             quarantined_workers=quarantined,
         )
-
-    # -- helpers -------------------------------------------------------------
-    def _run_one(self, pool, activity, actid, tup, key, context, t0):
-        """Run a single (REDUCE) activation through the bookkeeping pool.
-
-        Submitting instead of calling inline keeps the coordinator
-        thread free for bookkeeping and gives the activation the same
-        watchdog/retry treatment as every other one.
-        """
-        future = pool.submit(
-            self._run_with_retry, activity, actid, tup, key, context, t0
-        )
-        return future.result()
-
-    def _call_with_watchdog(self, call, deadline: float, key: str):
-        """Threads backend: run ``call(token)`` under a wall-clock deadline.
-
-        The activation runs on a dedicated daemon thread while this
-        bookkeeping thread does a timed wait. At the deadline the
-        cooperative token is cancelled and the activation gets
-        ``watchdog.grace`` seconds to notice; threads cannot be killed,
-        so a non-cooperative activation is then *abandoned* — its
-        provenance says ABORTED and the run moves on, but the thread
-        itself survives until its code returns (document long hangs to
-        chaos tests; the daemon flag keeps them from pinning exit).
-        """
-        token = CancellationToken()
-        done = threading.Event()
-        box: dict = {}
-
-        def runner() -> None:
-            if self._cancel_handle is not None:
-                self._cancel_handle.bind(token)
-            try:
-                box["result"] = call(token)
-            except BaseException as exc:  # noqa: BLE001 - relayed below
-                box["error"] = exc
-            finally:
-                done.set()
-
-        thread = threading.Thread(
-            target=runner, name=f"activation-{key}", daemon=True
-        )
-        thread.start()
-        finished = done.wait(deadline)
-        if not finished:
-            token.cancel()
-            cooperative = done.wait(self.watchdog.grace)
-            detail = (
-                "cancelled cooperatively"
-                if cooperative
-                else "non-cooperative activation abandoned"
-            )
-            raise WatchdogTimeout(deadline, detail)
-        if "error" in box:
-            raise box["error"]
-        return box["result"]
-
-    def _execute_activation(
-        self,
-        activity: Activity,
-        tup: dict,
-        key: str,
-        tries: int,
-        context: dict,
-        deadline: float,
-    ) -> list[dict]:
-        """Run one activation on the configured backend, under a deadline.
-
-        Threads backend: run the activity on a watchdog-supervised
-        thread (cooperative cancellation; see ``_call_with_watchdog``).
-        Processes backend: route ``(fn, operator, tag, tuple, sanitized
-        context)`` through the affinity router — sticky by
-        ``receptor_id`` so each receptor's activations revisit the
-        worker holding its artifacts — with a timed wait on the result;
-        a deadline miss SIGKILLs the worker (``router.abort``) and the
-        router heals the slot. Raises :class:`WatchdogTimeout` either
-        way, so the retry/provenance flow above is backend-agnostic.
-        """
-        injector = self._fault_injector
-        if self._router is None:
-
-            def call(token: CancellationToken) -> list[dict]:
-                if injector is not None:
-                    return run_activation_with_faults(
-                        injector, key, tries, activity.fn, activity.operator,
-                        activity.tag, tup, context,
-                    )
-                return activity.run(tup, context)
-
-            return self._call_with_watchdog(call, deadline, key)
-        affinity = tup.get("receptor_id") if isinstance(tup, dict) else None
-        affinity_key = str(affinity) if affinity is not None else None
-        if injector is not None:
-            future = self._router.submit(
-                affinity_key, run_activation_with_faults,
-                injector, key, tries, activity.fn, activity.operator,
-                activity.tag, tup, self._shipped_context,
-            )
-        else:
-            future = self._router.submit(
-                affinity_key, run_activation,
-                activity.fn, activity.operator, activity.tag, tup,
-                self._shipped_context,
-            )
-        try:
-            return future.result(timeout=deadline)
-        except FuturesTimeout:
-            outcome = self._router.abort(future)
-            if outcome == "finished":
-                # Completed in the race window between the timed wait
-                # expiring and the abort landing; the deadline was still
-                # missed, so it is a timeout either way.
-                pass
-            raise WatchdogTimeout(deadline, f"worker {outcome}") from None
-
-    def _run_with_retry(
-        self,
-        activity: Activity,
-        actid: int,
-        tup: dict,
-        key: str,
-        context: dict,
-        t0: float,
-    ) -> tuple[list[dict], _AttemptOutcome]:
-        """Execute one activation with watchdog, retries and backoff.
-
-        Three failure classes, three budgets:
-
-        * **Activation failures** (the callable raised): retried up to
-          ``retry.max_attempts`` with exponential backoff, each attempt
-          recorded as a FAILED activation.
-        * **Infrastructure failures** (worker death, router errors):
-          retried up to ``retry.max_infra_retries`` *without* consuming
-          the activation's attempt budget — the input wasn't at fault.
-        * **Watchdog timeouts**: terminal. A hung activation is aborted
-          at its wall-clock deadline (worker killed on the processes
-          backend, thread cancelled/abandoned on threads) and recorded
-          ABORTED with the real abort timestamp; retrying a looping
-          input would loop again.
-        """
-        attempt = 0
-        infra_failures = 0
-        tries = 0  # total dispatches; fault injection re-rolls per try
-        outcome = _AttemptOutcome()
-        while True:
-            start = time.perf_counter() - t0
-            tid = self.store.begin_activation(
-                actid, key, start, workdir=context.get("workdir", ""), attempt=attempt
-            )
-            deadline = self.watchdog.deadline(activity.cost(tup))
-            try:
-                raw = self._execute_activation(
-                    activity, tup, key, tries, context, deadline
-                )
-            except WatchdogTimeout as exc:
-                now = time.perf_counter() - t0
-                self.store.end_activation(
-                    tid, now, ActivationStatus.ABORTED, 137,
-                    f"watchdog timeout after {now - start:.3f}s "
-                    f"(deadline {deadline:.3f}s; {exc.detail})",
-                )
-                outcome.timed_out = True
-                return [], outcome
-            except _INFRA_ERRORS as exc:
-                now = time.perf_counter() - t0
-                self.store.end_activation(
-                    tid, now, ActivationStatus.FAILED, 137,
-                    f"infrastructure failure: {type(exc).__name__}: {exc}",
-                )
-                infra_failures += 1
-                tries += 1
-                if infra_failures > self.retry.max_infra_retries:
-                    return [], outcome
-                outcome.infra_retries += 1
-                time.sleep(self.retry.delay(infra_failures - 1, key))
-                continue
-            except Exception as exc:  # noqa: BLE001 - activation errors are data
-                self.store.end_activation(
-                    tid,
-                    time.perf_counter() - t0,
-                    ActivationStatus.FAILED,
-                    1,
-                    f"{type(exc).__name__}: {exc}",
-                )
-                if self.retry.should_retry(attempt):
-                    time.sleep(self.retry.delay(attempt, key))
-                    attempt += 1
-                    tries += 1
-                    outcome.retried += 1
-                    continue
-                return [], outcome
-            outs = []
-            for out in raw:
-                clean, files, payload = _strip_reserved(dict(out))
-                for fname, fsize, fdir in files:
-                    self.store.record_file(tid, fname, int(fsize), fdir)
-                if payload is not None and activity.extractors:
-                    self.store.record_extracts(
-                        tid, run_extractors(activity.extractors, payload)
-                    )
-                outs.append(clean)
-            self.store.end_activation(tid, time.perf_counter() - t0)
-            return outs, outcome
-
-
-@dataclass
-class _SimJob:
-    """One activation inside the simulated engine."""
-
-    activity_index: int
-    tup: dict
-    key: str
-    attempt: int = 0
-    ready_at: float = 0.0
 
 
 class SimulatedEngine:
@@ -641,6 +453,10 @@ class SimulatedEngine:
     propagate routing/filter decisions (they must be lightweight in
     simulation workflows). Failure injection, watchdog aborts, retries,
     scheduler overhead and (optional) elasticity are all modeled.
+    Dataflow — per-tuple pipelining, REDUCE barriers, lineage keys and
+    dependency edges — comes from the same
+    :class:`~repro.workflow.dataflow.DataflowState` the LocalEngine
+    uses, so the simulator no longer re-implements dispatch semantics.
     """
 
     def __init__(
@@ -656,6 +472,7 @@ class SimulatedEngine:
         block_known_loopers: bool = True,
         core_limit: int | None = None,
         data_model=None,
+        pipeline: bool = True,
     ) -> None:
         self.store = store
         self.cluster = cluster
@@ -665,6 +482,7 @@ class SimulatedEngine:
         self.failure_model = failure_model or ActivityFailureModel(rate=0.0)
         self.elasticity = elasticity
         self.block_known_loopers = block_known_loopers
+        self.pipeline = pipeline
         #: Optional (activity_tag, tuple) -> bytes model: accumulates the
         #: shared-FS data volume the run would produce (the paper's
         #: "600 GB for each workflow execution").
@@ -688,6 +506,12 @@ class SimulatedEngine:
             if vm.vm_id in busy_vms:
                 continue
             self.cluster.provider.terminate(vm.vm_id)
+
+    def _usable_cores(self) -> int:
+        cores = self.cluster.total_cores
+        if self.core_limit is not None:
+            cores = min(cores, self.core_limit)
+        return cores
 
     # -- core loop ----------------------------------------------------------
     def run(
@@ -713,113 +537,57 @@ class SimulatedEngine:
 
         now = start_time
         seq = itertools.count()
-        arrivals = itertools.count()
-        #: Dispatchable jobs, keyed by scheduler priority (max-heap).
-        ready_heap: list[tuple[float, int, _SimJob]] = []
-        #: Jobs waiting on a retry delay, keyed by eligibility time.
-        waiting: list[tuple[float, int, _SimJob]] = []
-        #: (finish_time, seq, job, core, outcome) — outcome in
+        state = DataflowState(
+            workflow,
+            pipeline=self.pipeline,
+            store=self.store,
+            wkfid=wkfid,
+            actids=actids,
+        )
+        #: Dispatchable work, ordered by scheduler priority.
+        ready = ReadyQueue(self.scheduler)
+        #: Items waiting on a retry delay, keyed by eligibility time.
+        waiting: list[tuple[float, int, WorkItem]] = []
+        #: (finish_time, seq, item, core, outcome) — outcome in
         #: {"ok", "fail", "loop"}.
-        running: list[tuple[float, int, _SimJob, CoreHandle, str]] = []
+        running: list[tuple[float, int, WorkItem, CoreHandle, str]] = []
         busy_cores: set[tuple[str, int]] = set()
-        retired_counts = {"retried": 0, "blocked": 0, "aborted": 0, "total": 0}
+        retired_counts = {"retried": 0, "blocked": 0, "aborted": 0}
         bytes_written = 0.0
         final = Relation(f"{workflow.tag}:output")
-        peak_cores = self.cluster.total_cores
-        reduce_pending: dict[int, int] = {}
-        reduce_buffer: dict[int, list[dict]] = {}
-        # Track in-flight work per activity index for REDUCE barriers.
-        inflight: dict[int, int] = {i: 0 for i in range(len(workflow.activities))}
-
-        def priority_of(job: _SimJob) -> float:
-            activity = workflow.activities[job.activity_index]
-            return self.scheduler.job_priority(
-                PendingActivation(
-                    key=job.key,
-                    expected_cost=activity.cost(job.tup),
-                    arrival=next(arrivals),
-                )
-            )
-
-        def enqueue(job: _SimJob, when: float) -> None:
-            if job.ready_at > when:
-                heapq.heappush(waiting, (job.ready_at, next(seq), job))
-            else:
-                heapq.heappush(ready_heap, (-priority_of(job), next(seq), job))
-
+        peak_cores = self._usable_cores()
         steering = context.get("steering")
 
-        def emit(index: int, tup: dict, key: str, when: float) -> None:
-            """Queue an activation of activity ``index`` for ``tup``."""
-            retired_counts["total"] += 1
-            activity = workflow.activities[index]
-            if steering is not None and steering.should_abort(activity.tag, key):
-                self.store.record_blocked(
-                    actids[activity.tag], key, when, "aborted by user steering"
-                )
-                retired_counts["blocked"] += 1
-                return
-            if activity.would_loop(tup) and self.block_known_loopers:
-                self.store.record_blocked(
-                    actids[activity.tag], key, when, "known looping input (Hg routine)"
-                )
-                retired_counts["blocked"] += 1
-                return
-            inflight[index] += 1
-            enqueue(_SimJob(index, tup, key, ready_at=when), when)
+        def cost_of(item: WorkItem) -> float:
+            return workflow.activities[item.stage].cost(item.tup)
 
-        def downstream(index: int, outputs: list[dict], when: float) -> None:
-            """Feed an activation's outputs to the next activity."""
-            nxt = index + 1
-            if nxt >= len(workflow.activities):
-                for out in outputs:
-                    final.append(out)
-                return
-            nxt_activity = workflow.activities[nxt]
-            if nxt_activity.operator is Operator.REDUCE:
-                reduce_buffer.setdefault(nxt, []).extend(outputs)
-                return
-            for k, out in enumerate(outputs):
-                emit(nxt, out, tuple_key(out, retired_counts["total"] + k), when)
+        def enqueue(items, when: float) -> None:
+            for item in items:
+                if item.ready_at > when:
+                    heapq.heappush(waiting, (item.ready_at, next(seq), item))
+                else:
+                    ready.push(item, cost_of(item))
 
-        def maybe_release_reduce(when: float) -> None:
-            """Fire REDUCE activations whose upstream fully drained."""
-            for idx, activity in enumerate(workflow.activities):
-                if activity.operator is not Operator.REDUCE:
-                    continue
-                if idx in reduce_pending:
-                    continue  # already fired
-                upstream_busy = any(inflight.get(i, 0) for i in range(idx))
-                if idx == 0 or not upstream_busy:
-                    reduce_pending[idx] = 1
-                    tuples = reduce_buffer.get(idx, [])
-                    emit(idx, {"__tuples__": tuples}, f"reduce-{activity.tag}", when)
+        enqueue(state.seed(relation), now)
 
-        # Seed stage 0.
-        for i, tup in enumerate(relation):
-            emit(0, dict(tup), tuple_key(tup, i), now)
-
-        while ready_heap or waiting or running:
-            # Promote retry-delayed jobs that became eligible.
+        while ready or waiting or running:
+            # Promote retry-delayed items that became eligible.
             while waiting and waiting[0][0] <= now:
-                _, _, job = heapq.heappop(waiting)
-                heapq.heappush(ready_heap, (-priority_of(job), next(seq), job))
+                _, _, item = heapq.heappop(waiting)
+                ready.push(item, cost_of(item))
 
             # Elasticity: consult the policy before each scheduling round.
             if self.elasticity is not None:
-                if ready_heap:
-                    mean_cost = sum(
-                        workflow.activities[j.activity_index].cost(j.tup)
-                        for _, _, j in ready_heap
-                    ) / len(ready_heap)
+                if ready:
+                    mean_cost = sum(cost_of(j) for j in ready.items()) / len(
+                        ready
+                    )
                 else:
                     mean_cost = 0.0
-                cap = self.cluster.total_cores
-                if self.core_limit is not None:
-                    cap = min(cap, self.core_limit)
+                cap = self._usable_cores()
                 utilization = len(busy_cores) / cap if cap else 0.0
                 target = self.elasticity.target_cores(
-                    len(ready_heap), len(running), mean_cost,
+                    len(ready), len(running), mean_cost,
                     utilization=utilization,
                 )
                 if target > self.cluster.total_cores:
@@ -832,7 +600,7 @@ class SimulatedEngine:
                     self._release_idle_vms(target, busy_cores)
             # Make provider boot events catch up to engine time.
             clock.run(until=max(clock.now, now))
-            peak_cores = max(peak_cores, self.cluster.total_cores)
+            peak_cores = max(peak_cores, self._usable_cores())
 
             usable = self.cluster.cores()
             if self.core_limit is not None:
@@ -843,23 +611,46 @@ class SimulatedEngine:
                 if (h.vm_id, h.core_index) not in busy_cores
                 and self.cluster.provider.describe(h.vm_id).state == VMState.RUNNING
             ]
-            if free and ready_heap:
+            if free and ready:
                 free.sort(key=self.scheduler.core_priority, reverse=True)
-                n_round = min(len(free), len(ready_heap))
-                effective_cores = self.cluster.total_cores
-                if self.core_limit is not None:
-                    effective_cores = min(effective_cores, self.core_limit)
                 overhead = self.scheduler.overhead_seconds(
-                    len(ready_heap), effective_cores
+                    len(ready), self._usable_cores()
                 )
                 start = now + overhead
-                for core in free[:n_round]:
-                    _, _, job = heapq.heappop(ready_heap)
-                    activity = workflow.activities[job.activity_index]
-                    cost = activity.cost(job.tup)
-                    loops = activity.would_loop(job.tup)
+                core_idx = 0
+                while core_idx < len(free) and ready:
+                    item = ready.pop()
+                    activity = workflow.activities[item.stage]
+                    actid = actids[activity.tag]
+                    # Dispatch-time checks: a steering rule installed
+                    # mid-run stops queued-but-undispatched tuples too.
+                    if activity.operator is not Operator.REDUCE:
+                        if steering is not None and steering.should_abort(
+                            activity.tag, item.key
+                        ):
+                            self.store.record_blocked(
+                                actid, item.key, now, "aborted by user steering"
+                            )
+                            retired_counts["blocked"] += 1
+                            enqueue(state.retire(item), now)
+                            continue
+                        if (
+                            activity.would_loop(item.tup)
+                            and self.block_known_loopers
+                        ):
+                            self.store.record_blocked(
+                                actid, item.key, now,
+                                "known looping input (Hg routine)",
+                            )
+                            retired_counts["blocked"] += 1
+                            enqueue(state.retire(item), now)
+                            continue
+                    core = free[core_idx]
+                    core_idx += 1
+                    cost = activity.cost(item.tup)
+                    loops = activity.would_loop(item.tup)
                     fails = self.failure_model.fails(
-                        f"{activity.tag}:{job.key}", job.attempt
+                        f"{activity.tag}:{item.key}", item.attempt
                     )
                     if loops:
                         service = self.watchdog.deadline(cost)
@@ -867,22 +658,22 @@ class SimulatedEngine:
                     else:
                         service = cost / core.speed
                         outcome = "fail" if fails else "ok"
-                    job.tid = self.store.begin_activation(  # type: ignore[attr-defined]
-                        actids[activity.tag],
-                        job.key,
+                    item.tid = self.store.begin_activation(
+                        actid,
+                        item.key,
                         start,
                         vm_id=core.vm_id,
                         core_index=core.core_index,
-                        attempt=job.attempt,
+                        attempt=item.attempt,
                     )
                     busy_cores.add((core.vm_id, core.core_index))
                     heapq.heappush(
-                        running, (start + service, next(seq), job, core, outcome)
+                        running, (start + service, next(seq), item, core, outcome)
                     )
                 continue
 
             if not running:
-                if ready_heap:
+                if ready:
                     # Cores exist but are still booting: advance to next boot.
                     if self.cluster.provider.clock.pending:
                         self.cluster.provider.clock.step()
@@ -892,62 +683,59 @@ class SimulatedEngine:
                         "deadlock: ready activations but no cores available"
                     )
                 if waiting:
-                    # Jobs waiting on retry delay: jump to the earliest.
+                    # Items waiting on retry delay: jump to the earliest.
                     now = waiting[0][0]
-                    maybe_release_reduce(now)
-                    continue
-                maybe_release_reduce(now)
-                if not (ready_heap or waiting or running):
-                    break
                 continue
 
-            finish, _, job, core, outcome = heapq.heappop(running)
+            finish, _, item, core, outcome = heapq.heappop(running)
             now = max(now, finish)
             busy_cores.discard((core.vm_id, core.core_index))
-            activity = workflow.activities[job.activity_index]
-            inflight[job.activity_index] -= 1
+            activity = workflow.activities[item.stage]
             if outcome == "loop":
                 self.store.end_activation(
-                    job.tid, finish, ActivationStatus.ABORTED, 137,
+                    item.tid, finish, ActivationStatus.ABORTED, 137,
                     "looping state killed by watchdog",
                 )
                 retired_counts["aborted"] += 1
+                enqueue(state.retire(item), now)
             elif outcome == "fail":
                 self.store.end_activation(
-                    job.tid, finish, ActivationStatus.FAILED, 1, "injected failure"
+                    item.tid, finish, ActivationStatus.FAILED, 1,
+                    "injected failure",
                 )
-                if self.retry.should_retry(job.attempt):
+                if self.retry.should_retry(item.attempt):
                     retired_counts["retried"] += 1
-                    inflight[job.activity_index] += 1
-                    retry_job = _SimJob(
-                        job.activity_index,
-                        job.tup,
-                        job.key,
-                        attempt=job.attempt + 1,
-                        ready_at=finish + self.retry.delay(job.attempt, job.key),
+                    # The item stays in flight (no dataflow transition):
+                    # only its attempt counter and eligibility change.
+                    item.attempt += 1
+                    item.ready_at = finish + self.retry.delay(
+                        item.attempt - 1, item.key
                     )
-                    enqueue(retry_job, now)
-            else:
-                self.store.end_activation(job.tid, finish)
-                if self.data_model is not None:
-                    bytes_written += self.data_model(activity.tag, job.tup)
-                if activity.fn is not None:
-                    raw = activity.run(job.tup, context)
+                    enqueue([item], now)
                 else:
-                    raw = [dict(job.tup)]
+                    enqueue(state.retire(item), now)
+            else:
+                self.store.end_activation(item.tid, finish)
+                if self.data_model is not None:
+                    bytes_written += self.data_model(activity.tag, item.tup)
+                if activity.fn is not None:
+                    raw = activity.run(item.tup, context)
+                else:
+                    raw = [dict(item.tup)]
                 outputs = []
                 for out in raw:
-                    clean, files, payload = _strip_reserved(dict(out))
+                    clean, files, payload = strip_reserved(dict(out))
                     for fname, fsize, fdir in files:
-                        self.store.record_file(job.tid, fname, int(fsize), fdir)
+                        self.store.record_file(item.tid, fname, int(fsize), fdir)
                     if payload is not None and activity.extractors:
                         self.store.record_extracts(
-                            job.tid, run_extractors(activity.extractors, payload)
+                            item.tid, run_extractors(activity.extractors, payload)
                         )
                     outputs.append(clean)
-                downstream(job.activity_index, outputs, now)
-            maybe_release_reduce(now)
+                enqueue(state.complete(item, outputs), now)
 
+        for tup in state.final:
+            final.append(tup)
         tet = now - start_time
         self.store.end_workflow(wkfid, now)
         return ExecutionReport(
@@ -956,7 +744,7 @@ class SimulatedEngine:
             tet_seconds=tet,
             output=final,
             counts=self.store.counts_by_status(wkfid),
-            total_activations=retired_counts["total"],
+            total_activations=state.spawned,
             retried=retired_counts["retried"],
             blocked=retired_counts["blocked"],
             aborted=retired_counts["aborted"],

@@ -61,9 +61,45 @@ class RecoveryPlan:
         )
 
 
-def _root_key(key: str) -> str:
-    """Activation keys inherit the pair key (``<ligand>_<receptor>``)."""
-    return key
+def _lineage_root_resolver(store: ProvenanceStore, wkfid: int):
+    """Map activation tuple keys back to input-relation root keys.
+
+    Under pipelined execution, downstream activations may carry
+    lineage-hash keys rather than the input tuple's key; the
+    ``hdependency`` edges the dataflow core records let us walk any
+    activation key up its spawn chain to the root. Semantic keys (the
+    ``<ligand>_<receptor>`` convention, explicit ``key`` fields) are
+    self-edges in that table and resolve to themselves, which also keeps
+    provenance from runs predating the dependency table analyzable.
+
+    Returns ``root(key) -> str | None``; ``None`` means the key fans in
+    from multiple inputs (a REDUCE activation) and classifies no single
+    input tuple.
+    """
+    rows = store.sql(
+        "SELECT DISTINCT child_key, parent_key FROM hdependency"
+        " WHERE wkfid = ?",
+        (wkfid,),
+    )
+    parents: dict[str, set[str]] = {}
+    for r in rows:
+        if r["parent_key"] != r["child_key"]:
+            parents.setdefault(r["child_key"], set()).add(r["parent_key"])
+
+    def root(key: str) -> str | None:
+        seen = {key}
+        while True:
+            up = parents.get(key)
+            if not up:
+                return key
+            if len(up) > 1:
+                return None
+            (key,) = up
+            if key in seen:  # defensive: malformed cycle
+                return key
+            seen.add(key)
+
+    return root
 
 
 def analyze_run(
@@ -94,12 +130,16 @@ def analyze_run(
         """,
         (wkfid,),
     )
+    root_of = _lineage_root_resolver(store, wkfid)
     finished_last: set[str] = set()
     # (tag, key) -> last seen status wins (retries overwrite failures).
     final_status: dict[tuple[str, str], str] = {}
     timeout_marked: set[str] = set()
     for r in rows:
-        key = _root_key(r["tuple_key"])
+        key = root_of(r["tuple_key"])
+        if key is None:
+            # REDUCE fan-in: classifies no single input tuple.
+            continue
         final_status[(r["tag"], key)] = r["status"]
         if r["status"] == "ABORTED":
             errormsg = r["errormsg"] or ""

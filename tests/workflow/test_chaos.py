@@ -325,6 +325,120 @@ class TestRetryBackoff:
         assert all("injected failure" in r["errormsg"] for r in failed)
 
 
+class TestPipelinedChaos:
+    """Faults firing mid-pipeline: with per-activity barriers gone, a
+    crash or hang in a downstream stage happens while upstream tuples
+    are still flowing — the dispatcher must contain it without stalling
+    the rest of the dataflow."""
+
+    def test_crash_in_downstream_stage_mid_pipeline(self):
+        # The crash fires in activity "second" for one tuple while its
+        # siblings may still be inside "first"; the healed worker rejoins
+        # the pipeline and every tuple finishes both stages.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="processes",
+            retry=RetryPolicy(max_attempts=1, base_delay=0.01),
+            pipeline=True,
+        )
+        wf = Workflow(
+            "W",
+            [
+                Activity("first", Operator.MAP, fn=identity),
+                Activity("second", Operator.MAP, fn=identity),
+            ],
+        )
+        context = {
+            "shared_maps": False,
+            "fault_injector": FaultInjector(crash_keys=frozenset({"second:b"})),
+        }
+        report = engine.run(wf, relation_of("a", "b", "c"), context=context)
+        assert sorted(t["key"] for t in report.output) == ["a", "b", "c"]
+        assert report.infra_retries == 1
+        rows = [
+            r
+            for r in store.activations(report.wkfid)
+            if r["tuple_key"] == "b"
+        ]
+        # first FINISHED, second FAILED (infra) then FINISHED.
+        assert [r["status"] for r in rows] == [
+            "FINISHED", "FAILED", "FINISHED",
+        ]
+
+    def test_hang_in_downstream_stage_does_not_stall_pipeline(self):
+        # One tuple hangs in stage two; the watchdog aborts it there
+        # while the other tuples stream through both stages.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="threads",
+            retry=FAST_RETRY,
+            watchdog=Watchdog(timeout=0.5, multiplier=1.5, grace=0.5),
+            pipeline=True,
+        )
+        wf = Workflow(
+            "W",
+            [
+                Activity(
+                    "first", Operator.MAP, fn=identity, cost_fn=lambda t: 0.0
+                ),
+                Activity(
+                    "second", Operator.MAP, fn=identity, cost_fn=lambda t: 0.0
+                ),
+            ],
+        )
+        context = {
+            "fault_injector": FaultInjector(
+                looping_model=LoopingStateModel(
+                    hg_loops=False, extra_looping_keys={"second:hang"}
+                ),
+            ),
+        }
+        report = engine.run(wf, relation_of("a", "hang", "b"), context=context)
+        assert sorted(t["key"] for t in report.output) == ["a", "b"]
+        assert report.timeouts == 1
+        rows = store.activations(report.wkfid, ActivationStatus.ABORTED)
+        assert len(rows) == 1
+        assert rows[0]["tuple_key"] == "hang"
+
+    def test_barrier_mode_contains_the_same_faults(self):
+        # The historical barrier dispatcher must handle the identical
+        # fault plan — parity of fault containment, not just results.
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=2,
+            backend="threads",
+            retry=FAST_RETRY,
+            watchdog=Watchdog(timeout=0.5, multiplier=1.5, grace=0.5),
+            pipeline=False,
+        )
+        wf = Workflow(
+            "W",
+            [
+                Activity(
+                    "first", Operator.MAP, fn=identity, cost_fn=lambda t: 0.0
+                ),
+                Activity(
+                    "second", Operator.MAP, fn=identity, cost_fn=lambda t: 0.0
+                ),
+            ],
+        )
+        context = {
+            "fault_injector": FaultInjector(
+                looping_model=LoopingStateModel(
+                    hg_loops=False, extra_looping_keys={"second:hang"}
+                ),
+            ),
+        }
+        report = engine.run(wf, relation_of("a", "hang", "b"), context=context)
+        assert sorted(t["key"] for t in report.output) == ["a", "b"]
+        assert report.timeouts == 1
+
+
 class TestFaultInjectorDeterminism:
     def test_same_seed_same_fates(self):
         inj = FaultInjector(

@@ -1,0 +1,214 @@
+"""Unit tests for the shared dataflow dispatch core."""
+
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.dataflow import (
+    LINEAGE_PREFIX,
+    DataflowState,
+    ReadyQueue,
+    WorkItem,
+    lineage_key,
+)
+from repro.workflow.relation import Relation
+from repro.workflow.scheduler import GreedyCostScheduler
+
+
+def two_map_workflow() -> Workflow:
+    return Workflow(
+        "w",
+        [
+            Activity("a", Operator.MAP, fn=lambda t, c: [dict(t)]),
+            Activity("b", Operator.MAP, fn=lambda t, c: [dict(t)]),
+        ],
+    )
+
+
+def reduce_workflow() -> Workflow:
+    return Workflow(
+        "w",
+        [
+            Activity("a", Operator.MAP, fn=lambda t, c: [dict(t)]),
+            Activity(
+                "total", Operator.REDUCE,
+                fn=lambda t, c: [{"n": len(t["__tuples__"])}],
+            ),
+        ],
+    )
+
+
+class TestLineageKey:
+    def test_explicit_key_field_wins(self):
+        assert lineage_key({"key": "abc", "x": 1}, "p", "dock", 0) == "abc"
+
+    def test_scidock_pair_convention(self):
+        tup = {"ligand_id": "ZINC1", "receptor_id": "1ABC"}
+        assert lineage_key(tup, "p", "dock", 3) == "ZINC1_1ABC"
+
+    def test_anonymous_fallback_is_deterministic(self):
+        k1 = lineage_key({"x": 1}, "parent", "dock", 0)
+        k2 = lineage_key({"x": 999}, "parent", "dock", 0)
+        assert k1 == k2  # derived from lineage, not tuple contents
+        assert k1.startswith(LINEAGE_PREFIX)
+
+    def test_anonymous_fallback_varies_by_lineage(self):
+        base = lineage_key({}, "parent", "dock", 0)
+        assert lineage_key({}, "parent", "dock", 1) != base
+        assert lineage_key({}, "parent", "prep", 0) != base
+        assert lineage_key({}, "other", "dock", 0) != base
+
+
+class TestReadyQueue:
+    def test_fifo_without_scheduler(self):
+        q = ReadyQueue()
+        items = [WorkItem(0, {}, f"k{i}") for i in range(4)]
+        for item, cost in zip(items, (1.0, 9.0, 3.0, 7.0)):
+            q.push(item, cost)
+        assert [q.pop().key for _ in range(4)] == ["k0", "k1", "k2", "k3"]
+
+    def test_greedy_scheduler_orders_by_cost(self):
+        q = ReadyQueue(GreedyCostScheduler())
+        for i, cost in enumerate((1.0, 9.0, 3.0, 7.0)):
+            q.push(WorkItem(0, {}, f"k{i}"), cost)
+        assert [q.pop().key for _ in range(4)] == ["k1", "k3", "k2", "k0"]
+
+    def test_len_and_bool(self):
+        q = ReadyQueue()
+        assert not q and len(q) == 0
+        q.push(WorkItem(0, {}, "k"))
+        assert q and len(q) == 1
+
+
+class TestPipelinedDataflow:
+    def test_output_spawns_downstream_immediately(self):
+        state = DataflowState(two_map_workflow(), pipeline=True)
+        items = state.seed(Relation("in", [{"x": 0}, {"x": 1}]))
+        assert [i.stage for i in items] == [0, 0]
+        # Completing ONE stage-0 item releases its stage-1 child even
+        # though its sibling is still in flight — no cohort barrier.
+        children = state.complete(items[0], [{"x": 0}])
+        assert [i.stage for i in children] == [1]
+        assert not state.done()
+
+    def test_done_after_all_retire(self):
+        state = DataflowState(two_map_workflow(), pipeline=True)
+        items = state.seed(Relation("in", [{"x": 0}]))
+        (child,) = state.complete(items[0], [{"x": 0}])
+        assert state.complete(child, [{"x": 0}]) == []
+        assert state.done()
+        assert state.final == [{"x": 0}]
+        assert state.spawned == 2
+
+    def test_filter_drop_spawns_nothing(self):
+        state = DataflowState(two_map_workflow(), pipeline=True)
+        items = state.seed(Relation("in", [{"x": 0}]))
+        assert state.retire(items[0]) == []
+        assert state.done()
+        assert state.final == []
+
+
+class TestBarrierDataflow:
+    def test_stage_waits_for_entire_cohort(self):
+        state = DataflowState(two_map_workflow(), pipeline=False)
+        items = state.seed(Relation("in", [{"x": 0}, {"x": 1}]))
+        assert [i.stage for i in items] == [0, 0]
+        assert state.complete(items[0], [{"x": 0}]) == []  # parked
+        released = state.complete(items[1], [{"x": 1}])
+        assert [i.stage for i in released] == [1, 1]
+
+    def test_keys_match_pipelined_mode(self):
+        rel = Relation("in", [{"x": 0}, {"x": 1}])
+
+        def run(pipeline):
+            state = DataflowState(two_map_workflow(), pipeline=pipeline)
+            items = list(state.seed(rel))
+            keys = []
+            while items:
+                item = items.pop(0)
+                keys.append((item.stage, item.key))
+                items.extend(state.complete(item, [dict(item.tup)]))
+            return sorted(keys)
+
+        assert run(True) == run(False)
+
+
+class TestReduceBarrier:
+    def test_reduce_barriers_even_when_pipelined(self):
+        state = DataflowState(reduce_workflow(), pipeline=True)
+        items = state.seed(Relation("in", [{"x": 0}, {"x": 1}]))
+        assert state.complete(items[0], [{"x": 0}]) == []  # buffered
+        (red,) = state.complete(items[1], [{"x": 1}])
+        assert red.stage == 1
+        assert red.key == "reduce-total"
+        assert red.tup == {"__tuples__": [{"x": 0}, {"x": 1}]}
+
+    def test_reduce_fires_once_over_empty_stream(self):
+        state = DataflowState(reduce_workflow(), pipeline=True)
+        items = state.seed(Relation("in", [{"x": 0}]))
+        # The only upstream tuple is dropped; REDUCE still runs, over
+        # zero tuples — matching the historical engines.
+        (red,) = state.retire(items[0])
+        assert red.stage == 1
+        assert red.tup == {"__tuples__": []}
+        assert state.spawned == 2
+
+    def test_reduce_as_first_stage_absorbs_the_seed(self):
+        wf = Workflow(
+            "w",
+            [Activity("total", Operator.REDUCE, fn=lambda t, c: [t])],
+        )
+        state = DataflowState(wf, pipeline=True)
+        (red,) = state.seed(Relation("in", [{"x": 1}, {"x": 2}]))
+        assert red.key == "reduce-total"
+        assert len(red.tup["__tuples__"]) == 2
+
+
+class TestDependencyEdges:
+    def test_spawn_records_parent_child_edges(self):
+        store = ProvenanceStore()
+        wkfid = store.begin_workflow("w", "", "", "", starttime=0.0)
+        actids = {
+            "a": store.register_activity(wkfid, "a", "", "", "", "MAP"),
+            "b": store.register_activity(wkfid, "b", "", "", "", "MAP"),
+        }
+        state = DataflowState(
+            two_map_workflow(), pipeline=True,
+            store=store, wkfid=wkfid, actids=actids,
+        )
+        items = state.seed(Relation("in", [{"ligand_id": "L", "receptor_id": "R"}]))
+        state.complete(items[0], [{"ligand_id": "L", "receptor_id": "R"}])
+        rows = store.sql(
+            "SELECT child_key, child_actid, parent_key, parent_actid"
+            " FROM hdependency WHERE wkfid = ?",
+            (wkfid,),
+        )
+        assert len(rows) == 1
+        assert rows[0]["parent_key"] == "L_R"
+        assert rows[0]["child_key"] == "L_R"
+        assert rows[0]["parent_actid"] == actids["a"]
+        assert rows[0]["child_actid"] == actids["b"]
+
+    def test_reduce_edges_fan_in(self):
+        store = ProvenanceStore()
+        wkfid = store.begin_workflow("w", "", "", "", starttime=0.0)
+        actids = {
+            "a": store.register_activity(wkfid, "a", "", "", "", "MAP"),
+            "total": store.register_activity(
+                wkfid, "total", "", "", "", "REDUCE"
+            ),
+        }
+        state = DataflowState(
+            reduce_workflow(), pipeline=True,
+            store=store, wkfid=wkfid, actids=actids,
+        )
+        items = state.seed(
+            Relation("in", [{"key": "a1"}, {"key": "a2"}])
+        )
+        for item in items:
+            state.complete(item, [dict(item.tup)])
+        rows = store.sql(
+            "SELECT parent_key FROM hdependency"
+            " WHERE wkfid = ? AND child_key = 'reduce-total'"
+            " ORDER BY parent_key",
+            (wkfid,),
+        )
+        assert [r["parent_key"] for r in rows] == ["a1", "a2"]

@@ -1,0 +1,302 @@
+"""Pipelined vs barrier execution: golden parity and dispatch semantics.
+
+The dataflow refactor dissolved the per-activity barriers; these tests
+pin the contract that pipelining changes *when* activations run, never
+*what* the workflow computes: final relation contents (order-
+insensitive), per-activation provenance statuses, FILTER-drop and
+reserved-field semantics must be identical across both modes, both
+LocalEngine backends and the SimulatedEngine.
+"""
+
+import threading
+
+import pytest
+
+from repro.cloud.cluster import VirtualCluster
+from repro.cloud.provider import CloudProvider
+from repro.cloud.simclock import SimClock
+from repro.provenance.queries import lineage_chain
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.engine import LocalEngine, SimulatedEngine
+from repro.workflow.relation import Relation
+from repro.workflow.scheduler import GreedyCostScheduler
+from repro.workflow.steering import SteeringControl
+
+
+# Module-level activation callables: the processes backend pickles them.
+def double(t, c):
+    return [{"x": t["x"] * 2}]
+
+
+def fanout(t, c):
+    return [{"x": t["x"]}, {"x": t["x"] + 1}]
+
+
+def keep_positive(t, c):
+    return [t] if t["x"] > 2 else []
+
+
+def total(t, c):
+    return [{"total": sum(u["x"] for u in t["__tuples__"])}]
+
+
+def with_files(t, c):
+    return [{
+        "x": t["x"],
+        "_files": [(f"out_{t['x']}.dlg", 128, "/tmp")],
+    }]
+
+
+def parity_workflow() -> Workflow:
+    return Workflow(
+        "toy",
+        [
+            Activity("double", Operator.MAP, fn=double, cost_fn=lambda t: 5.0),
+            Activity("fanout", Operator.SPLIT_MAP, fn=fanout, cost_fn=lambda t: 2.0),
+            Activity("positive", Operator.FILTER, fn=keep_positive, cost_fn=lambda t: 1.0),
+            Activity("sum", Operator.REDUCE, fn=total, cost_fn=lambda t: 3.0),
+        ],
+    )
+
+
+INPUT = [{"x": i} for i in range(5)]
+EXPECTED_TOTAL = 42
+
+
+def run_local(pipeline: bool, backend: str):
+    store = ProvenanceStore()
+    engine = LocalEngine(store, workers=3, backend=backend, pipeline=pipeline)
+    report = engine.run(parity_workflow(), Relation("in", [dict(t) for t in INPUT]))
+    return report, store
+
+
+def run_sim(pipeline: bool):
+    clock = SimClock()
+    cluster = VirtualCluster(CloudProvider(clock))
+    cluster.scale_to(4)
+    store = ProvenanceStore()
+    engine = SimulatedEngine(store, cluster, pipeline=pipeline)
+    report = engine.run(parity_workflow(), Relation("in", [dict(t) for t in INPUT]))
+    return report, store
+
+
+def fingerprint(report, store):
+    """Everything that must not depend on barrier placement."""
+    outputs = sorted(
+        tuple(sorted(t.items())) for t in report.output
+    )
+    statuses = {
+        (r["tag"], r["status"]): r["n"]
+        for r in store.sql(
+            """
+            SELECT a.tag, t.status, COUNT(*) AS n
+            FROM hactivation t JOIN hactivity a ON t.actid = a.actid
+            WHERE a.wkfid = ? GROUP BY a.tag, t.status
+            """,
+            (report.wkfid,),
+        )
+    }
+    return outputs, statuses, report.total_activations
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_local_pipelined_matches_barrier(self, backend):
+        pipelined = fingerprint(*run_local(True, backend))
+        barrier = fingerprint(*run_local(False, backend))
+        assert pipelined == barrier
+        assert pipelined[0][0] == (("total", EXPECTED_TOTAL),)
+
+    def test_sim_pipelined_matches_barrier(self):
+        pipelined = fingerprint(*run_sim(True))
+        barrier = fingerprint(*run_sim(False))
+        assert pipelined == barrier
+
+    def test_local_matches_sim(self):
+        local = fingerprint(*run_local(True, "threads"))
+        sim = fingerprint(*run_sim(True))
+        assert local == sim
+
+    @pytest.mark.parametrize("pipeline", [True, False])
+    def test_reserved_fields_stripped_and_recorded(self, pipeline):
+        wf = Workflow(
+            "files",
+            [
+                Activity("emit", Operator.MAP, fn=with_files),
+                Activity("tail", Operator.MAP, fn=lambda t, c: [dict(t)]),
+            ],
+        )
+        store = ProvenanceStore()
+        report = LocalEngine(store, workers=2, pipeline=pipeline).run(
+            wf, Relation("in", [{"x": 1}, {"x": 2}])
+        )
+        assert all("_files" not in t for t in report.output)
+        rows = store.sql(
+            "SELECT fname FROM hfile ORDER BY fname", ()
+        )
+        assert [r["fname"] for r in rows] == ["out_1.dlg", "out_2.dlg"]
+
+    @pytest.mark.parametrize("pipeline", [True, False])
+    def test_filter_drops_reach_no_downstream(self, pipeline):
+        wf = Workflow(
+            "filters",
+            [
+                Activity("pos", Operator.FILTER, fn=keep_positive),
+                Activity("tail", Operator.MAP, fn=lambda t, c: [dict(t)]),
+            ],
+        )
+        store = ProvenanceStore()
+        report = LocalEngine(store, workers=2, pipeline=pipeline).run(
+            wf, Relation("in", [{"x": 1}, {"x": 5}])
+        )
+        assert [t["x"] for t in report.output] == [5]
+        rows = store.sql(
+            """
+            SELECT COUNT(*) AS n FROM hactivation t
+            JOIN hactivity a ON t.actid = a.actid
+            WHERE a.wkfid = ? AND a.tag = 'tail'
+            """,
+            (report.wkfid,),
+        )
+        assert rows[0]["n"] == 1  # only the surviving tuple ran 'tail'
+
+
+class TestSchedulerDispatch:
+    def test_greedy_scheduler_reorders_real_dispatch(self):
+        """GreedyCostScheduler must change actual LocalEngine dispatch
+        order, not just simulated order — the refactor's point."""
+
+        def make_run(scheduler):
+            order = []
+            wf = Workflow(
+                "sched",
+                [
+                    Activity(
+                        "work", Operator.MAP,
+                        fn=lambda t, c: order.append(t["key"]) or [dict(t)],
+                        cost_fn=lambda t: t["cost"],
+                    ),
+                ],
+            )
+            rel = Relation("in", [
+                {"key": "cheap", "cost": 1.0},
+                {"key": "dear", "cost": 9.0},
+                {"key": "mid", "cost": 3.0},
+            ])
+            LocalEngine(
+                ProvenanceStore(), workers=1, scheduler=scheduler
+            ).run(wf, rel)
+            return order
+
+        fifo = make_run(None)
+        greedy = make_run(GreedyCostScheduler())
+        assert fifo == ["cheap", "dear", "mid"]  # arrival order
+        assert greedy == ["dear", "mid", "cheap"]  # descending cost
+        assert fifo != greedy
+
+
+class TestSteeringRace:
+    @pytest.mark.parametrize("pipeline", [True, False])
+    def test_rule_installed_mid_run_blocks_queued_tuple(self, pipeline):
+        """A steering rule installed while a tuple is already enumerated
+        (queued, undispatched) must still stop it: should_abort is
+        checked at dispatch time, not enumeration time."""
+        control = SteeringControl()
+
+        def work(t, c):
+            if t["key"] == "a":
+                c["steering"].abort_tuple("b")
+            return [dict(t)]
+
+        wf = Workflow("w", [Activity("work", Operator.MAP, fn=work)])
+        store = ProvenanceStore()
+        report = LocalEngine(store, workers=1, pipeline=pipeline).run(
+            wf,
+            Relation("in", [{"key": "a"}, {"key": "b"}]),
+            context={"steering": control},
+        )
+        assert report.blocked == 1
+        assert [t["key"] for t in report.output] == ["a"]
+        blocked = store.sql(
+            "SELECT tuple_key, errormsg FROM hactivation"
+            " WHERE status = 'BLOCKED'", ()
+        )
+        assert blocked[0]["tuple_key"] == "b"
+        assert "steering" in blocked[0]["errormsg"]
+
+
+class TestPeakCores:
+    def test_peak_cores_reports_observed_concurrency(self):
+        """peak_cores is what actually ran concurrently, not the
+        configured worker count."""
+        barrier = threading.Barrier(3, timeout=10)
+
+        def rendezvous(t, c):
+            barrier.wait()
+            return [dict(t)]
+
+        wf = Workflow("w", [Activity("work", Operator.MAP, fn=rendezvous)])
+        report = LocalEngine(ProvenanceStore(), workers=8).run(
+            wf, Relation("in", [{"key": f"k{i}"} for i in range(3)])
+        )
+        assert report.peak_cores == 3  # 3 tuples, despite 8 workers
+
+    def test_single_tuple_peaks_at_one(self):
+        wf = Workflow(
+            "w", [Activity("work", Operator.MAP, fn=lambda t, c: [dict(t)])]
+        )
+        report = LocalEngine(ProvenanceStore(), workers=8).run(
+            wf, Relation("in", [{"key": "only"}])
+        )
+        assert report.peak_cores == 1
+
+
+class TestLineageQueries:
+    def test_chain_reconstructs_anonymous_tuple_lineage(self):
+        """An output tuple with hash-derived keys walks back through
+        every stage to its input-relation root."""
+        wf = Workflow(
+            "anon",
+            [
+                Activity("a", Operator.MAP, fn=lambda t, c: [{"x": t["x"]}]),
+                Activity(
+                    "b", Operator.SPLIT_MAP,
+                    fn=lambda t, c: [{"x": t["x"]}, {"x": t["x"] + 10}],
+                ),
+                Activity("c", Operator.MAP, fn=lambda t, c: [{"x": t["x"]}]),
+            ],
+        )
+        store = ProvenanceStore()
+        report = LocalEngine(store, workers=2).run(
+            wf, Relation("in", [{"x": 0}, {"x": 1}])
+        )
+        leaves = store.sql(
+            """
+            SELECT DISTINCT t.tuple_key FROM hactivation t
+            JOIN hactivity a ON t.actid = a.actid
+            WHERE a.wkfid = ? AND a.tag = 'c'
+            """,
+            (report.wkfid,),
+        )
+        assert len(leaves) == 4  # 2 inputs x 2-way split
+        for leaf in leaves:
+            chain = lineage_chain(store, report.wkfid, leaf["tuple_key"])
+            assert [s.tag for s in chain] == ["a", "b", "c"]
+            assert chain[0].tuple_key in ("tuple-0", "tuple-1")
+            assert all(s.status == "FINISHED" for s in chain)
+            assert chain[-1].tuple_key == leaf["tuple_key"]
+
+    def test_chain_falls_back_without_edges(self):
+        """Single-activity workflows spawn no edges; the query falls
+        back to the key's own activations."""
+        wf = Workflow(
+            "w", [Activity("only", Operator.MAP, fn=lambda t, c: [dict(t)])]
+        )
+        store = ProvenanceStore()
+        report = LocalEngine(store, workers=1).run(
+            wf, Relation("in", [{"key": "k"}])
+        )
+        chain = lineage_chain(store, report.wkfid, "k")
+        assert [s.tag for s in chain] == ["only"]
+        assert chain[0].status == "FINISHED"
