@@ -148,6 +148,16 @@ def test_engine_backend_throughput():
         "process_speedup": round(speedup, 2),
         "asserted": multicore and not SMOKE,
     }
+    # A sub-1.0 "speedup" on one core is expected spawn/pickle overhead,
+    # not a regression — record why the assertion did not run instead of
+    # leaving a silently-false ``asserted``.
+    if not multicore:
+        payload["skipped_reason"] = (
+            f"cpu_count={cpu}: process backend cannot beat threads on a "
+            "single core (spawn + pickling overhead only)"
+        )
+    elif SMOKE:
+        payload["skipped_reason"] = "REPRO_BENCH_SMOKE=1"
     _record("engine_backends", payload)
     print(
         f"\nengine backends ({payload['pairs']} pairs, {workers} workers, "
@@ -299,3 +309,125 @@ def test_artifact_plane_build_accounting(tmp_path):
         f"(hit rate {cold['hit_rate']:.2f}), "
         f"warm {warm['builds']} builds / {warm['disk_hits']} disk hits"
     )
+
+
+def _kernel_fixture():
+    """Shared receptor/ligand/box setup for the kernel benchmarks."""
+    from repro.chem.generate import generate_ligand, generate_receptor
+    from repro.docking.box import GridBox
+    from repro.docking.prepare import prepare_ligand, prepare_receptor
+
+    receptor = generate_receptor("2HHN")
+    rec_prep = prepare_receptor(receptor)
+    lig = prepare_ligand(generate_ligand("0E6"))
+    box = GridBox.around_pocket(
+        np.array(receptor.metadata["pocket_center"]),
+        receptor.metadata["pocket_radius"],
+        spacing=0.8,
+    )
+    return rec_prep, lig, box
+
+
+def test_kernel_table_scoring():
+    """Population scoring through table kernels vs the analytic sweep.
+
+    The map-free Vina scorer is the purest pairwise hot path: every pose
+    batch evaluates ligand-x-receptor analytic terms. Table mode replaces
+    the exp/clip expressions with row interpolation and the dense
+    distance tensor with a cell-list gather.
+    """
+    from repro.docking.etables import shared_etables
+    from repro.docking.scoring_vina import VinaScorer
+
+    rec_prep, lig, box = _kernel_fixture()
+    etables = shared_etables()
+    analytic = VinaScorer(rec_prep.molecule, lig.molecule, box)
+    tables = VinaScorer(
+        rec_prep.molecule, lig.molecule, box, etables=etables
+    )
+
+    population = 32 if SMOKE else 128
+    L = len(lig.molecule.atoms)
+    rng = np.random.default_rng(0)
+    base = lig.molecule.coords - lig.molecule.coords.mean(axis=0) + box.center
+    batch = base[None] + rng.normal(0.0, 1.5, size=(population, L, 3))
+
+    ea = analytic.search_energy_batch(batch)
+    et = tables.search_energy_batch(batch)
+    # Parity before timing: documented tolerance |dE| <= 2e-3 + 2% |E|.
+    assert (np.abs(ea - et) <= 2e-3 + 2e-2 * np.abs(ea)).all()
+
+    analytic_s = _best_of(lambda: analytic.search_energy_batch(batch))
+    tables_s = _best_of(lambda: tables.search_energy_batch(batch))
+    speedup = analytic_s / tables_s
+
+    payload = {
+        "population": population,
+        "ligand_atoms": L,
+        "receptor_atoms": int(analytic.rec_coords.shape[0]),
+        "analytic_s": analytic_s,
+        "tables_s": tables_s,
+        "speedup": round(speedup, 2),
+        "asserted": not SMOKE,
+    }
+    if SMOKE:
+        payload["skipped_reason"] = "REPRO_BENCH_SMOKE=1"
+    _record("kernel_tables", payload)
+    print(
+        f"\nkernel tables ({population} poses x {L} atoms): "
+        f"analytic {analytic_s * 1e3:.1f} ms, "
+        f"tables {tables_s * 1e3:.1f} ms -> {speedup:.2f}x"
+    )
+    if not SMOKE:
+        assert speedup > 1.0, f"table kernel only {speedup:.2f}x"
+
+
+def test_map_build_pruning():
+    """AutoGrid cold map build: cell-list tables vs the full sweep.
+
+    The per-receptor setup cost the campaign amortizes over 42 ligands —
+    the paper's preparation-phase argument. The pruned build touches only
+    in-cutoff (point, atom) pairs and reads energies from lookup rows.
+    """
+    from repro.docking.autogrid import AutoGrid
+    from repro.docking.etables import shared_etables
+
+    rec_prep, lig, box = _kernel_fixture()
+    types = lig.atom_types if SMOKE else ("C", "A", "N", "NA", "OA", "SA", "HD")
+    etables = shared_etables()
+    # Warm the table rows so the benchmark isolates the per-build cost
+    # (the rows are built once per process and shared by every receptor).
+    AutoGrid(etables=etables).run(rec_prep.molecule, box, types)
+
+    analytic_s = _best_of(
+        lambda: AutoGrid().run(rec_prep.molecule, box, types)
+    )
+    pruned_s = _best_of(
+        lambda: AutoGrid(etables=etables).run(rec_prep.molecule, box, types)
+    )
+    speedup = analytic_s / pruned_s
+
+    maps_a = AutoGrid().run(rec_prep.molecule, box, types)
+    maps_t = AutoGrid(etables=etables).run(rec_prep.molecule, box, types)
+    for t in maps_a.affinity:
+        err = np.abs(maps_a.affinity[t] - maps_t.affinity[t])
+        assert (err <= 2e-2 + 2e-2 * np.abs(maps_a.affinity[t])).all(), t
+
+    payload = {
+        "grid_points": int(np.prod(box.shape)),
+        "map_types": len(types),
+        "analytic_s": analytic_s,
+        "pruned_s": pruned_s,
+        "speedup": round(speedup, 2),
+        "asserted": not SMOKE,
+    }
+    if SMOKE:
+        payload["skipped_reason"] = "REPRO_BENCH_SMOKE=1"
+    _record("map_build_pruning", payload)
+    print(
+        f"\nmap build pruning ({payload['grid_points']} points, "
+        f"{len(types)} maps): analytic {analytic_s * 1e3:.0f} ms, "
+        f"pruned {pruned_s * 1e3:.0f} ms -> {speedup:.2f}x"
+    )
+    if not SMOKE:
+        assert speedup > 1.0, f"pruned build only {speedup:.2f}x"

@@ -44,6 +44,7 @@ _DOCK_EXTRACTOR = JsonExtractor(
         "rmsd",
         "reference_rmsd",
         "engine",
+        "kernel",
         "modes",
         "evaluations",
         "in_pocket",
@@ -89,6 +90,13 @@ class SciDockConfig:
     #: Dispatch-order policy: "fifo" (arrival order) or "greedy"
     #: (longest expected activation first — SciCumulus' native policy).
     scheduler: str = "fifo"
+    #: Table-driven energy kernels (see repro.docking.etables). False
+    #: keeps the analytic reference path — bit-for-bit the seed scoring.
+    etables: bool = False
+    #: Radial table resolution in Angstrom per bin (tables mode only).
+    etable_dr: float = 0.005
+    #: Table extent / nonbonded cutoff in Angstrom (tables mode only).
+    etable_rmax: float = 8.0
 
     def __post_init__(self) -> None:
         if self.scenario not in ("adaptive", "ad4", "vina"):
@@ -105,6 +113,10 @@ class SciDockConfig:
             raise ValueError("retry_base_delay cannot be negative")
         if not 0.0 <= self.inject_failure_rate <= 1.0:
             raise ValueError("inject_failure_rate must be in [0, 1]")
+        if self.etable_dr <= 0:
+            raise ValueError("etable_dr must be positive")
+        if self.etable_rmax <= self.etable_dr:
+            raise ValueError("etable_rmax must exceed etable_dr")
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy(
@@ -134,6 +146,9 @@ class SciDockConfig:
             "vina_params": self.vina_params,
             "shared_maps": self.shared_maps,
             "map_cache": self.map_cache,
+            "kernel": "tables" if self.etables else "analytic",
+            "etable_dr": self.etable_dr,
+            "etable_rmax": self.etable_rmax,
         }
 
 

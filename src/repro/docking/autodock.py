@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.docking.local_search import solis_wets
 from repro.docking.objective import PoseEnergyObjective
 from repro.docking.prepare import LigandPreparation
 from repro.docking.scoring_ad4 import AD4Scorer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docking.etables import EtableSet
 
 
 @dataclass
@@ -42,9 +46,17 @@ class AutoDock4:
 
     name = "autodock4"
 
-    def __init__(self, maps: GridMaps, params: AD4Parameters | None = None) -> None:
+    def __init__(
+        self,
+        maps: GridMaps,
+        params: AD4Parameters | None = None,
+        etables: "EtableSet | None" = None,
+    ) -> None:
         self.maps = maps
         self.params = params or AD4Parameters()
+        self.etables = etables
+        #: Kernel mode the engine's scorers will run ("analytic"|"tables").
+        self.kernel = "tables" if etables is not None else "analytic"
 
     def dock(
         self,
@@ -53,14 +65,16 @@ class AutoDock4:
     ) -> DockingResult:
         """Dock a prepared ligand; deterministic for a given seed."""
         started = time.perf_counter()
-        scorer = AD4Scorer(self.maps, ligand.molecule)
+        scorer = AD4Scorer(self.maps, ligand.molecule, etables=self.etables)
         tree = ligand.tree
         reference = tree.reference
 
         # Vectorized objective: the GA scores each generation (and
         # Solis-Wets its probe pairs) through one batched pose + grid
         # gather instead of per-individual Python round trips.
-        objective = PoseEnergyObjective(tree, scorer.docking_energy_batch)
+        objective = PoseEnergyObjective(
+            tree, scorer.docking_energy_batch, kernel=scorer.kernel
+        )
 
         # The GA searches translations around the box center relative to
         # the ligand's root reference position.

@@ -1,0 +1,353 @@
+"""Table-driven pair potentials: precomputed energy-vs-distance rows.
+
+Real AutoDock 4 never evaluates the analytic 12-6/12-10, dielectric and
+desolvation expressions in its hot loops — it tabulates each per-type-
+pair energy once on a fine radial grid and scores by lookup, and GPU
+docking stacks keep the same kernel design. This module reproduces that
+layer for both force fields:
+
+* **AD4** — per-type-pair smoothed/clamped LJ & H-bond rows (weights
+  folded in), one shared screened-Coulomb *factor* row
+  (``332.06363 / (eps(r) r)``; charge products multiply at lookup, the
+  magnitude clamp applies after), the Gaussian desolvation envelope,
+  and combined AutoGrid rows carrying the charge-independent part of
+  the pair desolvation term.
+* **Vina** — per radius-sum-bucket rows of the five Vina terms
+  (gauss1 + gauss2 + repulsion as the unconditional base row;
+  hydrophobic and H-bond ramps as separate mask-gated rows).
+
+Evaluation is vectorized linear interpolation over ``(K rows, B bins)``
+matrices. Tables are **cutoff-consistent**: contributions beyond
+``EtableConfig.r_max`` are dropped, exactly like AutoGrid's NBC cutoff
+(the analytic AD4 intramolecular path has no cutoff, which is the
+dominant component of the documented table-vs-analytic tolerance).
+
+One :class:`EtableSet` per :class:`EtableConfig` is cached process-wide
+(:func:`shared_etables`), so every scorer, map build and worker
+activation in a process shares the same rows. The config participates
+in map-cache fingerprints (:meth:`EtableConfig.fingerprint`): flipping
+resolution or cutoff invalidates persisted ``.npz`` maps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.elements import AUTODOCK_TYPES
+from repro.docking import forcefield as ff
+
+#: Default radial resolution (Angstrom per bin). 0.005 A keeps linear
+#: interpolation of the steep LJ wall within a fraction of a percent.
+DEFAULT_DR = 0.005
+
+#: Default table extent == AutoGrid's nonbonded cutoff.
+DEFAULT_RMAX = ff.NB_CUTOFF
+
+#: AD4's charge-dependent solvation parameter (qsolpar).
+QSOLPAR = 0.01097
+
+
+@dataclass(frozen=True)
+class EtableConfig:
+    """Radial-grid geometry of one table set (part of cache keys)."""
+
+    dr: float = DEFAULT_DR
+    r_max: float = DEFAULT_RMAX
+
+    def __post_init__(self) -> None:
+        if self.dr <= 0:
+            raise ValueError("dr must be positive")
+        if self.r_max <= self.dr:
+            raise ValueError("r_max must exceed dr")
+
+    @property
+    def n_bins(self) -> int:
+        """Samples per row; one pad bin keeps ``i0 + 1`` in range."""
+        return int(round(self.r_max / self.dr)) + 2
+
+    def r_grid(self) -> np.ndarray:
+        return np.arange(self.n_bins) * self.dr
+
+    def fingerprint(self, base: str) -> str:
+        """Extend a force-field fingerprint with the kernel geometry.
+
+        Any change to table resolution or cutoff changes map contents,
+        so it must change content-addressed map-cache keys too.
+        """
+        return f"{base}/etables:dr={self.dr}:rmax={self.r_max}"
+
+
+# -- build accounting ---------------------------------------------------------
+
+_BUILD_LOCK = threading.Lock()
+_BUILD_SECONDS = 0.0
+_BUILD_ROWS = 0
+
+
+def _note_build(seconds: float, rows: int) -> None:
+    global _BUILD_SECONDS, _BUILD_ROWS
+    with _BUILD_LOCK:
+        _BUILD_SECONDS += seconds
+        _BUILD_ROWS += rows
+
+
+def build_seconds() -> float:
+    """Cumulative table-build wall time in this process."""
+    with _BUILD_LOCK:
+        return _BUILD_SECONDS
+
+
+def build_stats() -> dict:
+    with _BUILD_LOCK:
+        return {"seconds": _BUILD_SECONDS, "rows": _BUILD_ROWS}
+
+
+# -- interpolation kernel -----------------------------------------------------
+
+
+def _interp_rows(
+    matrix: np.ndarray, rows: np.ndarray, r: np.ndarray, dr: float
+) -> np.ndarray:
+    """Linear interpolation of per-row tables at distances ``r``.
+
+    ``matrix`` is ``(K, B)``; ``rows`` must broadcast against ``r``.
+    Indices clamp to the table, so out-of-range distances hold the end
+    value — callers gate the cutoff explicitly.
+    """
+    x = np.asarray(r, dtype=np.float64) * (1.0 / dr)
+    x = np.clip(x, 0.0, matrix.shape[1] - 1.000001)
+    i0 = x.astype(np.intp)
+    t = x - i0
+    v0 = matrix[rows, i0]
+    v1 = matrix[rows, i0 + 1]
+    return v0 + (v1 - v0) * t
+
+
+def _interp_1d(table: np.ndarray, r: np.ndarray, dr: float) -> np.ndarray:
+    x = np.asarray(r, dtype=np.float64) * (1.0 / dr)
+    x = np.clip(x, 0.0, table.shape[0] - 1.000001)
+    i0 = x.astype(np.intp)
+    t = x - i0
+    v0 = table[i0]
+    v1 = table[i0 + 1]
+    return v0 + (v1 - v0) * t
+
+
+class AD4Etables:
+    """AD4 energy rows on a shared radial grid.
+
+    Rows are built lazily per requested type pair and appended to a
+    growing ``(K, B)`` matrix; scorers hold integer row indices and
+    evaluate whole pair tables in one interpolation call.
+    """
+
+    def __init__(self, config: EtableConfig) -> None:
+        self.config = config
+        t0 = time.perf_counter()
+        r = config.r_grid()
+        rsafe = np.maximum(r, 0.01)
+        #: Screened Coulomb factor 332.06363 / (eps(r) r); multiply by
+        #: q_i q_j and clamp at lookup.
+        self.estat_factor = ff._ELECSCALE / (
+            ff.mehler_solmajer_dielectric(rsafe) * rsafe
+        )
+        #: Gaussian desolvation envelope exp(-r^2 / 2 sigma^2).
+        self.envelope = np.exp(-(r**2) / (2.0 * ff.DESOLV_SIGMA**2))
+        self._r = r
+        self._rows: dict[tuple, int] = {}
+        self._row_list: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+        self._lock = threading.RLock()
+        _note_build(time.perf_counter() - t0, rows=2)
+
+    # -- row construction ----------------------------------------------------
+    def _add_row(self, key: tuple, build) -> int:
+        with self._lock:
+            idx = self._rows.get(key)
+            if idx is not None:
+                return idx
+            t0 = time.perf_counter()
+            row = np.asarray(build(), dtype=np.float64)
+            idx = len(self._row_list)
+            self._row_list.append(row)
+            self._rows[key] = idx
+            self._matrix = None
+            _note_build(time.perf_counter() - t0, rows=1)
+            return idx
+
+    def vdw_row(self, type_i: str, type_j: str) -> int:
+        """Weighted smoothed/clamped LJ or 12-10 H-bond row (intra use)."""
+        ti, tj = sorted((type_i, type_j))
+        key = ("vdw", ti, tj)
+
+        def build() -> np.ndarray:
+            p = ff.pair_params(ti, tj)
+            w = ff.FE_COEFF_HBOND if p.is_hbond else ff.FE_COEFF_VDW
+            return ff.vdw_energy(self._r, p) * w
+
+        return self._add_row(key, build)
+
+    def grid_row(self, lig_type: str, rec_type: str) -> int:
+        """AutoGrid affinity row: weighted vdW/H-bond plus the
+        charge-independent part of the AD4 pair desolvation term."""
+        key = ("grid", *sorted((lig_type, rec_type)))
+
+        def build() -> np.ndarray:
+            p = ff.pair_params(lig_type, rec_type)
+            w = ff.FE_COEFF_HBOND if p.is_hbond else ff.FE_COEFF_VDW
+            tl, tr = AUTODOCK_TYPES[lig_type], AUTODOCK_TYPES[rec_type]
+            desolv = (tl.solpar * tr.vol + tr.solpar * tl.vol) * self.envelope
+            return ff.vdw_energy(self._r, p) * w + ff.FE_COEFF_DESOLV * desolv
+
+        return self._add_row(key, build)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        with self._lock:
+            if self._matrix is None:
+                self._matrix = (
+                    np.stack(self._row_list)
+                    if self._row_list
+                    else np.zeros((1, self.config.n_bins))
+                )
+            return self._matrix
+
+    # -- evaluation ----------------------------------------------------------
+    def eval_rows(self, rows: np.ndarray, r: np.ndarray) -> np.ndarray:
+        """Interpolated row energies, zero beyond the cutoff."""
+        e = _interp_rows(self.matrix, rows, r, self.config.dr)
+        return np.where(r <= self.config.r_max, e, 0.0)
+
+    def eval_estat(self, qq: np.ndarray, r: np.ndarray) -> np.ndarray:
+        """Clamped screened Coulomb energy (unweighted), cutoff-gated."""
+        e = np.clip(
+            np.asarray(qq) * _interp_1d(self.estat_factor, r, self.config.dr),
+            -ff.ESTAT_CLAMP,
+            ff.ESTAT_CLAMP,
+        )
+        return np.where(r <= self.config.r_max, e, 0.0)
+
+    def eval_estat_factor(self, r: np.ndarray) -> np.ndarray:
+        """Raw per-unit-charge factor (AutoGrid's electrostatic map)."""
+        return _interp_1d(self.estat_factor, r, self.config.dr)
+
+    def eval_envelope(self, r: np.ndarray) -> np.ndarray:
+        return _interp_1d(self.envelope, r, self.config.dr)
+
+
+class VinaEtables:
+    """Vina term rows bucketed by the pair's radius sum.
+
+    Distinct xs-radius sums are few (tens), so each bucket gets three
+    rows on the shared r-grid: the unconditional base
+    (gauss1 + gauss2 + repulsion, weights folded), the hydrophobic ramp
+    and the H-bond ramp (gated by per-pair masks at lookup).
+    """
+
+    def __init__(self, config: EtableConfig) -> None:
+        self.config = config
+        self._r = config.r_grid()
+        self._rows: dict[float, int] = {}
+        self._base: list[np.ndarray] = []
+        self._hydro: list[np.ndarray] = []
+        self._hb: list[np.ndarray] = []
+        self._base_m: np.ndarray | None = None
+        self._hydro_m: np.ndarray | None = None
+        self._hb_m: np.ndarray | None = None
+        self._lock = threading.RLock()
+
+    def row_for(self, rsum: float) -> int:
+        key = round(float(rsum), 3)
+        with self._lock:
+            idx = self._rows.get(key)
+            if idx is not None:
+                return idx
+            t0 = time.perf_counter()
+            from repro.docking import scoring_vina as sv
+
+            d = self._r - key
+            base = (
+                sv.W_GAUSS1 * np.exp(-((d / 0.5) ** 2))
+                + sv.W_GAUSS2 * np.exp(-(((d - 3.0) / 2.0) ** 2))
+                + sv.W_REPULSION * np.where(d < 0.0, d * d, 0.0)
+            )
+            hydro = sv.W_HYDROPHOBIC * np.clip(1.5 - d, 0.0, 1.0)
+            hb = sv.W_HBOND * np.clip(-d / 0.7, 0.0, 1.0)
+            idx = len(self._base)
+            self._base.append(base)
+            self._hydro.append(hydro)
+            self._hb.append(hb)
+            self._rows[key] = idx
+            self._base_m = self._hydro_m = self._hb_m = None
+            _note_build(time.perf_counter() - t0, rows=3)
+            return idx
+
+    def rows_for(self, rsums: np.ndarray) -> np.ndarray:
+        """Row indices for an array of radius sums (any shape)."""
+        rsums = np.asarray(rsums, dtype=np.float64)
+        keys = np.round(rsums, 3)
+        out = np.empty(keys.shape, dtype=np.intp)
+        for v in np.unique(keys):
+            out[keys == v] = self.row_for(float(v))
+        return out
+
+    def _matrices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        with self._lock:
+            if self._base_m is None:
+                if self._base:
+                    self._base_m = np.stack(self._base)
+                    self._hydro_m = np.stack(self._hydro)
+                    self._hb_m = np.stack(self._hb)
+                else:
+                    z = np.zeros((1, self.config.n_bins))
+                    self._base_m = self._hydro_m = self._hb_m = z
+            return self._base_m, self._hydro_m, self._hb_m
+
+    def eval(
+        self,
+        rows: np.ndarray,
+        r: np.ndarray,
+        hydro_pair: np.ndarray,
+        hbond_pair: np.ndarray,
+    ) -> np.ndarray:
+        """Weighted Vina pair energy via table lookup, cutoff-gated."""
+        base_m, hydro_m, hb_m = self._matrices()
+        dr = self.config.dr
+        e = _interp_rows(base_m, rows, r, dr)
+        e = e + hydro_pair * _interp_rows(hydro_m, rows, r, dr)
+        e = e + hbond_pair * _interp_rows(hb_m, rows, r, dr)
+        return np.where(r <= self.config.r_max, e, 0.0)
+
+
+class EtableSet:
+    """One process-shared bundle of AD4 + Vina tables for one config."""
+
+    def __init__(self, config: EtableConfig | None = None) -> None:
+        self.config = config or EtableConfig()
+        self.ad4 = AD4Etables(self.config)
+        self.vina = VinaEtables(self.config)
+
+
+_REGISTRY: dict[EtableConfig, EtableSet] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def shared_etables(config: EtableConfig | None = None) -> EtableSet:
+    """The process-wide :class:`EtableSet` for ``config``.
+
+    Keyed by the config alone — the force-field constants baked into the
+    rows are module-level constants, captured separately by the cache
+    fingerprints (:data:`~repro.docking.forcefield.FF_VERSION` and
+    :data:`~repro.docking.scoring_vina.VINA_FF_VERSION`).
+    """
+    config = config or EtableConfig()
+    with _REGISTRY_LOCK:
+        cached = _REGISTRY.get(config)
+        if cached is None:
+            cached = EtableSet(config)
+            _REGISTRY[config] = cached
+        return cached

@@ -1,0 +1,250 @@
+"""Cutoff-aware neighbor pruning for the docking kernels.
+
+Two pruning layers live here:
+
+* **Spatial** — :class:`CellList`, a uniform cell list over a static
+  point set (receptor atoms). AutoGrid map builds, Vina map builds and
+  the map-free Vina scorer ask it for the atoms within the nonbonded
+  cutoff of each grid point / ligand atom, replacing the
+  ``O(points x receptor_atoms)`` dense distance sweep with an
+  ``O(points x local_atoms)`` gather over the 27-cell neighborhood.
+* **Topological** — :func:`bond_separation_pairs`, the memoized
+  bond-graph BFS behind the AD4/Vina intramolecular pair tables.
+  Scorers are rebuilt per activation (and per worker process), but the
+  1-4+ pair table is a pure function of the molecular topology, so
+  identical walks are served from a process-wide memo.
+
+Both layers are exact: the cell list returns precisely the pairs a
+brute-force ``r <= cutoff`` scan would (order aside), and the memo
+returns the same arrays the per-scorer BFS used to build.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+
+class CellList:
+    """Uniform cell list over a fixed set of 3D points.
+
+    Points are binned into cubic cells of edge ``cell_size`` and stored
+    in CSR layout (one ``argsort`` at construction). A query point only
+    inspects the ``(2k+1)^3`` cells that can contain neighbors within
+    ``cutoff`` (``k = ceil(cutoff / cell_size)``), so query cost scales
+    with local density instead of the total atom count.
+    """
+
+    def __init__(self, coords: np.ndarray, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        coords = np.asarray(coords, dtype=np.float64).reshape(-1, 3)
+        self.coords = coords
+        self.cell_size = float(cell_size)
+        self.n_points = coords.shape[0]
+        if self.n_points == 0:
+            self.origin = np.zeros(3)
+            self.dims = np.ones(3, dtype=np.intp)
+            self._order = np.empty(0, dtype=np.intp)
+            self._starts = np.zeros(2, dtype=np.intp)
+            self._counts = np.zeros(1, dtype=np.intp)
+            return
+        self.origin = coords.min(axis=0)
+        span = coords.max(axis=0) - self.origin
+        self.dims = np.floor(span / self.cell_size).astype(np.intp) + 1
+        idx3 = np.floor((coords - self.origin) / self.cell_size).astype(np.intp)
+        # Atoms exactly on the max face land one past the last cell.
+        idx3 = np.minimum(idx3, self.dims - 1)
+        lin = self._linearize(idx3)
+        self._order = np.argsort(lin, kind="stable")
+        n_cells = int(np.prod(self.dims))
+        self._counts = np.bincount(lin, minlength=n_cells).astype(np.intp)
+        self._starts = np.concatenate(
+            [np.zeros(1, dtype=np.intp), np.cumsum(self._counts)]
+        )
+
+    def _linearize(self, idx3: np.ndarray) -> np.ndarray:
+        d = self.dims
+        return (idx3[..., 0] * d[1] + idx3[..., 1]) * d[2] + idx3[..., 2]
+
+    def query(
+        self, points: np.ndarray, cutoff: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All ``(point, atom)`` pairs within ``cutoff``.
+
+        Returns ``(pi, ai, r)``: query-point indices, atom indices and
+        their distances, with ``r <= cutoff`` inclusive — exactly the
+        pair set a brute-force ``r2 <= cutoff**2`` scan produces.
+        """
+        blocks = list(self.iter_query(points, cutoff))
+        if not blocks:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty.copy(), np.empty(0)
+        pi = np.concatenate([b[0] for b in blocks])
+        ai = np.concatenate([b[1] for b in blocks])
+        r = np.concatenate([b[2] for b in blocks])
+        return pi, ai, r
+
+    def iter_query(
+        self, points: np.ndarray, cutoff: float, chunk_points: int = 8192
+    ):
+        """Chunked :meth:`query`: yields ``(pi, ai, r)`` blocks.
+
+        ``pi`` holds *global* indices into ``points``; chunking only
+        bounds the candidate-pair working set, never changes the result.
+        """
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        if self.n_points == 0 or points.shape[0] == 0:
+            return
+        reach = int(np.ceil(cutoff / self.cell_size))
+        offsets = np.array(
+            [
+                (dx, dy, dz)
+                for dx in range(-reach, reach + 1)
+                for dy in range(-reach, reach + 1)
+                for dz in range(-reach, reach + 1)
+            ],
+            dtype=np.intp,
+        )
+        cut2 = float(cutoff) ** 2
+        for start in range(0, points.shape[0], chunk_points):
+            block = points[start : start + chunk_points]
+            pcell = np.floor((block - self.origin) / self.cell_size).astype(np.intp)
+            pi_parts: list[np.ndarray] = []
+            ai_parts: list[np.ndarray] = []
+            r_parts: list[np.ndarray] = []
+            for off in offsets:
+                ncell = pcell + off
+                valid = np.all((ncell >= 0) & (ncell < self.dims), axis=1)
+                if not valid.any():
+                    continue
+                vp = np.nonzero(valid)[0]
+                nlin = self._linearize(ncell[vp])
+                cnt = self._counts[nlin]
+                occupied = cnt > 0
+                if not occupied.any():
+                    continue
+                vp, nlin, cnt = vp[occupied], nlin[occupied], cnt[occupied]
+                total = int(cnt.sum())
+                rep_pt = np.repeat(vp, cnt)
+                # Per-pair offset inside its cell's CSR slice.
+                ends = np.cumsum(cnt)
+                within = np.arange(total, dtype=np.intp) - np.repeat(
+                    ends - cnt, cnt
+                )
+                atoms = self._order[np.repeat(self._starts[nlin], cnt) + within]
+                diff = block[rep_pt] - self.coords[atoms]
+                r2 = np.einsum("ij,ij->i", diff, diff)
+                hit = r2 <= cut2
+                if not hit.any():
+                    continue
+                pi_parts.append(rep_pt[hit] + start)
+                ai_parts.append(atoms[hit])
+                r_parts.append(np.sqrt(r2[hit]))
+            if pi_parts:
+                yield (
+                    np.concatenate(pi_parts),
+                    np.concatenate(ai_parts),
+                    np.concatenate(r_parts),
+                )
+
+
+def brute_force_query(
+    points: np.ndarray, coords: np.ndarray, cutoff: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference ``O(P x N)`` neighbor scan (tests and small inputs)."""
+    points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    coords = np.asarray(coords, dtype=np.float64).reshape(-1, 3)
+    if points.shape[0] == 0 or coords.shape[0] == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty.copy(), np.empty(0)
+    diff = points[:, None, :] - coords[None, :, :]
+    r2 = np.einsum("pnx,pnx->pn", diff, diff)
+    pi, ai = np.nonzero(r2 <= float(cutoff) ** 2)
+    return pi, ai, np.sqrt(r2[pi, ai])
+
+
+# -- topological pruning ------------------------------------------------------
+
+_PAIR_MEMO: OrderedDict = OrderedDict()
+_PAIR_MEMO_LOCK = threading.Lock()
+_PAIR_MEMO_MAX = 512
+_PAIR_MEMO_HITS = 0
+_PAIR_MEMO_MISSES = 0
+
+
+def pair_memo_stats() -> dict:
+    """Hit/miss counters of the pair-table memo (for tests/telemetry)."""
+    with _PAIR_MEMO_LOCK:
+        return {
+            "hits": _PAIR_MEMO_HITS,
+            "misses": _PAIR_MEMO_MISSES,
+            "entries": len(_PAIR_MEMO),
+        }
+
+
+def reset_pair_memo() -> None:
+    global _PAIR_MEMO_HITS, _PAIR_MEMO_MISSES
+    with _PAIR_MEMO_LOCK:
+        _PAIR_MEMO.clear()
+        _PAIR_MEMO_HITS = 0
+        _PAIR_MEMO_MISSES = 0
+
+
+def _bfs_pairs(mol, min_separation: int) -> np.ndarray:
+    """Atom pairs >= ``min_separation`` bonds apart (or disconnected)."""
+    n = len(mol.atoms)
+    INF = 99
+    dist = np.full((n, n), INF, dtype=np.int16)
+    np.fill_diagonal(dist, 0)
+    adj = mol.adjacency
+    for src in range(n):
+        frontier = [src]
+        seen = {src}
+        d = 0
+        while frontier and d < min_separation:
+            d += 1
+            nxt = []
+            for v in frontier:
+                for w in adj[v]:
+                    if w not in seen:
+                        seen.add(w)
+                        dist[src, w] = min(dist[src, w], d)
+                        nxt.append(w)
+            frontier = nxt
+    ii, jj = np.triu_indices(n, k=1)
+    mask = dist[ii, jj] >= min_separation
+    return np.stack([ii[mask], jj[mask]], axis=1).reshape(-1, 2)
+
+
+def bond_separation_pairs(mol, min_separation: int) -> np.ndarray:
+    """Memoized nonbonded pair table of one molecule.
+
+    The key is the molecular *topology* (name, atom count, bond list) —
+    coordinates don't matter — so every scorer rebuilt for the same
+    ligand across activations, GA runs and worker processes shares one
+    BFS. The returned array is marked read-only; callers only index it.
+    """
+    global _PAIR_MEMO_HITS, _PAIR_MEMO_MISSES
+    bonds = tuple(
+        sorted((b.i, b.j) if b.i < b.j else (b.j, b.i) for b in mol.bonds)
+    )
+    key = (mol.name, len(mol.atoms), bonds, int(min_separation))
+    with _PAIR_MEMO_LOCK:
+        cached = _PAIR_MEMO.get(key)
+        if cached is not None:
+            _PAIR_MEMO.move_to_end(key)
+            _PAIR_MEMO_HITS += 1
+            return cached
+    pairs = _bfs_pairs(mol, int(min_separation))
+    pairs.flags.writeable = False
+    with _PAIR_MEMO_LOCK:
+        _PAIR_MEMO_MISSES += 1
+        _PAIR_MEMO[key] = pairs
+        while len(_PAIR_MEMO) > _PAIR_MEMO_MAX:
+            _PAIR_MEMO.popitem(last=False)
+    return pairs

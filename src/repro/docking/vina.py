@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,10 @@ from repro.docking.conformation import Conformation, DockingResult, Pose
 from repro.docking.mc import ILSConfig, IteratedLocalSearch
 from repro.docking.prepare import LigandPreparation, ReceptorPreparation
 from repro.docking.scoring_vina import VinaScorer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.docking.etables import EtableSet
+    from repro.docking.scoring_vina import VinaMaps
 
 
 @dataclass
@@ -54,25 +59,35 @@ class Vina:
         *,
         use_grid: bool = True,
         maps: "VinaMaps | None" = None,
+        etables: "EtableSet | None" = None,
     ) -> None:
         self.receptor = (
             receptor.molecule if isinstance(receptor, ReceptorPreparation) else receptor
         )
         self.box = box
         self.params = params or VinaParameters()
+        self.etables = etables
+        #: Kernel mode the engine's scorers will run ("analytic"|"tables").
+        self.kernel = "tables" if etables is not None else "analytic"
         if maps is not None:
             self.maps = maps
         elif use_grid:
             from repro.docking.scoring_vina import build_vina_maps
 
-            self.maps = build_vina_maps(self.receptor, box)
+            self.maps = build_vina_maps(self.receptor, box, etables=etables)
         else:
             self.maps = None
 
     def dock(self, ligand: LigandPreparation, seed: int = 0) -> DockingResult:
         """Dock a prepared ligand; deterministic for a given seed."""
         started = time.perf_counter()
-        scorer = VinaScorer(self.receptor, ligand.molecule, self.box, maps=self.maps)
+        scorer = VinaScorer(
+            self.receptor,
+            ligand.molecule,
+            self.box,
+            maps=self.maps,
+            etables=self.etables,
+        )
         tree = ligand.tree
         reference = tree.reference
 

@@ -109,6 +109,12 @@ class ExecutionReport:
     infra_retries: int = 0
     #: Worker slots the router quarantined after repeated deaths.
     quarantined_workers: int = 0
+    #: Energy-kernel mode the run executed with ("analytic"|"tables").
+    kernel_mode: str = "analytic"
+    #: Wall time spent building energy lookup tables in this process
+    #: (parent only for the processes backend; workers build their own
+    #: copies from the same shared registry design).
+    etable_build_s: float = 0.0
 
     @property
     def succeeded(self) -> bool:
@@ -254,6 +260,15 @@ class LocalEngine:
         # content-addressed map directory shared across runs.
         shared_maps = context.pop("shared_maps", None)
         map_cache = context.pop("map_cache", None)
+        # Kernel provenance: note the mode and, in tables mode, how much
+        # wall time this run spends building lookup rows. The kernel/
+        # etable_* keys stay in the context — workers read them.
+        kernel_mode = str(context.get("kernel", "analytic"))
+        etable_t0 = 0.0
+        if kernel_mode == "tables":
+            from repro.docking.etables import build_seconds
+
+            etable_t0 = build_seconds()
         use_plane = (
             shared_maps if shared_maps is not None else self.backend == "processes"
         )
@@ -426,6 +441,11 @@ class LocalEngine:
             final.append(tup)
         tet = time.perf_counter() - t0
         self.store.end_workflow(wkfid, tet)
+        etable_build = 0.0
+        if kernel_mode == "tables":
+            from repro.docking.etables import build_seconds
+
+            etable_build = build_seconds() - etable_t0
         return ExecutionReport(
             wkfid=wkfid,
             workflow_tag=workflow.tag,
@@ -442,6 +462,8 @@ class LocalEngine:
             timeouts=timeouts,
             infra_retries=infra_retries,
             quarantined_workers=quarantined,
+            kernel_mode=kernel_mode,
+            etable_build_s=etable_build,
         )
 
 

@@ -1,0 +1,198 @@
+"""Kernel parity: table-driven potentials vs the analytic reference.
+
+The property the whole etables layer hangs on: for every atom-type pair
+and the full distance range, the interpolated row energies match the
+analytic expressions within a documented tolerance — tight in absolute
+terms on the physically meaningful range, scaled on the steep repulsive
+wall where the 12-x potentials span orders of magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.elements import AUTODOCK_TYPES
+from repro.docking import forcefield as ff
+from repro.docking.etables import (
+    AD4Etables,
+    EtableConfig,
+    VinaEtables,
+    build_stats,
+    shared_etables,
+)
+from repro.docking.scoring_ad4 import AD4Scorer
+from repro.docking.scoring_vina import (
+    CUTOFF,
+    STANDARD_CLASSES,
+    VinaScorer,
+    pairwise_terms,
+    xs_radius,
+)
+
+#: Documented table-vs-analytic tolerance: |dE| <= ATOL + RTOL * |E|.
+#: The RTOL component covers linear interpolation on the r^-12 wall.
+ATOL = 2e-3
+RTOL = 2e-2
+
+ALL_TYPES = sorted(AUTODOCK_TYPES)
+
+#: Distances from inside the smoothing window out past the cutoff.
+R_SWEEP = np.concatenate(
+    [np.linspace(0.02, 1.0, 197), np.linspace(1.0, 8.0, 701), [8.5, 9.0, 12.0]]
+)
+
+
+@pytest.fixture(scope="module")
+def etables():
+    return shared_etables()
+
+
+class TestAD4RowParity:
+    def test_vdw_rows_match_analytic_for_every_pair(self, etables):
+        ad4t = etables.ad4
+        within = R_SWEEP <= ad4t.config.r_max
+        for i, ti in enumerate(ALL_TYPES):
+            for tj in ALL_TYPES[i:]:
+                row = ad4t.vdw_row(ti, tj)
+                got = ad4t.eval_rows(np.full(R_SWEEP.shape, row), R_SWEEP)
+                p = ff.pair_params(ti, tj)
+                w = ff.FE_COEFF_HBOND if p.is_hbond else ff.FE_COEFF_VDW
+                want = np.where(within, ff.vdw_energy(R_SWEEP, p) * w, 0.0)
+                err = np.abs(got - want)
+                assert (err <= ATOL + RTOL * np.abs(want)).all(), (ti, tj)
+
+    def test_estat_matches_clamped_coulomb(self, etables):
+        ad4t = etables.ad4
+        within = R_SWEEP <= ad4t.config.r_max
+        for qq in (-0.9, -0.05, 0.3, 1.2):
+            got = ad4t.eval_estat(qq, R_SWEEP)
+            want = np.where(within, ff.coulomb_energy(R_SWEEP, qq, 1.0), 0.0)
+            assert np.abs(got - want).max() <= ATOL + RTOL * np.abs(want).max()
+
+    def test_envelope_matches_gaussian(self, etables):
+        r = np.linspace(0.0, 8.0, 500)
+        want = np.exp(-(r**2) / (2.0 * ff.DESOLV_SIGMA**2))
+        assert np.abs(etables.ad4.eval_envelope(r) - want).max() < 1e-6
+
+    def test_grid_rows_cover_charge_independent_desolvation(self, etables):
+        ad4t = etables.ad4
+        r = np.linspace(0.5, 7.5, 300)
+        for lt, rt in (("C", "OA"), ("HD", "N"), ("OA", "SA")):
+            row = ad4t.grid_row(lt, rt)
+            got = ad4t.eval_rows(np.full(r.shape, row), r)
+            p = ff.pair_params(lt, rt)
+            w = ff.FE_COEFF_HBOND if p.is_hbond else ff.FE_COEFF_VDW
+            want = ff.vdw_energy(r, p) * w + ff.FE_COEFF_DESOLV * (
+                ff.desolvation_energy(r, lt, rt, 0.0, 0.0)
+            )
+            err = np.abs(got - want)
+            assert (err <= ATOL + RTOL * np.abs(want)).all(), (lt, rt)
+
+
+class TestVinaRowParity:
+    def test_every_standard_pair_bucket_matches_analytic(self, etables):
+        vt = etables.vina
+        radii = sorted({xs_radius(t) for t in AUTODOCK_TYPES})
+        within = R_SWEEP <= vt.config.r_max
+        for ri in radii:
+            for rj in radii:
+                rsum = ri + rj
+                rows = np.full(R_SWEEP.shape, vt.row_for(rsum))
+                d = R_SWEEP - round(rsum, 3)
+                for hyd, hb in ((False, False), (True, False), (False, True)):
+                    got = vt.eval(rows, R_SWEEP, hyd, hb)
+                    want = np.where(
+                        within,
+                        pairwise_terms(
+                            d, np.asarray(hyd), np.asarray(hb)
+                        ),
+                        0.0,
+                    )
+                    assert np.abs(got - want).max() <= ATOL, (rsum, hyd, hb)
+
+    def test_rows_for_vectorizes_row_for(self, etables):
+        vt = etables.vina
+        rsums = np.array([[3.8, 3.6], [1.9, 0.0]])
+        rows = vt.rows_for(rsums)
+        for idx in np.ndindex(rsums.shape):
+            assert rows[idx] == vt.row_for(rsums[idx])
+
+
+class TestScorerParity:
+    @pytest.fixture(scope="class")
+    def pose_batch(self, prepared_ligand, pocket_box):
+        lig = prepared_ligand.molecule
+        rng = np.random.default_rng(7)
+        base = lig.coords - lig.coords.mean(axis=0) + pocket_box.center
+        return base[None] + rng.normal(0.0, 1.5, size=(12, len(lig.atoms), 3))
+
+    def test_ad4_intra_within_tolerance(
+        self, grid_maps, prepared_ligand, pose_batch, etables
+    ):
+        analytic = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        tables = AD4Scorer(
+            grid_maps, prepared_ligand.molecule, etables=etables
+        )
+        assert analytic.kernel == "analytic" and tables.kernel == "tables"
+        ea = analytic._intra_raw_batch(pose_batch)
+        et_ = tables._intra_raw_batch(pose_batch)
+        assert (np.abs(ea - et_) <= ATOL + RTOL * np.abs(ea)).all()
+
+    def test_vina_scorer_within_tolerance(
+        self, prepared_receptor, prepared_ligand, pocket_box, pose_batch, etables
+    ):
+        analytic = VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, pocket_box
+        )
+        tables = VinaScorer(
+            prepared_receptor.molecule,
+            prepared_ligand.molecule,
+            pocket_box,
+            etables=etables,
+        )
+        ia = analytic.intermolecular_batch(pose_batch)
+        it = tables.intermolecular_batch(pose_batch)
+        assert np.abs(ia).max() > 0.1  # poses actually touch the receptor
+        assert (np.abs(ia - it) <= ATOL + RTOL * np.abs(ia)).all()
+        ra = analytic.intramolecular_batch(pose_batch)
+        rt = tables.intramolecular_batch(pose_batch)
+        assert (np.abs(ra - rt) <= ATOL + RTOL * np.abs(ra)).all()
+
+    def test_analytic_default_is_untouched(self, grid_maps, prepared_ligand):
+        """No etables argument -> the scorer has no table state at all."""
+        scorer = AD4Scorer(grid_maps, prepared_ligand.molecule)
+        assert scorer._etables is None
+        assert not hasattr(scorer, "_pair_rows")
+
+
+class TestRegistry:
+    def test_shared_per_config(self):
+        a = shared_etables()
+        b = shared_etables(EtableConfig())
+        assert a is b
+        c = shared_etables(EtableConfig(dr=0.01))
+        assert c is not a
+
+    def test_fingerprint_encodes_geometry(self):
+        base = "ff-x"
+        fp1 = EtableConfig().fingerprint(base)
+        fp2 = EtableConfig(dr=0.01).fingerprint(base)
+        fp3 = EtableConfig(r_max=6.0).fingerprint(base)
+        assert base in fp1
+        assert len({fp1, fp2, fp3}) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EtableConfig(dr=0.0)
+        with pytest.raises(ValueError):
+            EtableConfig(dr=1.0, r_max=0.5)
+
+    def test_build_accounting_moves(self):
+        before = build_stats()
+        cfg = EtableConfig(dr=0.02, r_max=7.5)
+        tab = AD4Etables(cfg)
+        tab.vdw_row("C", "C")
+        vt = VinaEtables(cfg)
+        vt.row_for(3.8)
+        after = build_stats()
+        assert after["rows"] > before["rows"]
+        assert after["seconds"] >= before["seconds"]

@@ -1,0 +1,84 @@
+"""Memoized BFS pair tables: identical topology walks run once."""
+
+import numpy as np
+import pytest
+
+from repro.docking.neighbors import (
+    bond_separation_pairs,
+    pair_memo_stats,
+    reset_pair_memo,
+)
+from repro.docking.scoring_ad4 import AD4Scorer
+from repro.docking.scoring_vina import VinaScorer
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    reset_pair_memo()
+    yield
+    reset_pair_memo()
+
+
+class TestPairMemo:
+    def test_second_walk_is_a_hit(self, prepared_ligand):
+        mol = prepared_ligand.molecule
+        first = bond_separation_pairs(mol, 4)
+        stats = pair_memo_stats()
+        assert stats == {"hits": 0, "misses": 1, "entries": 1}
+        second = bond_separation_pairs(mol, 4)
+        assert second is first
+        assert pair_memo_stats()["hits"] == 1
+
+    def test_min_separation_distinguishes_entries(self, prepared_ligand):
+        mol = prepared_ligand.molecule
+        p3 = bond_separation_pairs(mol, 3)
+        p4 = bond_separation_pairs(mol, 4)
+        assert pair_memo_stats()["misses"] == 2
+        # 1-4 pairs are a strict subset of 1-3+ pairs for this ligand.
+        assert len(p4) <= len(p3)
+
+    def test_memoized_pairs_match_seed_algorithm(self, prepared_ligand):
+        """The memo returns exactly what the per-scorer BFS produced."""
+        mol = prepared_ligand.molecule
+        n = len(mol.atoms)
+        INF = 99
+        dist = np.full((n, n), INF, dtype=np.int16)
+        np.fill_diagonal(dist, 0)
+        adj = mol.adjacency
+        for src in range(n):
+            frontier, seen, d = [src], {src}, 0
+            while frontier and d < 4:
+                d += 1
+                nxt = []
+                for v in frontier:
+                    for w in adj[v]:
+                        if w not in seen:
+                            seen.add(w)
+                            dist[src, w] = min(dist[src, w], d)
+                            nxt.append(w)
+                frontier = nxt
+        ii, jj = np.triu_indices(n, k=1)
+        mask = dist[ii, jj] >= 4
+        want = np.stack([ii[mask], jj[mask]], axis=1)
+        got = bond_separation_pairs(mol, 4)
+        assert np.array_equal(got, want)
+
+    def test_returned_array_is_read_only(self, prepared_ligand):
+        pairs = bond_separation_pairs(prepared_ligand.molecule, 3)
+        assert not pairs.flags.writeable
+
+    def test_scorers_share_one_walk(
+        self, grid_maps, prepared_receptor, prepared_ligand, pocket_box
+    ):
+        AD4Scorer(grid_maps, prepared_ligand.molecule)
+        AD4Scorer(grid_maps, prepared_ligand.molecule)
+        stats = pair_memo_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, pocket_box
+        )
+        VinaScorer(
+            prepared_receptor.molecule, prepared_ligand.molecule, pocket_box
+        )
+        stats = pair_memo_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 2

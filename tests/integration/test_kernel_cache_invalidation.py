@@ -1,0 +1,88 @@
+"""Map-cache invalidation across kernel parameters (CI smoke).
+
+Persisted ``.npz`` map bundles are content-addressed; the kernel layer
+extends the force-field fingerprint with table resolution and cutoff.
+The contract: unchanged parameters hit the disk cache across runs,
+while flipping the kernel mode, the table resolution or the cutoff
+re-keys the bundle and forces a rebuild.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activities import (
+    MAP_BUILDS,
+    MAP_CACHE_HITS,
+    reset_map_counters,
+)
+from repro.core.datasets import pair_relation
+from repro.core.scidock import SciDockConfig, run_scidock
+from repro.docking.autodock import AD4Parameters
+from repro.docking.ga import GAConfig
+
+SMOKE_AD4 = AD4Parameters(
+    ga_runs=1,
+    ga=GAConfig(population_size=8, generations=2, local_search_steps=4),
+    final_refine_steps=10,
+)
+
+
+def _run(cache_dir: str, **overrides) -> None:
+    pairs = pair_relation(receptors=["2HHN"], ligands=["0E6"])
+    config = SciDockConfig(
+        scenario="ad4",
+        workers=2,
+        backend="threads",
+        shared_maps=False,
+        map_cache=cache_dir,
+        ad4_params=SMOKE_AD4,
+        **overrides,
+    )
+    report, _ = run_scidock(pairs, config)
+    assert report.succeeded
+
+
+@pytest.fixture()
+def cache_dir(tmp_path) -> str:
+    return str(tmp_path / "mapcache")
+
+
+class TestKernelCacheInvalidation:
+    def test_same_params_hit_changed_params_miss(self, cache_dir):
+        # Cold run populates the disk cache.
+        reset_map_counters()
+        _run(cache_dir, etables=True)
+        assert sum(MAP_BUILDS.values()) == 1
+
+        # Identical kernel parameters: disk hit, no rebuild.
+        reset_map_counters()
+        _run(cache_dir, etables=True)
+        assert sum(MAP_BUILDS.values()) == 0
+        assert MAP_CACHE_HITS["disk"] >= 1
+
+        # Finer table resolution: different fingerprint, rebuild.
+        reset_map_counters()
+        _run(cache_dir, etables=True, etable_dr=0.01)
+        assert sum(MAP_BUILDS.values()) == 1
+
+        # Different cutoff: different fingerprint, rebuild.
+        reset_map_counters()
+        _run(cache_dir, etables=True, etable_rmax=6.0)
+        assert sum(MAP_BUILDS.values()) == 1
+
+    def test_analytic_and_tables_key_separately(self, cache_dir):
+        reset_map_counters()
+        _run(cache_dir, etables=False)
+        assert sum(MAP_BUILDS.values()) == 1
+
+        # Tables mode must not be served the analytic bundle.
+        reset_map_counters()
+        _run(cache_dir, etables=True)
+        assert sum(MAP_BUILDS.values()) == 1
+
+        # Back to analytic: the original bundle still hits.
+        reset_map_counters()
+        _run(cache_dir, etables=False)
+        assert sum(MAP_BUILDS.values()) == 0
+        assert MAP_CACHE_HITS["disk"] >= 1
