@@ -43,6 +43,9 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
         "etables": args.etables,
         "etable_dr": args.etable_dr,
         "etable_rmax": args.etable_rmax,
+        "speculation_quantile": args.speculation_quantile,
+        "cost_prior": args.cost_prior,
+        "elastic_pool": args.elastic_pool,
     }
 
 
@@ -245,6 +248,24 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "--etable-rmax", type=float, default=8.0, metavar="ANGSTROM",
         help="table extent / nonbonded cutoff for the table kernels "
         "(default 8.0); part of the map-cache key",
+    )
+    parser.add_argument(
+        "--speculation-quantile", type=float, default=1.0, metavar="Q",
+        help="straggler speculation: duplicate an attempt running past "
+        "this learned tail quantile of its activity/size-class "
+        "distribution (first completion wins; 1.0 disables, 0.95 is the "
+        "usual setting)",
+    )
+    parser.add_argument(
+        "--cost-prior", choices=("paper", "provenance"), default="paper",
+        help="initial estimates for the online cost service: the "
+        "paper's activity-mean table, or Query-1 statistics from prior "
+        "runs in the provenance store",
+    )
+    parser.add_argument(
+        "--elastic-pool", action="store_true", default=False,
+        help="let the adaptive elasticity policy grow/shrink the real "
+        "worker pool mid-run (bounded above by --workers)",
     )
 
 

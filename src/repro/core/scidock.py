@@ -90,6 +90,19 @@ class SciDockConfig:
     #: Dispatch-order policy: "fifo" (arrival order) or "greedy"
     #: (longest expected activation first — SciCumulus' native policy).
     scheduler: str = "fifo"
+    #: Straggler-speculation quantile: an attempt running past this
+    #: learned tail quantile of its activity/size-class distribution
+    #: gets a duplicate launched on an idle slot. 1.0 disables
+    #: speculation (the golden-parity default); the online cost
+    #: service's own default, when constructed directly, is p95.
+    speculation_quantile: float = 1.0
+    #: Where the online cost service's estimates start: "paper" seeds
+    #: the static activity-mean table; "provenance" seeds cross-run
+    #: Query-1 statistics from the store at engine start.
+    cost_prior: str = "paper"
+    #: Live elastic pool resizing: let an adaptive policy grow/shrink
+    #: the real worker pool mid-run (bounded by ``workers``).
+    elastic_pool: bool = False
     #: Table-driven energy kernels (see repro.docking.etables). False
     #: keeps the analytic reference path — bit-for-bit the seed scoring.
     etables: bool = False
@@ -113,6 +126,10 @@ class SciDockConfig:
             raise ValueError("retry_base_delay cannot be negative")
         if not 0.0 <= self.inject_failure_rate <= 1.0:
             raise ValueError("inject_failure_rate must be in [0, 1]")
+        if not 0.0 < self.speculation_quantile <= 1.0:
+            raise ValueError("speculation_quantile must be in (0, 1]")
+        if self.cost_prior not in ("paper", "provenance"):
+            raise ValueError(f"unknown cost_prior {self.cost_prior!r}")
         if self.etable_dr <= 0:
             raise ValueError("etable_dr must be positive")
         if self.etable_rmax <= self.etable_dr:
@@ -285,6 +302,34 @@ def run_scidock(
     # groups; steering queries (store.sql) still see every record because
     # reads flush first.
     store = store or ProvenanceStore(buffer_size=128, flush_interval=1.0)
+    # The online cost service and elasticity policy are only built when
+    # something consumes them, so the default configuration dispatches
+    # through exactly the same code path as before (golden parity).
+    cost_service = None
+    elasticity = None
+    needs_service = (
+        config.speculation_quantile < 1.0
+        or config.cost_prior == "provenance"
+        or config.scheduler == "greedy"
+        or config.elastic_pool
+    )
+    if needs_service:
+        # Imported lazily: repro.perf.calibrate imports this module, so
+        # a module-level import would be circular.
+        from repro.perf.online_cost import OnlineCostService
+
+        cost_service = OnlineCostService(
+            prior=config.cost_prior,
+            speculation_quantile=config.speculation_quantile,
+        )
+        if config.cost_prior == "provenance":
+            cost_service.seed_from_store(store)
+    if config.elastic_pool:
+        from repro.workflow.adaptive import AdaptiveElasticityPolicy
+
+        elasticity = AdaptiveElasticityPolicy(
+            min_cores=1, max_cores=config.workers
+        )
     engine = LocalEngine(
         store,
         workers=config.workers,
@@ -294,6 +339,8 @@ def run_scidock(
         watchdog=config.watchdog(),
         scheduler=config.scheduler_policy(),
         pipeline=config.pipeline,
+        cost_service=cost_service,
+        elasticity=elasticity,
     )
     workflow = build_scidock_workflow(config)
     context = config.context()

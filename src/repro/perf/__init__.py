@@ -4,12 +4,21 @@
   (calibratable against real engine runs).
 * :mod:`repro.perf.calibrate` — measure the real engines on a sample and
   rescale the cost model.
+* :mod:`repro.perf.online_cost` — online per-activity/per-size-class
+  service-time estimation feeding placement, straggler speculation and
+  elasticity in the real engine.
 * :mod:`repro.perf.metrics` — TET, speedup, efficiency.
 * :mod:`repro.perf.experiments` — scenario runners behind Figs 5-9.
 """
 
 from repro.perf.cost_model import ActivityCostModel, PAPER_ACTIVITY_MEANS
-from repro.perf.calibrate import calibrate_cost_model, measure_activity_seconds
+from repro.perf.calibrate import (
+    calibrate_cost_model,
+    calibrate_from_statistics,
+    measure_activity_seconds,
+    measure_activity_statistics,
+)
+from repro.perf.online_cost import OnlineCostService, sigma_from_moments
 from repro.perf.metrics import efficiency, improvement_percent, speedup
 from repro.perf.experiments import (
     CoreSweepResult,
@@ -21,7 +30,11 @@ __all__ = [
     "ActivityCostModel",
     "PAPER_ACTIVITY_MEANS",
     "calibrate_cost_model",
+    "calibrate_from_statistics",
     "measure_activity_seconds",
+    "measure_activity_statistics",
+    "OnlineCostService",
+    "sigma_from_moments",
     "speedup",
     "efficiency",
     "improvement_percent",

@@ -6,7 +6,9 @@ This module does the same: run the real SciDock activities on a small
 pair sample, measure per-activity wall times from provenance, and return
 an :class:`~repro.perf.cost_model.ActivityCostModel` whose per-activity
 means are the measured ones (optionally rescaled so totals match a
-target, e.g. the paper's EC2-era runtimes).
+target, e.g. the paper's EC2-era runtimes). Measured duration *stddevs*
+calibrate the model's log-normal shape parameters too, so the simulated
+heavy tail tracks the machine that was profiled, not just the paper's.
 """
 
 from __future__ import annotations
@@ -14,7 +16,12 @@ from __future__ import annotations
 from repro.core.datasets import pair_relation
 from repro.core.scidock import SciDockConfig, run_scidock
 from repro.perf.cost_model import PAPER_ACTIVITY_MEANS, ActivityCostModel
-from repro.provenance.queries import query1_activity_statistics
+from repro.perf.online_cost import sigma_from_moments
+from repro.provenance.queries import ActivityStats, query1_activity_statistics
+
+#: Shape parameter assigned to measured activities the paper never
+#: profiled (no entry in the paper's sigma table, no measured stddev).
+DEFAULT_SIGMA = 0.5
 
 
 def measure_activity_seconds(
@@ -22,46 +29,107 @@ def measure_activity_seconds(
     ligands: list[str],
     config: SciDockConfig | None = None,
 ) -> dict[str, float]:
-    """Run the real workflow on a sample; return per-activity mean seconds."""
+    """Run the real workflow on a sample; return per-activity mean seconds.
+
+    The passed ``config`` governs the measurement run entirely — worker
+    count included (historically this helper forced ``workers=2``
+    regardless of what the caller configured).
+    """
+    stats = measure_activity_statistics(receptors, ligands, config)
+    return {tag: s.avg for tag, s in stats.items()}
+
+
+def measure_activity_statistics(
+    receptors: list[str],
+    ligands: list[str],
+    config: SciDockConfig | None = None,
+) -> dict[str, ActivityStats]:
+    """Full Query-1 statistics (mean *and* stddev) from a measurement run."""
     pairs = pair_relation(receptors=receptors, ligands=ligands)
-    report, store = run_scidock(pairs, config or SciDockConfig(workers=2))
+    report, store = run_scidock(pairs, config or SciDockConfig())
     stats = query1_activity_statistics(store, report.wkfid)
-    return {s.tag: s.avg for s in stats}
+    return {s.tag: s for s in stats}
+
+
+def _split_docking(value: float, ratio: float) -> tuple[float, float]:
+    """Split a measured docking aggregate into (vina, ad4) preserving ratio."""
+    vina = 2.0 * value / (1.0 + ratio)
+    return vina, vina * ratio
 
 
 def calibrate_cost_model(
     measured: dict[str, float],
     target_total_per_pair: float | None = None,
+    measured_stddevs: dict[str, float] | None = None,
 ) -> ActivityCostModel:
-    """Build a cost model from measured activity means.
+    """Build a cost model from measured activity means (and stddevs).
 
     ``measured`` uses workflow tags (one ``docking`` entry); the model
     keeps separate AD4/Vina docking means by preserving the paper's
-    AD4:Vina ratio around the measured docking mean. When
-    ``target_total_per_pair`` is given, all means are rescaled so the
-    per-pair total matches it — this is how laptop measurements are
-    projected onto the paper's EC2 hardware.
+    AD4:Vina ratio around the measured docking mean. Measured tags the
+    paper never profiled are *added* to the model (with
+    :data:`DEFAULT_SIGMA`), not dropped — custom workflows calibrate
+    too. When ``target_total_per_pair`` is given, all means are rescaled
+    so the per-pair total matches it — this is how laptop measurements
+    are projected onto the paper's EC2 hardware. ``measured_stddevs``
+    (same tag keys) converts each activity's duration stddev into its
+    log-normal sigma via the moment identity, replacing the paper's
+    shape for that activity.
     """
     if not measured:
         raise ValueError("measured activity means are empty")
     means = dict(PAPER_ACTIVITY_MEANS)
+    ratio = PAPER_ACTIVITY_MEANS["docking_ad4"] / PAPER_ACTIVITY_MEANS[
+        "docking_vina"
+    ]
     for tag, avg in measured.items():
         if avg is None or avg <= 0:
             continue
         if tag == "docking":
-            ratio = PAPER_ACTIVITY_MEANS["docking_ad4"] / PAPER_ACTIVITY_MEANS[
-                "docking_vina"
-            ]
             # Split the measured mean back into engine-specific means,
             # preserving the paper's relative speed.
-            means["docking_vina"] = 2.0 * avg / (1.0 + ratio)
-            means["docking_ad4"] = means["docking_vina"] * ratio
-        elif tag in means:
+            means["docking_vina"], means["docking_ad4"] = _split_docking(
+                avg, ratio
+            )
+        else:
             means[tag] = avg
     model = ActivityCostModel(means=means)
+    for tag in means:
+        model.sigmas.setdefault(tag, DEFAULT_SIGMA)
+    for tag, std in (measured_stddevs or {}).items():
+        if std is None or std < 0:
+            continue
+        if tag == "docking":
+            mean = measured.get("docking")
+            if mean is None or mean <= 0:
+                continue
+            # The shape parameter is scale-invariant, so the measured
+            # docking CV applies to both engine splits.
+            sigma = sigma_from_moments(mean, std)
+            model.sigmas["docking_vina"] = sigma
+            model.sigmas["docking_ad4"] = sigma
+        else:
+            mean = measured.get(tag)
+            if mean is None or mean <= 0:
+                continue
+            model.sigmas[tag] = sigma_from_moments(mean, std)
     if target_total_per_pair is not None:
         if target_total_per_pair <= 0:
             raise ValueError("target_total_per_pair must be positive")
         current = model.expected_total_per_pair("autodock4")
         model.scale = target_total_per_pair / current
     return model
+
+
+def calibrate_from_statistics(
+    stats: dict[str, ActivityStats],
+    target_total_per_pair: float | None = None,
+) -> ActivityCostModel:
+    """Calibrate means *and* sigmas straight from Query-1 statistics."""
+    if not stats:
+        raise ValueError("activity statistics are empty")
+    return calibrate_cost_model(
+        {tag: s.avg for tag, s in stats.items()},
+        target_total_per_pair=target_total_per_pair,
+        measured_stddevs={tag: s.stddev for tag, s in stats.items()},
+    )

@@ -89,12 +89,16 @@ class ActivityCostModel:
     """Deterministic per-activation service times.
 
     ``scale`` rescales every mean uniformly (used by calibration);
-    ``means`` can override individual activities.
+    ``means`` can override individual activities; ``sigmas`` carries the
+    per-activity log-normal shape parameters — the paper's shapes by
+    default, measured ones after calibration against a real run's
+    duration stddevs.
     """
 
     scale: float = 1.0
     means: dict[str, float] = field(default_factory=lambda: dict(PAPER_ACTIVITY_MEANS))
     seed: int = 0
+    sigmas: dict[str, float] = field(default_factory=lambda: dict(_SIGMAS))
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -113,7 +117,7 @@ class ActivityCostModel:
                 f"no cost entry for activity {activity_tag!r}; "
                 f"known: {sorted(self.means)}"
             ) from None
-        sigma = _SIGMAS.get(tag, 0.5)
+        sigma = self.sigmas.get(tag, 0.5)
         key = f"{self.seed}|{tag}|{tup.get('ligand_id')}|{tup.get('receptor_id')}"
         z = _unit_normal(key)
         # Log-normal with the requested mean: mu = ln(mean) - sigma^2/2.

@@ -1,0 +1,271 @@
+"""Online per-activity service-time estimation for the real engine.
+
+The simulated sweeps draw service times from a calibrated model
+(:mod:`repro.perf.cost_model`); the *real* engine historically had no
+feedback at all — dispatch order used static paper means and a running
+straggler looked exactly like a normal activation until its watchdog
+deadline. This module closes that loop with an :class:`OnlineCostService`
+that every completed attempt streams its duration into, keyed by
+(activity, receptor size class):
+
+* **mean estimates** feed predictive placement: the engines' ready-queue
+  ordering asks :meth:`OnlineCostService.expected_seconds` so the greedy
+  scheduler dispatches longest-*learned*-first instead of
+  longest-*assumed*-first;
+* **tail quantiles** feed straggler detection: a running attempt that
+  outlives :meth:`OnlineCostService.straggler_threshold` (the learned
+  ``speculation_quantile``, default p95) is a speculation candidate —
+  the engine may launch a duplicate attempt on an idle worker;
+* **priors** make the service useful from the first activation:
+  ``prior="paper"`` falls back to the paper's Query-1 means for
+  placement (never for speculation — paper numbers say nothing about
+  *this* machine's tail), while :meth:`seed_from_store` loads
+  mean/stddev/count per activity from provenance history of earlier
+  runs, which both informs placement and, with enough history, enables
+  speculation via a parametric log-normal tail before the live window
+  warms up.
+
+Quantiles use a bounded-window estimator (sorted interpolation over the
+last ``window`` observations) rather than P-squared: the windows are
+small, the arithmetic is exact and deterministic, and a sliding window
+tracks drift (a worker slowing down mid-run) better than an all-history
+summary. All methods are thread-safe — bookkeeping threads observe
+concurrently while the coordinator reads estimates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from statistics import NormalDist
+
+from repro.chem.generate import receptor_size_class
+from repro.perf.cost_model import PAPER_ACTIVITY_MEANS
+
+#: Cost-prior modes: "paper" backstops estimates with the paper's
+#: Query-1 means; "provenance" trusts only seeded history + live samples.
+COST_PRIORS = ("paper", "provenance")
+
+
+def sigma_from_moments(mean: float, std: float) -> float:
+    """Log-normal shape parameter from a sample mean and stddev.
+
+    For X ~ LogNormal(mu, sigma): Var[X]/E[X]^2 = exp(sigma^2) - 1, so
+    sigma = sqrt(ln(1 + (std/mean)^2)).
+    """
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if std < 0:
+        raise ValueError("std cannot be negative")
+    return math.sqrt(math.log(1.0 + (std / mean) ** 2))
+
+
+@dataclass(frozen=True)
+class _Prior:
+    """Seeded knowledge about one activity: mean, stddev, sample count."""
+
+    mean: float
+    std: float
+    count: int
+
+
+class _Stream:
+    """One observation stream: bounded quantile window + all-time mean."""
+
+    __slots__ = ("window", "count", "total")
+
+    def __init__(self, maxlen: int) -> None:
+        self.window: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.window.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def mean(self) -> float | None:
+        if not self.count:
+            return None
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float | None:
+        """Linear-interpolated windowed percentile (None when empty)."""
+        if not self.window:
+            return None
+        data = sorted(self.window)
+        pos = q * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class OnlineCostService:
+    """Learns per-(activity, size-class) service times from live attempts.
+
+    ``speculation_quantile`` in (0, 1) enables straggler detection at
+    that learned quantile; 1.0 disables speculation entirely (thresholds
+    are always ``None``), which is the engine's bit-for-bit-parity
+    default. ``min_samples`` gates both windowed and parametric
+    thresholds — a cold distribution must never trigger duplicates.
+    """
+
+    def __init__(
+        self,
+        *,
+        prior: str = "paper",
+        speculation_quantile: float = 0.95,
+        window: int = 128,
+        min_samples: int = 8,
+    ) -> None:
+        if prior not in COST_PRIORS:
+            raise ValueError(
+                f"unknown cost prior {prior!r}; expected one of {COST_PRIORS}"
+            )
+        if not 0.0 < speculation_quantile <= 1.0:
+            raise ValueError("speculation_quantile must be in (0, 1]")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.prior = prior
+        self.speculation_quantile = speculation_quantile
+        self.window = window
+        self.min_samples = min_samples
+        #: Total observations streamed in (the report's ``cost_samples``).
+        self.samples = 0
+        self._lock = threading.Lock()
+        #: Live streams: fine-grained by (tag, size class) plus a per-tag
+        #: aggregate that answers for still-cold size classes.
+        self._by_class: dict[tuple[str, str], _Stream] = {}
+        self._by_tag: dict[str, _Stream] = {}
+        #: Seeded knowledge keyed by the tag as stored (a real run's
+        #: provenance says "docking", not "docking_vina").
+        self._priors: dict[str, _Prior] = {}
+        if prior == "paper":
+            for tag, mean in PAPER_ACTIVITY_MEANS.items():
+                # count=0: a placement fallback with no evidentiary
+                # weight — it never outvotes live samples and never
+                # enables speculation.
+                self._priors[tag] = _Prior(mean=mean, std=0.0, count=0)
+
+    # -- keying --------------------------------------------------------------
+    @staticmethod
+    def _normalize(tag: str, tup: dict) -> str:
+        """Split the generic ``docking`` tag by engine, like the cost model."""
+        if tag == "docking" and isinstance(tup, dict):
+            engine = tup.get("engine", "autodock4")
+            return "docking_vina" if engine == "vina" else "docking_ad4"
+        return tag
+
+    @staticmethod
+    def _size_class(tup: dict) -> str:
+        rec = tup.get("receptor_id") if isinstance(tup, dict) else None
+        if rec:
+            return receptor_size_class(str(rec))
+        return "-"
+
+    def _prior_for(self, norm: str, raw: str) -> _Prior | None:
+        return self._priors.get(norm) or self._priors.get(raw)
+
+    # -- ingestion -----------------------------------------------------------
+    def observe(self, tag: str, tup: dict, seconds: float) -> None:
+        """Stream one completed attempt's wall-clock duration."""
+        if seconds < 0:
+            return
+        norm = self._normalize(tag, tup)
+        cls = self._size_class(tup)
+        with self._lock:
+            by_class = self._by_class.get((norm, cls))
+            if by_class is None:
+                by_class = self._by_class[(norm, cls)] = _Stream(self.window)
+            by_tag = self._by_tag.get(norm)
+            if by_tag is None:
+                by_tag = self._by_tag[norm] = _Stream(self.window)
+            by_class.add(seconds)
+            by_tag.add(seconds)
+            self.samples += 1
+
+    def seed_from_store(self, store, wkfid: int | None = None) -> int:
+        """Load per-activity priors from provenance history (Query 1).
+
+        With ``wkfid`` the seed covers one prior run; without it, every
+        FINISHED activation in the store. Returns the number of
+        activities seeded. Seeded priors carry their real sample count,
+        so enough history enables parametric straggler thresholds
+        before any live sample arrives.
+        """
+        from repro.provenance.queries import activity_history_statistics
+
+        stats = activity_history_statistics(store, wkfid)
+        seeded = 0
+        with self._lock:
+            for s in stats:
+                if s.avg is None or s.avg <= 0 or not s.count:
+                    continue
+                self._priors[s.tag] = _Prior(
+                    mean=float(s.avg), std=float(s.stddev), count=int(s.count)
+                )
+                seeded += 1
+        return seeded
+
+    # -- consumers -----------------------------------------------------------
+    @property
+    def speculation_enabled(self) -> bool:
+        return self.speculation_quantile < 1.0
+
+    def expected_seconds(self, tag: str, tup: dict) -> float | None:
+        """Blended mean estimate for placement; None when fully unknown."""
+        norm = self._normalize(tag, tup)
+        cls = self._size_class(tup)
+        with self._lock:
+            stream = self._by_class.get((norm, cls))
+            if stream is None or not stream.count:
+                stream = self._by_tag.get(norm)
+            live = stream.mean() if stream is not None else None
+            live_n = stream.count if stream is not None else 0
+            prior = self._prior_for(norm, tag)
+        if live is None and prior is None:
+            return None
+        if live is None:
+            return prior.mean
+        if prior is None or prior.count == 0:
+            return live
+        # Blend as pseudo-counts, capping the prior's weight at one
+        # window so live samples eventually dominate stale history.
+        w = min(prior.count, self.window)
+        return (prior.mean * w + live * live_n) / (w + live_n)
+
+    def straggler_threshold(self, tag: str, tup: dict) -> float | None:
+        """Duration beyond which a running attempt counts as a straggler.
+
+        ``None`` means "do not speculate": the quantile is disabled
+        (``speculation_quantile == 1.0``) or the distribution is still
+        cold (fewer than ``min_samples`` observations in both the
+        size-class and tag windows, and no seeded prior with enough
+        history for a parametric tail).
+        """
+        if not self.speculation_enabled:
+            return None
+        q = self.speculation_quantile
+        norm = self._normalize(tag, tup)
+        cls = self._size_class(tup)
+        with self._lock:
+            stream = self._by_class.get((norm, cls))
+            if stream is None or len(stream.window) < self.min_samples:
+                stream = self._by_tag.get(norm)
+            if stream is not None and len(stream.window) >= self.min_samples:
+                return stream.quantile(q)
+            prior = self._prior_for(norm, tag)
+        if prior is None or prior.count < self.min_samples or prior.mean <= 0:
+            return None
+        # Parametric log-normal tail from the seeded moments.
+        sigma = sigma_from_moments(prior.mean, prior.std)
+        if sigma <= 0.0:
+            return prior.mean
+        mu = math.log(prior.mean) - sigma * sigma / 2.0
+        z = NormalDist().inv_cdf(q)
+        return math.exp(mu + sigma * z)

@@ -66,41 +66,76 @@ class ActivityStats:
     sum: float
     avg: float
     count: int
+    #: Population standard deviation of the durations — feeds the cost
+    #: model's per-activity log-normal sigmas and the online cost
+    #: service's parametric straggler thresholds.
+    stddev: float = 0.0
+
+
+def _stats_rows(
+    store: ProvenanceStore, wkfid: int | None
+) -> list[ActivityStats]:
+    """Shared SELECT behind Query 1 and the all-history variant.
+
+    SQLite has no STDDEV builtin, so the variance comes from the moment
+    identity E[x^2] - E[x]^2, sqrt-clamped against float cancellation.
+    """
+    where = "AND w.wkfid = ?" if wkfid is not None else ""
+    rows = store.sql(
+        f"""
+        SELECT a.tag,
+               MIN(t.endtime - t.starttime) AS min,
+               MAX(t.endtime - t.starttime) AS max,
+               SUM(t.endtime - t.starttime) AS sum,
+               AVG(t.endtime - t.starttime) AS avg,
+               AVG((t.endtime - t.starttime) * (t.endtime - t.starttime))
+                   AS avgsq,
+               COUNT(*) AS count
+        FROM hworkflow w, hactivity a, hactivation t
+        WHERE w.wkfid = a.wkfid
+          AND a.actid = t.actid
+          AND t.status = 'FINISHED'
+          {where}
+        GROUP BY a.tag
+        ORDER BY a.tag
+        """,
+        (wkfid,) if wkfid is not None else (),
+    )
+    stats = []
+    for r in rows:
+        variance = max(0.0, (r["avgsq"] or 0.0) - (r["avg"] or 0.0) ** 2)
+        stats.append(
+            ActivityStats(
+                tag=r["tag"],
+                min=r["min"],
+                max=r["max"],
+                sum=r["sum"],
+                avg=r["avg"],
+                count=r["count"],
+                stddev=variance ** 0.5,
+            )
+        )
+    return stats
 
 
 def query1_activity_statistics(
     store: ProvenanceStore, wkfid: int
 ) -> list[ActivityStats]:
     """Typed Query 1: per-activity execution-time statistics."""
-    rows = store.sql(
-        """
-        SELECT a.tag,
-               MIN(t.endtime - t.starttime) AS min,
-               MAX(t.endtime - t.starttime) AS max,
-               SUM(t.endtime - t.starttime) AS sum,
-               AVG(t.endtime - t.starttime) AS avg,
-               COUNT(*) AS count
-        FROM hworkflow w, hactivity a, hactivation t
-        WHERE w.wkfid = a.wkfid
-          AND a.actid = t.actid
-          AND t.status = 'FINISHED'
-          AND w.wkfid = ?
-        GROUP BY a.tag
-        ORDER BY a.tag
-        """,
-        (wkfid,),
-    )
-    return [
-        ActivityStats(
-            tag=r["tag"],
-            min=r["min"],
-            max=r["max"],
-            sum=r["sum"],
-            avg=r["avg"],
-            count=r["count"],
-        )
-        for r in rows
-    ]
+    return _stats_rows(store, wkfid)
+
+
+def activity_history_statistics(
+    store: ProvenanceStore, wkfid: int | None = None
+) -> list[ActivityStats]:
+    """Query-1 statistics across *all* stored runs (or one, if given).
+
+    The cross-run variant seeds the online cost service at engine start:
+    a long-lived provenance store accumulates per-activity history that
+    informs placement and straggler thresholds before the first live
+    sample of a new run arrives.
+    """
+    return _stats_rows(store, wkfid)
 
 
 @dataclass

@@ -41,7 +41,11 @@ CREATE TABLE IF NOT EXISTS hactivation (
     vm_id       TEXT DEFAULT '',
     core_index  INTEGER DEFAULT -1,
     workdir     TEXT DEFAULT '',
-    errormsg    TEXT DEFAULT ''
+    errormsg    TEXT DEFAULT '',
+    -- 1 for duplicate attempts launched by straggler speculation; the
+    -- lineage/recovery queries must not mistake a losing duplicate (or
+    -- its superseded primary) for real failed work.
+    speculative INTEGER DEFAULT 0
 );
 
 CREATE TABLE IF NOT EXISTS hfile (

@@ -31,6 +31,7 @@ class ActivationStatus(str, Enum):
 _ACTIVATION_COLS = (
     "taskid", "actid", "tuple_key", "starttime", "endtime", "status",
     "exitstatus", "errormsg", "vm_id", "core_index", "workdir", "attempt",
+    "speculative",
 )
 
 
@@ -89,6 +90,18 @@ class ProvenanceStore:
         self._last_flush = time.monotonic()
         with self._lock:
             self._conn.executescript(SCHEMA_DDL)
+            # Migrate pre-speculation databases in place: CREATE IF NOT
+            # EXISTS leaves an existing hactivation without the
+            # ``speculative`` column, which the batched INSERT needs.
+            cols = {
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(hactivation)")
+            }
+            if "speculative" not in cols:
+                self._conn.execute(
+                    "ALTER TABLE hactivation"
+                    " ADD COLUMN speculative INTEGER DEFAULT 0"
+                )
             if path is not None:
                 # File-backed stores take the WAL path the paper's MySQL
                 # instance effectively had (group commit): readers don't
@@ -258,6 +271,7 @@ class ProvenanceStore:
         core_index: int = -1,
         workdir: str = "",
         attempt: int = 0,
+        speculative: bool = False,
     ) -> int:
         with self._lock:
             return self._buffer_activation_locked({
@@ -272,6 +286,7 @@ class ProvenanceStore:
                 "core_index": core_index,
                 "workdir": workdir,
                 "attempt": attempt,
+                "speculative": 1 if speculative else 0,
             })
 
     def end_activation(
@@ -316,6 +331,7 @@ class ProvenanceStore:
                 "core_index": -1,
                 "workdir": "",
                 "attempt": 0,
+                "speculative": 0,
             })
 
     # -- artifacts -------------------------------------------------------------

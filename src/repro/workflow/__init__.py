@@ -51,7 +51,13 @@ from repro.workflow.dataflow import (
     WorkItem,
     lineage_key,
 )
-from repro.workflow.dispatch import AttemptOutcome, AttemptRunner
+from repro.workflow.dispatch import (
+    AttemptAbortHandle,
+    AttemptOutcome,
+    AttemptRunner,
+    AttemptSuperseded,
+    SPECULATION_ERRMSG_PREFIX,
+)
 from repro.workflow.engine import (
     EngineError,
     ExecutionReport,
@@ -91,6 +97,9 @@ __all__ = [
     "lineage_key",
     "AttemptRunner",
     "AttemptOutcome",
+    "AttemptAbortHandle",
+    "AttemptSuperseded",
+    "SPECULATION_ERRMSG_PREFIX",
     "LocalEngine",
     "SimulatedEngine",
     "EngineError",

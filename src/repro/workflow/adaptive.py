@@ -1,10 +1,14 @@
 """Adaptive elasticity: SciCumulus' cloud-native scaling policy.
 
 The engine periodically asks the policy for a core target given the
-current backlog and activity profile; the policy drives
-:meth:`VirtualCluster.scale_to`. The paper calls this *adaptive
-execution*: acquire VMs while compute-heavy activities (Vina/AD4
-docking) dominate the queue, release them as the tail drains.
+current backlog and activity profile; the simulated engine feeds the
+target to :meth:`VirtualCluster.scale_to`, while the real
+:class:`~repro.workflow.engine.LocalEngine` applies it to its actual
+worker pool — raising/lowering its dispatch cap on the threads backend
+and growing/retiring router slots (the quarantine drain path) on the
+processes backend. The paper calls this *adaptive execution*: acquire
+VMs while compute-heavy activities (Vina/AD4 docking) dominate the
+queue, release them as the tail drains.
 """
 
 from __future__ import annotations
@@ -84,3 +88,7 @@ class AdaptiveElasticityPolicy:
             desired = self._last_target
         self._last_target = desired
         return desired
+
+    def reset(self) -> None:
+        """Forget the hysteresis reference (fresh run, same policy)."""
+        self._last_target = None

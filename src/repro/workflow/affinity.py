@@ -29,6 +29,12 @@ Fault machinery (driven by the engine's watchdog and retry policy):
   redistributed, new submissions re-hash over the surviving slots, and
   the run degrades gracefully on fewer workers. The last live slot is
   never quarantined.
+
+Elasticity: :meth:`AffinityRouter.resize` grows or shrinks the live
+slot count mid-run. Growth appends fresh single-worker pools (each with
+its own dispatcher thread); shrinkage *retires* slots through the same
+drain path quarantine uses — no new work, backlog redistributed, the
+process shut down once its in-flight task finishes.
 """
 
 from __future__ import annotations
@@ -112,6 +118,10 @@ class AffinityRouter:
         self._expected_kills: set[int] = set()
         self._consecutive_failures: list[int] = [0] * workers
         self._quarantined: list[bool] = [False] * workers
+        #: Slots drained by an elastic scale-down; like quarantined
+        #: slots they take no new work, but retirement is deliberate and
+        #: carries no health stigma.
+        self._retired: list[bool] = [False] * workers
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._shutdown = False
@@ -134,7 +144,11 @@ class AffinityRouter:
         return pool, pool.submit(probe_worker)
 
     def _live_slots(self) -> list[int]:
-        return [i for i in range(self.workers) if not self._quarantined[i]]
+        return [
+            i
+            for i in range(self.workers)
+            if not self._quarantined[i] and not self._retired[i]
+        ]
 
     # -- submission ----------------------------------------------------------
     def submit(self, affinity_key: str | None, fn: Callable, *args: Any) -> Future:
@@ -152,7 +166,7 @@ class AffinityRouter:
                 home = min(live, key=lambda i: len(self._queues[i]))
             else:
                 home = stable_hash(affinity_key) % self.workers
-                if self._quarantined[home]:
+                if self._quarantined[home] or self._retired[home]:
                     home = live[stable_hash(affinity_key) % len(live)]
             task = _Task(fn, args, home)
             self._queues[home].append(task)
@@ -234,7 +248,7 @@ class AffinityRouter:
         Quarantined slots neither execute nor get stolen from (their
         queues were redistributed at quarantine time).
         """
-        if self._quarantined[worker]:
+        if self._quarantined[worker] or self._retired[worker]:
             return None
         own = self._queues[worker]
         if own:
@@ -246,6 +260,7 @@ class AffinityRouter:
             and self._busy[i]
             and self._queues[i]
             and not self._quarantined[i]
+            and not self._retired[i]
         ]
         if victims:
             victim = max(victims, key=lambda i: len(self._queues[i]))
@@ -282,7 +297,16 @@ class AffinityRouter:
                 self._running[worker] = None
                 if error is None:
                     self._consecutive_failures[worker] = 0
+                retired_pool = (
+                    pool
+                    if self._retired[worker] and self._pools[worker] is pool
+                    else None
+                )
                 self._work_ready.notify_all()
+            if retired_pool is not None:
+                # The slot was retired while this task ran; its process
+                # drains now that the in-flight work is done.
+                retired_pool.shutdown(wait=False)
             if error is not None:
                 if not task.future.done():
                     task.future.set_exception(error)
@@ -304,7 +328,11 @@ class AffinityRouter:
             self._expected_kills.discard(worker)
             if expected:
                 self._consecutive_failures[worker] = 0
-            else:
+            if self._retired[worker]:
+                # A retired slot was on its way out anyway: no
+                # replacement, no health strike.
+                return
+            if not expected:
                 self._consecutive_failures[worker] += 1
                 if (
                     self._consecutive_failures[worker] >= self.quarantine_after
@@ -325,6 +353,64 @@ class AffinityRouter:
             target = min(live, key=lambda i: len(self._queues[i]))
             self._queues[target].append(task)
         self._work_ready.notify_all()
+
+    # -- elasticity ----------------------------------------------------------
+    def resize(self, target: int) -> int:
+        """Grow or shrink the live slot count to ``target`` mid-run.
+
+        Growth appends fresh single-worker pools, each with its own
+        dispatcher thread. Shrinkage retires slots — idle ones first,
+        then highest index — through the quarantine drain path: a
+        retired slot takes no new work, its backlog is redistributed to
+        the least-loaded live queues, and its process shuts down as soon
+        as any in-flight task completes. The last live slot is never
+        retired. Returns the resulting live slot count.
+        """
+        idle_pools: list[ProcessPoolExecutor] = []
+        with self._lock:
+            if self._shutdown:
+                raise RouterError("router is shut down")
+            target = max(1, int(target))
+            live = self._live_slots()
+            if target > len(live):
+                for _ in range(target - len(live)):
+                    pool, pid_future = self._new_pool()
+                    self._pools.append(pool)
+                    self._pid_futures.append(pid_future)
+                    self._queues.append(deque())
+                    self._busy.append(False)
+                    self._running.append(None)
+                    self._consecutive_failures.append(0)
+                    self._quarantined.append(False)
+                    self._retired.append(False)
+                    slot = self.workers
+                    self.workers += 1
+                    thread = threading.Thread(
+                        target=self._dispatch, args=(slot,), daemon=True
+                    )
+                    self._dispatchers.append(thread)
+                    thread.start()
+            elif target < len(live):
+                # Idle slots first (their processes can drop right now),
+                # then newest; sort key is (busy, -index).
+                victims = sorted(live, key=lambda i: (self._busy[i], -i))
+                for worker in victims[: len(live) - target]:
+                    self._retired[worker] = True
+                    backlog = list(self._queues[worker])
+                    self._queues[worker].clear()
+                    remaining = self._live_slots()
+                    for task in backlog:
+                        dest = min(
+                            remaining, key=lambda i: len(self._queues[i])
+                        )
+                        self._queues[dest].append(task)
+                    if not self._busy[worker]:
+                        idle_pools.append(self._pools[worker])
+            self._work_ready.notify_all()
+            survivors = len(self._live_slots())
+        for pool in idle_pools:
+            pool.shutdown(wait=False)
+        return survivors
 
     # -- lifecycle -----------------------------------------------------------
     def shutdown(self) -> None:

@@ -98,15 +98,27 @@ class ReadyQueue:
     follows ``job_priority`` (highest first; ties FIFO). Without one,
     pop order is plain FIFO arrival — the pre-refactor LocalEngine
     behavior.
+
+    ``cost_fn`` supplies each pushed item's expected cost when the
+    caller doesn't pass one explicitly — this is how the engines feed
+    *learned* online service-time estimates into placement instead of
+    the static per-activity table.
     """
 
-    def __init__(self, scheduler: Scheduler | None = None) -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        cost_fn=None,
+    ) -> None:
         self.scheduler = scheduler
+        self.cost_fn = cost_fn
         self._heap: list[tuple[float, int, WorkItem]] = []
         self._seq = itertools.count()
         self._arrivals = itertools.count()
 
-    def push(self, item: WorkItem, expected_cost: float = 0.0) -> None:
+    def push(self, item: WorkItem, expected_cost: float | None = None) -> None:
+        if expected_cost is None:
+            expected_cost = self.cost_fn(item) if self.cost_fn else 0.0
         if self.scheduler is None:
             priority = 0.0
         else:

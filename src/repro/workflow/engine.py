@@ -54,6 +54,7 @@ from repro.workflow.affinity import AffinityRouter, RouterError
 from repro.workflow.artifacts import ArtifactPlane, drop_run_state, release_cached
 from repro.workflow.dataflow import DataflowState, ReadyQueue, WorkItem
 from repro.workflow.dispatch import (
+    AttemptAbortHandle,
     AttemptOutcome,
     AttemptRunner,
     PARENT_ONLY_CONTEXT_KEYS,
@@ -109,6 +110,14 @@ class ExecutionReport:
     infra_retries: int = 0
     #: Worker slots the router quarantined after repeated deaths.
     quarantined_workers: int = 0
+    #: Duplicate attempts launched by straggler speculation.
+    speculative_launched: int = 0
+    #: Speculative duplicates that finished first and won their race.
+    speculative_won: int = 0
+    #: Live worker-pool resizes the elasticity policy applied mid-run.
+    pool_resizes: int = 0
+    #: Attempt durations fed into the online cost service this run.
+    cost_samples: int = 0
     #: Energy-kernel mode the run executed with ("analytic"|"tables").
     kernel_mode: str = "analytic"
     #: Wall time spent building energy lookup tables in this process
@@ -123,6 +132,25 @@ class ExecutionReport:
 
 #: Executor backends LocalEngine can run activations on.
 BACKENDS = ("threads", "processes")
+
+
+@dataclass
+class _Flight:
+    """One in-flight activation and its (possible) speculative twin.
+
+    ``pending`` counts attempts still running (1 or 2); ``settled``
+    flips once a twin's outcome has been accepted — everything the
+    other twin reports afterwards is bookkeeping only.
+    """
+
+    item: WorkItem
+    activity: Activity
+    actid: int
+    wall_start: float
+    primary_handle: AttemptAbortHandle | None
+    spec_handle: AttemptAbortHandle | None = None
+    pending: int = 1
+    settled: bool = False
 
 
 class LocalEngine:
@@ -172,7 +200,25 @@ class LocalEngine:
     quarantined. A ``fault_injector`` context entry
     (:class:`~repro.workflow.fault.FaultInjector`) forces these paths
     deterministically for chaos tests.
+
+    With a ``cost_service``
+    (:class:`~repro.perf.online_cost.OnlineCostService`), the engine
+    becomes self-calibrating: ready-queue ordering uses learned
+    per-activity/per-size-class service-time estimates instead of the
+    static cost table, every successful attempt's duration is observed
+    back into the service, and — when the service's speculation
+    quantile is below 1.0 — an attempt running past the learned tail
+    quantile gets a duplicate launched on an idle slot
+    (first-completion-wins, loser cancelled and recorded ABORTED with
+    the speculation errormsg, duplicate rows flagged
+    ``speculative=True`` in provenance). An ``elasticity`` policy
+    additionally grows/shrinks the live worker pool mid-run: the
+    dispatch cap moves on the threads backend, and router slots are
+    added/retired (the quarantine drain path) on processes.
     """
+
+    #: Completion-wait granularity while watching for stragglers.
+    _speculation_poll = 0.05
 
     def __init__(
         self,
@@ -185,6 +231,8 @@ class LocalEngine:
         block_known_loopers: bool = True,
         scheduler: Scheduler | None = None,
         pipeline: bool = True,
+        cost_service=None,
+        elasticity=None,
     ) -> None:
         if workers < 1:
             raise EngineError("need at least one worker")
@@ -203,6 +251,10 @@ class LocalEngine:
         #: Per-tuple pipelining (barriers only at REDUCE) vs historical
         #: full per-activity barriers.
         self.pipeline = pipeline
+        #: Online service-time estimator (placement + speculation).
+        self.cost_service = cost_service
+        #: Live pool-resizing policy (None = fixed worker count).
+        self.elasticity = elasticity
         self._router: AffinityRouter | None = None
         self._shipped_context: dict | None = None
         #: Per-worker results of the end-of-run cache-cleanup broadcast
@@ -239,6 +291,7 @@ class LocalEngine:
 
         retried = blocked = aborted = 0
         timeouts = infra_retries = quarantined = 0
+        speculative_launched = speculative_won = pool_resizes = 0
         final = Relation(f"{workflow.tag}:output")
 
         # Fault injection: chaos tests force crashes/hangs/failures via
@@ -318,36 +371,127 @@ class LocalEngine:
             wkfid=wkfid,
             actids=actids,
         )
-        ready = ReadyQueue(self.scheduler)
+        service = self.cost_service
+        spec_enabled = service is not None and service.speculation_enabled
+
+        def expected_cost(item: WorkItem) -> float:
+            """Learned service-time estimate, static table as fallback."""
+            activity = workflow.activities[item.stage]
+            if service is not None:
+                est = service.expected_seconds(activity.tag, item.tup)
+                if est is not None:
+                    return est
+            return activity.cost(item.tup)
+
+        ready = ReadyQueue(self.scheduler, cost_fn=expected_cost)
         completions: queue.Queue = queue.Queue()
         steering = context.get("steering")
         inflight = 0
         peak_inflight = 0
+        #: Dispatch cap the elasticity policy moves; the thread pool is
+        #: sized to the ceiling so a grow decision needs no new pool.
+        active = self.workers
+        hard_max = self.workers
+        if self.elasticity is not None:
+            hard_max = max(
+                hard_max, int(getattr(self.elasticity, "max_cores", 0))
+            )
+        #: In-flight activations by item identity (twin accounting).
+        flights: dict[int, _Flight] = {}
 
         def enqueue(items: list[WorkItem]) -> None:
             for item in items:
-                ready.push(
-                    item, workflow.activities[item.stage].cost(item.tup)
-                )
+                ready.push(item)
 
-        def task(item: WorkItem, activity: Activity, actid: int) -> None:
+        def task(
+            item: WorkItem,
+            activity: Activity,
+            actid: int,
+            handle: AttemptAbortHandle | None,
+        ) -> None:
             try:
                 outs, outcome = runner.run_with_retry(
-                    activity, actid, item.tup, item.key, context, t0
+                    activity, actid, item.tup, item.key, context, t0,
+                    abort_handle=handle,
                 )
-                completions.put((item, outs, outcome, None))
+                completions.put((item, outs, outcome, None, "primary"))
             except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
-                completions.put((item, [], AttemptOutcome(), exc))
+                completions.put((item, [], AttemptOutcome(), exc, "primary"))
+
+        def spec_task(
+            item: WorkItem,
+            activity: Activity,
+            actid: int,
+            handle: AttemptAbortHandle,
+        ) -> None:
+            try:
+                outs, outcome = runner.run_speculative(
+                    activity, actid, item.tup, item.key, context, t0, handle
+                )
+                completions.put((item, outs, outcome, None, "speculative"))
+            except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
+                completions.put(
+                    (item, [], AttemptOutcome(speculative=True), exc,
+                     "speculative")
+                )
+
+        def maybe_speculate(pool: ThreadPoolExecutor) -> None:
+            """Duplicate attempts running past their learned tail quantile."""
+            nonlocal inflight, peak_inflight, speculative_launched
+            now = time.perf_counter()
+            for flight in list(flights.values()):
+                if inflight >= active:
+                    break
+                if flight.settled or flight.spec_handle is not None:
+                    continue
+                if flight.activity.operator is Operator.REDUCE:
+                    continue
+                threshold = service.straggler_threshold(
+                    flight.activity.tag, flight.item.tup
+                )
+                if threshold is None or now - flight.wall_start <= threshold:
+                    continue
+                handle = AttemptAbortHandle()
+                flight.spec_handle = handle
+                flight.pending += 1
+                inflight += 1
+                peak_inflight = max(peak_inflight, inflight)
+                speculative_launched += 1
+                pool.submit(
+                    spec_task, flight.item, flight.activity, flight.actid,
+                    handle,
+                )
 
         enqueue(state.seed(relation))
         try:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            with ThreadPoolExecutor(max_workers=hard_max) as pool:
                 while True:
+                    # Elasticity: let the policy move the dispatch cap
+                    # (and, on processes, the real router slots) before
+                    # each scheduling round.
+                    if self.elasticity is not None:
+                        if ready:
+                            mean_cost = sum(
+                                expected_cost(j) for j in ready.items()
+                            ) / len(ready)
+                        else:
+                            mean_cost = 0.0
+                        utilization = inflight / active if active else 0.0
+                        target = self.elasticity.target_cores(
+                            len(ready), inflight, mean_cost,
+                            utilization=utilization,
+                        )
+                        target = max(1, min(hard_max, int(target)))
+                        if target != active:
+                            if self._router is not None:
+                                self._router.resize(target)
+                            active = target
+                            pool_resizes += 1
                     # Fill free worker slots from the ready queue; keeping
                     # the backlog here (instead of pre-submitting every
                     # future) is what lets the scheduler order dispatch
                     # and steering cancel still-queued work.
-                    while ready and inflight < self.workers:
+                    while ready and inflight < active:
                         item = ready.pop()
                         activity = workflow.activities[item.stage]
                         actid = actids[activity.tag]
@@ -397,13 +541,45 @@ class LocalEngine:
                                     aborted += 1
                                 enqueue(state.retire(item))
                                 continue
+                        handle = AttemptAbortHandle() if spec_enabled else None
+                        flights[id(item)] = _Flight(
+                            item=item,
+                            activity=activity,
+                            actid=actid,
+                            wall_start=time.perf_counter(),
+                            primary_handle=handle,
+                        )
                         inflight += 1
                         peak_inflight = max(peak_inflight, inflight)
-                        pool.submit(task, item, activity, actid)
+                        pool.submit(task, item, activity, actid, handle)
                     if inflight == 0:
                         break
-                    item, outs, outcome, exc = completions.get()
+                    # With speculation on and idle capacity, wait in
+                    # short slices so stragglers are noticed promptly;
+                    # otherwise block until something completes.
+                    if spec_enabled and inflight < active:
+                        try:
+                            record = completions.get(
+                                timeout=self._speculation_poll
+                            )
+                        except queue.Empty:
+                            maybe_speculate(pool)
+                            continue
+                    else:
+                        record = completions.get()
+                    item, outs, outcome, exc, role = record
                     inflight -= 1
+                    flight = flights[id(item)]
+                    flight.pending -= 1
+                    if flight.settled:
+                        # The twin already settled this tuple; this is
+                        # the loser draining. Count its bookkeeping but
+                        # do not touch the dataflow again.
+                        retried += outcome.retried
+                        infra_retries += outcome.infra_retries
+                        if flight.pending == 0:
+                            flights.pop(id(item), None)
+                        continue
                     if exc is not None:
                         raise exc
                     retried += outcome.retried
@@ -411,6 +587,32 @@ class LocalEngine:
                     if outcome.timed_out:
                         aborted += 1
                         timeouts += 1
+                    if not outcome.succeeded and flight.pending > 0:
+                        # This twin failed/timed out but the other is
+                        # still running — let it decide the tuple.
+                        continue
+                    flight.settled = True
+                    if flight.pending == 0:
+                        flights.pop(id(item), None)
+                    else:
+                        # First completion wins: cancel the other twin.
+                        other = (
+                            flight.spec_handle
+                            if role == "primary"
+                            else flight.primary_handle
+                        )
+                        if other is not None:
+                            other.abort()
+                    if role == "speculative" and outcome.succeeded:
+                        speculative_won += 1
+                    if (
+                        service is not None
+                        and outcome.succeeded
+                        and outcome.duration is not None
+                    ):
+                        service.observe(
+                            flight.activity.tag, item.tup, outcome.duration
+                        )
                     enqueue(state.complete(item, outs))
         finally:
             if self._router is not None:
@@ -462,6 +664,10 @@ class LocalEngine:
             timeouts=timeouts,
             infra_retries=infra_retries,
             quarantined_workers=quarantined,
+            speculative_launched=speculative_launched,
+            speculative_won=speculative_won,
+            pool_resizes=pool_resizes,
+            cost_samples=service.samples if service is not None else 0,
             kernel_mode=kernel_mode,
             etable_build_s=etable_build,
         )
@@ -495,6 +701,7 @@ class SimulatedEngine:
         core_limit: int | None = None,
         data_model=None,
         pipeline: bool = True,
+        cost_service=None,
     ) -> None:
         self.store = store
         self.cluster = cluster
@@ -505,6 +712,10 @@ class SimulatedEngine:
         self.elasticity = elasticity
         self.block_known_loopers = block_known_loopers
         self.pipeline = pipeline
+        #: Online estimator: orders the ready queue by learned costs
+        #: (service *time* still comes from the calibrated model) and
+        #: accumulates observed durations like the real engine does.
+        self.cost_service = cost_service
         #: Optional (activity_tag, tuple) -> bytes model: accumulates the
         #: shared-FS data volume the run would produce (the paper's
         #: "600 GB for each workflow execution").
@@ -583,12 +794,24 @@ class SimulatedEngine:
         def cost_of(item: WorkItem) -> float:
             return workflow.activities[item.stage].cost(item.tup)
 
+        def queue_cost(item: WorkItem) -> float:
+            """Learned estimate for ordering; static cost as fallback."""
+            if self.cost_service is not None:
+                est = self.cost_service.expected_seconds(
+                    workflow.activities[item.stage].tag, item.tup
+                )
+                if est is not None:
+                    return est
+            return cost_of(item)
+
+        ready.cost_fn = queue_cost
+
         def enqueue(items, when: float) -> None:
             for item in items:
                 if item.ready_at > when:
                     heapq.heappush(waiting, (item.ready_at, next(seq), item))
                 else:
-                    ready.push(item, cost_of(item))
+                    ready.push(item)
 
         enqueue(state.seed(relation), now)
 
@@ -596,7 +819,7 @@ class SimulatedEngine:
             # Promote retry-delayed items that became eligible.
             while waiting and waiting[0][0] <= now:
                 _, _, item = heapq.heappop(waiting)
-                ready.push(item, cost_of(item))
+                ready.push(item)
 
             # Elasticity: consult the policy before each scheduling round.
             if self.elasticity is not None:
@@ -738,6 +961,10 @@ class SimulatedEngine:
                     enqueue(state.retire(item), now)
             else:
                 self.store.end_activation(item.tid, finish)
+                if self.cost_service is not None:
+                    self.cost_service.observe(
+                        activity.tag, item.tup, cost_of(item) / core.speed
+                    )
                 if self.data_model is not None:
                     bytes_written += self.data_model(activity.tag, item.tup)
                 if activity.fn is not None:
@@ -774,4 +1001,9 @@ class SimulatedEngine:
             cost_usd=self.cluster.cost(),
             peak_cores=peak_cores,
             bytes_written=bytes_written,
+            cost_samples=(
+                self.cost_service.samples
+                if self.cost_service is not None
+                else 0
+            ),
         )

@@ -18,6 +18,7 @@ from typing import Callable
 
 from repro.provenance.store import ProvenanceStore
 from repro.workflow.activity import Workflow
+from repro.workflow.dispatch import SPECULATION_ERRMSG_PREFIX
 from repro.workflow.engine import ExecutionReport, LocalEngine
 from repro.workflow.relation import Relation, tuple_key
 
@@ -118,12 +119,18 @@ def analyze_run(
     whose error message marks a wall-clock watchdog timeout are split
     out as *timeout* keys: real timeouts can happen to any activity on a
     bad day and are worth one more try, whereas predicate aborts
-    (looping-state inputs) would just abort again.
+    (looping-state inputs) would just abort again. Straggler
+    speculation leaves two kinds of rows that are *not* real work lost
+    and classify nothing: non-FINISHED ``speculative`` duplicates, and
+    ABORTED rows whose errormsg carries the speculation-loss marker
+    (a superseded primary) — both mean the twin attempt finished the
+    tuple.
     """
     last_tag = workflow.activities[-1].tag
     rows = store.sql(
         """
-        SELECT a.tag, t.tuple_key, t.status, t.attempt, t.errormsg
+        SELECT a.tag, t.tuple_key, t.status, t.attempt, t.errormsg,
+               t.speculative
         FROM hactivation t JOIN hactivity a ON t.actid = a.actid
         WHERE a.wkfid = ?
         ORDER BY t.taskid
@@ -136,6 +143,16 @@ def analyze_run(
     final_status: dict[tuple[str, str], str] = {}
     timeout_marked: set[str] = set()
     for r in rows:
+        if r["speculative"] and r["status"] != "FINISHED":
+            # A duplicate that lost (or died): the primary's record is
+            # the tuple's truth.
+            continue
+        errormsg = r["errormsg"] or ""
+        if r["status"] == "ABORTED" and errormsg.startswith(
+            SPECULATION_ERRMSG_PREFIX
+        ):
+            # A primary superseded by its winning duplicate.
+            continue
         key = root_of(r["tuple_key"])
         if key is None:
             # REDUCE fan-in: classifies no single input tuple.

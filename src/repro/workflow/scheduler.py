@@ -66,7 +66,10 @@ class GreedyCostScheduler(_AssignMixin):
 
     Assignment: the longest-expected activation goes to the fastest free
     core ("short-term activities to less powerful VMs, long-term
-    activities to more powerful VMs").
+    activities to more powerful VMs"). The expected cost may come from
+    the static activity table or — when the engine runs with an
+    :class:`~repro.perf.online_cost.OnlineCostService` — from learned
+    per-activity, per-size-class service-time estimates.
 
     Overhead: each scheduling round costs
     ``base + per_pair * n_ready * n_total_cores`` seconds, reflecting the

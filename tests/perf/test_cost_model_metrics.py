@@ -141,6 +141,48 @@ class TestCalibration:
         model = calibrate_cost_model({"babel": 0.0})
         assert model.means["babel"] == PAPER_ACTIVITY_MEANS["babel"]
 
+    def test_unknown_tag_adopted_with_default_sigma(self):
+        from repro.perf.calibrate import DEFAULT_SIGMA
+
+        model = calibrate_cost_model({"md_refine": 12.0})
+        assert model.means["md_refine"] == 12.0
+        assert model.sigmas["md_refine"] == DEFAULT_SIGMA
+        assert model.service_seconds("md_refine", TUP) > 0
+
+    def test_measured_stddevs_set_sigmas(self):
+        from repro.perf.online_cost import sigma_from_moments
+
+        model = calibrate_cost_model(
+            {"babel": 2.0}, measured_stddevs={"babel": 1.0}
+        )
+        assert model.sigmas["babel"] == pytest.approx(
+            sigma_from_moments(2.0, 1.0)
+        )
+
+    def test_docking_stddev_applies_to_both_engines(self):
+        from repro.perf.online_cost import sigma_from_moments
+
+        model = calibrate_cost_model(
+            {"docking": 10.0}, measured_stddevs={"docking": 5.0}
+        )
+        expected = sigma_from_moments(10.0, 5.0)
+        assert model.sigmas["docking_vina"] == pytest.approx(expected)
+        assert model.sigmas["docking_ad4"] == pytest.approx(expected)
+
+    def test_calibrate_from_statistics(self):
+        from repro.perf.calibrate import calibrate_from_statistics
+        from repro.provenance.queries import ActivityStats
+
+        stats = {
+            "babel": ActivityStats(
+                tag="babel", min=1.0, max=5.0, sum=30.0, avg=3.0, count=10,
+                stddev=1.5,
+            )
+        }
+        model = calibrate_from_statistics(stats)
+        assert model.means["babel"] == 3.0
+        assert model.sigmas["babel"] > 0
+
 
 class TestDataVolume:
     def test_output_bytes_positive(self):

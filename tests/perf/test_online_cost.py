@@ -1,0 +1,155 @@
+"""OnlineCostService: streaming estimates, priors, straggler thresholds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chem.generate import receptor_size_class
+from repro.perf.cost_model import PAPER_ACTIVITY_MEANS
+from repro.perf.online_cost import OnlineCostService, sigma_from_moments
+from repro.provenance.store import ProvenanceStore
+
+# Hash-derived size classes (see repro.chem.generate.receptor_size_class).
+LARGE_RECEPTOR = "1ABC"
+SMALL_RECEPTOR = "2DEF"
+
+
+def test_size_class_fixture_assumptions():
+    assert receptor_size_class(LARGE_RECEPTOR) == "large"
+    assert receptor_size_class(SMALL_RECEPTOR) == "small"
+
+
+class TestSigmaFromMoments:
+    def test_zero_std_gives_zero_sigma(self):
+        assert sigma_from_moments(10.0, 0.0) == 0.0
+
+    def test_scale_invariance(self):
+        # Same coefficient of variation -> same shape parameter.
+        assert sigma_from_moments(10.0, 5.0) == pytest.approx(
+            sigma_from_moments(100.0, 50.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sigma_from_moments(0.0, 1.0)
+        with pytest.raises(ValueError):
+            sigma_from_moments(1.0, -1.0)
+
+
+class TestConstruction:
+    def test_rejects_unknown_prior(self):
+        with pytest.raises(ValueError):
+            OnlineCostService(prior="vibes")
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            OnlineCostService(speculation_quantile=0.0)
+        with pytest.raises(ValueError):
+            OnlineCostService(speculation_quantile=1.5)
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            OnlineCostService(window=1)
+        with pytest.raises(ValueError):
+            OnlineCostService(min_samples=0)
+
+    def test_default_quantile_is_p95(self):
+        assert OnlineCostService().speculation_quantile == 0.95
+
+
+class TestExpectedSeconds:
+    def test_paper_prior_answers_cold(self):
+        svc = OnlineCostService()
+        assert svc.expected_seconds("babel", {}) == PAPER_ACTIVITY_MEANS["babel"]
+
+    def test_unknown_tag_is_none(self):
+        svc = OnlineCostService()
+        assert svc.expected_seconds("mystery_stage", {}) is None
+
+    def test_provenance_prior_starts_empty(self):
+        svc = OnlineCostService(prior="provenance")
+        assert svc.expected_seconds("babel", {}) is None
+
+    def test_live_samples_converge_past_the_prior(self):
+        svc = OnlineCostService(window=16)
+        for _ in range(200):
+            svc.observe("babel", {}, 10.0)
+        # Paper prior carries count=0, so live samples dominate outright.
+        assert svc.expected_seconds("babel", {}) == pytest.approx(10.0)
+        assert svc.samples == 200
+
+    def test_docking_tag_normalized_by_engine(self):
+        svc = OnlineCostService(prior="provenance")
+        svc.observe("docking", {"engine": "vina"}, 5.0)
+        svc.observe("docking", {"engine": "autodock4"}, 50.0)
+        assert svc.expected_seconds("docking", {"engine": "vina"}) == 5.0
+        assert svc.expected_seconds("docking", {"engine": "autodock4"}) == 50.0
+
+    def test_size_classes_learn_separately(self):
+        svc = OnlineCostService(prior="provenance")
+        for _ in range(10):
+            svc.observe("docking", {"receptor_id": LARGE_RECEPTOR}, 8.0)
+            svc.observe("docking", {"receptor_id": SMALL_RECEPTOR}, 2.0)
+        assert svc.expected_seconds(
+            "docking", {"receptor_id": LARGE_RECEPTOR}
+        ) == pytest.approx(8.0)
+        assert svc.expected_seconds(
+            "docking", {"receptor_id": SMALL_RECEPTOR}
+        ) == pytest.approx(2.0)
+
+    def test_cold_size_class_falls_back_to_tag_aggregate(self):
+        svc = OnlineCostService(prior="provenance")
+        for _ in range(10):
+            svc.observe("docking", {"receptor_id": LARGE_RECEPTOR}, 8.0)
+        est = svc.expected_seconds("docking", {"receptor_id": SMALL_RECEPTOR})
+        assert est == pytest.approx(8.0)
+
+
+class TestStragglerThreshold:
+    def test_disabled_at_quantile_one(self):
+        svc = OnlineCostService(speculation_quantile=1.0)
+        for _ in range(50):
+            svc.observe("babel", {}, 1.0)
+        assert not svc.speculation_enabled
+        assert svc.straggler_threshold("babel", {}) is None
+
+    def test_cold_distribution_never_triggers(self):
+        svc = OnlineCostService(speculation_quantile=0.95, min_samples=8)
+        for _ in range(7):
+            svc.observe("babel", {}, 1.0)
+        assert svc.straggler_threshold("babel", {}) is None
+
+    def test_paper_prior_never_enables_speculation(self):
+        # count=0 priors give placement estimates but no tail knowledge.
+        svc = OnlineCostService(prior="paper", speculation_quantile=0.95)
+        assert svc.straggler_threshold("babel", {}) is None
+
+    def test_warm_window_returns_tail_quantile(self):
+        svc = OnlineCostService(speculation_quantile=0.95, min_samples=8)
+        for v in range(1, 101):
+            svc.observe("babel", {}, float(v) / 100.0)
+        thr = svc.straggler_threshold("babel", {})
+        assert thr is not None
+        assert 0.90 < thr <= 1.0  # p95 of ~U(0, 1]
+
+    def test_seeded_history_enables_parametric_tail(self):
+        store = ProvenanceStore()
+        wkfid = store.begin_workflow("W")
+        actid = store.register_activity(wkfid, "babel")
+        for i in range(20):
+            tid = store.begin_activation(actid, f"k{i}", float(i))
+            store.end_activation(tid, float(i) + 2.0)  # 2 s each
+        svc = OnlineCostService(
+            prior="provenance", speculation_quantile=0.95, min_samples=8
+        )
+        assert svc.seed_from_store(store) == 1
+        assert svc.expected_seconds("babel", {}) == pytest.approx(2.0)
+        thr = svc.straggler_threshold("babel", {})
+        # Zero measured variance collapses the tail onto the mean.
+        assert thr == pytest.approx(2.0)
+
+    def test_negative_observations_ignored(self):
+        svc = OnlineCostService(prior="provenance")
+        svc.observe("babel", {}, -1.0)
+        assert svc.samples == 0
+        assert svc.expected_seconds("babel", {}) is None

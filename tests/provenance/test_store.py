@@ -5,6 +5,7 @@ import pytest
 from repro.provenance.prov_model import export_prov_document, to_prov_n
 from repro.provenance.queries import (
     activation_durations,
+    activity_history_statistics,
     query1_activity_statistics,
     query1_sql,
     query2_files,
@@ -112,6 +113,28 @@ class TestQuery1:
         by_tag = {r["tag"]: r for r in rows}
         for s in helper:
             assert by_tag[s.tag]["avg"] == pytest.approx(s.avg)
+
+    def test_stddev_population_moments(self, store, populated):
+        stats = {s.tag: s for s in query1_activity_statistics(store, populated)}
+        # babel [2, 3]: population stddev 0.5; autodock4 [100, 140]: 20.
+        assert stats["babel"].stddev == pytest.approx(0.5)
+        assert stats["autodock4"].stddev == pytest.approx(20.0)
+
+    def test_history_aggregates_across_runs(self, store, populated):
+        # A second run of babel shifts the all-runs aggregate while the
+        # per-run Query-1 view of the first run stays put.
+        wkfid2 = store.begin_workflow("SciDock", starttime=1000.0)
+        babel2 = store.register_activity(wkfid2, "babel")
+        tid = store.begin_activation(babel2, "pair-x", starttime=1000.0)
+        store.end_activation(tid, endtime=1007.0)
+        store.end_workflow(wkfid2, endtime=1007.0)
+
+        history = {s.tag: s for s in activity_history_statistics(store)}
+        assert history["babel"].count == 3
+        assert history["babel"].avg == pytest.approx((2.0 + 3.0 + 7.0) / 3)
+        per_run = {s.tag: s for s in query1_activity_statistics(store, populated)}
+        assert per_run["babel"].count == 2
+        assert per_run["babel"].avg == pytest.approx(2.5)
 
     def test_only_finished_counted(self, store):
         wkfid = store.begin_workflow("W")

@@ -118,3 +118,60 @@ def test_shutdown_rejects_new_work(spawn_ctx):
     with pytest.raises(RouterError):
         router.broadcast(probe_worker)
     router.shutdown()  # idempotent
+
+
+def test_resize_grow_adds_live_slots(spawn_ctx):
+    router = AffinityRouter(1, spawn_ctx)
+    try:
+        assert router.resize(3) == 3
+        assert router.workers == 3
+        pids = router.broadcast(probe_worker)
+        assert len(pids) == 3
+        assert len(set(pids)) == 3
+    finally:
+        router.shutdown()
+
+
+def test_resize_shrink_retires_slots(spawn_ctx):
+    router = AffinityRouter(3, spawn_ctx)
+    try:
+        assert router.resize(1) == 1
+        # All work now lands on the single surviving slot.
+        pids = {
+            router.submit(f"K{i}", probe_worker).result() for i in range(6)
+        }
+        assert len(pids) == 1
+        assert len(router.broadcast(probe_worker)) == 1
+    finally:
+        router.shutdown()
+
+
+def test_resize_never_drops_below_one(spawn_ctx):
+    router = AffinityRouter(2, spawn_ctx)
+    try:
+        assert router.resize(0) == 1
+        assert isinstance(router.submit("k", probe_worker).result(), int)
+    finally:
+        router.shutdown()
+
+
+def test_resize_shrink_redistributes_backlog(spawn_ctx):
+    router = AffinityRouter(2, spawn_ctx)
+    try:
+        # Queue slow work everywhere, then shrink mid-flight: every
+        # already-submitted future must still complete.
+        futures = [
+            router.submit(f"K{i}", sleepy_probe, 0.2) for i in range(6)
+        ]
+        router.resize(1)
+        results = [f.result(timeout=30) for f in futures]
+        assert all(isinstance(pid, int) for pid in results)
+    finally:
+        router.shutdown()
+
+
+def test_resize_after_shutdown_raises(spawn_ctx):
+    router = AffinityRouter(1, spawn_ctx)
+    router.shutdown()
+    with pytest.raises(RouterError):
+        router.resize(2)
