@@ -21,9 +21,19 @@ from repro.core.datasets import (
     TABLE3_LIGANDS,
     pair_relation,
 )
-from repro.core.scidock import SciDockConfig, run_scidock
+from repro.core.scidock import SciDockConfig, resume_scidock, run_scidock
 from repro.core.spec import scidock_xml
 from repro.perf.experiments import run_core_sweep
+
+
+def _open_store(args: argparse.Namespace):
+    """File-backed provenance store when ``--store`` was given, else None
+    (run_scidock then creates the default in-memory store)."""
+    if getattr(args, "store", None) is None:
+        return None
+    from repro.provenance.store import ProvenanceStore
+
+    return ProvenanceStore(args.store, buffer_size=128, flush_interval=1.0)
 
 
 def _exec_kwargs(args: argparse.Namespace) -> dict:
@@ -50,12 +60,29 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
 
 
 def _cmd_dock(args: argparse.Namespace) -> int:
-    receptors = args.receptors or list(CL0125_RECEPTORS[: args.n_receptors])
-    ligands = args.ligands or list(TABLE3_LIGANDS[: args.n_ligands])
-    pairs = pair_relation(receptors=receptors, ligands=ligands)
     config = SciDockConfig(scenario=args.scenario, **_exec_kwargs(args))
-    print(f"docking {len(pairs)} pairs (scenario={args.scenario}) ...")
-    report, store = run_scidock(pairs, config)
+    store = _open_store(args)
+    if args.resume is not None:
+        if store is None:
+            print(
+                "--resume needs --store PATH (the database the crashed "
+                "run was writing)",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"resuming run {args.resume} from its journal ...")
+        report, store = resume_scidock(args.resume, store, config)
+        print(
+            f"resumed as run {report.wkfid}: {report.replayed} activations "
+            "replayed from the journal (zero recomputation), "
+            f"{report.total_activations - report.replayed} executed"
+        )
+    else:
+        receptors = args.receptors or list(CL0125_RECEPTORS[: args.n_receptors])
+        ligands = args.ligands or list(TABLE3_LIGANDS[: args.n_ligands])
+        pairs = pair_relation(receptors=receptors, ligands=ligands)
+        print(f"docking {len(pairs)} pairs (scenario={args.scenario}) ...")
+        report, store = run_scidock(pairs, config, store=store)
     outcomes = collect_outcomes(store, report.wkfid)
     for o in sorted(outcomes, key=lambda o: o.feb):
         mark = "*" if o.converged else " "
@@ -93,7 +120,9 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         pairs = pair_relation(receptors=receptors, ligands=list(TABLE3_LIGANDS))
         print(f"running {len(pairs)} pairs with {scenario} ...", file=sys.stderr)
         report, store = run_scidock(
-            pairs, SciDockConfig(scenario=scenario, **_exec_kwargs(args))
+            pairs,
+            SciDockConfig(scenario=scenario, **_exec_kwargs(args)),
+            store=_open_store(args),
         )
         outcomes = collect_outcomes(store, report.wkfid)
         rows_all.extend(compute_table3(outcomes, ligands=TABLE3_LIGANDS))
@@ -128,7 +157,9 @@ def _cmd_qsar(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     report, store = run_scidock(
-        pairs, SciDockConfig(scenario="vina", **_exec_kwargs(args))
+        pairs,
+        SciDockConfig(scenario="vina", **_exec_kwargs(args)),
+        store=_open_store(args),
     )
     training: dict[str, float] = {}
     for o in collect_outcomes(store, report.wkfid):
@@ -152,7 +183,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     pairs = pair_relation(receptors=receptors, ligands=ligands)
     print(f"running {len(pairs)} pairs ...", file=sys.stderr)
     report, store = run_scidock(
-        pairs, SciDockConfig(scenario=args.scenario, **_exec_kwargs(args))
+        pairs,
+        SciDockConfig(scenario=args.scenario, **_exec_kwargs(args)),
+        store=_open_store(args),
     )
     print(campaign_report(store, report.wkfid), end="")
     return 0
@@ -267,6 +300,12 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         help="let the adaptive elasticity policy grow/shrink the real "
         "worker pool mid-run (bounded above by --workers)",
     )
+    parser.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="file-backed provenance database (default: in-memory); a "
+        "file-backed store makes the run journal durable, so a killed "
+        "run can be continued with dock --resume",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -282,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
     dock.add_argument("--n-receptors", type=int, default=3)
     dock.add_argument("--n-ligands", type=int, default=2)
     dock.add_argument("--scenario", choices=("adaptive", "ad4", "vina"), default="adaptive")
+    dock.add_argument(
+        "--resume", type=int, default=None, metavar="WKFID",
+        help="continue a crashed/killed run from its journal in --store: "
+        "durably-completed activations are replayed with zero "
+        "recomputation, only unfinished work executes",
+    )
     _add_exec_args(dock)
     dock.set_defaults(fn=_cmd_dock)
 

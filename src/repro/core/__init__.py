@@ -16,8 +16,10 @@ from repro.core.datasets import (
 )
 from repro.core.scidock import (
     SciDockConfig,
+    build_scidock_engine,
     build_scidock_workflow,
     build_scidock_sim_workflow,
+    resume_scidock,
     run_scidock,
 )
 from repro.core.analysis import (
@@ -41,9 +43,11 @@ __all__ = [
     "receptor_count",
     "ligand_count",
     "SciDockConfig",
+    "build_scidock_engine",
     "build_scidock_workflow",
     "build_scidock_sim_workflow",
     "run_scidock",
+    "resume_scidock",
     "DockingOutcome",
     "Table3Row",
     "collect_outcomes",

@@ -290,18 +290,15 @@ def build_scidock_sim_workflow(cost_model, scenario: str = "adaptive") -> Workfl
     return wf
 
 
-def run_scidock(
-    pairs: Relation,
-    config: SciDockConfig | None = None,
-    store: ProvenanceStore | None = None,
-) -> tuple[ExecutionReport, ProvenanceStore]:
-    """Execute SciDock for real on the configured executor backend
-    (``config.backend``); returns (report, store)."""
-    config = config or SciDockConfig()
-    # Batched provenance writes: per-tuple records flush as executemany
-    # groups; steering queries (store.sql) still see every record because
-    # reads flush first.
-    store = store or ProvenanceStore(buffer_size=128, flush_interval=1.0)
+def build_scidock_engine(
+    config: SciDockConfig, store: ProvenanceStore
+) -> LocalEngine:
+    """A LocalEngine wired exactly as ``run_scidock`` would wire it.
+
+    Shared by fresh runs and journal resumes so a resumed campaign
+    executes under the same backend, fault-tolerance and cost-model
+    semantics as the run that crashed.
+    """
     # The online cost service and elasticity policy are only built when
     # something consumes them, so the default configuration dispatches
     # through exactly the same code path as before (golden parity).
@@ -330,7 +327,7 @@ def run_scidock(
         elasticity = AdaptiveElasticityPolicy(
             min_cores=1, max_cores=config.workers
         )
-    engine = LocalEngine(
+    return LocalEngine(
         store,
         workers=config.workers,
         backend=config.backend,
@@ -342,6 +339,21 @@ def run_scidock(
         cost_service=cost_service,
         elasticity=elasticity,
     )
+
+
+def run_scidock(
+    pairs: Relation,
+    config: SciDockConfig | None = None,
+    store: ProvenanceStore | None = None,
+) -> tuple[ExecutionReport, ProvenanceStore]:
+    """Execute SciDock for real on the configured executor backend
+    (``config.backend``); returns (report, store)."""
+    config = config or SciDockConfig()
+    # Batched provenance writes: per-tuple records flush as executemany
+    # groups; steering queries (store.sql) still see every record because
+    # reads flush first.
+    store = store or ProvenanceStore(buffer_size=128, flush_interval=1.0)
+    engine = build_scidock_engine(config, store)
     workflow = build_scidock_workflow(config)
     context = config.context()
     if config.inject_failure_rate > 0:
@@ -352,4 +364,47 @@ def run_scidock(
             seed=config.seed,
         )
     report = engine.run(workflow, pairs, context=context)
+    return report, store
+
+
+def resume_scidock(
+    wkfid: int,
+    store: ProvenanceStore,
+    config: SciDockConfig | None = None,
+    pairs: Relation | None = None,
+) -> tuple[ExecutionReport, ProvenanceStore]:
+    """Continue a crashed/incomplete SciDock run from its journal.
+
+    Journal-first: for journaled runs, ``LocalEngine.resume`` replays
+    every durably-completed tuple from the logged outputs (zero
+    recomputation) and executes only what the crash left unfinished,
+    under the journaled context. Pre-journal runs fall back to the
+    ``resume_failed`` provenance heuristics, which need ``pairs`` (the
+    original input relation) to classify tuples.
+    """
+    from repro.workflow.journal import has_journal
+    from repro.workflow.reexec import resume_failed
+
+    config = config or SciDockConfig()
+    engine = build_scidock_engine(config, store)
+    workflow = build_scidock_workflow(config)
+    if has_journal(store, wkfid):
+        report = engine.resume(wkfid, workflow, relation=pairs)
+        return report, store
+    if pairs is None:
+        raise ValueError(
+            f"run {wkfid} predates the run journal; pass the original "
+            "pair relation so the provenance heuristics can classify it"
+        )
+    report, _plan = resume_failed(
+        store, wkfid, workflow, pairs, engine=engine
+    )
+    if report is None:
+        # Nothing left to re-run: synthesize an empty completion report.
+        report = ExecutionReport(
+            wkfid=wkfid,
+            workflow_tag=workflow.tag,
+            tet_seconds=0.0,
+            output=Relation(f"{workflow.tag}:output", schema=("key",)),
+        )
     return report, store

@@ -78,6 +78,25 @@ CREATE TABLE IF NOT EXISTS hdependency (
     parent_actid INTEGER NOT NULL REFERENCES hactivity(actid)
 );
 
+-- Append-only run journal: every coordinator state transition
+-- (schedule/dispatch/attempt-start/complete/abort/resize/steer) as one
+-- event row with a per-run monotonic sequence number. Terminal events
+-- (complete/fail/abort/block/run-finished) are written through a flush
+-- barrier, so a SIGKILL'd coordinator never loses a completed tuple;
+-- ``repro.workflow.journal.replay_journal`` reconstructs the
+-- ready-queue frontier from this table alone. ``payload`` is a pickled
+-- python object (tuple contents, outputs, run context) or NULL.
+CREATE TABLE IF NOT EXISTS hjournal (
+    eventid     INTEGER PRIMARY KEY AUTOINCREMENT,
+    wkfid       INTEGER NOT NULL REFERENCES hworkflow(wkfid),
+    seq         INTEGER NOT NULL,
+    event       TEXT NOT NULL,
+    stage       INTEGER DEFAULT -1,
+    tuple_key   TEXT DEFAULT '',
+    ts          REAL DEFAULT 0.0,
+    payload     BLOB
+);
+
 CREATE INDEX IF NOT EXISTS idx_hactivity_wkfid ON hactivity(wkfid);
 CREATE INDEX IF NOT EXISTS idx_hactivation_actid ON hactivation(actid);
 CREATE INDEX IF NOT EXISTS idx_hactivation_status ON hactivation(status);

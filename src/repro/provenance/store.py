@@ -34,6 +34,17 @@ _ACTIVATION_COLS = (
     "speculative",
 )
 
+#: Statuses that must be durable the moment they are recorded: a
+#: crash-resumed coordinator trusts these rows (and the journal events
+#: written in the same commit), so they may never sit in the write
+#: buffer waiting for the next batch.
+_TERMINAL_STATUSES = frozenset({
+    ActivationStatus.FINISHED.value,
+    ActivationStatus.FAILED.value,
+    ActivationStatus.ABORTED.value,
+    ActivationStatus.BLOCKED.value,
+})
+
 
 class ProvenanceStore:
     """SQLite-backed PROV-Wf repository.
@@ -87,6 +98,7 @@ class ProvenanceStore:
         self._pending_files: list[tuple] = []
         self._pending_extracts: list[tuple] = []
         self._pending_deps: list[tuple] = []
+        self._pending_journal: list[tuple] = []
         self._last_flush = time.monotonic()
         with self._lock:
             self._conn.executescript(SCHEMA_DDL)
@@ -113,6 +125,7 @@ class ProvenanceStore:
             self._next_fileid = self._max_id_locked("hfile", "fileid") + 1
             self._next_extractid = self._max_id_locked("hextract", "extractid") + 1
             self._next_depid = self._max_id_locked("hdependency", "depid") + 1
+            self._next_journalid = self._max_id_locked("hjournal", "eventid") + 1
 
     def _max_id_locked(self, table: str, col: str) -> int:
         row = self._conn.execute(f"SELECT COALESCE(MAX({col}), 0) FROM {table}")
@@ -134,6 +147,7 @@ class ProvenanceStore:
             + len(self._pending_files)
             + len(self._pending_extracts)
             + len(self._pending_deps)
+            + len(self._pending_journal)
         )
 
     def _maybe_flush_locked(self) -> None:
@@ -194,6 +208,14 @@ class ProvenanceStore:
                 self._pending_deps,
             )
             self._pending_deps.clear()
+            dirty = True
+        if self._pending_journal:
+            self._conn.executemany(
+                "INSERT INTO hjournal (eventid, wkfid, seq, event, stage,"
+                " tuple_key, ts, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                self._pending_journal,
+            )
+            self._pending_journal.clear()
             dirty = True
         if dirty:
             self._conn.commit()
@@ -312,14 +334,20 @@ class ProvenanceStore:
                 self._pending_ends.append(
                     (endtime, status.value, exitstatus, errormsg, taskid)
                 )
-            self._maybe_flush_locked()
+            if status.value in _TERMINAL_STATUSES:
+                # A terminal status is a durability barrier: once the
+                # caller sees this return, no crash may un-finish the
+                # tuple. Buffering only ever covers RUNNING rows.
+                self._flush_locked()
+            else:
+                self._maybe_flush_locked()
 
     def record_blocked(
         self, actid: int, tuple_key: str, when: float, reason: str
     ) -> int:
         """An activation aborted before dispatch (paper's Hg routine)."""
         with self._lock:
-            return self._buffer_activation_locked({
+            taskid = self._buffer_activation_locked({
                 "actid": actid,
                 "tuple_key": tuple_key,
                 "starttime": when,
@@ -333,6 +361,10 @@ class ProvenanceStore:
                 "attempt": 0,
                 "speculative": 0,
             })
+            # BLOCKED is terminal from birth — same durability barrier
+            # as end_activation's FINISHED/FAILED/ABORTED.
+            self._flush_locked()
+            return taskid
 
     # -- artifacts -------------------------------------------------------------
     def record_file(
@@ -391,6 +423,44 @@ class ProvenanceStore:
                 self._next_extractid += 1
                 self._pending_extracts.append((extractid, taskid, k, str(v)))
             self._maybe_flush_locked()
+
+    # -- run journal -----------------------------------------------------------
+    def record_journal_event(
+        self,
+        wkfid: int,
+        seq: int,
+        event: str,
+        stage: int = -1,
+        tuple_key: str = "",
+        ts: float = 0.0,
+        payload: bytes | None = None,
+        *,
+        barrier: bool = False,
+    ) -> int:
+        """Append one run-journal event (see :mod:`repro.workflow.journal`).
+
+        Events ride the same batched write path as activation rows;
+        ``barrier=True`` flushes synchronously so terminal events
+        (completed/failed/aborted/run-finished) are durable before the
+        coordinator acts on them — the crash-resume guarantee.
+        """
+        with self._lock:
+            eventid = self._next_journalid
+            self._next_journalid += 1
+            self._pending_journal.append(
+                (eventid, wkfid, seq, event, stage, tuple_key, ts, payload)
+            )
+            if barrier:
+                self._flush_locked()
+            else:
+                self._maybe_flush_locked()
+            return eventid
+
+    def journal_events(self, wkfid: int) -> list[sqlite3.Row]:
+        """Every journal event of one run, in sequence order."""
+        return self.sql(
+            "SELECT * FROM hjournal WHERE wkfid = ? ORDER BY seq", (wkfid,)
+        )
 
     # -- reads -------------------------------------------------------------------
     def sql(self, query: str, params: tuple = ()) -> list[sqlite3.Row]:

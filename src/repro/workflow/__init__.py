@@ -14,6 +14,10 @@ Implements the engine features the paper leans on:
   :mod:`repro.workflow.adaptive`;
 * fault tolerance: failed-activation re-execution and the looping-state
   watchdog — :mod:`repro.workflow.fault`;
+* an event-sourced run journal for crash-resumable coordinators —
+  :mod:`repro.workflow.journal` — every state transition appended to
+  provenance with a flush barrier at terminal events, replayed by
+  ``LocalEngine.resume`` with zero recomputation of finished tuples;
 * two execution engines — a real thread-pool engine and a discrete-event
   simulated engine for the 2..128-core sweeps —
   :mod:`repro.workflow.engine` — both built on the shared dataflow
@@ -64,6 +68,15 @@ from repro.workflow.engine import (
     LocalEngine,
     SimulatedEngine,
 )
+from repro.workflow.journal import (
+    JournalError,
+    JournalEventType,
+    JournalReplay,
+    RunJournal,
+    has_journal,
+    recover_context,
+    replay_journal,
+)
 
 __all__ = [
     "Relation",
@@ -104,4 +117,11 @@ __all__ = [
     "SimulatedEngine",
     "EngineError",
     "ExecutionReport",
+    "RunJournal",
+    "JournalEventType",
+    "JournalReplay",
+    "JournalError",
+    "replay_journal",
+    "recover_context",
+    "has_journal",
 ]

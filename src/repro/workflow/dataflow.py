@@ -172,12 +172,18 @@ class DataflowState:
         store: ProvenanceStore | None = None,
         wkfid: int | None = None,
         actids: dict[str, int] | None = None,
+        journal=None,
     ) -> None:
         self.workflow = workflow
         self.pipeline = pipeline
         self.store = store
         self.wkfid = wkfid
         self.actids = actids or {}
+        #: Optional :class:`~repro.workflow.journal.RunJournal`: every
+        #: released item logs a ``scheduled`` event, every successful
+        #: completion a ``completed`` event (flush barrier) — the
+        #: crash-resume record.
+        self.journal = journal
         self._n = len(workflow.activities)
         #: Spawned-but-not-retired items per stage.
         self._inflight = [0] * self._n
@@ -210,12 +216,19 @@ class DataflowState:
         items.extend(self._release())
         return items
 
-    def complete(self, item: WorkItem, outputs: list[dict]) -> list[WorkItem]:
+    def complete(
+        self, item: WorkItem, outputs: list[dict], *, record: bool = True
+    ) -> list[WorkItem]:
         """Retire ``item`` with its outputs; returns newly-ready items.
 
         Outputs past the last activity land in :attr:`final`; others
         spawn downstream activations (possibly parked at a barrier).
+        A successful completion is journaled through the flush barrier
+        (``record=False`` is the :meth:`retire` path — the engine logs
+        the failed/aborted/blocked event itself).
         """
+        if record and self.journal is not None:
+            self.journal.completed(item.stage, item.key, outputs)
         self._inflight[item.stage] -= 1
         items: list[WorkItem] = []
         nxt = item.stage + 1
@@ -231,7 +244,7 @@ class DataflowState:
 
     def retire(self, item: WorkItem) -> list[WorkItem]:
         """Retire ``item`` without outputs (blocked/aborted/failed)."""
-        return self.complete(item, [])
+        return self.complete(item, [], record=False)
 
     # -- internals -----------------------------------------------------------
     def _spawn(
@@ -259,6 +272,8 @@ class DataflowState:
     ) -> WorkItem:
         self._inflight[stage] += 1
         self.spawned += 1
+        if self.journal is not None:
+            self.journal.scheduled(stage, key, tup, parent_key)
         return WorkItem(stage, tup, key, parent_key)
 
     def _release(self) -> list[WorkItem]:

@@ -162,6 +162,7 @@ class AttemptRunner:
         shipped_context: dict | None = None,
         fault_injector: FaultInjector | None = None,
         cancel_handle: CancelTokenHandle | None = None,
+        journal=None,
     ) -> None:
         self.store = store
         self.retry = retry
@@ -170,6 +171,9 @@ class AttemptRunner:
         self.shipped_context = shipped_context
         self.fault_injector = fault_injector
         self.cancel_handle = cancel_handle
+        #: Optional :class:`~repro.workflow.journal.RunJournal`: each
+        #: dispatched attempt logs an ``attempt-start`` event.
+        self.journal = journal
 
     # -- execution ----------------------------------------------------------
     def _call_with_watchdog(
@@ -368,6 +372,10 @@ class AttemptRunner:
             tid = self.store.begin_activation(
                 actid, key, start, workdir=context.get("workdir", ""), attempt=attempt
             )
+            if self.journal is not None:
+                self.journal.attempt_started(
+                    key, activity.tag, attempt, ts=start
+                )
             deadline = self.watchdog.deadline(activity.cost(tup))
             try:
                 raw = self._execute_activation(
@@ -460,6 +468,10 @@ class AttemptRunner:
             actid, key, start, workdir=context.get("workdir", ""),
             attempt=0, speculative=True,
         )
+        if self.journal is not None:
+            self.journal.attempt_started(
+                key, activity.tag, 0, speculative=True, ts=start
+            )
         deadline = self.watchdog.deadline(activity.cost(tup))
         try:
             # tries=1: deterministic first-try fault plans (the usual

@@ -67,6 +67,7 @@ from repro.workflow.fault import (
     RetryPolicy,
     Watchdog,
 )
+from repro.workflow.journal import JournalReplay, RunJournal, replay_journal
 from repro.workflow.relation import Relation
 from repro.workflow.scheduler import GreedyCostScheduler, Scheduler
 
@@ -116,6 +117,10 @@ class ExecutionReport:
     speculative_won: int = 0
     #: Live worker-pool resizes the elasticity policy applied mid-run.
     pool_resizes: int = 0
+    #: Activations satisfied from an ancestor run's journal by
+    #: :meth:`LocalEngine.resume` — completed durably before the crash,
+    #: so the resumed run never re-executed them.
+    replayed: int = 0
     #: Attempt durations fed into the online cost service this run.
     cost_samples: int = 0
     #: Energy-kernel mode the run executed with ("analytic"|"tables").
@@ -266,6 +271,9 @@ class LocalEngine:
         workflow: Workflow,
         relation: Relation,
         context: dict | None = None,
+        *,
+        _replay: JournalReplay | None = None,
+        _resumed_from: int | None = None,
     ) -> ExecutionReport:
         context = dict(context or {})
         t0 = time.perf_counter()
@@ -288,8 +296,26 @@ class LocalEngine:
             for a in workflow.activities
         }
         context["wkfid"] = wkfid
+        # Run journal: every coordinator state transition below appends
+        # an event; terminal events flush synchronously so a SIGKILL'd
+        # coordinator resumes from here with zero recomputation of
+        # FINISHED tuples (see repro.workflow.journal). The run-started
+        # header snapshots the picklable context before engine-internal
+        # entries are popped, so a resume re-runs under the same
+        # kernel/etable/fault-injection configuration.
+        journal = RunJournal(
+            self.store, wkfid, clock=lambda: time.perf_counter() - t0
+        )
+        journal.run_started(
+            workflow.tag,
+            pipeline=self.pipeline,
+            context=context,
+            relation_size=len(relation),
+            resumed_from=_resumed_from,
+        )
 
         retried = blocked = aborted = 0
+        replayed = 0
         timeouts = infra_retries = quarantined = 0
         speculative_launched = speculative_won = pool_resizes = 0
         final = Relation(f"{workflow.tag}:output")
@@ -363,6 +389,7 @@ class LocalEngine:
             shipped_context=self._shipped_context,
             fault_injector=fault_injector,
             cancel_handle=cancel_handle,
+            journal=journal,
         )
         state = DataflowState(
             workflow,
@@ -370,6 +397,7 @@ class LocalEngine:
             store=self.store,
             wkfid=wkfid,
             actids=actids,
+            journal=journal,
         )
         service = self.cost_service
         spec_enabled = service is not None and service.speculation_enabled
@@ -485,6 +513,7 @@ class LocalEngine:
                         if target != active:
                             if self._router is not None:
                                 self._router.resize(target)
+                            journal.resized(target, active)
                             active = target
                             pool_resizes += 1
                     # Fill free worker slots from the ready queue; keeping
@@ -493,6 +522,22 @@ class LocalEngine:
                     # and steering cancel still-queued work.
                     while ready and inflight < active:
                         item = ready.pop()
+                        if _replay is not None:
+                            cached = _replay.outputs_for(item.stage, item.key)
+                            if cached is not None:
+                                # The ancestor run completed this item
+                                # durably (journal flush barrier): satisfy
+                                # it from the logged outputs — lineage-
+                                # stable keys make the match exact — and
+                                # never touch a worker.
+                                replayed += 1
+                                journal.replayed(item.stage, item.key)
+                                enqueue(
+                                    state.complete(
+                                        item, [dict(t) for t in cached]
+                                    )
+                                )
+                                continue
                         activity = workflow.activities[item.stage]
                         actid = actids[activity.tag]
                         if activity.operator is not Operator.REDUCE:
@@ -503,6 +548,11 @@ class LocalEngine:
                                     actid, item.key, time.perf_counter() - t0,
                                     "aborted by user steering",
                                 )
+                                journal.steered(item.stage, item.key, "abort")
+                                journal.blocked(
+                                    item.stage, item.key,
+                                    "aborted by user steering",
+                                )
                                 blocked += 1
                                 enqueue(state.retire(item))
                                 continue
@@ -511,6 +561,10 @@ class LocalEngine:
                                     self.store.record_blocked(
                                         actid, item.key,
                                         time.perf_counter() - t0,
+                                        "known looping input (Hg routine)",
+                                    )
+                                    journal.blocked(
+                                        item.stage, item.key,
                                         "known looping input (Hg routine)",
                                     )
                                     blocked += 1
@@ -538,9 +592,14 @@ class LocalEngine:
                                         "looping state killed by watchdog "
                                         f"(deadline {deadline:.3f}s)",
                                     )
+                                    journal.aborted(
+                                        item.stage, item.key,
+                                        "looping state killed by watchdog",
+                                    )
                                     aborted += 1
                                 enqueue(state.retire(item))
                                 continue
+                        journal.dispatched(item.stage, item.key)
                         handle = AttemptAbortHandle() if spec_enabled else None
                         flights[id(item)] = _Flight(
                             item=item,
@@ -613,7 +672,25 @@ class LocalEngine:
                         service.observe(
                             flight.activity.tag, item.tup, outcome.duration
                         )
-                    enqueue(state.complete(item, outs))
+                    if outcome.succeeded:
+                        enqueue(state.complete(item, outs))
+                    else:
+                        # Terminal non-success: journal the reason (the
+                        # retire path does not log a completed event) so
+                        # replay knows this item must re-execute.
+                        if outcome.timed_out:
+                            journal.aborted(
+                                item.stage, item.key, "watchdog timeout"
+                            )
+                        elif outcome.cancelled:
+                            journal.aborted(
+                                item.stage, item.key, "speculation loss"
+                            )
+                        else:
+                            journal.failed(
+                                item.stage, item.key, "attempts exhausted"
+                            )
+                        enqueue(state.retire(item))
         finally:
             if self._router is not None:
                 steals = self._router.steals
@@ -642,6 +719,7 @@ class LocalEngine:
         for tup in state.final:
             final.append(tup)
         tet = time.perf_counter() - t0
+        journal.run_finished(ts=tet)
         self.store.end_workflow(wkfid, tet)
         etable_build = 0.0
         if kernel_mode == "tables":
@@ -667,9 +745,47 @@ class LocalEngine:
             speculative_launched=speculative_launched,
             speculative_won=speculative_won,
             pool_resizes=pool_resizes,
+            replayed=replayed,
             cost_samples=service.samples if service is not None else 0,
             kernel_mode=kernel_mode,
             etable_build_s=etable_build,
+        )
+
+    def resume(
+        self,
+        wkfid: int,
+        workflow: Workflow,
+        relation: Relation | None = None,
+        context: dict | None = None,
+    ) -> ExecutionReport:
+        """Continue a crashed or incomplete run from its journal.
+
+        Replays run ``wkfid``'s journal, re-seeds the same relation
+        (recovered from the journal's stage-0 scheduled events unless
+        passed explicitly) under the journaled context (entries in
+        ``context`` override), and runs the workflow normally — except
+        that any item the ancestor run durably completed is satisfied
+        from its logged outputs instead of executing
+        (``ExecutionReport.replayed`` counts them). Items that were
+        RUNNING, FAILED or timed out at the crash re-execute for real.
+
+        The resumed run gets its own ``wkfid`` and journal (its
+        run-started header records ``resumed_from``), so resumes chain:
+        a resumed run that crashes can itself be resumed, because every
+        replayed completion is re-journaled as a completed event.
+
+        Raises :class:`~repro.workflow.journal.JournalError` for
+        pre-journal runs — use
+        :func:`repro.workflow.reexec.resume_failed` (the provenance-
+        heuristics fallback) for those.
+        """
+        replay = replay_journal(self.store, wkfid)
+        if relation is None:
+            relation = replay.seed_relation()
+        merged = dict(replay.context)
+        merged.update(context or {})
+        return self.run(
+            workflow, relation, merged, _replay=replay, _resumed_from=wkfid
         )
 
 
@@ -770,12 +886,23 @@ class SimulatedEngine:
 
         now = start_time
         seq = itertools.count()
+        # Same journal the real engine writes (simulated timestamps are
+        # passed explicitly where the loop knows them); a simulated run
+        # is replayable/resumable exactly like a real one.
+        journal = RunJournal(self.store, wkfid)
+        journal.run_started(
+            workflow.tag,
+            pipeline=self.pipeline,
+            context=context,
+            relation_size=len(relation),
+        )
         state = DataflowState(
             workflow,
             pipeline=self.pipeline,
             store=self.store,
             wkfid=wkfid,
             actids=actids,
+            journal=journal,
         )
         #: Dispatchable work, ordered by scheduler priority.
         ready = ReadyQueue(self.scheduler)
@@ -876,6 +1003,11 @@ class SimulatedEngine:
                             self.store.record_blocked(
                                 actid, item.key, now, "aborted by user steering"
                             )
+                            journal.steered(item.stage, item.key, "abort")
+                            journal.blocked(
+                                item.stage, item.key,
+                                "aborted by user steering", ts=now,
+                            )
                             retired_counts["blocked"] += 1
                             enqueue(state.retire(item), now)
                             continue
@@ -886,6 +1018,10 @@ class SimulatedEngine:
                             self.store.record_blocked(
                                 actid, item.key, now,
                                 "known looping input (Hg routine)",
+                            )
+                            journal.blocked(
+                                item.stage, item.key,
+                                "known looping input (Hg routine)", ts=now,
                             )
                             retired_counts["blocked"] += 1
                             enqueue(state.retire(item), now)
@@ -903,6 +1039,10 @@ class SimulatedEngine:
                     else:
                         service = cost / core.speed
                         outcome = "fail" if fails else "ok"
+                    journal.dispatched(item.stage, item.key)
+                    journal.attempt_started(
+                        item.key, activity.tag, item.attempt, ts=start
+                    )
                     item.tid = self.store.begin_activation(
                         actid,
                         item.key,
@@ -941,6 +1081,10 @@ class SimulatedEngine:
                     item.tid, finish, ActivationStatus.ABORTED, 137,
                     "looping state killed by watchdog",
                 )
+                journal.aborted(
+                    item.stage, item.key,
+                    "looping state killed by watchdog", ts=finish,
+                )
                 retired_counts["aborted"] += 1
                 enqueue(state.retire(item), now)
             elif outcome == "fail":
@@ -958,6 +1102,9 @@ class SimulatedEngine:
                     )
                     enqueue([item], now)
                 else:
+                    journal.failed(
+                        item.stage, item.key, "attempts exhausted", ts=finish
+                    )
                     enqueue(state.retire(item), now)
             else:
                 self.store.end_activation(item.tid, finish)
@@ -986,6 +1133,7 @@ class SimulatedEngine:
         for tup in state.final:
             final.append(tup)
         tet = now - start_time
+        journal.run_finished(ts=now)
         self.store.end_workflow(wkfid, now)
         return ExecutionReport(
             wkfid=wkfid,

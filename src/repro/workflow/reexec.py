@@ -20,6 +20,7 @@ from repro.provenance.store import ProvenanceStore
 from repro.workflow.activity import Workflow
 from repro.workflow.dispatch import SPECULATION_ERRMSG_PREFIX
 from repro.workflow.engine import ExecutionReport, LocalEngine
+from repro.workflow.journal import recover_context
 from repro.workflow.relation import Relation, tuple_key
 
 #: Prefix the real engine writes on watchdog-timeout ABORTED records —
@@ -141,7 +142,11 @@ def analyze_run(
     finished_last: set[str] = set()
     # (tag, key) -> last seen status wins (retries overwrite failures).
     final_status: dict[tuple[str, str], str] = {}
-    timeout_marked: set[str] = set()
+    # Watchdog-timeout marks are keyed per (tag, key), exactly like
+    # final_status: a predicate ABORT by one activity must not discard
+    # a timeout mark left by a *different* activity on the same key
+    # (cross-activity clobbering misclassified rerunnable timeouts).
+    timeout_marked: set[tuple[str, str]] = set()
     for r in rows:
         if r["speculative"] and r["status"] != "FINISHED":
             # A duplicate that lost (or died): the primary's record is
@@ -161,9 +166,9 @@ def analyze_run(
         if r["status"] == "ABORTED":
             errormsg = r["errormsg"] or ""
             if errormsg.startswith(WATCHDOG_ERRMSG_PREFIX):
-                timeout_marked.add(key)
+                timeout_marked.add((r["tag"], key))
             else:
-                timeout_marked.discard(key)
+                timeout_marked.discard((r["tag"], key))
         if r["tag"] == last_tag and r["status"] == "FINISHED":
             finished_last.add(key)
 
@@ -186,7 +191,15 @@ def analyze_run(
     # A key can appear in several sets (e.g. failed early, finished after
     # retry); completion wins, then abort/block, then failure.
     failed -= completed | aborted | blocked
-    timeouts = (timeout_marked & aborted) - completed - blocked
+    # A timeout mark only counts while that same activity's final word
+    # on the key is still the watchdog ABORT (a later FINISHED retry of
+    # the activity clears it; another activity's abort does not).
+    timeout_keys = {
+        key
+        for (tag, key) in timeout_marked
+        if final_status.get((tag, key)) == "ABORTED"
+    }
+    timeouts = (timeout_keys & aborted) - completed - blocked
     return RecoveryPlan(
         wkfid=wkfid,
         completed_keys=completed,
@@ -219,9 +232,20 @@ def resume_failed(
     the store — a resume that silently downgrades to a default engine
     re-runs recovered work under different fault-tolerance semantics
     than the run that produced the failures.
+
+    Likewise for the run *context*: with ``context=None``, the original
+    run's journaled context (kernel mode, energy-table resolution,
+    fault-injection setup — see
+    :func:`repro.workflow.journal.recover_context`) is recovered from
+    provenance, so resumed attempts execute under the same
+    configuration that produced the failures instead of silently
+    falling back to defaults. Pre-journal runs have nothing to recover
+    and keep the historical ``None``.
     """
     if engine is not None and engine_factory is not None:
         raise ValueError("pass engine or engine_factory, not both")
+    if context is None:
+        context = recover_context(store, wkfid)
     plan = analyze_run(store, wkfid, workflow, relation)
     if not plan.keys_to_rerun:
         return None, plan

@@ -279,6 +279,41 @@ class TestWriteBatching:
         with pytest.raises(ValueError):
             ProvenanceStore(flush_interval=0.0)
 
+    def test_terminal_status_flushes_synchronously(self):
+        # A terminal end_activation must not wait for the batch
+        # threshold: the row is durable the moment the call returns,
+        # whatever buffer_size says (the journal's flush barrier and
+        # crash resume both lean on this).
+        from repro.provenance.store import _TERMINAL_STATUSES
+
+        for status in (
+            ActivationStatus.FINISHED,
+            ActivationStatus.FAILED,
+            ActivationStatus.ABORTED,
+            ActivationStatus.BLOCKED,
+        ):
+            assert status.value in _TERMINAL_STATUSES
+            s = ProvenanceStore(buffer_size=1000, flush_interval=3600.0)
+            wkfid = s.begin_workflow("W", starttime=0.0)
+            actid = s.register_activity(wkfid, "dock")
+            tid = s.begin_activation(actid, "k", 0.0)
+            assert s._pending_count > 0
+            s.end_activation(tid, 1.0, status)
+            assert s._pending_count == 0, status
+            # Non-terminal traffic afterwards buffers as before.
+            s.begin_activation(actid, "k2", 2.0)
+            s.record_file(tid, "out.dlg", 128, "/tmp")
+            assert s._pending_count > 0
+            s.close()
+
+    def test_record_blocked_is_durable_immediately(self):
+        s = ProvenanceStore(buffer_size=1000, flush_interval=3600.0)
+        wkfid = s.begin_workflow("W", starttime=0.0)
+        actid = s.register_activity(wkfid, "prep")
+        s.record_blocked(actid, "1CS8-042", 5.0, "Hg present in receptor")
+        assert s._pending_count == 0
+        s.close()
+
     def test_concurrent_writers_stress(self):
         """Many threads hammering one buffered store: no lost records.
 
@@ -320,3 +355,78 @@ class TestWriteBatching:
         assert rows[0]["n"] == total
         assert len(s.sql("SELECT * FROM hextract")) == total
         s.close()
+
+
+class TestCrashDurability:
+    """SIGKILL a buffered writer mid-batch: no FINISHED row may vanish."""
+
+    CHILD = """\
+import os, sys
+from repro.provenance.store import ProvenanceStore
+
+s = ProvenanceStore(sys.argv[1], buffer_size=1000, flush_interval=3600.0)
+wkfid = s.begin_workflow("W", starttime=0.0)
+actid = s.register_activity(wkfid, "dock")
+for i in range(20):
+    tid = s.begin_activation(actid, f"k{i}", 0.0)
+    s.end_activation(tid, 1.0)
+# Buffered post-terminal noise that never flushes before the kill.
+for i in range(5):
+    s.begin_activation(actid, f"pending{i}", 0.0)
+os.kill(os.getpid(), 9)
+"""
+
+    def test_finished_rows_survive_writer_sigkill(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        db = tmp_path / "prov.db"
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", self.CHILD, str(db)],
+            env=env, capture_output=True, timeout=60.0,
+        )
+        assert proc.returncode == -9, proc.stderr.decode()
+        with ProvenanceStore(db) as s:
+            counts = s.counts_by_status(1)
+            # Every terminal write survived the kill; the never-flushed
+            # trailing begins are the only acceptable loss.
+            assert counts.get("FINISHED") == 20
+
+
+class TestJournalRows:
+    def test_roundtrip_ordered_by_seq(self, store):
+        wkfid = store.begin_workflow("W", starttime=0.0)
+        store.record_journal_event(wkfid, 1, "scheduled", 0, "k", 0.5, b"x")
+        store.record_journal_event(wkfid, 0, "run-started")
+        rows = store.journal_events(wkfid)
+        assert [r["seq"] for r in rows] == [0, 1]
+        assert rows[1]["event"] == "scheduled"
+        assert rows[1]["tuple_key"] == "k"
+        assert rows[1]["ts"] == 0.5
+        assert rows[1]["payload"] == b"x"
+        # Other runs' events stay invisible.
+        other = store.begin_workflow("W2", starttime=0.0)
+        assert store.journal_events(other) == []
+
+    def test_barrier_event_drains_write_buffer(self):
+        s = ProvenanceStore(buffer_size=1000, flush_interval=3600.0)
+        wkfid = s.begin_workflow("W", starttime=0.0)
+        s.record_journal_event(wkfid, 0, "scheduled")
+        assert s._pending_count > 0
+        s.record_journal_event(wkfid, 1, "completed", barrier=True)
+        assert s._pending_count == 0
+        s.close()
+
+    def test_eventids_resume_across_reopen(self, tmp_path):
+        path = tmp_path / "prov.db"
+        with ProvenanceStore(path) as s:
+            wkfid = s.begin_workflow("W", starttime=0.0)
+            first = s.record_journal_event(wkfid, 0, "run-started")
+        with ProvenanceStore(path) as s2:
+            nxt = s2.record_journal_event(wkfid, 1, "scheduled")
+        assert nxt == first + 1

@@ -1,0 +1,66 @@
+"""Coordinator child for the SIGKILL crash-resume chaos test.
+
+Runs a real two-stage pipeline on the processes backend against a
+file-backed provenance store whose write buffer is effectively infinite
+(huge ``buffer_size``/``flush_interval``), so the *only* way any record
+reaches disk before the parent SIGKILLs this process group is the run
+journal's terminal-event flush barrier. The ``slow-*`` keys spin in the
+final stage while the gate file exists, guaranteeing the run never
+finishes on its own — the parent kills us mid-pipeline, removes the
+gate, and resumes from the journal.
+
+Module-level functions only: the processes backend pickles activation
+callables by reference.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.activity import Activity, Operator, Workflow
+from repro.workflow.engine import LocalEngine
+from repro.workflow.relation import Relation
+
+KEYS = ["fast-a", "fast-b", "fast-c", "fast-d", "slow-x"]
+
+
+def stage1(t, c):
+    return [dict(t)]
+
+
+def stage2(t, c):
+    if t["key"].startswith("slow"):
+        gate = Path(c["gate_path"])
+        while gate.exists():
+            time.sleep(0.05)
+    return [{"key": t["key"], "out": t["key"].upper()}]
+
+
+def build_workflow() -> Workflow:
+    return Workflow(
+        "crashwf",
+        [
+            Activity("stage1", Operator.MAP, fn=stage1),
+            Activity("stage2", Operator.MAP, fn=stage2),
+        ],
+    )
+
+
+def build_relation() -> Relation:
+    return Relation("in", [{"key": k} for k in KEYS])
+
+
+def main(db_path: str, gate_path: str) -> None:
+    store = ProvenanceStore(db_path, buffer_size=100_000, flush_interval=3600.0)
+    engine = LocalEngine(store, workers=2, backend="processes")
+    engine.run(
+        build_workflow(),
+        build_relation(),
+        context={"shared_maps": False, "gate_path": gate_path},
+    )
+    store.close()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], sys.argv[2])

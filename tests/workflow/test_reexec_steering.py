@@ -133,6 +133,79 @@ class TestAnalyzeRun:
         assert "c" not in plan.keys_to_rerun
 
 
+class TestTimeoutClassificationByActivity:
+    """Regression: timeout marks are keyed per (tag, key), so an ABORT
+    by one activity can't clobber a watchdog-timeout mark left by a
+    *different* activity on the same tuple key."""
+
+    WATCHDOG_MSG = "watchdog timeout after 2.0s (worker killed)"
+
+    def _store_with(self, rows):
+        """Synthesize provenance from (tag, key, status, errormsg) rows,
+        written in order — exactly the order analyze_run folds them."""
+        store = ProvenanceStore()
+        wkfid = store.begin_workflow("W", starttime=0.0)
+        acts: dict[str, int] = {}
+        for tag, key, status, errormsg in rows:
+            if tag not in acts:
+                acts[tag] = store.register_activity(wkfid, tag)
+            tid = store.begin_activation(acts[tag], key, 0.0)
+            store.end_activation(tid, 1.0, status, 0, errormsg)
+        store.end_workflow(wkfid, endtime=10.0)
+        return store, wkfid
+
+    def _workflow(self):
+        return Workflow(
+            "W",
+            [
+                Activity("first", Operator.MAP, fn=lambda t, c: [dict(t)]),
+                Activity("second", Operator.MAP, fn=lambda t, c: [dict(t)]),
+            ],
+        )
+
+    def test_predicate_abort_by_other_activity_keeps_timeout(self):
+        # The regression order: watchdog mark first, then a non-watchdog
+        # ABORT by a different activity on the same key. Keyed by tuple
+        # key alone, the second row discarded the mark and "b" was
+        # misclassified as a non-rerunnable predicate abort.
+        store, wkfid = self._store_with([
+            ("first", "a", ActivationStatus.FINISHED, None),
+            ("second", "a", ActivationStatus.FINISHED, None),
+            ("first", "b", ActivationStatus.ABORTED, self.WATCHDOG_MSG),
+            ("second", "b", ActivationStatus.ABORTED, "looping state killed"),
+        ])
+        plan = analyze_run(
+            store, wkfid, self._workflow(), Relation("in", [{"key": "a"}, {"key": "b"}])
+        )
+        assert plan.timeout_keys == {"b"}
+        assert "b" in plan.keys_to_rerun
+
+    def test_timeout_detected_in_either_event_order(self):
+        store, wkfid = self._store_with([
+            ("second", "b", ActivationStatus.ABORTED, "looping state killed"),
+            ("first", "b", ActivationStatus.ABORTED, self.WATCHDOG_MSG),
+        ])
+        plan = analyze_run(
+            store, wkfid, self._workflow(), Relation("in", [{"key": "b"}])
+        )
+        assert plan.timeout_keys == {"b"}
+
+    def test_finished_retry_of_same_activity_clears_mark(self):
+        # A later FINISHED of the *same* activity supersedes its own
+        # watchdog mark — the tuple's fate is then decided elsewhere.
+        store, wkfid = self._store_with([
+            ("first", "b", ActivationStatus.ABORTED, self.WATCHDOG_MSG),
+            ("first", "b", ActivationStatus.FINISHED, None),
+            ("second", "b", ActivationStatus.ABORTED, "looping state killed"),
+        ])
+        plan = analyze_run(
+            store, wkfid, self._workflow(), Relation("in", [{"key": "b"}])
+        )
+        assert plan.timeout_keys == set()
+        assert plan.aborted_keys == {"b"}
+        assert "b" not in plan.keys_to_rerun
+
+
 class TestResumeFailed:
     def test_resume_reruns_only_failures(self):
         store = ProvenanceStore()
@@ -196,6 +269,48 @@ class TestResumeFailed:
         assert plan.keys_to_rerun == {"b"}
         assert built and built[0].store is store
         assert report2 is not None and len(report2.output) == 1
+
+    def test_resume_recovers_original_context_from_journal(self):
+        # Regression: resume_failed used to pass context=None straight
+        # through to engine.run even when the original run shipped
+        # kernel/etable/fault-injection keys, silently re-running the
+        # recovered work under default configuration.
+        store = ProvenanceStore()
+        calls: dict[str, int] = {}
+
+        def work(t, c):
+            k = t["key"]
+            calls[k] = calls.get(k, 0) + 1
+            if k == "b" and calls[k] == 1:
+                raise RuntimeError("boom")
+            return [{"key": k, "mode": c.get("kernel", "MISSING")}]
+
+        wf = Workflow("W", [Activity("work", Operator.MAP, fn=work)])
+        engine = LocalEngine(store, workers=1, retry=RetryPolicy(max_attempts=1))
+        report1 = engine.run(wf, REL.copy(), context={"kernel": "tables"})
+        report2, plan = resume_failed(store, report1.wkfid, wf, REL.copy(), engine)
+        assert plan.keys_to_rerun == {"b"}
+        assert [t["mode"] for t in report2.output] == ["tables"]
+
+    def test_resume_explicit_context_still_wins(self):
+        store = ProvenanceStore()
+        calls: dict[str, int] = {}
+
+        def work(t, c):
+            k = t["key"]
+            calls[k] = calls.get(k, 0) + 1
+            if k == "b" and calls[k] == 1:
+                raise RuntimeError("boom")
+            return [{"key": k, "mode": c.get("kernel", "MISSING")}]
+
+        wf = Workflow("W", [Activity("work", Operator.MAP, fn=work)])
+        engine = LocalEngine(store, workers=1, retry=RetryPolicy(max_attempts=1))
+        report1 = engine.run(wf, REL.copy(), context={"kernel": "tables"})
+        report2, _ = resume_failed(
+            store, report1.wkfid, wf, REL.copy(), engine,
+            context={"kernel": "analytic"},
+        )
+        assert [t["mode"] for t in report2.output] == ["analytic"]
 
     def test_engine_and_factory_are_exclusive(self):
         store = ProvenanceStore()
