@@ -3,6 +3,7 @@
 Subcommands:
 
 * ``dock`` — dock receptor-ligand pairs for real and print the outcomes.
+* ``worker`` — join a distributed-backend director as a worker node.
 * ``sweep`` — run the simulated 2..128-core scalability experiment.
 * ``table3`` — reproduce the paper's Table 3 on a pair subset.
 * ``spec`` — print the SciDock XML specification.
@@ -56,6 +57,9 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
         "speculation_quantile": args.speculation_quantile,
         "cost_prior": args.cost_prior,
         "elastic_pool": args.elastic_pool,
+        "director": args.director,
+        "min_nodes": args.min_nodes,
+        "join_timeout": args.join_timeout,
     }
 
 
@@ -94,6 +98,17 @@ def _cmd_dock(args: argparse.Namespace) -> int:
         f"TET {report.tet_seconds:.1f} s; {report.counts}; "
         f"blocked {report.blocked} (Hg), retried {report.retried}"
     )
+    if report.nodes_joined:
+        per_node = ", ".join(
+            f"{node}={done}"
+            for node, done in sorted(report.tuples_per_node.items())
+        )
+        print(
+            f"nodes: {report.nodes_joined} joined, {report.nodes_lost} "
+            f"lost; tuples per node: {per_node or 'none'}; wire "
+            f"{report.wire_bytes_sent} B out / "
+            f"{report.wire_bytes_received} B in"
+        )
     return 0
 
 
@@ -191,6 +206,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.workflow.worker import WorkerNode
+
+    node = WorkerNode(
+        args.join,
+        slots=args.slots,
+        node_id=args.node_id,
+        map_cache=args.map_cache,
+    )
+    return node.run()
+
+
 def _cmd_spec(_args: argparse.Namespace) -> int:
     print(scidock_xml(), end="")
     return 0
@@ -208,8 +235,10 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     """Execution flags shared by every real-docking subcommand."""
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
-        "--backend", choices=("threads", "processes"), default="threads",
-        help="activation executor: GIL-sharing threads or worker processes",
+        "--backend", choices=("threads", "processes", "distributed"),
+        default="threads",
+        help="activation executor: GIL-sharing threads, worker processes, "
+        "or remote worker nodes behind a TCP director",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -301,6 +330,21 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "worker pool mid-run (bounded above by --workers)",
     )
     parser.add_argument(
+        "--director", metavar="HOST:PORT", default=None,
+        help="(--backend distributed) bind the director here; start "
+        "worker nodes with: scidock worker --join HOST:PORT",
+    )
+    parser.add_argument(
+        "--min-nodes", type=int, default=1, metavar="N",
+        help="(--backend distributed) worker nodes to wait for before "
+        "dispatching (default 1)",
+    )
+    parser.add_argument(
+        "--join-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="(--backend distributed) how long to wait for --min-nodes "
+        "nodes, or for capacity after every node died (default 60)",
+    )
+    parser.add_argument(
         "--store", metavar="PATH", default=None,
         help="file-backed provenance database (default: in-memory); a "
         "file-backed store makes the run journal durable, so a killed "
@@ -365,6 +409,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_args(qsar)
     qsar.add_argument("--top", type=int, default=5)
     qsar.set_defaults(fn=_cmd_qsar)
+
+    worker = sub.add_parser(
+        "worker", help="join a distributed-backend director as a worker node"
+    )
+    from repro.workflow.worker import parse_address
+
+    worker.add_argument(
+        "--join", type=parse_address, required=True, metavar="HOST:PORT",
+        help="director address (the dock run's --director)",
+    )
+    worker.add_argument(
+        "--slots", type=int, default=2,
+        help="concurrent activation slots on this node (default: 2)",
+    )
+    worker.add_argument(
+        "--node-id", default=None,
+        help="stable node name (default: host-pid)",
+    )
+    worker.add_argument(
+        "--map-cache", metavar="DIR", default=None,
+        help="node-local content-addressed map cache directory",
+    )
+    worker.set_defaults(fn=_cmd_worker)
 
     spec = sub.add_parser("spec", help="print the SciDock XML specification")
     spec.set_defaults(fn=_cmd_spec)

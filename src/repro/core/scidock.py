@@ -18,7 +18,7 @@ from repro.docking.vina import VinaParameters
 from repro.provenance.store import ProvenanceStore
 from repro.cloud.failures import ActivityFailureModel
 from repro.workflow.activity import Activity, Operator, Workflow
-from repro.workflow.engine import ExecutionReport, LocalEngine
+from repro.workflow.engine import BACKENDS, ExecutionReport, LocalEngine
 from repro.workflow.fault import FaultInjector, RetryPolicy, Watchdog
 from repro.workflow.extractor import JsonExtractor
 from repro.workflow.scheduler import GreedyCostScheduler
@@ -61,7 +61,7 @@ class SciDockConfig:
     seed: int = 0
     grid_spacing: float = 0.6
     workers: int = 4
-    backend: str = "threads"  # "threads" | "processes"
+    backend: str = "threads"  # "threads" | "processes" | "distributed"
     expdir: str = "/root/exp_SciDock"
     ad4_params: AD4Parameters = field(default_factory=lambda: FAST_AD4)
     vina_params: VinaParameters = field(default_factory=lambda: FAST_VINA)
@@ -110,12 +110,29 @@ class SciDockConfig:
     etable_dr: float = 0.005
     #: Table extent / nonbonded cutoff in Angstrom (tables mode only).
     etable_rmax: float = 8.0
+    #: Distributed backend only: ``HOST:PORT`` the director binds for
+    #: worker nodes to join (``scidock worker --join HOST:PORT``).
+    director: str | None = None
+    #: Worker nodes a distributed run waits for before dispatching.
+    min_nodes: int = 1
+    #: Seconds to wait for ``min_nodes`` nodes (and for capacity when
+    #: every node has died) before the run errors out.
+    join_timeout: float = 60.0
 
     def __post_init__(self) -> None:
         if self.scenario not in ("adaptive", "ad4", "vina"):
             raise ValueError(f"unknown scenario {self.scenario!r}")
-        if self.backend not in ("threads", "processes"):
+        if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend == "distributed" and not self.director:
+            raise ValueError(
+                "backend 'distributed' needs director='HOST:PORT' so "
+                "worker nodes know where to join"
+            )
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must be >= 1")
+        if self.join_timeout <= 0:
+            raise ValueError("join_timeout must be positive")
         if self.scheduler not in ("fifo", "greedy"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
@@ -327,6 +344,11 @@ def build_scidock_engine(
         elasticity = AdaptiveElasticityPolicy(
             min_cores=1, max_cores=config.workers
         )
+    director = None
+    if config.backend == "distributed":
+        from repro.workflow.worker import parse_address
+
+        director = parse_address(config.director)
     return LocalEngine(
         store,
         workers=config.workers,
@@ -338,6 +360,9 @@ def build_scidock_engine(
         pipeline=config.pipeline,
         cost_service=cost_service,
         elasticity=elasticity,
+        director=director,
+        min_nodes=config.min_nodes,
+        join_timeout=config.join_timeout,
     )
 
 
@@ -363,7 +388,11 @@ def run_scidock(
             ),
             seed=config.seed,
         )
-    report = engine.run(workflow, pairs, context=context)
+    try:
+        report = engine.run(workflow, pairs, context=context)
+    finally:
+        # Releases the distributed node pool; no-op on local backends.
+        engine.shutdown()
     return report, store
 
 
@@ -389,7 +418,10 @@ def resume_scidock(
     engine = build_scidock_engine(config, store)
     workflow = build_scidock_workflow(config)
     if has_journal(store, wkfid):
-        report = engine.resume(wkfid, workflow, relation=pairs)
+        try:
+            report = engine.resume(wkfid, workflow, relation=pairs)
+        finally:
+            engine.shutdown()
         return report, store
     if pairs is None:
         raise ValueError(

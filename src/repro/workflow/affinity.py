@@ -60,6 +60,20 @@ def stable_hash(key: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def sticky_index(key: str, n: int) -> int:
+    """Deterministic home index for ``key`` among ``n`` candidates.
+
+    The one placement rule used at every granularity: slot-level by the
+    :class:`AffinityRouter` (which worker process a receptor's
+    activations revisit) and node-level by the distributed director
+    (which worker *node* holds a receptor's shared-memory map plane).
+    Same key + same candidate count = same home, in any process.
+    """
+    if n < 1:
+        raise ValueError("need at least one placement candidate")
+    return stable_hash(key) % n
+
+
 def probe_worker(*_args: Any) -> int:
     """Identity probe: returns the executing worker's pid."""
     return os.getpid()
@@ -165,9 +179,9 @@ class AffinityRouter:
             if affinity_key is None:
                 home = min(live, key=lambda i: len(self._queues[i]))
             else:
-                home = stable_hash(affinity_key) % self.workers
+                home = sticky_index(affinity_key, self.workers)
                 if self._quarantined[home] or self._retired[home]:
-                    home = live[stable_hash(affinity_key) % len(live)]
+                    home = live[sticky_index(affinity_key, len(live))]
             task = _Task(fn, args, home)
             self._queues[home].append(task)
             self.routed += 1

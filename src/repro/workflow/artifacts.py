@@ -68,6 +68,9 @@ class PlaneHandle:
     scratch_dir: str
     run_id: str
     map_cache_dir: str | None = None
+    #: ``(host, port)`` of a director-served artifact exchange: disk-cache
+    #: misses try a network fetch before falling back to a local build.
+    exchange: tuple | None = None
 
 
 # -- cross-process locking ---------------------------------------------------
@@ -141,18 +144,58 @@ class DiskMapCache:
     the meta dict embedded as a JSON string, so concurrent writers from
     any number of processes can never expose a torn entry. Unreadable
     entries are treated as misses and rebuilt.
+
+    With a ``fetch`` callable (``fetch(kind, key) -> bytes | None`` —
+    see :func:`repro.workflow.messaging.fetch_artifact`), a local miss
+    tries the content-addressed artifact exchange before reporting a
+    miss: the fetched bundle bytes are written atomically into this
+    cache, so a worker node pays the network cost once per artifact and
+    every later lookup is a plain disk hit. Any fetch failure degrades
+    to a miss (the caller builds locally).
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, fetch=None) -> None:
         self.root = root
+        self.fetch = fetch
+        #: Exchange-fetch accounting (per process; workers report these
+        #: back to the director in their NODE_STATS frame).
+        self.fetches = 0
+        self.fetch_bytes = 0
         os.makedirs(root, exist_ok=True)
 
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self.root, f"{kind}-{key}.npz")
 
+    def _fetch_into_cache(self, kind: str, key: str) -> bool:
+        """Pull a bundle off the exchange into the local cache."""
+        if self.fetch is None:
+            return False
+        try:
+            blob = self.fetch(kind, key)
+        except Exception:  # pragma: no cover - exchange failure is a miss
+            blob = None
+        if not blob:
+            return False
+        path = self._path(kind, key)
+        tmp = f"{path}.tmp-{os.getpid()}-{uuid.uuid4().hex[:6]}.npz"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+        self.fetches += 1
+        self.fetch_bytes += len(blob)
+        return True
+
+    def blob(self, kind: str, key: str) -> bytes | None:
+        """Raw bundle bytes for serving over the exchange (None = miss)."""
+        try:
+            with open(self._path(kind, key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
     def load(self, kind: str, key: str) -> tuple[dict, dict[str, np.ndarray]] | None:
         path = self._path(kind, key)
-        if not os.path.exists(path):
+        if not os.path.exists(path) and not self._fetch_into_cache(kind, key):
             return None
         try:
             with np.load(path, allow_pickle=False) as bundle:
@@ -208,8 +251,17 @@ class ArtifactPlane:
     def __init__(self, handle: PlaneHandle, owner: bool = False) -> None:
         self.handle = handle
         self.owner = owner
+        fetch = None
+        if handle.exchange is not None and handle.map_cache_dir:
+            from functools import partial
+
+            from repro.workflow.messaging import fetch_artifact
+
+            fetch = partial(fetch_artifact, tuple(handle.exchange))
         self.disk = (
-            DiskMapCache(handle.map_cache_dir) if handle.map_cache_dir else None
+            DiskMapCache(handle.map_cache_dir, fetch=fetch)
+            if handle.map_cache_dir
+            else None
         )
         self._attached: dict[tuple[str, str], shared_memory.SharedMemory] = {}
         self._guard = threading.Lock()
@@ -221,12 +273,15 @@ class ArtifactPlane:
         run_id: str | None = None,
         scratch_root: str | None = None,
         map_cache_dir: str | None = None,
+        exchange: tuple | None = None,
     ) -> "ArtifactPlane":
         run_id = run_id or uuid.uuid4().hex
         scratch = tempfile.mkdtemp(
             prefix=f"repro-plane-{run_id[:8]}-", dir=scratch_root
         )
-        return cls(PlaneHandle(scratch, run_id, map_cache_dir), owner=True)
+        return cls(
+            PlaneHandle(scratch, run_id, map_cache_dir, exchange), owner=True
+        )
 
     @classmethod
     def attach(cls, handle: PlaneHandle) -> "ArtifactPlane":
@@ -400,6 +455,8 @@ class ArtifactPlane:
             "builds": builds,
             "shm_hits": shm_hits,
             "disk_hits": disk_hits,
+            "exchange_fetches": self.disk.fetches if self.disk else 0,
+            "exchange_bytes": self.disk.fetch_bytes if self.disk else 0,
             "requests": requests,
             "hit_rate": round((shm_hits + disk_hits) / requests, 3) if requests else 0.0,
             "builds_by_artifact": builds_by_artifact,

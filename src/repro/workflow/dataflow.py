@@ -95,9 +95,15 @@ class ReadyQueue:
     """Scheduler-ordered pool of dispatchable :class:`WorkItem`\\ s.
 
     With a :class:`~repro.workflow.scheduler.Scheduler`, pop order
-    follows ``job_priority`` (highest first; ties FIFO). Without one,
-    pop order is plain FIFO arrival — the pre-refactor LocalEngine
-    behavior.
+    follows ``job_priority`` (highest first); *equal* priorities break
+    deterministically on the lineage key (lexicographic), then arrival.
+    Under pipelining, arrival order is completion order — which thread
+    or node finished first — so a FIFO tie-break would make dispatch
+    order nondeterministic run to run; the key tie-break is what lets
+    the distributed pull protocol hand out identical task sequences for
+    identical inputs. Without a scheduler, pop order is plain FIFO
+    arrival — the pre-refactor LocalEngine behavior, where arrival *is*
+    the intended order.
 
     ``cost_fn`` supplies each pushed item's expected cost when the
     caller doesn't pass one explicitly — this is how the engines feed
@@ -112,7 +118,7 @@ class ReadyQueue:
     ) -> None:
         self.scheduler = scheduler
         self.cost_fn = cost_fn
-        self._heap: list[tuple[float, int, WorkItem]] = []
+        self._heap: list[tuple[float, str, int, WorkItem]] = []
         self._seq = itertools.count()
         self._arrivals = itertools.count()
 
@@ -121,6 +127,7 @@ class ReadyQueue:
             expected_cost = self.cost_fn(item) if self.cost_fn else 0.0
         if self.scheduler is None:
             priority = 0.0
+            tiebreak = ""
         else:
             priority = self.scheduler.job_priority(
                 PendingActivation(
@@ -129,14 +136,15 @@ class ReadyQueue:
                     arrival=next(self._arrivals),
                 )
             )
-        heapq.heappush(self._heap, (-priority, next(self._seq), item))
+            tiebreak = item.key
+        heapq.heappush(self._heap, (-priority, tiebreak, next(self._seq), item))
 
     def pop(self) -> WorkItem:
-        return heapq.heappop(self._heap)[2]
+        return heapq.heappop(self._heap)[3]
 
     def items(self):
         """Iterate queued work items (no particular order)."""
-        for _, _, item in self._heap:
+        for _, _, _, item in self._heap:
             yield item
 
     def __len__(self) -> int:

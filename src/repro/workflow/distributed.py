@@ -1,0 +1,697 @@
+"""Director: the coordinator-side half of the distributed backend.
+
+SciCumulus distributes activations over MPJ: rank 0 holds the activation
+queue, worker ranks pull work, execute, and push results. This module is
+that architecture over plain TCP, built on the shared wire vocabulary in
+:mod:`repro.workflow.messaging` (length-prefixed pickled frames, a
+credit-based WORK_REQUEST pull protocol, HEARTBEAT liveness).
+
+The :class:`Director` deliberately implements the same duck-type as the
+in-process :class:`~repro.workflow.affinity.AffinityRouter` —
+``submit(affinity_key, fn, *args) -> Future``, ``abort(future)``,
+``shutdown()`` — so the :class:`~repro.workflow.dispatch.AttemptRunner`
+drives remote attempts through exactly the code path it uses for local
+worker processes: the per-activation watchdog is a timed wait on the
+future, a deadline miss aborts the remote task (cooperative token
+cancellation on the node), and a node death surfaces every in-flight
+future as a :class:`~repro.workflow.affinity.RouterError` — an
+*infrastructure* failure, retried on the infra budget and re-placed on
+the surviving nodes.
+
+Placement generalizes the router's receptor-sticky slot choice to node
+granularity (:func:`~repro.workflow.affinity.sticky_index` over the live
+node list), so one node accumulates each receptor's artifacts; idle
+nodes steal from the longest backlog. Each accepted connection's first
+frame discriminates its role: HELLO starts a worker-node session,
+ARTIFACT_REQUEST is a one-shot content-addressed fetch served from the
+director's map cache (the exchange that lets a re-placed receptor's new
+home skip rebuilding its maps).
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.workflow.affinity import RouterError, sticky_index
+from repro.workflow.artifacts import DiskMapCache
+from repro.workflow.coordinator import ExecutionPlane
+from repro.workflow.dataflow import WorkItem
+from repro.workflow.dispatch import AttemptRunner
+from repro.workflow.fault import HeartbeatPolicy
+from repro.workflow.messaging import (
+    CONTEXT_REF,
+    FrameConn,
+    Message,
+    MessageTag,
+    MessagingError,
+)
+from repro.workflow.planes import ThreadedExecutionPlane
+
+#: Bookkeeping threads the director plane keeps for in-flight attempts;
+#: threads are cheap (each just waits on a future), nodes are not.
+DIRECTOR_BOOKKEEPING_THREADS = 128
+
+
+@dataclass
+class _RemoteTask:
+    """One activation attempt shipped (or queued to ship) to a node."""
+
+    task_id: int
+    affinity: str | None
+    fn: object
+    args: tuple
+    future: Future
+
+
+@dataclass
+class _NodeSession:
+    """Director-side state for one connected worker node."""
+
+    rank: int
+    node_id: str
+    slots: int
+    conn: FrameConn
+    #: Unsent tasks homed on this node (stealable from the tail).
+    queue: list[_RemoteTask] = field(default_factory=list)
+    #: Sent-but-unfinished tasks by task id.
+    inflight: dict[int, _RemoteTask] = field(default_factory=dict)
+    #: Unconsumed WORK_REQUEST credits: how many more TASK frames the
+    #: node is ready to receive (its idle slot count).
+    credits: int = 0
+    last_beat: float = field(default_factory=time.monotonic)
+    lost: bool = False
+    ready: bool = False  # SETUP sent (run context delivered)
+    tuples_done: int = 0
+    #: Worker-reported statistics (NODE_STATS payload).
+    stats: dict = field(default_factory=dict)
+    stats_event: threading.Event = field(default_factory=threading.Event)
+
+
+class Director:
+    """Accepts worker nodes and places activation attempts on them.
+
+    Constructed once per engine (binding its listen address immediately
+    so workers can join before — or during — a run); armed with a run's
+    shipped context via :meth:`start_run`. Nodes joining before the run
+    starts are parked until SETUP; nodes joining mid-run are set up and
+    journaled on arrival, which is how the live pool grows.
+    """
+
+    def __init__(
+        self,
+        bind: tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        min_nodes: int = 1,
+        join_timeout: float = 60.0,
+        heartbeat: HeartbeatPolicy | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
+        self.min_nodes = max(1, int(min_nodes))
+        self.join_timeout = join_timeout
+        self.heartbeat = heartbeat or HeartbeatPolicy()
+        #: Content-addressed bundle cache the exchange serves from.
+        self.cache = DiskMapCache(cache_dir) if cache_dir else None
+        self._lock = threading.RLock()
+        self._capacity_cv = threading.Condition(self._lock)
+        self._nodes: dict[int, _NodeSession] = {}
+        self._by_future: dict[Future, _RemoteTask] = {}
+        #: Tasks whose home node died with no survivor to take them;
+        #: drained onto the next node that joins.
+        self._orphans: list[_RemoteTask] = []
+        self._rank_seq = itertools.count(1)
+        self._task_seq = itertools.count(1)
+        self._shipped_context: dict | None = None
+        self._journal = None
+        self._closed = False
+        # Lifetime/wire accounting (survives node loss and shutdown).
+        self.nodes_joined = 0
+        self.nodes_lost = 0
+        self.steals = 0
+        self.tuples_per_node: dict[str, int] = {}
+        self.node_stats: dict[str, dict] = {}
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.artifact_requests = 0
+        self.artifact_hits = 0
+        self.artifact_bytes = 0
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(tuple(bind))
+        self._listener.listen(64)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="director-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="director-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
+    # -- router duck-type attribute (quarantine = node loss) -----------------
+    @property
+    def quarantined_workers(self) -> int:
+        return self.nodes_lost
+
+    # -- run lifecycle -------------------------------------------------------
+    def start_run(self, shipped_context: dict, journal=None) -> None:
+        """Arm the director with a run's context; set up parked nodes."""
+        with self._lock:
+            self._shipped_context = shipped_context
+            self._journal = journal
+            for node in self._nodes.values():
+                if not node.lost and not node.ready:
+                    self._setup_node(node)
+
+    def end_run(self, cache_token: str | None = None) -> dict:
+        """Collect per-node stats (dropping the run's worker state).
+
+        Nodes stay connected — the director outlives runs so a resumed
+        run reuses the joined pool — but each reports its plane/transport
+        counters and drops the ``cache_token`` run state.
+        """
+        with self._lock:
+            live = [n for n in self._nodes.values() if not n.lost and n.ready]
+            for node in live:
+                node.stats_event.clear()
+                try:
+                    node.conn.send(
+                        MessageTag.NODE_STATS, {"drop_token": cache_token}
+                    )
+                except (OSError, MessagingError):
+                    self._mark_lost_locked(node, "stats request failed")
+            self._shipped_context = None
+            self._journal = None
+        for node in live:
+            node.stats_event.wait(5.0)
+        return self.stats()
+
+    def stats(self) -> dict:
+        with self._lock:
+            live = [n for n in self._nodes.values() if not n.lost]
+            bytes_sent = self.bytes_sent + sum(
+                n.conn.bytes_sent for n in self._nodes.values()
+            )
+            bytes_received = self.bytes_received + sum(
+                n.conn.bytes_received for n in self._nodes.values()
+            )
+            return {
+                "nodes_joined": self.nodes_joined,
+                "nodes_lost": self.nodes_lost,
+                "live_nodes": len(live),
+                "steals": self.steals,
+                "tuples_per_node": dict(self.tuples_per_node),
+                "node_stats": {
+                    k: dict(v) for k, v in self.node_stats.items()
+                },
+                "bytes_sent": bytes_sent,
+                "bytes_received": bytes_received,
+                "artifact_requests": self.artifact_requests,
+                "artifact_hits": self.artifact_hits,
+                "artifact_bytes": self.artifact_bytes,
+            }
+
+    # -- capacity ------------------------------------------------------------
+    def capacity(self) -> int:
+        with self._lock:
+            return sum(
+                n.slots for n in self._nodes.values() if not n.lost and n.ready
+            )
+
+    def wait_for_capacity(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._capacity_cv:
+            while True:
+                if self._capacity_locked():
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    return False
+                self._capacity_cv.wait(remaining)
+
+    def wait_for_nodes(self, count: int, timeout: float) -> bool:
+        """Block until ``count`` nodes are live (tests / CLI startup)."""
+        deadline = time.monotonic() + timeout
+        with self._capacity_cv:
+            while True:
+                live = sum(
+                    1 for n in self._nodes.values() if not n.lost and n.ready
+                )
+                if live >= count:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._capacity_cv.wait(remaining)
+
+    def _capacity_locked(self) -> bool:
+        return any(
+            not n.lost and n.ready and n.slots > 0
+            for n in self._nodes.values()
+        )
+
+    def _live_nodes_locked(self) -> list[_NodeSession]:
+        live = [
+            n for n in self._nodes.values() if not n.lost and n.ready
+        ]
+        live.sort(key=lambda n: n.rank)
+        return live
+
+    # -- placement -----------------------------------------------------------
+    def placement(self, affinity_key: str | None) -> str | None:
+        """Node an affinity key would land on right now (journal hint)."""
+        with self._lock:
+            live = self._live_nodes_locked()
+            if not live:
+                return None
+            if affinity_key is None:
+                return min(
+                    live, key=lambda n: len(n.queue) + len(n.inflight)
+                ).node_id
+            return live[sticky_index(affinity_key, len(live))].node_id
+
+    def _home_for_locked(
+        self, affinity: str | None, live: list[_NodeSession]
+    ) -> _NodeSession:
+        if affinity is None:
+            return min(live, key=lambda n: len(n.queue) + len(n.inflight))
+        return live[sticky_index(affinity, len(live))]
+
+    # -- router duck-type ----------------------------------------------------
+    def submit(self, affinity_key: str | None, fn, *args) -> Future:
+        """Queue one attempt for a worker node; returns its future."""
+        shipped = self._shipped_context
+        wired = tuple(
+            CONTEXT_REF if (shipped is not None and a is shipped) else a
+            for a in args
+        )
+        future: Future = Future()
+        task = _RemoteTask(
+            next(self._task_seq), affinity_key, fn, wired, future
+        )
+        deadline = time.monotonic() + self.join_timeout
+        with self._capacity_cv:
+            while True:
+                if self._closed:
+                    raise RouterError("director is shut down")
+                live = self._live_nodes_locked()
+                if live:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RouterError(
+                        "no live worker nodes joined within "
+                        f"{self.join_timeout:.1f}s"
+                    )
+                self._capacity_cv.wait(remaining)
+            self._by_future[future] = task
+            home = self._home_for_locked(affinity_key, live)
+            home.queue.append(task)
+            self._flush_locked(home)
+            # A homed-but-unsent task may still run elsewhere: give every
+            # idle node a chance to steal it immediately.
+            for node in live:
+                if node is not home:
+                    self._flush_locked(node)
+        return future
+
+    def abort(self, future: Future) -> str:
+        """Cancel one attempt: dequeue it, or ask its node to kill it."""
+        with self._lock:
+            task = self._by_future.pop(future, None)
+            if task is None or future.done():
+                return "finished"
+            for node in self._nodes.values():
+                if task in node.queue:
+                    node.queue.remove(task)
+                    return "dequeued"
+                if node.inflight.pop(task.task_id, None) is not None:
+                    try:
+                        node.conn.send(
+                            MessageTag.ABORT, {"task_id": task.task_id}
+                        )
+                    except (OSError, MessagingError):
+                        self._mark_lost_locked(node, "abort send failed")
+                    return "killed"
+            if task in self._orphans:
+                self._orphans.remove(task)
+                return "dequeued"
+        return "finished"
+
+    def broadcast(self, fn, *args) -> list:
+        """Interface parity with the router; node cleanup rides on
+        :meth:`end_run`'s NODE_STATS round-trip instead."""
+        return []
+
+    def shutdown(self) -> None:
+        """Stop accepting, release every node, close the listener."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            nodes = [n for n in self._nodes.values() if not n.lost]
+            for node in nodes:
+                try:
+                    node.conn.send(MessageTag.SHUTDOWN)
+                except (OSError, MessagingError):
+                    continue
+            self._capacity_cv.notify_all()
+        for node in nodes:
+            node.stats_event.wait(5.0)
+        with self._lock:
+            for node in self._nodes.values():
+                self.bytes_sent += node.conn.bytes_sent
+                self.bytes_received += node.conn.bytes_received
+                node.conn.close()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    # -- dispatch internals --------------------------------------------------
+    def _flush_locked(self, node: _NodeSession) -> None:
+        """Send queued tasks to ``node`` while it holds credits."""
+        while node.credits > 0 and not node.lost:
+            task: _RemoteTask | None = None
+            if node.queue:
+                task = node.queue.pop(0)
+            elif self._orphans:
+                task = self._orphans.pop(0)
+            else:
+                # Idle with credits: steal from the longest backlog.
+                victims = [
+                    n
+                    for n in self._live_nodes_locked()
+                    if n is not node and n.queue
+                ]
+                if victims:
+                    victim = max(victims, key=lambda n: len(n.queue))
+                    task = victim.queue.pop()
+                    self.steals += 1
+            if task is None:
+                return
+            node.credits -= 1
+            node.inflight[task.task_id] = task
+            try:
+                node.conn.send(
+                    MessageTag.TASK,
+                    {
+                        "task_id": task.task_id,
+                        "fn": task.fn,
+                        "args": task.args,
+                    },
+                    dst=node.rank,
+                )
+            except (OSError, MessagingError):
+                self._mark_lost_locked(node, "task send failed")
+                return
+            except Exception as exc:
+                # pickling the frame failed before any byte hit the wire
+                # (send_frame serializes fully, then writes): the stream
+                # is intact and the node healthy — fail this task alone
+                # instead of tearing the node down or killing the caller.
+                node.credits += 1
+                node.inflight.pop(task.task_id, None)
+                self._by_future.pop(task.future, None)
+                if not task.future.done():
+                    task.future.set_exception(
+                        RuntimeError(
+                            f"task {task.task_id} is not serializable "
+                            f"for transport: {exc!r}"
+                        )
+                    )
+
+    # -- connection handling -------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            threading.Thread(
+                target=self._serve_connection,
+                args=(FrameConn(sock),),
+                name="director-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: FrameConn) -> None:
+        """First frame discriminates: worker HELLO or one-shot exchange."""
+        try:
+            first = conn.recv()
+        except (MessagingError, OSError):
+            conn.close()
+            return
+        if first is None:
+            conn.close()
+            return
+        if first.tag is MessageTag.ARTIFACT_REQUEST:
+            self._serve_artifact(conn, first)
+            return
+        if first.tag is MessageTag.HELLO:
+            self._register_node(conn, first)
+            return
+        conn.close()
+
+    def _serve_artifact(self, conn: FrameConn, request: Message) -> None:
+        payload = request.payload if isinstance(request.payload, dict) else {}
+        kind = str(payload.get("kind", ""))
+        key = str(payload.get("key", ""))
+        blob = self.cache.blob(kind, key) if self.cache is not None else None
+        with self._lock:
+            self.artifact_requests += 1
+            if blob is not None:
+                self.artifact_hits += 1
+                self.artifact_bytes += len(blob)
+        try:
+            conn.send(MessageTag.ARTIFACT_DATA, {"blob": blob})
+        except (OSError, MessagingError):  # pragma: no cover - client gone
+            pass
+        finally:
+            with self._lock:
+                self.bytes_sent += conn.bytes_sent
+                self.bytes_received += conn.bytes_received
+            conn.close()
+
+    def _register_node(self, conn: FrameConn, hello: Message) -> None:
+        payload = hello.payload if isinstance(hello.payload, dict) else {}
+        with self._lock:
+            if self._closed:
+                conn.close()
+                return
+            rank = next(self._rank_seq)
+            node = _NodeSession(
+                rank=rank,
+                node_id=str(payload.get("node_id") or f"node-{rank}"),
+                slots=max(1, int(payload.get("slots", 1))),
+                conn=conn,
+            )
+            self._nodes[rank] = node
+            self.nodes_joined += 1
+            if self._shipped_context is not None:
+                self._setup_node(node)
+        receiver = threading.Thread(
+            target=self._node_loop,
+            args=(node,),
+            name=f"director-node-{node.node_id}",
+            daemon=True,
+        )
+        receiver.start()
+
+    def _setup_node(self, node: _NodeSession) -> None:
+        """Ship the run context; journal the join; wake waiters."""
+        try:
+            node.conn.send(
+                MessageTag.SETUP,
+                {
+                    "context": self._shipped_context,
+                    "exchange": self.address,
+                    "heartbeat": self.heartbeat,
+                },
+                dst=node.rank,
+            )
+        except (OSError, MessagingError):
+            self._mark_lost_locked(node, "setup send failed")
+            return
+        node.ready = True
+        if self._journal is not None:
+            self._journal.node_joined(node.node_id, node.rank, node.slots)
+        self._capacity_cv.notify_all()
+
+    def _node_loop(self, node: _NodeSession) -> None:
+        """Per-node receiver: results, failures, credits, liveness."""
+        while True:
+            try:
+                message = node.conn.recv()
+            except (MessagingError, OSError):
+                message = None
+            if message is None:
+                with self._lock:
+                    self._mark_lost_locked(node, "connection closed")
+                return
+            payload = (
+                message.payload if isinstance(message.payload, dict) else {}
+            )
+            with self._lock:
+                node.last_beat = time.monotonic()
+                if node.lost:
+                    return
+                if message.tag is MessageTag.WORK_REQUEST:
+                    node.credits += int(payload.get("n", 1))
+                    self._flush_locked(node)
+                elif message.tag is MessageTag.RESULT:
+                    task = node.inflight.pop(payload.get("task_id"), None)
+                    if task is not None:
+                        node.tuples_done += 1
+                        self.tuples_per_node[node.node_id] = (
+                            self.tuples_per_node.get(node.node_id, 0) + 1
+                        )
+                        self._by_future.pop(task.future, None)
+                        if not task.future.done():
+                            task.future.set_result(payload.get("value"))
+                elif message.tag is MessageTag.FAILURE:
+                    task = node.inflight.pop(payload.get("task_id"), None)
+                    if task is not None:
+                        self._by_future.pop(task.future, None)
+                        if not task.future.done():
+                            task.future.set_exception(
+                                _unpickle_failure(payload)
+                            )
+                elif message.tag is MessageTag.NODE_STATS:
+                    node.stats = dict(payload.get("stats") or {})
+                    self.node_stats[node.node_id] = node.stats
+                    node.stats_event.set()
+                elif message.tag is MessageTag.HEARTBEAT:
+                    pass  # the timestamp update above is the point
+                # Unknown tags are ignored: wire compatibility.
+
+    def _monitor_loop(self) -> None:
+        """Declare nodes dead after a silent heartbeat window."""
+        while not self._closed:
+            time.sleep(self.heartbeat.interval)
+            now = time.monotonic()
+            with self._lock:
+                if self._closed:
+                    return
+                for node in list(self._nodes.values()):
+                    if node.lost or not node.ready:
+                        continue
+                    if now - node.last_beat > self.heartbeat.timeout:
+                        self._mark_lost_locked(node, "heartbeat timeout")
+
+    def _mark_lost_locked(self, node: _NodeSession, reason: str) -> None:
+        """Node death: fail in-flight work, redistribute queued work."""
+        if node.lost:
+            return
+        node.lost = True
+        node.stats_event.set()
+        self.nodes_lost += 1
+        inflight = list(node.inflight.values())
+        queued = list(node.queue)
+        node.inflight.clear()
+        node.queue.clear()
+        self.bytes_sent += node.conn.bytes_sent
+        self.bytes_received += node.conn.bytes_received
+        node.conn.close()
+        if self._journal is not None:
+            self._journal.node_lost(node.node_id, reason, len(inflight))
+        # In-flight attempts surface as infrastructure failures: the
+        # AttemptRunner retries them on the infra budget and its
+        # resubmission re-places them on the survivors.
+        for task in inflight:
+            self._by_future.pop(task.future, None)
+            if not task.future.done():
+                task.future.set_exception(
+                    RouterError(
+                        f"worker node {node.node_id} lost ({reason}) with "
+                        f"task {task.task_id} in flight"
+                    )
+                )
+        # Never-sent tasks are still good: re-home them now, or park
+        # them for the next node to join.
+        live = self._live_nodes_locked()
+        for task in queued:
+            if live:
+                self._home_for_locked(task.affinity, live).queue.append(task)
+            else:
+                self._orphans.append(task)
+        for survivor in live:
+            self._flush_locked(survivor)
+        self._capacity_cv.notify_all()
+
+
+def _unpickle_failure(payload: dict) -> BaseException:
+    """Reconstruct a worker-reported activation exception."""
+    blob = payload.get("blob")
+    if isinstance(blob, (bytes, bytearray)):
+        try:
+            exc = pickle.loads(blob)
+            if isinstance(exc, BaseException):
+                return exc
+        except Exception:  # pragma: no cover - unpicklable exception class
+            pass
+    return RuntimeError(str(payload.get("repr", "unknown worker failure")))
+
+
+class DirectorPlane(ThreadedExecutionPlane):
+    """The distributed backend behind the coordinator's plane seam.
+
+    Bookkeeping threads and the AttemptRunner lifecycle are inherited
+    unchanged from the threaded plane — the runner's router *is* the
+    director, so every attempt becomes a framed TASK on some node.
+    Capacity is the live nodes' slot sum (it moves as nodes join and
+    die, which is the distributed pool's elasticity); speculation stays
+    off because twin attempts would race across nodes with no shared
+    completion order to make golden-parity runs comparable.
+    """
+
+    supports_speculation = False
+    elastic = False
+
+    def __init__(
+        self,
+        runner: AttemptRunner,
+        context: dict,
+        t0: float,
+        director: Director,
+    ) -> None:
+        super().__init__(
+            runner,
+            context,
+            t0,
+            active=DIRECTOR_BOOKKEEPING_THREADS,
+            hard_max=DIRECTOR_BOOKKEEPING_THREADS,
+        )
+        self.director = director
+
+    def capacity(self) -> int:
+        return min(self.director.capacity(), self._hard_max)
+
+    def placement(self, item: WorkItem) -> str | None:
+        affinity = (
+            item.tup.get("receptor_id") if isinstance(item.tup, dict) else None
+        )
+        return self.director.placement(
+            str(affinity) if affinity is not None else None
+        )
+
+    def wait_for_capacity(self, timeout: float) -> bool:
+        return self.director.wait_for_capacity(timeout)
+
+    def finish(self) -> dict:
+        self.drain()
+        token = (self.runner.shipped_context or {}).get("cache_token")
+        return self.director.end_run(cache_token=token)
+
+    def shutdown(self) -> None:
+        # The director itself stays up (it belongs to the engine, and a
+        # resumed run reuses the joined node pool); only the run-scoped
+        # bookkeeping pool winds down here.
+        self.drain()

@@ -39,35 +39,39 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing
-import queue
 import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cloud.cluster import CoreHandle, VirtualCluster
 from repro.cloud.failures import ActivityFailureModel
 from repro.cloud.provider import VMState
 from repro.provenance.store import ActivationStatus, ProvenanceStore
-from repro.workflow.activity import Activity, Operator, Workflow
-from repro.workflow.affinity import AffinityRouter, RouterError
-from repro.workflow.artifacts import ArtifactPlane, drop_run_state, release_cached
+from repro.workflow.activity import Operator, Workflow
+from repro.workflow.affinity import AffinityRouter
+from repro.workflow.artifacts import (
+    ArtifactPlane,
+    DiskMapCache,
+    release_cached,
+)
+from repro.workflow.coordinator import Coordinator
 from repro.workflow.dataflow import DataflowState, ReadyQueue, WorkItem
 from repro.workflow.dispatch import (
-    AttemptAbortHandle,
-    AttemptOutcome,
     AttemptRunner,
     PARENT_ONLY_CONTEXT_KEYS,
     strip_reserved,
 )
+from repro.workflow.distributed import Director, DirectorPlane
 from repro.workflow.extractor import run_extractors
 from repro.workflow.fault import (
     CancelTokenHandle,
     FaultInjector,
+    HeartbeatPolicy,
     RetryPolicy,
     Watchdog,
 )
 from repro.workflow.journal import JournalReplay, RunJournal, replay_journal
+from repro.workflow.planes import LocalExecutionPlane
 from repro.workflow.relation import Relation
 from repro.workflow.scheduler import GreedyCostScheduler, Scheduler
 
@@ -129,6 +133,15 @@ class ExecutionReport:
     #: (parent only for the processes backend; workers build their own
     #: copies from the same shared registry design).
     etable_build_s: float = 0.0
+    #: Distributed-plane accounting (zero/empty on local backends):
+    #: worker nodes that joined / were declared dead during the run,
+    #: completed tuples per node id, and total framed bytes the director
+    #: put on / took off the wire (headers included).
+    nodes_joined: int = 0
+    nodes_lost: int = 0
+    tuples_per_node: dict = field(default_factory=dict)
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -136,26 +149,7 @@ class ExecutionReport:
 
 
 #: Executor backends LocalEngine can run activations on.
-BACKENDS = ("threads", "processes")
-
-
-@dataclass
-class _Flight:
-    """One in-flight activation and its (possible) speculative twin.
-
-    ``pending`` counts attempts still running (1 or 2); ``settled``
-    flips once a twin's outcome has been accepted — everything the
-    other twin reports afterwards is bookkeeping only.
-    """
-
-    item: WorkItem
-    activity: Activity
-    actid: int
-    wall_start: float
-    primary_handle: AttemptAbortHandle | None
-    spec_handle: AttemptAbortHandle | None = None
-    pending: int = 1
-    settled: bool = False
+BACKENDS = ("threads", "processes", "distributed")
 
 
 class LocalEngine:
@@ -175,6 +169,19 @@ class LocalEngine:
     thread pool — fine for activations that release the GIL or are
     I/O-bound, and required when the run context carries non-picklable
     state (an in-memory shared FS, a steering controller).
+
+    ``backend="distributed"`` executes activations on remote worker
+    nodes (``scidock worker --join HOST:PORT``) behind a
+    :class:`~repro.workflow.distributed.Director` speaking the framed
+    TCP protocol in :mod:`repro.workflow.messaging`. The director binds
+    at engine construction (``engine.director_address``), implements the
+    affinity-router duck-type so the attempt lifecycle is unchanged, and
+    generalizes receptor-sticky placement to node granularity — each
+    node builds its shared-memory map plane once and fetches missing
+    receptor bundles from the director's content-addressed artifact
+    exchange. Dead or silent nodes (heartbeat loss) surface their
+    in-flight activations as infrastructure failures, re-placed on the
+    survivors; ``engine.shutdown()`` releases the node pool.
 
     ``backend="processes"`` executes activations in spawn-context worker
     processes, sidestepping the GIL for CPU-bound activations (the
@@ -238,6 +245,10 @@ class LocalEngine:
         pipeline: bool = True,
         cost_service=None,
         elasticity=None,
+        director: tuple[str, int] | None = None,
+        min_nodes: int = 1,
+        join_timeout: float = 60.0,
+        heartbeat: HeartbeatPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise EngineError("need at least one worker")
@@ -265,6 +276,29 @@ class LocalEngine:
         #: Per-worker results of the end-of-run cache-cleanup broadcast
         #: (True where a worker dropped a run-state entry); for tests.
         self.last_cache_cleanup: list = []
+        #: Worker nodes a distributed run must see before dispatching.
+        self.min_nodes = min_nodes
+        self.join_timeout = join_timeout
+        self._director: Director | None = None
+        if backend == "distributed":
+            # Bind immediately so workers can join before run() starts.
+            self._director = Director(
+                director or ("127.0.0.1", 0),
+                min_nodes=min_nodes,
+                join_timeout=join_timeout,
+                heartbeat=heartbeat,
+            )
+
+    @property
+    def director_address(self) -> tuple[str, int] | None:
+        """Where workers join (``None`` outside the distributed backend)."""
+        return self._director.address if self._director is not None else None
+
+    def shutdown(self) -> None:
+        """Release the distributed node pool (no-op on local backends)."""
+        if self._director is not None:
+            self._director.shutdown()
+            self._director = None
 
     def run(
         self,
@@ -314,10 +348,6 @@ class LocalEngine:
             resumed_from=_resumed_from,
         )
 
-        retried = blocked = aborted = 0
-        replayed = 0
-        timeouts = infra_retries = quarantined = 0
-        speculative_launched = speculative_won = pool_resizes = 0
         final = Relation(f"{workflow.tag}:output")
 
         # Fault injection: chaos tests force crashes/hangs/failures via
@@ -353,21 +383,14 @@ class LocalEngine:
         )
         plane: ArtifactPlane | None = None
         artifact_stats: dict = {}
-        steals = 0
         if use_plane:
             plane = ArtifactPlane.create(map_cache_dir=map_cache)
             context["artifact_plane"] = plane.handle
         elif map_cache:
             context["map_cache_dir"] = map_cache
 
-        if self.backend == "processes":
-            # Spawn (not fork): the parent runs bookkeeping threads and an
-            # open SQLite handle, neither of which survives a fork safely.
-            self._router = AffinityRouter(
-                self.workers,
-                multiprocessing.get_context("spawn"),
-                quarantine_after=self.retry.quarantine_after,
-            )
+        shipped: dict | None = None
+        if self.backend in ("processes", "distributed"):
             shipped = {
                 k: v
                 for k, v in context.items()
@@ -381,11 +404,29 @@ class LocalEngine:
             shipped["worker_process"] = True
             self._shipped_context = shipped
 
+        if self.backend == "processes":
+            # Spawn (not fork): the parent runs bookkeeping threads and an
+            # open SQLite handle, neither of which survives a fork safely.
+            self._router = AffinityRouter(
+                self.workers,
+                multiprocessing.get_context("spawn"),
+                quarantine_after=self.retry.quarantine_after,
+            )
+        elif self.backend == "distributed":
+            # The director serves the artifact exchange out of the
+            # persistent map cache when one is configured.
+            if map_cache and self._director.cache is None:
+                self._director.cache = DiskMapCache(map_cache)
+            self._director.start_run(shipped, journal=journal)
+            self._director.wait_for_nodes(self.min_nodes, self.join_timeout)
+
         runner = AttemptRunner(
             self.store,
             self.retry,
             self.watchdog,
-            router=self._router,
+            router=self._director
+            if self.backend == "distributed"
+            else self._router,
             shipped_context=self._shipped_context,
             fault_injector=fault_injector,
             cancel_handle=cancel_handle,
@@ -400,7 +441,6 @@ class LocalEngine:
             journal=journal,
         )
         service = self.cost_service
-        spec_enabled = service is not None and service.speculation_enabled
 
         def expected_cost(item: WorkItem) -> float:
             """Learned service-time estimate, static table as fallback."""
@@ -412,314 +452,118 @@ class LocalEngine:
             return activity.cost(item.tup)
 
         ready = ReadyQueue(self.scheduler, cost_fn=expected_cost)
-        completions: queue.Queue = queue.Queue()
-        steering = context.get("steering")
-        inflight = 0
-        peak_inflight = 0
-        #: Dispatch cap the elasticity policy moves; the thread pool is
-        #: sized to the ceiling so a grow decision needs no new pool.
-        active = self.workers
+        #: Dispatch cap the elasticity policy moves; the plane's thread
+        #: pool is sized to the ceiling so a grow needs no new pool.
         hard_max = self.workers
         if self.elasticity is not None:
             hard_max = max(
                 hard_max, int(getattr(self.elasticity, "max_cores", 0))
             )
-        #: In-flight activations by item identity (twin accounting).
-        flights: dict[int, _Flight] = {}
-
-        def enqueue(items: list[WorkItem]) -> None:
-            for item in items:
-                ready.push(item)
-
-        def task(
-            item: WorkItem,
-            activity: Activity,
-            actid: int,
-            handle: AttemptAbortHandle | None,
-        ) -> None:
-            try:
-                outs, outcome = runner.run_with_retry(
-                    activity, actid, item.tup, item.key, context, t0,
-                    abort_handle=handle,
-                )
-                completions.put((item, outs, outcome, None, "primary"))
-            except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
-                completions.put((item, [], AttemptOutcome(), exc, "primary"))
-
-        def spec_task(
-            item: WorkItem,
-            activity: Activity,
-            actid: int,
-            handle: AttemptAbortHandle,
-        ) -> None:
-            try:
-                outs, outcome = runner.run_speculative(
-                    activity, actid, item.tup, item.key, context, t0, handle
-                )
-                completions.put((item, outs, outcome, None, "speculative"))
-            except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
-                completions.put(
-                    (item, [], AttemptOutcome(speculative=True), exc,
-                     "speculative")
-                )
-
-        def maybe_speculate(pool: ThreadPoolExecutor) -> None:
-            """Duplicate attempts running past their learned tail quantile."""
-            nonlocal inflight, peak_inflight, speculative_launched
-            now = time.perf_counter()
-            for flight in list(flights.values()):
-                if inflight >= active:
-                    break
-                if flight.settled or flight.spec_handle is not None:
-                    continue
-                if flight.activity.operator is Operator.REDUCE:
-                    continue
-                threshold = service.straggler_threshold(
-                    flight.activity.tag, flight.item.tup
-                )
-                if threshold is None or now - flight.wall_start <= threshold:
-                    continue
-                handle = AttemptAbortHandle()
-                flight.spec_handle = handle
-                flight.pending += 1
-                inflight += 1
-                peak_inflight = max(peak_inflight, inflight)
-                speculative_launched += 1
-                pool.submit(
-                    spec_task, flight.item, flight.activity, flight.actid,
-                    handle,
-                )
-
-        enqueue(state.seed(relation))
+        if self.backend == "distributed":
+            exec_plane = DirectorPlane(runner, context, t0, self._director)
+            hard_max = exec_plane.hard_max
+        else:
+            exec_plane = LocalExecutionPlane(
+                runner,
+                context,
+                t0,
+                self.workers,
+                hard_max,
+                router=self._router,
+                cache_token=(shipped or {}).get("cache_token"),
+                scratch_dir=(
+                    plane.handle.scratch_dir if plane is not None else None
+                ),
+            )
+        coordinator = Coordinator(
+            workflow,
+            state,
+            ready,
+            exec_plane,
+            store=self.store,
+            journal=journal,
+            actids=actids,
+            watchdog=self.watchdog,
+            t0=t0,
+            steering=context.get("steering"),
+            cost_service=service,
+            elasticity=self.elasticity,
+            block_known_loopers=self.block_known_loopers,
+            replay=_replay,
+        )
+        plane_stats: dict = {}
         try:
-            with ThreadPoolExecutor(max_workers=hard_max) as pool:
-                while True:
-                    # Elasticity: let the policy move the dispatch cap
-                    # (and, on processes, the real router slots) before
-                    # each scheduling round.
-                    if self.elasticity is not None:
-                        if ready:
-                            mean_cost = sum(
-                                expected_cost(j) for j in ready.items()
-                            ) / len(ready)
-                        else:
-                            mean_cost = 0.0
-                        utilization = inflight / active if active else 0.0
-                        target = self.elasticity.target_cores(
-                            len(ready), inflight, mean_cost,
-                            utilization=utilization,
-                        )
-                        target = max(1, min(hard_max, int(target)))
-                        if target != active:
-                            if self._router is not None:
-                                self._router.resize(target)
-                            journal.resized(target, active)
-                            active = target
-                            pool_resizes += 1
-                    # Fill free worker slots from the ready queue; keeping
-                    # the backlog here (instead of pre-submitting every
-                    # future) is what lets the scheduler order dispatch
-                    # and steering cancel still-queued work.
-                    while ready and inflight < active:
-                        item = ready.pop()
-                        if _replay is not None:
-                            cached = _replay.outputs_for(item.stage, item.key)
-                            if cached is not None:
-                                # The ancestor run completed this item
-                                # durably (journal flush barrier): satisfy
-                                # it from the logged outputs — lineage-
-                                # stable keys make the match exact — and
-                                # never touch a worker.
-                                replayed += 1
-                                journal.replayed(item.stage, item.key)
-                                enqueue(
-                                    state.complete(
-                                        item, [dict(t) for t in cached]
-                                    )
-                                )
-                                continue
-                        activity = workflow.activities[item.stage]
-                        actid = actids[activity.tag]
-                        if activity.operator is not Operator.REDUCE:
-                            if steering is not None and steering.should_abort(
-                                activity.tag, item.key
-                            ):
-                                self.store.record_blocked(
-                                    actid, item.key, time.perf_counter() - t0,
-                                    "aborted by user steering",
-                                )
-                                journal.steered(item.stage, item.key, "abort")
-                                journal.blocked(
-                                    item.stage, item.key,
-                                    "aborted by user steering",
-                                )
-                                blocked += 1
-                                enqueue(state.retire(item))
-                                continue
-                            if activity.would_loop(item.tup):
-                                if self.block_known_loopers:
-                                    self.store.record_blocked(
-                                        actid, item.key,
-                                        time.perf_counter() - t0,
-                                        "known looping input (Hg routine)",
-                                    )
-                                    journal.blocked(
-                                        item.stage, item.key,
-                                        "known looping input (Hg routine)",
-                                    )
-                                    blocked += 1
-                                else:
-                                    # Predicate-known looper with the Hg
-                                    # routine disabled: abort at decision
-                                    # time rather than burning the real
-                                    # deadline. End time is the actual
-                                    # wall clock of the decision — a
-                                    # fabricated ``start + deadline``
-                                    # would skew per-activity duration
-                                    # queries; the deadline it *would*
-                                    # have received is kept in errormsg.
-                                    start = time.perf_counter() - t0
-                                    tid = self.store.begin_activation(
-                                        actid, item.key, start,
-                                        workdir=context.get("workdir", ""),
-                                    )
-                                    deadline = self.watchdog.deadline(
-                                        activity.cost(item.tup)
-                                    )
-                                    self.store.end_activation(
-                                        tid, time.perf_counter() - t0,
-                                        ActivationStatus.ABORTED, 137,
-                                        "looping state killed by watchdog "
-                                        f"(deadline {deadline:.3f}s)",
-                                    )
-                                    journal.aborted(
-                                        item.stage, item.key,
-                                        "looping state killed by watchdog",
-                                    )
-                                    aborted += 1
-                                enqueue(state.retire(item))
-                                continue
-                        journal.dispatched(item.stage, item.key)
-                        handle = AttemptAbortHandle() if spec_enabled else None
-                        flights[id(item)] = _Flight(
-                            item=item,
-                            activity=activity,
-                            actid=actid,
-                            wall_start=time.perf_counter(),
-                            primary_handle=handle,
-                        )
-                        inflight += 1
-                        peak_inflight = max(peak_inflight, inflight)
-                        pool.submit(task, item, activity, actid, handle)
-                    if inflight == 0:
-                        break
-                    # With speculation on and idle capacity, wait in
-                    # short slices so stragglers are noticed promptly;
-                    # otherwise block until something completes.
-                    if spec_enabled and inflight < active:
-                        try:
-                            record = completions.get(
-                                timeout=self._speculation_poll
-                            )
-                        except queue.Empty:
-                            maybe_speculate(pool)
-                            continue
-                    else:
-                        record = completions.get()
-                    item, outs, outcome, exc, role = record
-                    inflight -= 1
-                    flight = flights[id(item)]
-                    flight.pending -= 1
-                    if flight.settled:
-                        # The twin already settled this tuple; this is
-                        # the loser draining. Count its bookkeeping but
-                        # do not touch the dataflow again.
-                        retried += outcome.retried
-                        infra_retries += outcome.infra_retries
-                        if flight.pending == 0:
-                            flights.pop(id(item), None)
-                        continue
-                    if exc is not None:
-                        raise exc
-                    retried += outcome.retried
-                    infra_retries += outcome.infra_retries
-                    if outcome.timed_out:
-                        aborted += 1
-                        timeouts += 1
-                    if not outcome.succeeded and flight.pending > 0:
-                        # This twin failed/timed out but the other is
-                        # still running — let it decide the tuple.
-                        continue
-                    flight.settled = True
-                    if flight.pending == 0:
-                        flights.pop(id(item), None)
-                    else:
-                        # First completion wins: cancel the other twin.
-                        other = (
-                            flight.spec_handle
-                            if role == "primary"
-                            else flight.primary_handle
-                        )
-                        if other is not None:
-                            other.abort()
-                    if role == "speculative" and outcome.succeeded:
-                        speculative_won += 1
-                    if (
-                        service is not None
-                        and outcome.succeeded
-                        and outcome.duration is not None
-                    ):
-                        service.observe(
-                            flight.activity.tag, item.tup, outcome.duration
-                        )
-                    if outcome.succeeded:
-                        enqueue(state.complete(item, outs))
-                    else:
-                        # Terminal non-success: journal the reason (the
-                        # retire path does not log a completed event) so
-                        # replay knows this item must re-execute.
-                        if outcome.timed_out:
-                            journal.aborted(
-                                item.stage, item.key, "watchdog timeout"
-                            )
-                        elif outcome.cancelled:
-                            journal.aborted(
-                                item.stage, item.key, "speculation loss"
-                            )
-                        else:
-                            journal.failed(
-                                item.stage, item.key, "attempts exhausted"
-                            )
-                        enqueue(state.retire(item))
+            totals = coordinator.run(relation, hard_max=hard_max)
         finally:
-            if self._router is not None:
-                steals = self._router.steals
-                quarantined = self._router.quarantined_workers
-                # Broadcast end-of-run cleanup: every worker drops the
-                # run's cache-token state and plane attachment, so a
-                # long-lived pool never accumulates dead runs' artifacts.
-                token = (self._shipped_context or {}).get("cache_token")
-                scratch = plane.handle.scratch_dir if plane is not None else None
-                try:
-                    self.last_cache_cleanup = self._router.broadcast(
-                        drop_run_state, token, scratch
-                    )
-                except RouterError:  # pragma: no cover - already shut down
-                    self.last_cache_cleanup = []
-                self._router.shutdown()
+            # The plane quiesces its bookkeeping threads, reports its
+            # statistics (router steals/quarantine + the end-of-run
+            # cache-cleanup broadcast locally; per-node NODE_STATS
+            # collection on the distributed plane) and tears down its
+            # transport (the director itself outlives the run).
+            try:
+                plane_stats = exec_plane.finish()
+            finally:
+                exec_plane.shutdown()
+                self.last_cache_cleanup = getattr(
+                    exec_plane, "last_cache_cleanup", []
+                )
                 self._router = None
                 self._shipped_context = None
-            if plane is not None:
-                context.pop("artifact_plane", None)
-                # The parent itself attaches in threads mode (or when a
-                # REDUCE ran inline); drop that before unlinking.
-                release_cached(plane.handle.scratch_dir)
-                artifact_stats = plane.destroy()
-            context.pop("cancel_token", None)
+                if plane is not None:
+                    context.pop("artifact_plane", None)
+                    # The parent itself attaches in threads mode (or when
+                    # a REDUCE ran inline); drop that before unlinking.
+                    release_cached(plane.handle.scratch_dir)
+                    artifact_stats = plane.destroy()
+                context.pop("cancel_token", None)
+        steals = int(plane_stats.get("steals", 0))
+        quarantined = int(plane_stats.get("quarantined_workers", 0))
+        nodes_joined = nodes_lost = 0
+        tuples_per_node: dict = {}
+        wire_sent = wire_received = 0
+        run_stats = None
+        if self.backend == "distributed":
+            nodes_joined = int(plane_stats.get("nodes_joined", 0))
+            nodes_lost = int(plane_stats.get("nodes_lost", 0))
+            quarantined = nodes_lost
+            tuples_per_node = dict(plane_stats.get("tuples_per_node", {}))
+            wire_sent = int(plane_stats.get("bytes_sent", 0))
+            wire_received = int(plane_stats.get("bytes_received", 0))
+            # Aggregate the node-local artifact planes plus the
+            # director-side exchange counters into one stats block.
+            agg = {
+                "builds": 0,
+                "shm_hits": 0,
+                "disk_hits": 0,
+                "requests": 0,
+                "exchange_fetches": 0,
+                "exchange_bytes": 0,
+            }
+            for node_report in plane_stats.get("node_stats", {}).values():
+                node_plane = node_report.get("plane") or {}
+                for field_name in agg:
+                    agg[field_name] += int(node_plane.get(field_name, 0) or 0)
+            agg["exchange_requests_served"] = int(
+                plane_stats.get("artifact_requests", 0)
+            )
+            agg["exchange_hits_served"] = int(
+                plane_stats.get("artifact_hits", 0)
+            )
+            agg["exchange_bytes_served"] = int(
+                plane_stats.get("artifact_bytes", 0)
+            )
+            artifact_stats = agg
+            run_stats = {
+                "nodes_joined": nodes_joined,
+                "nodes_lost": nodes_lost,
+                "tuples_per_node": tuples_per_node,
+                "bytes_sent": wire_sent,
+                "bytes_received": wire_received,
+            }
         for tup in state.final:
             final.append(tup)
         tet = time.perf_counter() - t0
-        journal.run_finished(ts=tet)
+        journal.run_finished(ts=tet, stats=run_stats)
         self.store.end_workflow(wkfid, tet)
         etable_build = 0.0
         if kernel_mode == "tables":
@@ -733,22 +577,27 @@ class LocalEngine:
             output=final,
             counts=self.store.counts_by_status(wkfid),
             total_activations=state.spawned,
-            retried=retried,
-            blocked=blocked,
-            aborted=aborted,
-            peak_cores=peak_inflight,
+            retried=totals.retried,
+            blocked=totals.blocked,
+            aborted=totals.aborted,
+            peak_cores=totals.peak_inflight,
             artifact_stats=artifact_stats,
             steals=steals,
-            timeouts=timeouts,
-            infra_retries=infra_retries,
+            timeouts=totals.timeouts,
+            infra_retries=totals.infra_retries,
             quarantined_workers=quarantined,
-            speculative_launched=speculative_launched,
-            speculative_won=speculative_won,
-            pool_resizes=pool_resizes,
-            replayed=replayed,
+            speculative_launched=totals.speculative_launched,
+            speculative_won=totals.speculative_won,
+            pool_resizes=totals.pool_resizes,
+            replayed=totals.replayed,
             cost_samples=service.samples if service is not None else 0,
             kernel_mode=kernel_mode,
             etable_build_s=etable_build,
+            nodes_joined=nodes_joined,
+            nodes_lost=nodes_lost,
+            tuples_per_node=tuples_per_node,
+            wire_bytes_sent=wire_sent,
+            wire_bytes_received=wire_received,
         )
 
     def resume(

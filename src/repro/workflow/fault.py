@@ -245,6 +245,29 @@ class Watchdog:
 
 
 @dataclass(frozen=True)
+class HeartbeatPolicy:
+    """Liveness detection for remote worker nodes.
+
+    Workers send a HEARTBEAT frame every ``interval`` seconds; the
+    director declares a node dead when nothing (heartbeat, result, or
+    work request) has arrived for ``timeout`` seconds — the node-level
+    analogue of the per-activation :class:`Watchdog`. A dead node's
+    in-flight activations surface as infrastructure failures (retried on
+    the infra budget, never consuming activation attempts) and its
+    queued work is redistributed to the surviving nodes.
+    """
+
+    interval: float = 2.0
+    timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.timeout <= self.interval:
+            raise ValueError(
+                "heartbeat interval must be positive and timeout > interval"
+            )
+
+
+@dataclass(frozen=True)
 class FaultInjector:
     """Deterministic chaos: forces the paper's two pathologies for real.
 

@@ -82,6 +82,11 @@ class JournalEventType(str, Enum):
     REPLAYED = "replayed"
     RESIZED = "resized"
     STEERED = "steered"
+    #: Distributed plane only: a worker node joined the director
+    #: (payload: rank, slots) or was declared lost (heartbeat loss /
+    #: connection EOF; payload: reason, in-flight keys re-placed).
+    NODE_JOINED = "node-joined"
+    NODE_LOST = "node-lost"
     RUN_FINISHED = "run-finished"
 
 
@@ -221,8 +226,19 @@ class RunJournal:
             payload={"tup": tup, "parent_key": parent_key},
         )
 
-    def dispatched(self, stage: int, key: str) -> None:
-        self.record(JournalEventType.DISPATCHED, stage=stage, key=key)
+    def dispatched(self, stage: int, key: str, node: str | None = None) -> None:
+        """The coordinator handed the item to a worker.
+
+        ``node`` records the placement decision on the distributed plane
+        (the sticky home node's id), so a post-crash audit can see where
+        every in-flight item was when the director died.
+        """
+        self.record(
+            JournalEventType.DISPATCHED,
+            stage=stage,
+            key=key,
+            payload={"node": node} if node is not None else None,
+        )
 
     def attempt_started(
         self, key: str, tag: str, attempt: int, *, speculative: bool = False,
@@ -271,8 +287,25 @@ class RunJournal:
         self.record(JournalEventType.RESIZED,
                     payload={"target": target, "was": active})
 
-    def run_finished(self, ts: float | None = None) -> None:
-        self.record(JournalEventType.RUN_FINISHED, ts=ts)
+    def node_joined(self, node_id: str, rank: int, slots: int) -> None:
+        self.record(
+            JournalEventType.NODE_JOINED,
+            key=node_id,
+            payload={"rank": rank, "slots": slots},
+            barrier=True,
+        )
+
+    def node_lost(self, node_id: str, reason: str, inflight: int) -> None:
+        self.record(
+            JournalEventType.NODE_LOST,
+            key=node_id,
+            payload={"reason": reason, "inflight": inflight},
+            barrier=True,
+        )
+
+    def run_finished(self, ts: float | None = None,
+                     stats: dict | None = None) -> None:
+        self.record(JournalEventType.RUN_FINISHED, ts=ts, payload=stats)
 
 
 @dataclass

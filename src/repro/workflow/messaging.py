@@ -1,19 +1,36 @@
-"""MPJ-style message passing: SciCumulus' distribution layer.
+"""MPJ-style message passing: the shared master/worker wire vocabulary.
 
 The real SciCumulus implements its distribution and execution layers
 over MPJ (MPI for Java): rank 0 is the master holding the activation
 queue; worker ranks request work, execute, and return results. This
-module reproduces that substrate as a deterministic simulation — typed
-messages, latency-modelled channels on the
-:class:`~repro.cloud.simclock.SimClock`, and the master/worker protocol
-— and exposes the measured communication overhead that feeds the
-scheduler's dispatch cost (the paper's "high communication latency"
-factor in cloud speedup).
+module owns that vocabulary for *both* planes:
+
+* The deterministic simulation — typed messages, latency-modelled
+  channels on the :class:`~repro.cloud.simclock.SimClock`, and the
+  :class:`MasterWorkerProtocol` — exposing the measured communication
+  overhead that feeds the scheduler's dispatch cost (the paper's "high
+  communication latency" factor in cloud speedup).
+* The real socket transport behind the distributed backend
+  (:mod:`repro.workflow.distributed` /
+  :mod:`repro.workflow.worker`): the same :class:`Message` /
+  :class:`MessageTag` records, serialized as length-prefixed pickled
+  frames over TCP (:func:`send_frame` / :func:`recv_frame` /
+  :class:`FrameConn`), plus the content-addressed artifact-exchange
+  client (:func:`fetch_artifact`).
+
+Because both planes speak the same vocabulary, the simulated channel's
+cost model charges the *actual* pickled frame size
+(:func:`payload_nbytes`) — what the socket transport really sends — not
+a ``repr`` proxy.
 """
 
 from __future__ import annotations
 
 import itertools
+import pickle
+import socket
+import struct
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
@@ -22,11 +39,20 @@ from repro.cloud.simclock import SimClock
 
 
 class MessageTag(Enum):
+    # Pull-protocol core (simulation and wire alike).
     WORK_REQUEST = "WORK_REQUEST"
     TASK = "TASK"
     RESULT = "RESULT"
     FAILURE = "FAILURE"
     SHUTDOWN = "SHUTDOWN"
+    # Wire-only extensions for the socket transport.
+    HELLO = "HELLO"
+    SETUP = "SETUP"
+    HEARTBEAT = "HEARTBEAT"
+    ABORT = "ABORT"
+    ARTIFACT_REQUEST = "ARTIFACT_REQUEST"
+    ARTIFACT_DATA = "ARTIFACT_DATA"
+    NODE_STATS = "NODE_STATS"
 
 
 @dataclass(frozen=True)
@@ -42,12 +68,45 @@ class MessagingError(RuntimeError):
     """Raised for protocol violations."""
 
 
+class ContextRef:
+    """Wire placeholder for the node-resident run context.
+
+    Task frames never carry the full run context — the director ships it
+    once per node in the SETUP frame. Anywhere the coordinator's shipped
+    context appears in a task's argument tuple, the director substitutes
+    a :class:`ContextRef`; the worker substitutes its node context (the
+    shipped context plus node-local entries such as the local artifact
+    plane handle) back in before executing.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ContextRef>"
+
+
+#: Shared sentinel instance (identity is irrelevant — workers match on
+#: ``isinstance`` because unpickling creates a fresh instance).
+CONTEXT_REF = ContextRef()
+
+
+def payload_nbytes(payload: object) -> int:
+    """Actual wire size of a payload: its pickled byte count.
+
+    This is what the socket transport sends per frame (minus the fixed
+    header), so the simulated channel charges it too. Unpicklable
+    payloads (simulation-only closures) fall back to the ``repr`` size.
+    """
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return len(repr(payload).encode())
+
+
 class Channel:
     """Point-to-point ordered channel with transfer latency.
 
     Deliveries are scheduled on the shared clock; per-message latency is
-    ``base_latency + len(payload repr) / bandwidth`` — a coarse but
-    monotone model of pickled-object MPI sends.
+    ``base_latency + pickled-payload-bytes / bandwidth`` — the byte
+    count the real transport's frames carry for the same payload.
     """
 
     def __init__(
@@ -64,14 +123,17 @@ class Channel:
         self.delivered_bytes = 0
         self.message_count = 0
 
+    def size_of(self, message: Message) -> int:
+        """Bytes this message's payload occupies on the wire."""
+        return payload_nbytes(message.payload)
+
     def latency_of(self, message: Message) -> float:
-        size = len(repr(message.payload).encode())
-        return self.base_latency + size / self.bandwidth
+        return self.base_latency + self.size_of(message) / self.bandwidth
 
     def send(self, message: Message, deliver: Callable[[Message], None]) -> float:
         """Schedule delivery; returns the simulated latency."""
         latency = self.latency_of(message)
-        self.delivered_bytes += len(repr(message.payload).encode())
+        self.delivered_bytes += self.size_of(message)
         self.message_count += 1
         self.clock.schedule(latency, lambda: deliver(message))
         return latency
@@ -83,6 +145,10 @@ class WorkerStats:
     tasks_done: int = 0
     tasks_failed: int = 0
     busy_seconds: float = 0.0
+    #: Wire accounting: payload bytes this worker sent to / received
+    #: from the master (task frames in, result/failure frames out).
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
 
 class MasterWorkerProtocol:
@@ -162,6 +228,7 @@ class MasterWorkerProtocol:
             task, attempt = message.payload  # type: ignore[misc]
             service = self._service_fn(task)
             self.stats[worker].busy_seconds += service
+            self.stats[worker].bytes_received += self.channel.size_of(message)
 
             def finish() -> None:
                 if self._fail_fn is not None and self._fail_fn(task, attempt):
@@ -175,6 +242,7 @@ class MasterWorkerProtocol:
                         MessageTag.RESULT, worker, 0, (task, value),
                         next(self._ids),
                     )
+                self.stats[worker].bytes_sent += self.channel.size_of(reply)
                 self.channel.send(reply, self._master_receive)
 
             self.clock.schedule(service, finish)
@@ -208,3 +276,144 @@ class MasterWorkerProtocol:
     def communication_seconds(self) -> float:
         """Total simulated time spent in message transfer."""
         return self.channel.message_count * self.channel.base_latency
+
+
+# -- real socket transport ----------------------------------------------------
+
+#: Frame header: one big-endian uint32 length prefix per pickled message.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Sanity bound on a single frame (a corrupt header must not allocate
+#: gigabytes); generous enough for any map bundle the exchange serves.
+MAX_FRAME_BYTES = 1 << 30
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF before any byte."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise MessagingError(
+                f"connection closed mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: Message) -> int:
+    """Write one length-prefixed pickled message; returns bytes sent."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise MessagingError(f"frame too large ({len(body)} bytes)")
+    sock.sendall(FRAME_HEADER.pack(len(body)) + body)
+    return FRAME_HEADER.size + len(body)
+
+
+def recv_frame(sock: socket.socket) -> tuple[Message, int] | None:
+    """Read one frame; returns ``(message, bytes)`` or ``None`` on EOF."""
+    header = _recv_exact(sock, FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise MessagingError(f"oversized frame announced ({length} bytes)")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise MessagingError("connection closed between header and body")
+    message = pickle.loads(body)
+    if not isinstance(message, Message):
+        raise MessagingError(f"expected a Message frame, got {type(message)}")
+    return message, FRAME_HEADER.size + length
+
+
+class FrameConn:
+    """One socket speaking length-prefixed :class:`Message` frames.
+
+    Sends are serialized under a lock so a heartbeat thread and a main
+    protocol thread can share the connection; receives are expected from
+    a single reader thread. Byte counters accumulate the full on-wire
+    size (header included) for the run report's transport accounting.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def send(
+        self,
+        tag: MessageTag,
+        payload: object = None,
+        *,
+        src: int = 0,
+        dst: int = 0,
+    ) -> None:
+        message = Message(tag, src, dst, payload, next(self._ids))
+        with self._send_lock:
+            self.bytes_sent += send_frame(self.sock, message)
+            self.frames_sent += 1
+
+    def recv(self) -> Message | None:
+        got = recv_frame(self.sock)
+        if got is None:
+            return None
+        message, size = got
+        self.bytes_received += size
+        self.frames_received += 1
+        return message
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+def connect(address: tuple[str, int], timeout: float | None = None) -> FrameConn:
+    """Open a framed connection to ``address`` (director or exchange)."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    return FrameConn(sock)
+
+
+def fetch_artifact(
+    address: tuple[str, int], kind: str, key: str, timeout: float = 30.0
+) -> bytes | None:
+    """Content-addressed artifact-exchange client: fetch one bundle.
+
+    Opens a short-lived framed connection to the director's exchange,
+    asks for the ``(kind, key)`` bundle, and returns its raw bytes (an
+    ``.npz`` file image) or ``None`` when the director doesn't have it.
+    Any transport failure degrades to a miss — the caller's map cache
+    falls through to building the artifact locally.
+    """
+    try:
+        conn = connect(address, timeout=timeout)
+    except OSError:
+        return None
+    try:
+        conn.sock.settimeout(timeout)
+        conn.send(MessageTag.ARTIFACT_REQUEST, {"kind": kind, "key": key})
+        reply = conn.recv()
+    except (OSError, MessagingError):
+        return None
+    finally:
+        conn.close()
+    if reply is None or reply.tag is not MessageTag.ARTIFACT_DATA:
+        return None
+    payload = reply.payload if isinstance(reply.payload, dict) else {}
+    blob = payload.get("blob")
+    return blob if isinstance(blob, (bytes, bytearray)) else None

@@ -1,0 +1,212 @@
+"""In-process execution planes: bookkeeping threads over local backends.
+
+The coordinator (:mod:`repro.workflow.coordinator`) drives an
+:class:`~repro.workflow.coordinator.ExecutionPlane`; this module holds
+the plane both historical LocalEngine backends share. A
+:class:`ThreadedExecutionPlane` runs one bookkeeping thread per
+in-flight attempt — each thread drives the full
+:class:`~repro.workflow.dispatch.AttemptRunner` lifecycle (watchdog,
+retries, infra budget, provenance rows) and drops a
+:class:`~repro.workflow.coordinator.Completion` on a queue the
+coordinator consumes. Where the *activation callable* actually runs is
+the runner's business: inline on the bookkeeping thread (threads
+backend), in a spawn worker process behind the
+:class:`~repro.workflow.affinity.AffinityRouter` (processes backend), or
+on a remote worker node behind the
+:class:`~repro.workflow.distributed.Director` (which subclasses this
+plane — the director implements the router duck-type, so the same
+bookkeeping threads drive remote attempts unchanged).
+"""
+
+from __future__ import annotations
+
+import queue
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.workflow.activity import Activity
+from repro.workflow.affinity import AffinityRouter, RouterError
+from repro.workflow.artifacts import drop_run_state
+from repro.workflow.coordinator import Completion, ExecutionPlane
+from repro.workflow.dataflow import WorkItem
+from repro.workflow.dispatch import (
+    AttemptAbortHandle,
+    AttemptOutcome,
+    AttemptRunner,
+)
+
+
+class ThreadedExecutionPlane(ExecutionPlane):
+    """Bookkeeping-thread plane: the base for local and director planes.
+
+    The thread pool is sized to ``hard_max`` (the elasticity ceiling)
+    while the *dispatch cap* — :meth:`capacity` — starts at ``active``
+    and moves with :meth:`resize`; a grow decision therefore never needs
+    a new pool.
+    """
+
+    def __init__(
+        self,
+        runner: AttemptRunner,
+        context: dict,
+        t0: float,
+        active: int,
+        hard_max: int,
+    ) -> None:
+        self.runner = runner
+        #: The run context attempts execute under (parent-side dict; the
+        #: runner ships its sanitized twin across process/socket seams).
+        self.context = context
+        self.t0 = t0
+        self._active = active
+        self._hard_max = hard_max
+        self._completions: queue.Queue = queue.Queue()
+        self._pool = ThreadPoolExecutor(max_workers=hard_max)
+
+    # -- capacity ------------------------------------------------------------
+    def capacity(self) -> int:
+        return self._active
+
+    @property
+    def hard_max(self) -> int:
+        return self._hard_max
+
+    # -- dispatch ------------------------------------------------------------
+    def submit(
+        self,
+        item: WorkItem,
+        activity: Activity,
+        actid: int,
+        handle: AttemptAbortHandle | None,
+    ) -> None:
+        self._pool.submit(self._task, item, activity, actid, handle)
+
+    def submit_speculative(
+        self,
+        item: WorkItem,
+        activity: Activity,
+        actid: int,
+        handle: AttemptAbortHandle,
+    ) -> None:
+        self._pool.submit(self._spec_task, item, activity, actid, handle)
+
+    def _task(
+        self,
+        item: WorkItem,
+        activity: Activity,
+        actid: int,
+        handle: AttemptAbortHandle | None,
+    ) -> None:
+        try:
+            outs, outcome = self.runner.run_with_retry(
+                activity, actid, item.tup, item.key, self.context, self.t0,
+                abort_handle=handle,
+            )
+            self._completions.put(Completion(item, outs, outcome))
+        except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
+            self._completions.put(
+                Completion(item, [], AttemptOutcome(), exc=exc)
+            )
+
+    def _spec_task(
+        self,
+        item: WorkItem,
+        activity: Activity,
+        actid: int,
+        handle: AttemptAbortHandle,
+    ) -> None:
+        try:
+            outs, outcome = self.runner.run_speculative(
+                activity, actid, item.tup, item.key, self.context, self.t0,
+                handle,
+            )
+            self._completions.put(
+                Completion(item, outs, outcome, role="speculative")
+            )
+        except BaseException as exc:  # noqa: BLE001 - relayed to coordinator
+            self._completions.put(
+                Completion(
+                    item, [], AttemptOutcome(speculative=True), exc=exc,
+                    role="speculative",
+                )
+            )
+
+    def next_completion(self, timeout: float | None = None) -> Completion | None:
+        try:
+            return self._completions.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    # -- lifecycle -----------------------------------------------------------
+    def drain(self) -> None:
+        """Wait for every bookkeeping thread to finish (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def shutdown(self) -> None:
+        self.drain()
+
+
+class LocalExecutionPlane(ThreadedExecutionPlane):
+    """The historical threads/processes backends behind the plane seam.
+
+    Threads backend: ``router=None`` — activations run inline on the
+    bookkeeping threads under cooperative-token watchdogs. Processes
+    backend: an :class:`~repro.workflow.affinity.AffinityRouter` places
+    each attempt on a sticky worker slot; resize moves real router
+    slots; finish() collects steal/quarantine counts and broadcasts the
+    end-of-run cache cleanup before the router shuts down.
+    """
+
+    supports_speculation = True
+    elastic = True
+
+    def __init__(
+        self,
+        runner: AttemptRunner,
+        context: dict,
+        t0: float,
+        active: int,
+        hard_max: int,
+        *,
+        router: AffinityRouter | None = None,
+        cache_token: str | None = None,
+        scratch_dir: str | None = None,
+    ) -> None:
+        super().__init__(runner, context, t0, active, hard_max)
+        self.router = router
+        self.cache_token = cache_token
+        self.scratch_dir = scratch_dir
+        #: Per-worker results of the end-of-run cache-cleanup broadcast.
+        self.last_cache_cleanup: list = []
+
+    def resize(self, target: int) -> bool:
+        if self.router is not None:
+            self.router.resize(target)
+        self._active = target
+        return True
+
+    def finish(self) -> dict:
+        """Drain bookkeeping, then collect router stats + cache cleanup.
+
+        Ordering matters: the broadcast must see a quiet pool (no
+        attempt mid-flight re-populating a worker's run state) and must
+        run *before* :meth:`shutdown` tears the router down.
+        """
+        self.drain()
+        stats: dict = {}
+        if self.router is not None:
+            stats["steals"] = self.router.steals
+            stats["quarantined_workers"] = self.router.quarantined_workers
+            try:
+                self.last_cache_cleanup = self.router.broadcast(
+                    drop_run_state, self.cache_token, self.scratch_dir
+                )
+            except RouterError:  # pragma: no cover - already shut down
+                self.last_cache_cleanup = []
+        stats["cache_cleanup"] = list(self.last_cache_cleanup)
+        return stats
+
+    def shutdown(self) -> None:
+        self.drain()
+        if self.router is not None:
+            self.router.shutdown()
+            self.router = None

@@ -77,6 +77,38 @@ class TestReadyQueue:
         q.push(WorkItem(0, {}, "k"))
         assert q and len(q) == 1
 
+    def test_equal_cost_ties_break_on_lineage_key(self):
+        """Equal priorities pop in lexicographic key order regardless of
+        insertion (= completion) order — the determinism the distributed
+        pull protocol relies on for identical task handout sequences."""
+        keys = ["k3", "k0", "k2", "k1"]
+        q = ReadyQueue(GreedyCostScheduler())
+        for k in keys:
+            q.push(WorkItem(0, {}, k), 5.0)
+        assert [q.pop().key for _ in range(4)] == ["k0", "k1", "k2", "k3"]
+
+        # Any permutation of arrivals yields the same pop order.
+        import itertools
+
+        for perm in itertools.permutations(keys):
+            q = ReadyQueue(GreedyCostScheduler())
+            for k in perm:
+                q.push(WorkItem(0, {}, k), 5.0)
+            assert [q.pop().key for _ in range(4)] == ["k0", "k1", "k2", "k3"]
+
+    def test_priority_still_beats_key_tiebreak(self):
+        q = ReadyQueue(GreedyCostScheduler())
+        q.push(WorkItem(0, {}, "aaa"), 1.0)
+        q.push(WorkItem(0, {}, "zzz"), 9.0)
+        assert q.pop().key == "zzz"
+
+    def test_fifo_unchanged_without_scheduler(self):
+        """No scheduler → plain arrival order, even for sortable keys."""
+        q = ReadyQueue()
+        for k in ["k3", "k0", "k2", "k1"]:
+            q.push(WorkItem(0, {}, k))
+        assert [q.pop().key for _ in range(4)] == ["k3", "k0", "k2", "k1"]
+
 
 class TestPipelinedDataflow:
     def test_output_spawns_downstream_immediately(self):

@@ -129,3 +129,90 @@ class TestMasterWorker:
             return proto.run(tasks=list(range(12)), service_fn=lambda t: float(t % 4))
 
         assert run() == run()
+
+
+class _BigRepr:
+    """Huge repr, tiny pickle (by-reference class + empty state)."""
+
+    def __repr__(self):
+        return "x" * 1_000_000
+
+
+class TestPickleSizedLatency:
+    def test_latency_charges_pickle_size_not_repr_size(self):
+        """A payload with a huge repr but tiny pickle must be charged
+        its wire size: frames carry pickles, not reprs."""
+        import pickle
+
+        BigRepr = _BigRepr
+        ch = Channel(SimClock(), base_latency=0.0, bandwidth=1.0)
+        msg = Message(MessageTag.TASK, 0, 1, BigRepr())
+        wire = len(pickle.dumps(msg.payload, protocol=pickle.HIGHEST_PROTOCOL))
+        assert ch.size_of(msg) == wire
+        assert ch.latency_of(msg) == pytest.approx(wire)
+        assert ch.size_of(msg) < 10_000  # nowhere near the repr size
+
+    def test_unpicklable_payload_falls_back_to_repr(self):
+        ch = Channel(SimClock())
+        msg = Message(MessageTag.TASK, 0, 1, lambda: None)
+        assert ch.size_of(msg) > 0
+
+    def test_worker_stats_count_wire_bytes(self):
+        proto = MasterWorkerProtocol(n_workers=2)
+        proto.run(tasks=["a" * 100, "b" * 200], service_fn=lambda t: 1.0)
+        received = sum(s.bytes_received for s in proto.stats.values())
+        sent = sum(s.bytes_sent for s in proto.stats.values())
+        assert received > 0 and sent > 0
+
+
+class TestFrameConn:
+    def test_roundtrip_over_socketpair(self):
+        import socket
+
+        from repro.workflow.messaging import FrameConn
+
+        a, b = socket.socketpair()
+        left, right = FrameConn(a), FrameConn(b)
+        try:
+            left.send(MessageTag.TASK, {"task_id": 7, "args": [1, 2]}, dst=3)
+            got = right.recv()
+            assert got is not None
+            assert got.tag is MessageTag.TASK
+            assert got.dst == 3
+            assert got.payload == {"task_id": 7, "args": [1, 2]}
+            # Byte counters agree across the pair and include headers.
+            assert left.bytes_sent == right.bytes_received > 0
+            assert left.frames_sent == right.frames_received == 1
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_returns_none_on_clean_close(self):
+        import socket
+
+        from repro.workflow.messaging import FrameConn
+
+        a, b = socket.socketpair()
+        left, right = FrameConn(a), FrameConn(b)
+        left.close()
+        try:
+            assert right.recv() is None
+        finally:
+            right.close()
+
+    def test_mid_frame_close_raises(self):
+        import socket
+        import struct
+
+        from repro.workflow.messaging import FRAME_HEADER, FrameConn
+
+        a, b = socket.socketpair()
+        right = FrameConn(b)
+        try:
+            # Announce a 100-byte body, send only 3 bytes, then vanish.
+            a.sendall(FRAME_HEADER.pack(100) + b"abc")
+            a.close()
+            with pytest.raises(MessagingError):
+                right.recv()
+        finally:
+            right.close()
