@@ -60,6 +60,9 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
         "director": args.director,
         "min_nodes": args.min_nodes,
         "join_timeout": args.join_timeout,
+        "batch_size": args.batch_size,
+        "batch_linger": args.batch_linger,
+        "compress_frames": args.compress_frames,
     }
 
 
@@ -109,6 +112,16 @@ def _cmd_dock(args: argparse.Namespace) -> int:
             f"{report.wire_bytes_sent} B out / "
             f"{report.wire_bytes_received} B in"
         )
+        if report.batches_sent:
+            print(
+                f"batching: {report.batches_sent} TASK_BATCH frames, "
+                f"avg fill {report.avg_batch_fill:.1f} tasks/frame"
+            )
+        if report.wire_bytes_saved:
+            print(
+                f"compression: saved {report.wire_bytes_saved} B "
+                f"({report.compression_ratio:.2f}x raw/wire)"
+            )
     return 0
 
 
@@ -343,6 +356,23 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "--join-timeout", type=float, default=60.0, metavar="SECONDS",
         help="(--backend distributed) how long to wait for --min-nodes "
         "nodes, or for capacity after every node died (default 60)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=1, metavar="K",
+        help="(--backend distributed) activation tuples per TASK_BATCH "
+        "frame, amortizing per-frame wire overhead (default 1 = one "
+        "frame per task, the legacy protocol)",
+    )
+    parser.add_argument(
+        "--batch-linger", type=float, default=0.005, metavar="SECONDS",
+        help="(--backend distributed) how long a partial batch waits "
+        "for more members before shipping anyway (default 0.005)",
+    )
+    parser.add_argument(
+        "--compress-frames", action="store_true",
+        help="(--backend distributed) negotiate zlib compression of "
+        "large frames (task batches, artifact bundles) with worker "
+        "nodes that support it",
     )
     parser.add_argument(
         "--store", metavar="PATH", default=None,

@@ -118,6 +118,14 @@ class SciDockConfig:
     #: Seconds to wait for ``min_nodes`` nodes (and for capacity when
     #: every node has died) before the run errors out.
     join_timeout: float = 60.0
+    #: Activation tuples per TASK_BATCH frame on the distributed wire
+    #: (1 = one frame per task, the legacy protocol).
+    batch_size: int = 1
+    #: Seconds a partial batch may linger waiting for more members
+    #: before it is flushed to its node anyway.
+    batch_linger: float = 0.005
+    #: Negotiate zlib compression of large frames with worker nodes.
+    compress_frames: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario not in ("adaptive", "ad4", "vina"):
@@ -133,6 +141,10 @@ class SciDockConfig:
             raise ValueError("min_nodes must be >= 1")
         if self.join_timeout <= 0:
             raise ValueError("join_timeout must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_linger < 0:
+            raise ValueError("batch_linger must be >= 0")
         if self.scheduler not in ("fifo", "greedy"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
@@ -363,6 +375,9 @@ def build_scidock_engine(
         director=director,
         min_nodes=config.min_nodes,
         join_timeout=config.join_timeout,
+        batch_size=config.batch_size,
+        batch_linger=config.batch_linger,
+        compress_frames=config.compress_frames,
     )
 
 

@@ -79,6 +79,14 @@ class ExecutionPlane(ABC):
     a director) plus the bookkeeping needed to turn an attempt's fate
     into a :class:`Completion`. All methods are called from the single
     coordinator thread except the implementation's own internals.
+
+    The contract is strictly per-item: :meth:`submit` takes one work
+    item, and the coordinator journals one ``dispatched`` event (with
+    per-tuple node placement) per item. Any aggregation of items into
+    larger transport units — e.g. the distributed plane packing K tasks
+    into one TASK_BATCH wire frame — is a *transport* concern below this
+    seam, invisible to dispatch, journaling, speculation and abort,
+    which keep addressing individual tuples.
     """
 
     #: Whether the coordinator may launch straggler-speculation twins

@@ -45,6 +45,7 @@ from repro.workflow.dataflow import WorkItem
 from repro.workflow.dispatch import AttemptRunner
 from repro.workflow.fault import HeartbeatPolicy
 from repro.workflow.messaging import (
+    COMPRESS_MIN_BYTES,
     CONTEXT_REF,
     FrameConn,
     Message,
@@ -79,11 +80,25 @@ class _NodeSession:
     conn: FrameConn
     #: Unsent tasks homed on this node (stealable from the tail).
     queue: list[_RemoteTask] = field(default_factory=list)
+    #: Credit-consumed tasks accumulating toward the next TASK_BATCH
+    #: frame (batching mode only). Not yet on the wire: a node loss
+    #: re-homes these like queued work instead of failing them.
+    pending: list[_RemoteTask] = field(default_factory=list)
+    #: When the oldest pending task was admitted (linger clock).
+    pending_since: float = 0.0
     #: Sent-but-unfinished tasks by task id.
     inflight: dict[int, _RemoteTask] = field(default_factory=dict)
-    #: Unconsumed WORK_REQUEST credits: how many more TASK frames the
-    #: node is ready to receive (its idle slot count).
+    #: Unconsumed WORK_REQUEST credits: how many more tasks the node is
+    #: ready to receive (idle slots, plus the prefetch window when
+    #: batching).
     credits: int = 0
+    #: The node's pull loop has granted at least one credit. Until then
+    #: a backlog in ``queue`` just means the initial WORK_REQUEST is
+    #: still in flight — not that the node is saturated — so it is not
+    #: a legitimate steal victim yet.
+    credited: bool = False
+    #: HELLO-negotiated frame compression for this peer.
+    compress: bool = False
     last_beat: float = field(default_factory=time.monotonic)
     lost: bool = False
     ready: bool = False  # SETUP sent (run context delivered)
@@ -111,10 +126,23 @@ class Director:
         join_timeout: float = 60.0,
         heartbeat: HeartbeatPolicy | None = None,
         cache_dir: str | None = None,
+        batch_size: int = 1,
+        batch_linger: float = 0.005,
+        compress: bool = False,
+        compress_min_bytes: int = COMPRESS_MIN_BYTES,
     ) -> None:
         self.min_nodes = max(1, int(min_nodes))
         self.join_timeout = join_timeout
         self.heartbeat = heartbeat or HeartbeatPolicy()
+        #: Tasks per TASK_BATCH frame; 1 keeps the legacy one-frame-per-
+        #: task wire protocol byte-for-byte.
+        self.batch_size = max(1, int(batch_size))
+        #: How long a partial batch may wait for more members before it
+        #: is flushed anyway (seconds); <= 0 flushes partials eagerly.
+        self.batch_linger = max(0.0, float(batch_linger))
+        #: Offer zlib frame compression to peers that advertise it.
+        self.compress = bool(compress)
+        self.compress_min_bytes = int(compress_min_bytes)
         #: Content-addressed bundle cache the exchange serves from.
         self.cache = DiskMapCache(cache_dir) if cache_dir else None
         self._lock = threading.RLock()
@@ -137,9 +165,15 @@ class Director:
         self.node_stats: dict[str, dict] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.bytes_saved = 0
         self.artifact_requests = 0
         self.artifact_hits = 0
         self.artifact_bytes = 0
+        # Batch-frame accounting: every frame that carries tasks counts
+        # in task_frames_sent; frames with >= 2 members in batches_sent.
+        self.task_frames_sent = 0
+        self.tasks_framed = 0
+        self.batches_sent = 0
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -154,6 +188,11 @@ class Director:
             target=self._monitor_loop, name="director-monitor", daemon=True
         )
         self._monitor_thread.start()
+        if self.batch_size > 1 and self.batch_linger > 0:
+            self._linger_thread = threading.Thread(
+                target=self._linger_loop, name="director-linger", daemon=True
+            )
+            self._linger_thread.start()
 
     # -- router duck-type attribute (quarantine = node loss) -----------------
     @property
@@ -195,13 +234,24 @@ class Director:
 
     def stats(self) -> dict:
         with self._lock:
+            # Lost nodes' conn counters were folded into the lifetime
+            # sums at loss time — only live conns still count here.
             live = [n for n in self._nodes.values() if not n.lost]
             bytes_sent = self.bytes_sent + sum(
-                n.conn.bytes_sent for n in self._nodes.values()
+                n.conn.bytes_sent for n in live
             )
             bytes_received = self.bytes_received + sum(
-                n.conn.bytes_received for n in self._nodes.values()
+                n.conn.bytes_received for n in live
             )
+            # On-wire bytes are the compressed sizes; saved = raw minus
+            # wire across both directions (the receive path inflates
+            # worker-compressed frames, so director-side counters see
+            # both halves of every conversation).
+            bytes_saved = self.bytes_saved + sum(
+                n.conn.bytes_saved_sent + n.conn.bytes_saved_received
+                for n in live
+            )
+            wire_total = bytes_sent + bytes_received
             return {
                 "nodes_joined": self.nodes_joined,
                 "nodes_lost": self.nodes_lost,
@@ -213,16 +263,37 @@ class Director:
                 },
                 "bytes_sent": bytes_sent,
                 "bytes_received": bytes_received,
+                "bytes_saved": bytes_saved,
+                "compression_ratio": (
+                    (wire_total + bytes_saved) / wire_total
+                    if wire_total
+                    else 1.0
+                ),
+                "task_frames_sent": self.task_frames_sent,
+                "tasks_framed": self.tasks_framed,
+                "batches_sent": self.batches_sent,
+                "avg_batch_fill": (
+                    self.tasks_framed / self.task_frames_sent
+                    if self.task_frames_sent
+                    else 0.0
+                ),
                 "artifact_requests": self.artifact_requests,
                 "artifact_hits": self.artifact_hits,
                 "artifact_bytes": self.artifact_bytes,
             }
 
     # -- capacity ------------------------------------------------------------
+    @property
+    def _prefetch(self) -> int:
+        """Extra per-node credit window that keeps batches fillable."""
+        return self.batch_size if self.batch_size > 1 else 0
+
     def capacity(self) -> int:
         with self._lock:
             return sum(
-                n.slots for n in self._nodes.values() if not n.lost and n.ready
+                n.slots + self._prefetch
+                for n in self._nodes.values()
+                if not n.lost and n.ready
             )
 
     def wait_for_capacity(self, timeout: float) -> bool:
@@ -332,6 +403,12 @@ class Director:
                 if task in node.queue:
                     node.queue.remove(task)
                     return "dequeued"
+                if task in node.pending:
+                    # Admitted to a batch but not yet on the wire: the
+                    # credit it consumed goes back to the node.
+                    node.pending.remove(task)
+                    node.credits += 1
+                    return "dequeued"
                 if node.inflight.pop(task.task_id, None) is not None:
                     try:
                         node.conn.send(
@@ -367,8 +444,8 @@ class Director:
             node.stats_event.wait(5.0)
         with self._lock:
             for node in self._nodes.values():
-                self.bytes_sent += node.conn.bytes_sent
-                self.bytes_received += node.conn.bytes_received
+                if not node.lost:
+                    self._fold_conn_locked(node.conn)
                 node.conn.close()
         try:
             self._listener.close()
@@ -376,57 +453,143 @@ class Director:
             pass
 
     # -- dispatch internals --------------------------------------------------
+    def _next_task_locked(self, node: _NodeSession) -> _RemoteTask | None:
+        """Pop the next task for ``node``: its queue, orphans, or a steal."""
+        if node.queue:
+            return node.queue.pop(0)
+        if self._orphans:
+            return self._orphans.pop(0)
+        # Steal from the longest backlog — but demand-driven, not
+        # credit-driven: with a prefetch window a node holds more
+        # credits than slots, and spending those on a peer's backlog
+        # would skew placement (the thief queues work it cannot run
+        # while the victim's own slots go hungry). Only a node with a
+        # genuinely idle slot steals.
+        if len(node.inflight) + len(node.pending) >= node.slots:
+            return None
+        victims = [
+            n
+            for n in self._live_nodes_locked()
+            if n is not node and n.queue and n.credited
+        ]
+        if victims:
+            victim = max(victims, key=lambda n: len(n.queue))
+            self.steals += 1
+            return victim.queue.pop()
+        return None
+
     def _flush_locked(self, node: _NodeSession) -> None:
-        """Send queued tasks to ``node`` while it holds credits."""
+        """Move work to ``node`` while it holds credits.
+
+        With ``batch_size == 1`` every task ships immediately as its own
+        TASK frame (the legacy wire protocol, byte-for-byte). With
+        batching, credit-consumed tasks accumulate in ``node.pending``
+        and ship as one TASK_BATCH frame once ``batch_size`` members are
+        admitted; a partial batch ships when the linger window expires
+        (the linger thread) or eagerly when no linger is configured.
+        """
+        batching = self.batch_size > 1
         while node.credits > 0 and not node.lost:
-            task: _RemoteTask | None = None
-            if node.queue:
-                task = node.queue.pop(0)
-            elif self._orphans:
-                task = self._orphans.pop(0)
-            else:
-                # Idle with credits: steal from the longest backlog.
-                victims = [
-                    n
-                    for n in self._live_nodes_locked()
-                    if n is not node and n.queue
-                ]
-                if victims:
-                    victim = max(victims, key=lambda n: len(n.queue))
-                    task = victim.queue.pop()
-                    self.steals += 1
+            task = self._next_task_locked(node)
             if task is None:
-                return
+                break
             node.credits -= 1
+            if not batching:
+                self._ship_locked(node, [task])
+                continue
+            if not node.pending:
+                node.pending_since = time.monotonic()
+            node.pending.append(task)
+            if len(node.pending) >= self.batch_size:
+                batch = node.pending[:]
+                node.pending.clear()
+                self._ship_locked(node, batch)
+        if (
+            batching
+            and node.pending
+            and not node.lost
+            and self.batch_linger <= 0
+        ):
+            batch = node.pending[:]
+            node.pending.clear()
+            self._ship_locked(node, batch)
+
+    def _ship_locked(self, node: _NodeSession, tasks: list[_RemoteTask]) -> None:
+        """Put one TASK or TASK_BATCH frame on the wire for ``tasks``."""
+        if not tasks:
+            return
+        for task in tasks:
             node.inflight[task.task_id] = task
-            try:
+        members = [
+            {"task_id": t.task_id, "fn": t.fn, "args": t.args} for t in tasks
+        ]
+        try:
+            if len(members) == 1:
+                node.conn.send(MessageTag.TASK, members[0], dst=node.rank)
+            else:
                 node.conn.send(
-                    MessageTag.TASK,
-                    {
-                        "task_id": task.task_id,
-                        "fn": task.fn,
-                        "args": task.args,
-                    },
-                    dst=node.rank,
+                    MessageTag.TASK_BATCH, {"tasks": members}, dst=node.rank
                 )
-            except (OSError, MessagingError):
-                self._mark_lost_locked(node, "task send failed")
-                return
-            except Exception as exc:
-                # pickling the frame failed before any byte hit the wire
-                # (send_frame serializes fully, then writes): the stream
-                # is intact and the node healthy — fail this task alone
-                # instead of tearing the node down or killing the caller.
-                node.credits += 1
+            self.task_frames_sent += 1
+            self.tasks_framed += len(members)
+            if len(members) >= 2:
+                self.batches_sent += 1
+        except (OSError, MessagingError):
+            self._mark_lost_locked(node, "task send failed")
+        except Exception as exc:
+            # pickling the frame failed before any byte hit the wire
+            # (send_frame serializes fully, then writes): the stream
+            # is intact and the node healthy. For a batch, retry the
+            # members one by one so only the poisonous task fails; for
+            # a single task, fail just its future.
+            for task in tasks:
                 node.inflight.pop(task.task_id, None)
-                self._by_future.pop(task.future, None)
-                if not task.future.done():
-                    task.future.set_exception(
-                        RuntimeError(
-                            f"task {task.task_id} is not serializable "
-                            f"for transport: {exc!r}"
-                        )
+            if len(tasks) > 1:
+                for task in tasks:
+                    if node.lost:
+                        # The node died mid-retry: these members never
+                        # hit the wire, so they re-home like queued work.
+                        live = self._live_nodes_locked()
+                        if live:
+                            self._home_for_locked(
+                                task.affinity, live
+                            ).queue.append(task)
+                        else:
+                            self._orphans.append(task)
+                    else:
+                        self._ship_locked(node, [task])
+                if node.lost:
+                    for survivor in self._live_nodes_locked():
+                        self._flush_locked(survivor)
+                return
+            task = tasks[0]
+            node.credits += 1
+            self._by_future.pop(task.future, None)
+            if not task.future.done():
+                task.future.set_exception(
+                    RuntimeError(
+                        f"task {task.task_id} is not serializable "
+                        f"for transport: {exc!r}"
                     )
+                )
+
+    def _linger_loop(self) -> None:
+        """Flush partial batches whose linger window expired."""
+        tick = max(self.batch_linger / 2.0, 0.001)
+        while not self._closed:
+            time.sleep(tick)
+            now = time.monotonic()
+            with self._lock:
+                if self._closed:
+                    return
+                for node in self._live_nodes_locked():
+                    if (
+                        node.pending
+                        and now - node.pending_since >= self.batch_linger
+                    ):
+                        batch = node.pending[:]
+                        node.pending.clear()
+                        self._ship_locked(node, batch)
 
     # -- connection handling -------------------------------------------------
     def _accept_loop(self) -> None:
@@ -464,6 +627,8 @@ class Director:
         payload = request.payload if isinstance(request.payload, dict) else {}
         kind = str(payload.get("kind", ""))
         key = str(payload.get("key", ""))
+        if self.compress and payload.get("compress"):
+            conn.enable_compression(self.compress_min_bytes)
         blob = self.cache.blob(kind, key) if self.cache is not None else None
         with self._lock:
             self.artifact_requests += 1
@@ -476,8 +641,7 @@ class Director:
             pass
         finally:
             with self._lock:
-                self.bytes_sent += conn.bytes_sent
-                self.bytes_received += conn.bytes_received
+                self._fold_conn_locked(conn)
             conn.close()
 
     def _register_node(self, conn: FrameConn, hello: Message) -> None:
@@ -493,6 +657,13 @@ class Director:
                 slots=max(1, int(payload.get("slots", 1))),
                 conn=conn,
             )
+            # HELLO capability negotiation: compression is on for this
+            # peer only when the director wants it AND the worker
+            # advertises support (old workers simply never see a
+            # compressed frame).
+            if self.compress and payload.get("compress"):
+                node.compress = True
+                conn.enable_compression(self.compress_min_bytes)
             self._nodes[rank] = node
             self.nodes_joined += 1
             if self._shipped_context is not None:
@@ -514,6 +685,11 @@ class Director:
                     "context": self._shipped_context,
                     "exchange": self.address,
                     "heartbeat": self.heartbeat,
+                    "batch": {
+                        "size": self.batch_size,
+                        "linger": self.batch_linger,
+                    },
+                    "compress": node.compress,
                 },
                 dst=node.rank,
             )
@@ -545,25 +721,22 @@ class Director:
                     return
                 if message.tag is MessageTag.WORK_REQUEST:
                     node.credits += int(payload.get("n", 1))
+                    node.credited = True
                     self._flush_locked(node)
                 elif message.tag is MessageTag.RESULT:
-                    task = node.inflight.pop(payload.get("task_id"), None)
-                    if task is not None:
-                        node.tuples_done += 1
-                        self.tuples_per_node[node.node_id] = (
-                            self.tuples_per_node.get(node.node_id, 0) + 1
-                        )
-                        self._by_future.pop(task.future, None)
-                        if not task.future.done():
-                            task.future.set_result(payload.get("value"))
+                    self._finish_entry_locked(node, payload, failed=False)
+                    self._credit_locked(node, payload)
                 elif message.tag is MessageTag.FAILURE:
-                    task = node.inflight.pop(payload.get("task_id"), None)
-                    if task is not None:
-                        self._by_future.pop(task.future, None)
-                        if not task.future.done():
-                            task.future.set_exception(
-                                _unpickle_failure(payload)
-                            )
+                    self._finish_entry_locked(node, payload, failed=True)
+                    self._credit_locked(node, payload)
+                elif message.tag is MessageTag.RESULT_BATCH:
+                    for entry in payload.get("results") or []:
+                        if not isinstance(entry, dict):
+                            continue
+                        self._finish_entry_locked(
+                            node, entry, failed=bool(entry.get("error"))
+                        )
+                    self._credit_locked(node, payload)
                 elif message.tag is MessageTag.NODE_STATS:
                     node.stats = dict(payload.get("stats") or {})
                     self.node_stats[node.node_id] = node.stats
@@ -571,6 +744,36 @@ class Director:
                 elif message.tag is MessageTag.HEARTBEAT:
                     pass  # the timestamp update above is the point
                 # Unknown tags are ignored: wire compatibility.
+
+    def _finish_entry_locked(
+        self, node: _NodeSession, entry: dict, *, failed: bool
+    ) -> None:
+        """Settle one per-tuple completion (RESULT/FAILURE/batch entry)."""
+        task = node.inflight.pop(entry.get("task_id"), None)
+        if task is None:
+            return
+        self._by_future.pop(task.future, None)
+        if failed:
+            if not task.future.done():
+                task.future.set_exception(_unpickle_failure(entry))
+            return
+        node.tuples_done += 1
+        self.tuples_per_node[node.node_id] = (
+            self.tuples_per_node.get(node.node_id, 0) + 1
+        )
+        if not task.future.done():
+            task.future.set_result(entry.get("value"))
+
+    def _credit_locked(self, node: _NodeSession, payload: dict) -> None:
+        """Apply credits piggybacked on a result frame (batching mode).
+
+        Legacy workers send a separate WORK_REQUEST per completion and
+        no ``n`` key here, so the default of 0 keeps that path intact.
+        """
+        credits = int(payload.get("n", 0) or 0)
+        if credits > 0:
+            node.credits += credits
+            self._flush_locked(node)
 
     def _monitor_loop(self) -> None:
         """Declare nodes dead after a silent heartbeat window."""
@@ -586,19 +789,39 @@ class Director:
                     if now - node.last_beat > self.heartbeat.timeout:
                         self._mark_lost_locked(node, "heartbeat timeout")
 
+    def _fold_conn_locked(self, conn: FrameConn) -> None:
+        """Roll a dying connection's wire counters into the lifetime sums.
+
+        Counters are zeroed after folding so a later fold or a live-conn
+        sum in :meth:`stats` can never double-count the same bytes.
+        """
+        self.bytes_sent += conn.bytes_sent
+        self.bytes_received += conn.bytes_received
+        self.bytes_saved += conn.bytes_saved_sent + conn.bytes_saved_received
+        conn.bytes_sent = conn.bytes_received = 0
+        conn.bytes_saved_sent = conn.bytes_saved_received = 0
+
     def _mark_lost_locked(self, node: _NodeSession, reason: str) -> None:
-        """Node death: fail in-flight work, redistribute queued work."""
+        """Node death: fail in-flight work, redistribute unsent work.
+
+        Only tasks that actually went out on the wire (``inflight``) fail
+        onto the infra budget — a batch's completed members already left
+        ``inflight`` on their per-tuple RESULT, so exactly the
+        *uncompleted* members of in-flight batches are failed here.
+        Queued and pending (batched-but-unsent) tasks never reached the
+        node and re-home losslessly.
+        """
         if node.lost:
             return
         node.lost = True
         node.stats_event.set()
         self.nodes_lost += 1
         inflight = list(node.inflight.values())
-        queued = list(node.queue)
+        unsent = list(node.queue) + list(node.pending)
         node.inflight.clear()
         node.queue.clear()
-        self.bytes_sent += node.conn.bytes_sent
-        self.bytes_received += node.conn.bytes_received
+        node.pending.clear()
+        self._fold_conn_locked(node.conn)
         node.conn.close()
         if self._journal is not None:
             self._journal.node_lost(node.node_id, reason, len(inflight))
@@ -617,7 +840,7 @@ class Director:
         # Never-sent tasks are still good: re-home them now, or park
         # them for the next node to join.
         live = self._live_nodes_locked()
-        for task in queued:
+        for task in unsent:
             if live:
                 self._home_for_locked(task.affinity, live).queue.append(task)
             else:
@@ -645,11 +868,14 @@ class DirectorPlane(ThreadedExecutionPlane):
 
     Bookkeeping threads and the AttemptRunner lifecycle are inherited
     unchanged from the threaded plane — the runner's router *is* the
-    director, so every attempt becomes a framed TASK on some node.
-    Capacity is the live nodes' slot sum (it moves as nodes join and
-    die, which is the distributed pool's elasticity); speculation stays
-    off because twin attempts would race across nodes with no shared
-    completion order to make golden-parity runs comparable.
+    director, so every attempt becomes a framed TASK (or a TASK_BATCH
+    member — batching happens inside the director's flush path; the
+    plane contract stays per-item) on some node. Capacity is the live
+    nodes' slot sum plus the director's batching prefetch window (it
+    moves as nodes join and die, which is the distributed pool's
+    elasticity); speculation stays off because twin attempts would race
+    across nodes with no shared completion order to make golden-parity
+    runs comparable.
     """
 
     supports_speculation = False

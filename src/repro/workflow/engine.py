@@ -142,6 +142,16 @@ class ExecutionReport:
     tuples_per_node: dict = field(default_factory=dict)
     wire_bytes_sent: int = 0
     wire_bytes_received: int = 0
+    #: Frame-compression accounting: bytes the negotiated zlib layer
+    #: kept off the wire, and raw/wire ratio (1.0 = compression off or
+    #: nothing compressible).
+    wire_bytes_saved: int = 0
+    compression_ratio: float = 1.0
+    #: Task-batching accounting: TASK_BATCH frames shipped (>= 2
+    #: members) and mean tasks per task-carrying frame (0.0 = no
+    #: distributed dispatch happened).
+    batches_sent: int = 0
+    avg_batch_fill: float = 0.0
 
     @property
     def succeeded(self) -> bool:
@@ -249,6 +259,9 @@ class LocalEngine:
         min_nodes: int = 1,
         join_timeout: float = 60.0,
         heartbeat: HeartbeatPolicy | None = None,
+        batch_size: int = 1,
+        batch_linger: float = 0.005,
+        compress_frames: bool = False,
     ) -> None:
         if workers < 1:
             raise EngineError("need at least one worker")
@@ -287,6 +300,9 @@ class LocalEngine:
                 min_nodes=min_nodes,
                 join_timeout=join_timeout,
                 heartbeat=heartbeat,
+                batch_size=batch_size,
+                batch_linger=batch_linger,
+                compress=compress_frames,
             )
 
     @property
@@ -521,6 +537,9 @@ class LocalEngine:
         nodes_joined = nodes_lost = 0
         tuples_per_node: dict = {}
         wire_sent = wire_received = 0
+        wire_saved = batches_sent = 0
+        compression_ratio = 1.0
+        avg_batch_fill = 0.0
         run_stats = None
         if self.backend == "distributed":
             nodes_joined = int(plane_stats.get("nodes_joined", 0))
@@ -529,6 +548,12 @@ class LocalEngine:
             tuples_per_node = dict(plane_stats.get("tuples_per_node", {}))
             wire_sent = int(plane_stats.get("bytes_sent", 0))
             wire_received = int(plane_stats.get("bytes_received", 0))
+            wire_saved = int(plane_stats.get("bytes_saved", 0))
+            compression_ratio = float(
+                plane_stats.get("compression_ratio", 1.0)
+            )
+            batches_sent = int(plane_stats.get("batches_sent", 0))
+            avg_batch_fill = float(plane_stats.get("avg_batch_fill", 0.0))
             # Aggregate the node-local artifact planes plus the
             # director-side exchange counters into one stats block.
             agg = {
@@ -559,6 +584,10 @@ class LocalEngine:
                 "tuples_per_node": tuples_per_node,
                 "bytes_sent": wire_sent,
                 "bytes_received": wire_received,
+                "bytes_saved": wire_saved,
+                "compression_ratio": compression_ratio,
+                "batches_sent": batches_sent,
+                "avg_batch_fill": avg_batch_fill,
             }
         for tup in state.final:
             final.append(tup)
@@ -598,6 +627,10 @@ class LocalEngine:
             tuples_per_node=tuples_per_node,
             wire_bytes_sent=wire_sent,
             wire_bytes_received=wire_received,
+            wire_bytes_saved=wire_saved,
+            compression_ratio=compression_ratio,
+            batches_sent=batches_sent,
+            avg_batch_fill=avg_batch_fill,
         )
 
     def resume(

@@ -31,6 +31,7 @@ import pickle
 import socket
 import struct
 import threading
+import zlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
@@ -53,6 +54,9 @@ class MessageTag(Enum):
     ARTIFACT_REQUEST = "ARTIFACT_REQUEST"
     ARTIFACT_DATA = "ARTIFACT_DATA"
     NODE_STATS = "NODE_STATS"
+    # Batched transport: K tasks per frame out, coalesced results back.
+    TASK_BATCH = "TASK_BATCH"
+    RESULT_BATCH = "RESULT_BATCH"
 
 
 @dataclass(frozen=True)
@@ -114,18 +118,26 @@ class Channel:
         clock: SimClock,
         base_latency: float = 0.001,
         bandwidth: float = 10e6,
+        compress_min_bytes: int | None = None,
     ) -> None:
         if base_latency < 0 or bandwidth <= 0:
             raise MessagingError("latency must be >= 0 and bandwidth positive")
         self.clock = clock
         self.base_latency = base_latency
         self.bandwidth = bandwidth
+        #: ``None`` models the raw transport (default, parity with the
+        #: uncompressed wire); an int models ``--compress-frames`` with
+        #: that threshold, charging deflated frame sizes.
+        self.compress_min_bytes = compress_min_bytes
         self.delivered_bytes = 0
+        self.bytes_saved = 0
         self.message_count = 0
 
     def size_of(self, message: Message) -> int:
         """Bytes this message's payload occupies on the wire."""
-        return payload_nbytes(message.payload)
+        if self.compress_min_bytes is None:
+            return payload_nbytes(message.payload)
+        return compressed_nbytes(message.payload, self.compress_min_bytes)
 
     def latency_of(self, message: Message) -> float:
         return self.base_latency + self.size_of(message) / self.bandwidth
@@ -133,7 +145,10 @@ class Channel:
     def send(self, message: Message, deliver: Callable[[Message], None]) -> float:
         """Schedule delivery; returns the simulated latency."""
         latency = self.latency_of(message)
-        self.delivered_bytes += self.size_of(message)
+        wire = self.size_of(message)
+        self.delivered_bytes += wire
+        if self.compress_min_bytes is not None:
+            self.bytes_saved += payload_nbytes(message.payload) - wire
         self.message_count += 1
         self.clock.schedule(latency, lambda: deliver(message))
         return latency
@@ -280,12 +295,21 @@ class MasterWorkerProtocol:
 
 # -- real socket transport ----------------------------------------------------
 
-#: Frame header: one big-endian uint32 length prefix per pickled message.
-FRAME_HEADER = struct.Struct(">I")
+#: Frame header: big-endian uint32 body length + one flags byte.
+FRAME_HEADER = struct.Struct(">IB")
+
+#: Flags byte: bit 0 marks a zlib-deflated body. A receiver always
+#: honors the flag — HELLO/SETUP negotiation only governs whether a
+#: *sender* is allowed to set it.
+FLAG_ZLIB = 0x01
 
 #: Sanity bound on a single frame (a corrupt header must not allocate
 #: gigabytes); generous enough for any map bundle the exchange serves.
 MAX_FRAME_BYTES = 1 << 30
+
+#: Bodies below this pickled size never compress: the zlib header plus
+#: CPU outweighs any savings on credit/heartbeat-sized frames.
+COMPRESS_MIN_BYTES = 512
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -305,30 +329,93 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, message: Message) -> int:
-    """Write one length-prefixed pickled message; returns bytes sent."""
+def compressed_nbytes(payload: object, min_bytes: int = COMPRESS_MIN_BYTES) -> int:
+    """On-wire payload size under the transport's compression rule.
+
+    Mirrors :func:`send_frame`: bodies under ``min_bytes`` ship raw, and
+    a deflated body is only kept when it is actually smaller.
+    """
+    raw = payload_nbytes(payload)
+    if raw < min_bytes:
+        return raw
+    try:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return raw
+    return min(raw, len(zlib.compress(blob)))
+
+
+def send_frame(
+    sock: socket.socket,
+    message: Message,
+    *,
+    compress: bool = False,
+    compress_min_bytes: int = COMPRESS_MIN_BYTES,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> tuple[int, int]:
+    """Write one length-prefixed pickled message.
+
+    Returns ``(wire_bytes, raw_bytes)`` — both include the header, so
+    ``raw_bytes - wire_bytes`` is the number of bytes compression saved
+    on this frame (zero for raw frames). With ``compress`` the body is
+    zlib-deflated when it reaches ``compress_min_bytes`` and the deflate
+    actually shrinks it; the flags byte tells the receiver.
+    """
     body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(body) > MAX_FRAME_BYTES:
+    raw_len = len(body)
+    flags = 0
+    if compress and raw_len >= compress_min_bytes:
+        deflated = zlib.compress(body)
+        if len(deflated) < raw_len:
+            body = deflated
+            flags |= FLAG_ZLIB
+    if len(body) > max_frame_bytes:
         raise MessagingError(f"frame too large ({len(body)} bytes)")
-    sock.sendall(FRAME_HEADER.pack(len(body)) + body)
-    return FRAME_HEADER.size + len(body)
+    sock.sendall(FRAME_HEADER.pack(len(body), flags) + body)
+    return FRAME_HEADER.size + len(body), FRAME_HEADER.size + raw_len
 
 
-def recv_frame(sock: socket.socket) -> tuple[Message, int] | None:
-    """Read one frame; returns ``(message, bytes)`` or ``None`` on EOF."""
+def recv_frame(
+    sock: socket.socket,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> tuple[Message, int, int] | None:
+    """Read one frame; ``(message, wire_bytes, raw_bytes)`` or ``None`` on EOF.
+
+    The length is validated against ``max_frame_bytes`` *before* any
+    body allocation, so a corrupt or hostile header raises a clear
+    :class:`MessagingError` instead of attempting a multi-GB ``recv``.
+    Corrupt bodies (bad zlib stream, bad pickle, non-:class:`Message`
+    object) also surface as :class:`MessagingError`.
+    """
     header = _recv_exact(sock, FRAME_HEADER.size)
     if header is None:
         return None
-    (length,) = FRAME_HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise MessagingError(f"oversized frame announced ({length} bytes)")
+    length, flags = FRAME_HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise MessagingError(
+            f"oversized frame announced ({length} bytes > "
+            f"{max_frame_bytes} limit)"
+        )
     body = _recv_exact(sock, length)
     if body is None:
         raise MessagingError("connection closed between header and body")
-    message = pickle.loads(body)
+    if flags & FLAG_ZLIB:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as exc:
+            raise MessagingError(f"corrupt compressed frame: {exc}") from exc
+        if len(body) > max_frame_bytes:
+            raise MessagingError(
+                f"decompressed frame too large ({len(body)} bytes)"
+            )
+    try:
+        message = pickle.loads(body)
+    except Exception as exc:
+        raise MessagingError(f"corrupt frame body: {exc!r}") from exc
     if not isinstance(message, Message):
         raise MessagingError(f"expected a Message frame, got {type(message)}")
-    return message, FRAME_HEADER.size + length
+    return message, FRAME_HEADER.size + length, FRAME_HEADER.size + len(body)
 
 
 class FrameConn:
@@ -337,17 +424,42 @@ class FrameConn:
     Sends are serialized under a lock so a heartbeat thread and a main
     protocol thread can share the connection; receives are expected from
     a single reader thread. Byte counters accumulate the full on-wire
-    size (header included) for the run report's transport accounting.
+    size (header included) for the run report's transport accounting;
+    when compression is on, ``bytes_sent``/``bytes_received`` are the
+    actual on-wire (compressed) sizes and ``bytes_saved_*`` hold the
+    delta versus the raw pickled frames.
+
+    Compression is off until :meth:`enable_compression` — the HELLO
+    capability handshake decides per peer. Receiving compressed frames
+    always works regardless (the flags byte is authoritative).
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
         self.sock = sock
+        self.max_frame_bytes = max_frame_bytes
         self._send_lock = threading.Lock()
         self._ids = itertools.count(1)
+        self.compress = False
+        self.compress_min_bytes = COMPRESS_MIN_BYTES
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
+        self.bytes_saved_sent = 0
+        self.bytes_saved_received = 0
+        self.frames_compressed_sent = 0
+        self.frames_compressed_received = 0
+
+    def enable_compression(self, min_bytes: int | None = None) -> None:
+        """Start compressing outbound frames past the size threshold."""
+        self.compress = True
+        if min_bytes is not None:
+            self.compress_min_bytes = max(0, int(min_bytes))
 
     def send(
         self,
@@ -359,16 +471,29 @@ class FrameConn:
     ) -> None:
         message = Message(tag, src, dst, payload, next(self._ids))
         with self._send_lock:
-            self.bytes_sent += send_frame(self.sock, message)
+            wire, raw = send_frame(
+                self.sock,
+                message,
+                compress=self.compress,
+                compress_min_bytes=self.compress_min_bytes,
+                max_frame_bytes=self.max_frame_bytes,
+            )
+            self.bytes_sent += wire
             self.frames_sent += 1
+            if raw > wire:
+                self.bytes_saved_sent += raw - wire
+                self.frames_compressed_sent += 1
 
     def recv(self) -> Message | None:
-        got = recv_frame(self.sock)
+        got = recv_frame(self.sock, max_frame_bytes=self.max_frame_bytes)
         if got is None:
             return None
-        message, size = got
-        self.bytes_received += size
+        message, wire, raw = got
+        self.bytes_received += wire
         self.frames_received += 1
+        if raw > wire:
+            self.bytes_saved_received += raw - wire
+            self.frames_compressed_received += 1
         return message
 
     def close(self) -> None:
@@ -390,13 +515,20 @@ def connect(address: tuple[str, int], timeout: float | None = None) -> FrameConn
 
 
 def fetch_artifact(
-    address: tuple[str, int], kind: str, key: str, timeout: float = 30.0
+    address: tuple[str, int],
+    kind: str,
+    key: str,
+    timeout: float = 30.0,
+    compress: bool = False,
 ) -> bytes | None:
     """Content-addressed artifact-exchange client: fetch one bundle.
 
     Opens a short-lived framed connection to the director's exchange,
     asks for the ``(kind, key)`` bundle, and returns its raw bytes (an
     ``.npz`` file image) or ``None`` when the director doesn't have it.
+    ``compress`` advertises that the caller accepts zlib-deflated
+    ARTIFACT_DATA frames (a per-frame flag the receive path always
+    honors, so this only saves wire bytes — it never changes results).
     Any transport failure degrades to a miss — the caller's map cache
     falls through to building the artifact locally.
     """
@@ -406,7 +538,10 @@ def fetch_artifact(
         return None
     try:
         conn.sock.settimeout(timeout)
-        conn.send(MessageTag.ARTIFACT_REQUEST, {"kind": kind, "key": key})
+        conn.send(
+            MessageTag.ARTIFACT_REQUEST,
+            {"kind": kind, "key": key, "compress": bool(compress)},
+        )
         reply = conn.recv()
     except (OSError, MessagingError):
         return None

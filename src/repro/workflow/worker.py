@@ -35,7 +35,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.workflow.artifacts import ArtifactPlane, drop_run_state
-from repro.workflow.fault import CancellationToken, CancelTokenHandle
+from repro.workflow.fault import (
+    ActivationCancelled,
+    CancellationToken,
+    CancelTokenHandle,
+)
 from repro.workflow.messaging import (
     ContextRef,
     FrameConn,
@@ -85,11 +89,21 @@ class WorkerNode:
         self.cache_token: str | None = None
         self.tuples_done = 0
         self.tasks_failed = 0
+        self.result_batches_sent = 0
         self._tokens: dict[int, CancellationToken] = {}
         self._tokens_lock = threading.Lock()
         self._handle = CancelTokenHandle()
         self._pool: ThreadPoolExecutor | None = None
         self._stop = threading.Event()
+        # SETUP-negotiated transport config (legacy until told otherwise).
+        self._batch_size = 1
+        self._linger = 0.0
+        # Completion coalescer (batching mode): finished-member entries
+        # waiting to ride one RESULT_BATCH frame.
+        self._results: list[dict] = []
+        self._results_since = 0.0
+        self._results_cv = threading.Condition()
+        self._flusher: threading.Thread | None = None
 
     # -- lifecycle -----------------------------------------------------------
     def run(self) -> int:
@@ -101,6 +115,10 @@ class WorkerNode:
                 "node_id": self.node_id,
                 "slots": self.slots,
                 "pid": os.getpid(),
+                # Capability advertisement: this node can inflate zlib
+                # frames (the director enables compression per peer only
+                # when both sides agree).
+                "compress": True,
             },
         )
         self._pool = ThreadPoolExecutor(
@@ -122,7 +140,14 @@ class WorkerNode:
                 if message.tag is MessageTag.SETUP:
                     self._setup(payload)
                 elif message.tag is MessageTag.TASK:
-                    self._pool.submit(self._execute, payload)
+                    self._enqueue(payload)
+                elif message.tag is MessageTag.TASK_BATCH:
+                    # Members execute independently on slot threads;
+                    # tokens are registered per member right here so an
+                    # ABORT can hit a member that hasn't started yet.
+                    for member in payload.get("tasks") or []:
+                        if isinstance(member, dict):
+                            self._enqueue(member)
                 elif message.tag is MessageTag.ABORT:
                     with self._tokens_lock:
                         token = self._tokens.get(payload.get("task_id"))
@@ -130,13 +155,17 @@ class WorkerNode:
                         token.cancel()
                 elif message.tag is MessageTag.NODE_STATS:
                     drop_run_state(payload.get("drop_token"), None)
+                    self._flush_results()
                     self._send_stats()
                 elif message.tag is MessageTag.SHUTDOWN:
+                    self._flush_results()
                     self._send_stats()
                     return 0
                 # Unknown tags are ignored: wire compatibility.
         finally:
             self._stop.set()
+            with self._results_cv:
+                self._results_cv.notify_all()
             self._pool.shutdown(wait=False, cancel_futures=True)
             if self.cache_token is not None:
                 drop_run_state(self.cache_token, None)
@@ -153,6 +182,14 @@ class WorkerNode:
         shipped = dict(payload.get("context") or {})
         exchange = payload.get("exchange")
         self.cache_token = shipped.get("cache_token")
+        batch = payload.get("batch") if isinstance(payload.get("batch"), dict) else {}
+        self._batch_size = max(1, int(batch.get("size", 1)))
+        self._linger = max(0.0, float(batch.get("linger", 0.0)))
+        compress = bool(payload.get("compress"))
+        if compress:
+            # Negotiated at HELLO: our sends compress too (the director's
+            # receive path always honors the per-frame flag).
+            self.conn.enable_compression()
         if self.plane is None:
             cache_dir = self.map_cache or os.path.join(
                 tempfile.gettempdir(), f"repro-node-cache-{os.getpid()}"
@@ -160,6 +197,7 @@ class WorkerNode:
             self.plane = ArtifactPlane.create(
                 map_cache_dir=cache_dir,
                 exchange=tuple(exchange) if exchange else None,
+                compress=compress,
             )
         context = shipped
         context["artifact_plane"] = self.plane.handle
@@ -173,7 +211,17 @@ class WorkerNode:
             name=f"{self.node_id}-heartbeat",
             daemon=True,
         ).start()
-        self.conn.send(MessageTag.WORK_REQUEST, {"n": self.slots})
+        if self._batch_size > 1 and self._flusher is None:
+            self._flusher = threading.Thread(
+                target=self._result_flush_loop,
+                name=f"{self.node_id}-coalescer",
+                daemon=True,
+            )
+            self._flusher.start()
+        # Initial credit grant: idle slots, plus a prefetch window in
+        # batching mode so the director can fill whole batches.
+        prefetch = self._batch_size if self._batch_size > 1 else 0
+        self.conn.send(MessageTag.WORK_REQUEST, {"n": self.slots + prefetch})
 
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._stop.wait(interval):
@@ -183,14 +231,28 @@ class WorkerNode:
                 return
 
     # -- task execution ------------------------------------------------------
-    def _execute(self, payload: dict) -> None:
-        """Run one TASK on a slot thread; report RESULT or FAILURE."""
-        task_id = payload.get("task_id")
+    def _enqueue(self, payload: dict) -> None:
+        """Admit one task (solo or batch member) to the slot pool.
+
+        The cancellation token is created and registered *now*, before
+        the task reaches a slot thread, so a director ABORT addressed at
+        a queued batch member cancels it pre-start.
+        """
         token = CancellationToken()
         with self._tokens_lock:
-            self._tokens[task_id] = token
-        self._handle.bind(token)
+            self._tokens[payload.get("task_id")] = token
+        self._pool.submit(self._execute, payload, token)
+
+    def _execute(self, payload: dict, token: CancellationToken) -> None:
+        """Run one task on a slot thread; report RESULT or FAILURE."""
+        task_id = payload.get("task_id")
         try:
+            if token.cancelled:
+                # Aborted while still queued: never ran, nothing to
+                # undo. The entry exists to hand the credit back (the
+                # director already dropped this task_id from inflight).
+                raise ActivationCancelled("aborted before start")
+            self._handle.bind(token)
             fn = payload["fn"]
             args = tuple(
                 self.context if isinstance(a, ContextRef) else a
@@ -199,20 +261,39 @@ class WorkerNode:
             value = fn(*args)
         except BaseException as exc:  # noqa: BLE001 - shipped to director
             self.tasks_failed += 1
-            reply: dict = {"task_id": task_id, "repr": repr(exc)}
+            entry: dict = {"task_id": task_id, "error": True, "repr": repr(exc)}
             try:
-                reply["blob"] = pickle.dumps(
+                entry["blob"] = pickle.dumps(
                     exc, protocol=pickle.HIGHEST_PROTOCOL
                 )
             except Exception:  # pragma: no cover - unpicklable exception
                 pass
-            self._reply(MessageTag.FAILURE, reply)
+            self._complete(entry)
         else:
             self.tuples_done += 1
-            self._reply(MessageTag.RESULT, {"task_id": task_id, "value": value})
+            self._complete({"task_id": task_id, "value": value})
         finally:
             with self._tokens_lock:
                 self._tokens.pop(task_id, None)
+
+    def _complete(self, entry: dict) -> None:
+        """Report one finished member; coalesced when batching is on."""
+        if self._batch_size <= 1:
+            # Legacy wire protocol, byte-for-byte: one RESULT/FAILURE
+            # frame, then a separate one-credit WORK_REQUEST.
+            failed = bool(entry.pop("error", False))
+            self._reply(
+                MessageTag.FAILURE if failed else MessageTag.RESULT, entry
+            )
+            return
+        with self._results_cv:
+            if not self._results:
+                self._results_since = time.monotonic()
+            self._results.append(entry)
+            if len(self._results) >= self._batch_size or self._linger <= 0:
+                self._flush_results_locked()
+            else:
+                self._results_cv.notify_all()
 
     def _reply(self, tag: MessageTag, payload: dict) -> None:
         try:
@@ -221,6 +302,47 @@ class WorkerNode:
             self.conn.send(MessageTag.WORK_REQUEST, {"n": 1})
         except (OSError, MessagingError):  # pragma: no cover - director gone
             self._stop.set()
+
+    # -- result coalescer (batching mode) ------------------------------------
+    def _flush_results(self) -> None:
+        with self._results_cv:
+            self._flush_results_locked()
+
+    def _flush_results_locked(self) -> None:
+        """Ship pending completions: one frame, credits piggybacked."""
+        if not self._results:
+            return
+        entries = self._results[:]
+        self._results.clear()
+        try:
+            if len(entries) == 1:
+                entry = dict(entries[0])
+                failed = bool(entry.pop("error", False))
+                entry["n"] = 1
+                self.conn.send(
+                    MessageTag.FAILURE if failed else MessageTag.RESULT, entry
+                )
+            else:
+                self.conn.send(
+                    MessageTag.RESULT_BATCH,
+                    {"results": entries, "n": len(entries)},
+                )
+                self.result_batches_sent += 1
+        except (OSError, MessagingError):  # pragma: no cover - director gone
+            self._stop.set()
+
+    def _result_flush_loop(self) -> None:
+        """Flush coalesced results once their linger window expires."""
+        with self._results_cv:
+            while not self._stop.is_set():
+                if not self._results:
+                    self._results_cv.wait(0.2)
+                    continue
+                age = time.monotonic() - self._results_since
+                if age >= self._linger:
+                    self._flush_results_locked()
+                else:
+                    self._results_cv.wait(self._linger - age)
 
     # -- reporting -----------------------------------------------------------
     def _send_stats(self) -> None:
@@ -231,6 +353,11 @@ class WorkerNode:
             "tasks_failed": self.tasks_failed,
             "bytes_sent": self.conn.bytes_sent,
             "bytes_received": self.conn.bytes_received,
+            "bytes_saved_sent": self.conn.bytes_saved_sent,
+            "bytes_saved_received": self.conn.bytes_saved_received,
+            "frames_compressed_sent": self.conn.frames_compressed_sent,
+            "result_batches_sent": self.result_batches_sent,
+            "batch_size": self._batch_size,
             "plane": self.plane.stats() if self.plane is not None else {},
         }
         try:

@@ -61,7 +61,20 @@ def _spawn_worker(address, node_id: str) -> subprocess.Popen:
     )
 
 
-def test_two_workers_survive_one_sigkill():
+#: CI matrix axis: the legacy one-frame-per-task protocol, and the
+#: batched + zlib-compressed wire path (TASK_BATCH / RESULT_BATCH).
+WIRE_MODES = {
+    "plain": {},
+    "batched-zlib": {
+        "batch_size": 4,
+        "batch_linger": 0.02,
+        "compress_frames": True,
+    },
+}
+
+
+@pytest.mark.parametrize("wire", sorted(WIRE_MODES))
+def test_two_workers_survive_one_sigkill(wire):
     wf = Workflow(
         "smoke", [Activity("paced", Operator.MAP, fn=da.paced)]
     )
@@ -79,6 +92,7 @@ def test_two_workers_survive_one_sigkill():
         backend="distributed",
         min_nodes=2,
         join_timeout=60.0,
+        **WIRE_MODES[wire],
     )
     victim = _spawn_worker(engine.director_address, "smoke-victim")
     survivor = _spawn_worker(engine.director_address, "smoke-survivor")
@@ -118,3 +132,6 @@ def test_two_workers_survive_one_sigkill():
     assert report.counts.get("FINISHED", 0) == N_TUPLES
     assert report.nodes_joined == 2
     assert report.nodes_lost == 1
+    if wire == "batched-zlib":
+        assert report.batches_sent >= 1
+        assert report.wire_bytes_saved > 0

@@ -52,9 +52,16 @@ def build_relation() -> Relation:
     return Relation("in", [{"key": k} for k in KEYS])
 
 
-def main(db_path: str, gate_path: str) -> None:
+def main(db_path: str, gate_path: str, mode: str = "plain") -> None:
     store = ProvenanceStore(
         db_path, buffer_size=100_000, flush_interval=3600.0
+    )
+    # "batched" exercises the TASK_BATCH + zlib wire path so the parent
+    # can assert crash-resume semantics survive transport batching.
+    wire_kwargs = (
+        {"batch_size": 4, "batch_linger": 0.02, "compress_frames": True}
+        if mode == "batched"
+        else {}
     )
     engine = LocalEngine(
         store,
@@ -62,6 +69,7 @@ def main(db_path: str, gate_path: str) -> None:
         backend="distributed",
         min_nodes=2,
         join_timeout=30.0,
+        **wire_kwargs,
     )
     host, port = engine.director_address
     env = dict(os.environ)
@@ -93,4 +101,8 @@ def main(db_path: str, gate_path: str) -> None:
 
 
 if __name__ == "__main__":
-    main(sys.argv[1], sys.argv[2])
+    main(
+        sys.argv[1],
+        sys.argv[2],
+        sys.argv[3] if len(sys.argv) > 3 else "plain",
+    )

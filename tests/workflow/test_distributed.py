@@ -324,7 +324,10 @@ class TestDirectorCrashResume:
         finally:
             con.close()
 
-    def test_sigkill_director_then_resume_zero_recompute(self, tmp_path):
+    @pytest.mark.parametrize("mode", ["plain", "batched"])
+    def test_sigkill_director_then_resume_zero_recompute(
+        self, tmp_path, mode
+    ):
         db = tmp_path / "prov.db"
         gate = tmp_path / "gate"
         gate.write_text("hold")
@@ -335,6 +338,7 @@ class TestDirectorCrashResume:
                 str(_HERE / "_dist_crash_child.py"),
                 str(db),
                 str(gate),
+                mode,
             ],
             env=env,
             start_new_session=True,
@@ -402,3 +406,343 @@ class TestDirectorCrashResume:
             replayed_pairs = {(tags[s], k) for (s, k) in crashed.completed}
             assert executed.isdisjoint(replayed_pairs)
             assert (tags[self.LAST_STAGE], "slow-x") in executed
+
+
+class TestBatchedGoldenParity:
+    """TASK_BATCH + zlib frames are a transport detail: results, journal
+    and lineage must be bit-for-bit identical to the unbatched run."""
+
+    def test_batched_compressed_run_matches_threads_run(self):
+        wf_t = _two_stage_workflow()
+        store_t = ProvenanceStore()
+        threads_report = LocalEngine(
+            store_t, workers=4, backend="threads"
+        ).run(wf_t, _relation(), context={"shared_maps": False})
+
+        store_d = ProvenanceStore()
+        engine = LocalEngine(
+            store_d,
+            workers=4,
+            backend="distributed",
+            min_nodes=2,
+            join_timeout=30.0,
+            batch_size=4,
+            batch_linger=0.05,
+            compress_frames=True,
+        )
+        workers = [
+            _spawn_worker(engine.director_address, f"batchparity-{i}")
+            for i in range(2)
+        ]
+        try:
+            dist_report = engine.run(
+                _two_stage_workflow(),
+                _relation(),
+                context={"shared_maps": False},
+            )
+            node_stats = {
+                k: dict(v) for k, v in engine._director.node_stats.items()
+            }
+        finally:
+            engine.shutdown()
+            _reap(workers)
+
+        def out_set(report):
+            return sorted(
+                (t["key"], t["receptor_id"], t["out"]) for t in report.output
+            )
+
+        assert out_set(dist_report) == out_set(threads_report)
+        assert len(dist_report.output) == len(KEYS)
+        assert dist_report.succeeded and threads_report.succeeded
+        t_done = replay_journal(store_t, threads_report.wkfid).completed
+        d_done = replay_journal(store_d, dist_report.wkfid).completed
+        assert set(d_done) == set(t_done)
+        assert _lineage(store_d, dist_report.wkfid) == _lineage(
+            store_t, threads_report.wkfid
+        )
+
+        # The wire actually batched and compressed.
+        assert dist_report.batches_sent >= 1
+        assert dist_report.avg_batch_fill > 1.0
+        assert dist_report.wire_bytes_saved > 0
+        assert dist_report.compression_ratio > 1.0
+
+        # Journal dispatch events stay per-tuple under batching: one
+        # dispatched event per (stage, key), each with a node hint.
+        dispatched = [
+            (e["stage"], e["tuple_key"])
+            for e in store_d.journal_events(dist_report.wkfid)
+            if e["event"] == "dispatched"
+        ]
+        assert len(dispatched) == 2 * len(KEYS)
+        assert set(dispatched) == {
+            (s, k) for s in (0, 1) for k in KEYS
+        }
+
+        # NODE_STATS round-trip carries the worker-side wire counters.
+        assert set(node_stats) == {"batchparity-0", "batchparity-1"}
+        for stats in node_stats.values():
+            assert stats["batch_size"] == 4
+            assert "result_batches_sent" in stats
+            assert "bytes_saved_sent" in stats
+            assert "frames_compressed_sent" in stats
+
+
+class TestBatchedNodeLoss:
+    def test_sigkill_mid_batch_reexecutes_only_uncompleted_members(self):
+        wf = Workflow(
+            "distbatchloss", [Activity("paced", Operator.MAP, fn=da.paced)]
+        )
+        relation = Relation(
+            "in",
+            [
+                {
+                    "key": f"k{i:02d}",
+                    "receptor_id": RECEPTORS[i % len(RECEPTORS)],
+                    "sleep_s": 0.25,
+                }
+                for i in range(16)
+            ],
+        )
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=4,
+            backend="distributed",
+            min_nodes=2,
+            join_timeout=30.0,
+            batch_size=4,
+            batch_linger=0.02,
+            compress_frames=True,
+        )
+        victim = _spawn_worker(engine.director_address, "bvictim")
+        survivor = _spawn_worker(engine.director_address, "bsurvivor")
+        box: dict = {}
+
+        def _run():
+            box["report"] = engine.run(
+                wf, relation, context={"shared_maps": False}
+            )
+
+        t = threading.Thread(target=_run)
+        t.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if sum(engine._director.tuples_per_node.values()) >= 2:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("run never got in flight")
+            victim.send_signal(signal.SIGKILL)
+            t.join(timeout=120.0)
+            assert not t.is_alive(), "run hung after node loss"
+        finally:
+            engine.shutdown()
+            _reap([victim, survivor])
+
+        report = box["report"]
+        assert sorted(t["key"] for t in report.output) == sorted(
+            f"k{i:02d}" for i in range(16)
+        )
+        assert report.counts.get("FINISHED", 0) == 16
+        assert report.infra_retries >= 1
+        assert report.nodes_lost == 1
+        assert report.tuples_per_node.get("bsurvivor", 0) > 0
+
+        # Only the *uncompleted* members of the victim's in-flight
+        # batches re-executed: each infra retry is exactly one extra
+        # activation attempt, so completed-before-kill tuples ran once.
+        attempts = store.sql(
+            "SELECT COUNT(*) AS n FROM hactivation t"
+            " JOIN hactivity a ON t.actid = a.actid"
+            " WHERE a.wkfid = ?",
+            (report.wkfid,),
+        )[0]["n"]
+        assert attempts == 16 + report.infra_retries
+
+
+class TestLateJoin:
+    def test_node_joining_mid_run_takes_over_after_sole_node_dies(self):
+        wf = Workflow(
+            "distlate", [Activity("paced", Operator.MAP, fn=da.paced)]
+        )
+        relation = Relation(
+            "in",
+            [
+                {
+                    "key": f"k{i:02d}",
+                    "receptor_id": RECEPTORS[i % len(RECEPTORS)],
+                    "sleep_s": 0.25,
+                }
+                for i in range(12)
+            ],
+        )
+        store = ProvenanceStore()
+        engine = LocalEngine(
+            store,
+            workers=4,
+            backend="distributed",
+            min_nodes=1,
+            join_timeout=60.0,
+            batch_size=4,
+            batch_linger=0.02,
+            compress_frames=True,
+        )
+        early = _spawn_worker(engine.director_address, "early")
+        late = None
+        box: dict = {}
+
+        def _run():
+            box["report"] = engine.run(
+                wf, relation, context={"shared_maps": False}
+            )
+
+        t = threading.Thread(target=_run)
+        t.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if sum(engine._director.tuples_per_node.values()) >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("run never got in flight")
+            early.send_signal(signal.SIGKILL)
+            # Wait for the loss to register — the backlog is now parked
+            # (orphaned or pending resubmission) with zero live nodes.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if engine._director.nodes_lost >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("node loss never registered")
+            late = _spawn_worker(engine.director_address, "late")
+            t.join(timeout=120.0)
+            assert not t.is_alive(), "run hung waiting for the late joiner"
+        finally:
+            engine.shutdown()
+            _reap([w for w in (early, late) if w is not None])
+
+        report = box["report"]
+        assert sorted(t["key"] for t in report.output) == sorted(
+            f"k{i:02d}" for i in range(12)
+        )
+        assert report.counts.get("FINISHED", 0) == 12
+        assert report.nodes_joined == 2
+        assert report.nodes_lost == 1
+        # The late joiner finished everything the dead node left behind.
+        assert report.tuples_per_node.get("late", 0) > 0
+        events = {e["event"] for e in store.journal_events(report.wkfid)}
+        assert {"node-joined", "node-lost"} <= events
+
+
+class TestOrphanDrainWhiteBox:
+    """Director-level: a lost node's unsent backlog (queued + batched-
+    pending) becomes orphans when no survivor exists, and the next node
+    to join drains it; only wire-inflight members fail onto infra."""
+
+    def _fake_node(self, director, node_id, credits):
+        import socket as socket_mod
+
+        from repro.workflow.distributed import _NodeSession
+        from repro.workflow.messaging import FrameConn
+
+        a, b = socket_mod.socketpair()
+        node = _NodeSession(
+            rank=next(director._rank_seq),
+            node_id=node_id,
+            slots=2,
+            conn=FrameConn(a),
+        )
+        node.ready = True
+        node.credits = credits
+        with director._lock:
+            director._nodes[node.rank] = node
+            director.nodes_joined += 1
+        return node, FrameConn(b)
+
+    def test_orphaned_backlog_drains_to_next_joining_node(self):
+        from repro.workflow.affinity import RouterError
+        from repro.workflow.distributed import Director
+        from repro.workflow.messaging import MessageTag
+
+        director = Director(
+            min_nodes=1,
+            join_timeout=5.0,
+            batch_size=4,
+            batch_linger=60.0,  # never auto-flush: the test drives it
+        )
+        peers = []
+        try:
+            doomed, peer_a = self._fake_node(director, "doomed", credits=5)
+            peers.append(peer_a)
+            futures = [
+                director.submit(None, da.prep, {"key": f"wb{i}"})
+                for i in range(7)
+            ]
+            # credits=5, batch_size=4: members 0-3 shipped as one
+            # TASK_BATCH, member 4 pending in a partial batch, 5-6 queued.
+            frame = peer_a.recv()
+            assert frame.tag is MessageTag.TASK_BATCH
+            members = frame.payload["tasks"]
+            assert len(members) == 4
+            assert len(doomed.pending) == 1
+            assert len(doomed.queue) == 2
+
+            # One batch member completes before the node dies.
+            with director._lock:
+                director._finish_entry_locked(
+                    doomed,
+                    {"task_id": members[0]["task_id"], "value": "done"},
+                    failed=False,
+                )
+            assert futures[0].result(timeout=5.0) == "done"
+
+            with director._lock:
+                director._mark_lost_locked(doomed, "unit-test kill")
+
+            # Wire-inflight uncompleted members fail as infra errors...
+            for future in futures[1:4]:
+                with pytest.raises(RouterError):
+                    future.result(timeout=5.0)
+            # ...while the never-sent backlog is orphaned, not failed.
+            assert len(director._orphans) == 3
+            assert all(not f.done() for f in futures[4:])
+            assert director.nodes_lost == 1
+            assert director.tuples_per_node == {"doomed": 1}
+
+            late, peer_b = self._fake_node(director, "late", credits=6)
+            peers.append(peer_b)
+            with director._lock:
+                director._flush_locked(late)
+                # The whole orphan backlog was admitted to the new
+                # node's batch; expire the linger window by hand.
+                assert not director._orphans
+                assert len(late.pending) == 3
+                batch = late.pending[:]
+                late.pending.clear()
+                director._ship_locked(late, batch)
+            frame = peer_b.recv()
+            assert frame.tag is MessageTag.TASK_BATCH
+            drained = frame.payload["tasks"]
+            assert len(drained) == 3
+            with director._lock:
+                for entry in drained:
+                    director._finish_entry_locked(
+                        late,
+                        {"task_id": entry["task_id"], "value": "late-done"},
+                        failed=False,
+                    )
+            for future in futures[4:]:
+                assert future.result(timeout=5.0) == "late-done"
+            assert director.tuples_per_node["late"] == 3
+        finally:
+            with director._lock:
+                for node in director._nodes.values():
+                    node.stats_event.set()
+            director.shutdown()
+            for peer in peers:
+                peer.close()
